@@ -1,0 +1,605 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (Tables 1–3, 5, 6; Figures 5, 6a, 6b, 7) plus ablations of the design
+// choices DESIGN.md calls out. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Each experiment benchmark performs the full experiment per iteration and
+// attaches its headline numbers as custom metrics; cmd/bytecard-bench
+// renders the same experiments as human-readable tables.
+package bytecard
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"bytecard/internal/bench"
+	"bytecard/internal/bn"
+	"bytecard/internal/cardinal"
+	"bytecard/internal/datagen"
+	"bytecard/internal/expr"
+	"bytecard/internal/factorjoin"
+	"bytecard/internal/rbx"
+	"bytecard/internal/sample"
+	"bytecard/internal/sqlparse"
+	"bytecard/internal/types"
+)
+
+// benchCfg keeps experiment benchmarks tractable; scale up via
+// cmd/bytecard-bench for fuller runs.
+func benchCfg() bench.Config {
+	return bench.Config{
+		Scale:      0.02,
+		Seed:       1,
+		ProbeCount: 30,
+		SampleRows: 4000,
+		RBX:        rbx.TrainConfig{Columns: 200, Epochs: 8, MaxPop: 30000, Seed: 10},
+	}
+}
+
+var (
+	envMu    sync.Mutex
+	envCache = map[string]*bench.Env{}
+)
+
+func benchEnv(b *testing.B, dataset string) *bench.Env {
+	b.Helper()
+	envMu.Lock()
+	defer envMu.Unlock()
+	if env, ok := envCache[dataset]; ok {
+		return env
+	}
+	env, err := bench.NewEnv(dataset, benchCfg())
+	if err != nil {
+		b.Fatal(err)
+	}
+	envCache[dataset] = env
+	return env
+}
+
+func reportQErrors(b *testing.B, rows []bench.QErrorRow) {
+	for _, r := range rows {
+		prefix := r.Kind
+		b.ReportMetric(r.Summary.P50, prefix+"-p50")
+		b.ReportMetric(r.Summary.P90, prefix+"-p90")
+		b.ReportMetric(r.Summary.P99, prefix+"-p99")
+	}
+}
+
+// --- Table 1: traditional estimator Q-errors ---
+
+func benchmarkTable1(b *testing.B, dataset string) {
+	env := benchEnv(b, dataset)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := env.Table1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportQErrors(b, rows)
+		}
+	}
+}
+
+func BenchmarkTable1_Traditional_IMDB(b *testing.B)   { benchmarkTable1(b, "imdb") }
+func BenchmarkTable1_Traditional_STATS(b *testing.B)  { benchmarkTable1(b, "stats") }
+func BenchmarkTable1_Traditional_AEOLUS(b *testing.B) { benchmarkTable1(b, "aeolus") }
+
+// --- Table 2: learned estimator Q-errors ---
+
+func benchmarkTable2(b *testing.B, dataset string) {
+	env := benchEnv(b, dataset)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := env.Table2()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportQErrors(b, rows)
+		}
+	}
+}
+
+func BenchmarkTable2_ByteCard_IMDB(b *testing.B)   { benchmarkTable2(b, "imdb") }
+func BenchmarkTable2_ByteCard_STATS(b *testing.B)  { benchmarkTable2(b, "stats") }
+func BenchmarkTable2_ByteCard_AEOLUS(b *testing.B) { benchmarkTable2(b, "aeolus") }
+
+// --- Table 3: training time and model size ---
+
+func benchmarkTable3(b *testing.B, dataset string) {
+	env := benchEnv(b, dataset)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := env.Table3()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			for _, r := range rows {
+				b.ReportMetric(r.TrainSeconds, r.Method+"-train-s")
+				b.ReportMetric(float64(r.ModelBytes)/1024, r.Method+"-size-KB")
+			}
+		}
+	}
+}
+
+func BenchmarkTable3_TrainingCost_IMDB(b *testing.B)   { benchmarkTable3(b, "imdb") }
+func BenchmarkTable3_TrainingCost_STATS(b *testing.B)  { benchmarkTable3(b, "stats") }
+func BenchmarkTable3_TrainingCost_AEOLUS(b *testing.B) { benchmarkTable3(b, "aeolus") }
+
+// --- Table 5: workload statistics ---
+
+func benchmarkTable5(b *testing.B, dataset string) {
+	env := benchEnv(b, dataset)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := env.Table5()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(float64(s.Queries), "queries")
+			b.ReportMetric(float64(s.JoinTemplates), "join-templates")
+			b.ReportMetric(float64(s.MaxTables), "max-tables")
+			b.ReportMetric(float64(s.MaxGroupKeys), "max-group-keys")
+			b.ReportMetric(s.MaxCard, "max-true-card")
+		}
+	}
+}
+
+func BenchmarkTable5_WorkloadStats_IMDB(b *testing.B)   { benchmarkTable5(b, "imdb") }
+func BenchmarkTable5_WorkloadStats_STATS(b *testing.B)  { benchmarkTable5(b, "stats") }
+func BenchmarkTable5_WorkloadStats_AEOLUS(b *testing.B) { benchmarkTable5(b, "aeolus") }
+
+// --- Table 6: model details ---
+
+func benchmarkTable6(b *testing.B, dataset string) {
+	env := benchEnv(b, dataset)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows := env.Table6()
+		if i == b.N-1 {
+			for _, r := range rows {
+				b.ReportMetric(float64(r.SizeBytes)/1024, r.Method+"-KB")
+				b.ReportMetric(r.TrainSeconds, r.Method+"-train-s")
+			}
+		}
+	}
+}
+
+func BenchmarkTable6_ModelDetails_IMDB(b *testing.B)   { benchmarkTable6(b, "imdb") }
+func BenchmarkTable6_ModelDetails_STATS(b *testing.B)  { benchmarkTable6(b, "stats") }
+func BenchmarkTable6_ModelDetails_AEOLUS(b *testing.B) { benchmarkTable6(b, "aeolus") }
+
+// --- Figure 5: end-to-end latency per estimator ---
+
+func benchmarkFigure5(b *testing.B, dataset string) {
+	env := benchEnv(b, dataset)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := env.Figure5()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			for _, r := range rows {
+				b.ReportMetric(r.P50, r.Method+"-p50-ms")
+				b.ReportMetric(r.P99, r.Method+"-p99-ms")
+			}
+		}
+	}
+}
+
+func BenchmarkFigure5_Latency_JOBHybrid(b *testing.B)    { benchmarkFigure5(b, "imdb") }
+func BenchmarkFigure5_Latency_STATSHybrid(b *testing.B)  { benchmarkFigure5(b, "stats") }
+func BenchmarkFigure5_Latency_AEOLUSOnline(b *testing.B) { benchmarkFigure5(b, "aeolus") }
+
+// --- Figure 6a: read I/O across scales ---
+
+func BenchmarkFigure6a_ReadIO(b *testing.B) {
+	cfg := benchCfg()
+	scales := []float64{0.01, 0.02, 0.04}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.Figure6a(cfg, scales)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			for _, r := range rows {
+				b.ReportMetric(float64(r.Blocks), fmt.Sprintf("%s@%.2g-blocks", r.Method, r.Scale))
+			}
+		}
+	}
+}
+
+// --- Figure 6b: hash-table resizes across scales ---
+
+func BenchmarkFigure6b_ResizeFrequency(b *testing.B) {
+	cfg := benchCfg()
+	scales := []float64{0.01, 0.02, 0.04}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.Figure6b(cfg, scales)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			for _, r := range rows {
+				b.ReportMetric(float64(r.Resizes), fmt.Sprintf("%s@%.2g", r.Method, r.Scale))
+			}
+		}
+	}
+}
+
+// --- Figure 7: Q-error distributions over hybrid workloads ---
+
+func benchmarkFigure7(b *testing.B, dataset string) {
+	env := benchEnv(b, dataset)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := env.Figure7()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			for _, r := range rows {
+				b.ReportMetric(r.Summary.P50, r.Method+"-p50")
+				b.ReportMetric(r.Summary.P90, r.Method+"-p90")
+			}
+		}
+	}
+}
+
+func BenchmarkFigure7_QError_JOBHybrid(b *testing.B)    { benchmarkFigure7(b, "imdb") }
+func BenchmarkFigure7_QError_STATSHybrid(b *testing.B)  { benchmarkFigure7(b, "stats") }
+func BenchmarkFigure7_QError_AEOLUSOnline(b *testing.B) { benchmarkFigure7(b, "aeolus") }
+
+// --- Ablation: reader strategy crossover ---
+
+// BenchmarkAblationReaderCrossover forces both reader strategies on a
+// selective and a non-selective filter, reporting the block I/O of each —
+// the crossover that motivates dynamic reader selection.
+func BenchmarkAblationReaderCrossover(b *testing.B) {
+	env := benchEnv(b, "stats")
+	exec, err := env.Engine("bytecard")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cases := []struct {
+		label string
+		sql   string
+	}{
+		{"selective", "SELECT COUNT(*) FROM posts WHERE score >= 60 AND view_count >= 3000"},
+		{"nonselective", "SELECT COUNT(*) FROM posts WHERE score >= -2 AND view_count >= 1"},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, c := range cases {
+			for _, strategy := range []string{"single-stage", "multi-stage"} {
+				exec.ForceReader = strategy
+				res, err := exec.Run(c.sql)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == b.N-1 {
+					b.ReportMetric(float64(res.Metrics.IO.BlocksRead()), c.label+"-"+strategy)
+				}
+			}
+		}
+		exec.ForceReader = ""
+	}
+}
+
+// --- Ablation: BN column ordering vs AVI ordering ---
+
+// BenchmarkAblationColumnOrder compares multi-stage block I/O when the
+// predicate column order comes from the BN's conditional selectivities
+// versus the sketch estimator's independence assumption.
+func BenchmarkAblationColumnOrder(b *testing.B) {
+	env := benchEnv(b, "imdb")
+	sql := "SELECT COUNT(*) FROM title WHERE season_nr >= 1 AND kind_id = 2 AND production_year >= 1990"
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, method := range []string{"bytecard", "sketch"} {
+			exec, err := env.Engine(method)
+			if err != nil {
+				b.Fatal(err)
+			}
+			exec.ForceReader = "multi-stage"
+			res, err := exec.Run(sql)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if i == b.N-1 {
+				b.ReportMetric(float64(res.Metrics.IO.BlocksRead()), method+"-blocks")
+			}
+		}
+	}
+}
+
+// --- Ablation: FactorJoin bucket count ---
+
+// BenchmarkAblationBucketCount sweeps the join-bucket budget, reporting the
+// geometric-mean Q-error of join estimates and the per-estimate latency.
+func BenchmarkAblationBucketCount(b *testing.B) {
+	ds := datagen.Toy(datagen.Config{Scale: 4, Seed: 21})
+	classes := ds.Schema.JoinClasses()
+	exact := func(binding, table, column string, bounds []float64) ([]float64, error) {
+		t := ds.DB.Table(table)
+		bk := &factorjoin.Buckets{Bounds: bounds}
+		out := make([]float64, bk.Count())
+		col := t.ColByName(column)
+		for r := 0; r < t.NumRows(); r++ {
+			if i := bk.BucketOf(col.Numeric(r)); i >= 0 {
+				out[i]++
+			}
+		}
+		return out, nil
+	}
+	truth := func() float64 {
+		counts := map[int64]float64{}
+		fact := ds.DB.Table("fact")
+		for r := 0; r < fact.NumRows(); r++ {
+			counts[fact.ColByName("dim_id").Value(r).I]++
+		}
+		var total float64
+		dim := ds.DB.Table("dim")
+		for r := 0; r < dim.NumRows(); r++ {
+			total += counts[dim.ColByName("id").Value(r).I]
+		}
+		return total
+	}()
+	tables := []factorjoin.QueryTable{{Binding: "f", Name: "fact"}, {Binding: "d", Name: "dim"}}
+	conds := []factorjoin.Cond{{LBind: "f", LCol: "dim_id", RBind: "d", RCol: "id"}}
+	for _, buckets := range []int{25, 50, 100, 200} {
+		b.Run(fmt.Sprintf("buckets=%d", buckets), func(b *testing.B) {
+			model, err := factorjoin.Build(ds.DB, classes, buckets)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var est float64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				est, err = model.Estimate(tables, conds, exact, factorjoin.ModeEstimate)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(cardinal.QError(est, truth), "qerror")
+		})
+	}
+}
+
+// --- Ablation: CPD topological indexing vs pointer-tree traversal ---
+
+// BenchmarkAblationCPDIndexing measures the paper's initContext
+// optimization: the flattened topological-array inference context against a
+// pointer-tree walker computing the identical result.
+func BenchmarkAblationCPDIndexing(b *testing.B) {
+	ds := datagen.AEOLUS(datagen.Config{Scale: 0.02, Seed: 23})
+	t := ds.DB.Table("ad_events")
+	cols := []string{"event_type", "duration", "cost", "event_date", "user_id"}
+	data := make([][]float64, len(cols))
+	for i, c := range cols {
+		data[i] = t.ColByName(c).NumericAll()
+	}
+	model, err := bn.Train(bn.TrainConfig{Table: "ad_events", ColNames: cols, Sample: data})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cons := expr.NewConstraint("event_type")
+	cons.Add(expr.OpEq, 1, true)
+	weights := make([][]float64, len(model.Cols))
+	w, err := model.WeightsFor("event_type", cons)
+	if err != nil {
+		b.Fatal(err)
+	}
+	weights[model.ColIndex("event_type")] = w
+	b.Run("topological-array", func(b *testing.B) {
+		ctx, err := model.NewContext()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ctx.Prob(weights)
+		}
+	})
+	b.Run("pointer-tree", func(b *testing.B) {
+		tw, err := model.NewTreeWalker()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			tw.Prob(weights)
+		}
+	})
+}
+
+// --- Ablation: hash-table presizing ---
+
+// BenchmarkAblationHashPresize runs one aggregation with RBX presizing,
+// with the cached-capacity heuristic, and cold, reporting resize counts.
+func BenchmarkAblationHashPresize(b *testing.B) {
+	env := benchEnv(b, "aeolus")
+	sql := "SELECT ad_events.event_type, ad_events.duration, COUNT(*) FROM ad_events GROUP BY ad_events.event_type, ad_events.duration"
+	exec, err := env.Engine("bytecard")
+	if err != nil {
+		b.Fatal(err)
+	}
+	modes := []struct {
+		name    string
+		presize bool
+		cap     int
+	}{
+		{"rbx-presize", true, 0},
+		{"cached-size", false, 4096},
+		{"cold-start", false, 16},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, m := range modes {
+			exec.DisableNDVPresize = !m.presize
+			exec.AggCapacity = m.cap
+			res, err := exec.Run(sql)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if i == b.N-1 {
+				b.ReportMetric(float64(res.Metrics.HashResizes), m.name+"-resizes")
+			}
+		}
+	}
+	exec.DisableNDVPresize = false
+	exec.AggCapacity = 0
+}
+
+// --- Ablation: RBX calibration on high-NDV columns ---
+
+// BenchmarkAblationRBXCalibration compares the base RBX model against a
+// fine-tuned copy on an exceptionally high-NDV column.
+func BenchmarkAblationRBXCalibration(b *testing.B) {
+	model, err := rbx.Train(rbx.TrainConfig{Columns: 200, Epochs: 8, MaxPop: 30000, Seed: 31})
+	if err != nil {
+		b.Fatal(err)
+	}
+	// High-NDV column at a low sampling rate.
+	mkProfile := func(seed int64) (sample.Profile, float64) {
+		n := 40000
+		vals := make([]types.Datum, 0, n/50)
+		distinct := map[int64]bool{}
+		for i := 0; i < n; i++ {
+			v := int64(i)*3 + seed
+			distinct[v] = true
+			if i%50 == int(seed)%50 {
+				vals = append(vals, types.Int(v))
+			}
+		}
+		return sample.ProfileOfValues(vals, int64(n)), float64(len(distinct))
+	}
+	var profiles []sample.Profile
+	var truths []float64
+	for s := int64(0); s < 4; s++ {
+		p, tr := mkProfile(s)
+		profiles = append(profiles, p)
+		truths = append(truths, tr)
+	}
+	testP, testTruth := mkProfile(99)
+	base := cardinal.QError(model.EstimateNDV(testP), testTruth)
+	if err := model.FineTune("t.high_ndv", profiles, truths, rbx.FineTuneConfig{Epochs: 20, Seed: 32}); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		calibrated := cardinal.QError(model.EstimateNDVForColumn("t.high_ndv", testP), testTruth)
+		if i == b.N-1 {
+			b.ReportMetric(base, "base-qerror")
+			b.ReportMetric(calibrated, "calibrated-qerror")
+		}
+	}
+}
+
+// --- Micro-benchmarks for the hot inference paths ---
+
+func BenchmarkMicroBNSelectivity(b *testing.B) {
+	env := benchEnv(b, "imdb")
+	ctxs, ok := env.Infer.BNContexts("title")
+	if !ok {
+		b.Fatal("no BN for title")
+	}
+	cons := expr.NewConstraint("production_year")
+	cons.Add(expr.OpGe, 2000, true)
+	consts := []expr.Constraint{cons}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ctxs[0].SelectivityConj(consts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMicroJoinEstimate(b *testing.B) {
+	env := benchEnv(b, "imdb")
+	exec, err := env.Engine("bytecard")
+	if err != nil {
+		b.Fatal(err)
+	}
+	q, err := exec.Analyze(sqlparse.MustParse(
+		"SELECT COUNT(*) FROM title t, cast_info ci WHERE ci.movie_id = t.id AND t.production_year > 2000"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		env.ByteCard.EstimateJoin(q.Tables, q.Joins)
+	}
+}
+
+func BenchmarkMicroRBXEstimate(b *testing.B) {
+	env := benchEnv(b, "imdb")
+	model := env.Infer.RBX()
+	if model == nil {
+		b.Fatal("no RBX model")
+	}
+	vals := make([]types.Datum, 1000)
+	for i := range vals {
+		vals[i] = types.Int(int64(i % 313))
+	}
+	p := sample.ProfileOfValues(vals, 100000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		model.EstimateNDV(p)
+	}
+}
+
+func BenchmarkMicroQueryExecution(b *testing.B) {
+	env := benchEnv(b, "imdb")
+	exec, err := env.Engine("bytecard")
+	if err != nil {
+		b.Fatal(err)
+	}
+	sql := "SELECT COUNT(*) FROM title t, cast_info ci WHERE ci.movie_id = t.id AND t.production_year > 2005"
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := exec.Run(sql); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablation: sideways information passing ---
+
+// BenchmarkAblationSIP measures the block I/O and latency effect of SIP on
+// a join whose intermediate key set is small.
+func BenchmarkAblationSIP(b *testing.B) {
+	env := benchEnv(b, "stats")
+	exec, err := env.Engine("bytecard")
+	if err != nil {
+		b.Fatal(err)
+	}
+	sql := "SELECT COUNT(*) FROM users, comments WHERE comments.user_id = users.id AND users.reputation >= 40000 AND comments.score >= 2"
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		exec.DisableSIP = false
+		on, err := exec.Run(sql)
+		if err != nil {
+			b.Fatal(err)
+		}
+		exec.DisableSIP = true
+		off, err := exec.Run(sql)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(float64(on.Metrics.IO.BlocksRead()), "sip-blocks")
+			b.ReportMetric(float64(off.Metrics.IO.BlocksRead()), "nosip-blocks")
+			b.ReportMetric(float64(on.Metrics.SIPPruned), "rows-pruned")
+		}
+	}
+	exec.DisableSIP = false
+}

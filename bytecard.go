@@ -1,0 +1,242 @@
+// Package bytecard is the public API of this repository: a reproduction of
+// "ByteCard: Enhancing ByteDance's Data Warehouse with Learned Cardinality
+// Estimation" (SIGMOD 2024). It assembles the full system — a columnar
+// analytical engine, the learned cardinality models (tree Bayesian
+// networks, FactorJoin, the RBX NDV estimator), and the ByteCard framework
+// around them (Inference Engine, ModelForge training service, Model
+// Loader, Model Monitor, Model Preprocessor) — behind one System handle.
+//
+// Quick start:
+//
+//	sys, err := bytecard.Open(bytecard.Options{Dataset: "imdb", Scale: 0.02})
+//	res, err := sys.Run("SELECT COUNT(*) FROM title WHERE production_year > 2000")
+//	est, err := sys.EstimateCount("SELECT COUNT(*) FROM title t, cast_info ci WHERE ci.movie_id = t.id")
+package bytecard
+
+import (
+	"fmt"
+	"os"
+
+	"bytecard/internal/cardinal"
+	"bytecard/internal/core"
+	"bytecard/internal/datagen"
+	"bytecard/internal/engine"
+	"bytecard/internal/loader"
+	"bytecard/internal/modelforge"
+	"bytecard/internal/modelstore"
+	"bytecard/internal/monitor"
+	"bytecard/internal/rbx"
+	"bytecard/internal/sample"
+	"bytecard/internal/workload"
+)
+
+// Options configure Open.
+type Options struct {
+	// Dataset selects a built-in synthetic dataset: "imdb", "stats",
+	// "aeolus", or "toy".
+	Dataset string
+	// Scale multiplies base row counts (default 0.05).
+	Scale float64
+	// Seed drives all generators and training (default 1).
+	Seed int64
+	// StoreDir persists model artifacts between runs; empty uses a
+	// temporary directory.
+	StoreDir string
+	// SkipTraining opens the system without training models: estimates
+	// fall back to the traditional sketch estimator until models are
+	// trained and loaded (RefreshModels).
+	SkipTraining bool
+	// BucketCount sizes FactorJoin's join buckets (default 200, matching
+	// the paper's equi-height configuration).
+	BucketCount int
+	// SampleRows caps per-table training samples (default 8000).
+	SampleRows int
+	// RBX overrides the NDV trainer configuration.
+	RBX rbx.TrainConfig
+	// Estimator selects the optimizer's estimator: "bytecard" (default),
+	// "sketch", "sample", or "heuristic".
+	Estimator string
+}
+
+func (o *Options) fill() {
+	if o.Dataset == "" {
+		o.Dataset = "toy"
+	}
+	if o.Scale <= 0 {
+		o.Scale = 0.05
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.BucketCount <= 0 {
+		o.BucketCount = 200
+	}
+	if o.SampleRows <= 0 {
+		o.SampleRows = 8000
+	}
+	if o.RBX.Columns == 0 {
+		o.RBX = rbx.TrainConfig{Columns: 300, Epochs: 10, MaxPop: 50000, Seed: o.Seed + 9}
+	}
+	if o.Estimator == "" {
+		o.Estimator = "bytecard"
+	}
+}
+
+// System is a fully wired ByteCard deployment over one dataset.
+type System struct {
+	Options Options
+	// Dataset holds the data and catalog.
+	Dataset *datagen.Dataset
+	// Engine executes SQL with the selected estimator driving the
+	// optimizer.
+	Engine *engine.Engine
+	// Estimator is the ByteCard estimator (BN + FactorJoin + RBX with
+	// sketch fallback).
+	Estimator *core.Estimator
+	// Sketch and Sample are the traditional baselines.
+	Sketch *cardinal.SketchEstimator
+	Sample *cardinal.SampleEstimator
+	// Infer is the model registry.
+	Infer *core.InferenceEngine
+	// Forge is the training service.
+	Forge *modelforge.Service
+	// Store holds serialized model artifacts.
+	Store *modelstore.Store
+	// Loader ships artifacts from Store into Infer.
+	Loader *loader.Loader
+	// Monitor probes model quality.
+	Monitor *monitor.Monitor
+	// Featurizer builds feature vectors for the estimation API.
+	Featurizer *core.Featurizer
+	// TrainReport records the initial training run (nil with
+	// SkipTraining).
+	TrainReport *modelforge.Report
+}
+
+// Open generates the dataset, trains and loads the models (unless
+// SkipTraining), and wires every component of the framework.
+func Open(opts Options) (*System, error) {
+	opts.fill()
+	ds, err := datagen.ByName(opts.Dataset, datagen.Config{Scale: opts.Scale, Seed: opts.Seed})
+	if err != nil {
+		return nil, err
+	}
+	return OpenDataset(ds, opts)
+}
+
+// OpenDataset wires the system over a caller-provided dataset.
+func OpenDataset(ds *datagen.Dataset, opts Options) (*System, error) {
+	opts.fill()
+	sys := &System{Options: opts, Dataset: ds}
+	dir := opts.StoreDir
+	if dir == "" {
+		var err error
+		dir, err = os.MkdirTemp("", "bytecard-store-*")
+		if err != nil {
+			return nil, err
+		}
+	}
+	var err error
+	sys.Store, err = modelstore.Open(dir)
+	if err != nil {
+		return nil, err
+	}
+	sys.Sketch = cardinal.NewSketchEstimator(ds.DB, cardinal.DefaultHistogramBuckets)
+	sys.Sample = cardinal.NewSampleEstimator(ds.DB, cardinal.DefaultSampleRows, opts.Seed+2)
+	sys.Forge = modelforge.New(ds.Name, ds.DB, ds.Schema, sys.Store, modelforge.Config{
+		SampleRows:  opts.SampleRows,
+		BucketCount: opts.BucketCount,
+		RBX:         opts.RBX,
+		Seed:        opts.Seed + 3,
+	})
+	sys.Infer = core.NewInferenceEngine(core.Options{})
+	sys.Loader = loader.New(sys.Store, sys.Infer)
+	sys.Estimator = core.NewEstimator(sys.Infer, sys.Sketch)
+	sys.Featurizer = core.NewFeaturizer(ds.DB, ds.Schema)
+
+	if !opts.SkipTraining {
+		sys.TrainReport, err = sys.Forge.TrainAll()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := sys.Loader.RefreshOnce(); err != nil {
+			return nil, err
+		}
+	}
+	loader.LoadSamples(ds.DB, sys.Estimator, opts.SampleRows, opts.Seed+4)
+
+	est, err := sys.estimatorByName(opts.Estimator)
+	if err != nil {
+		return nil, err
+	}
+	sys.Engine = engine.New(ds.DB, ds.Schema, est)
+	sys.Monitor = &monitor.Monitor{
+		Exec:  sys.Engine,
+		Est:   sys.Estimator,
+		Feat:  sys.Featurizer,
+		Infer: sys.Infer,
+		Seed:  opts.Seed + 5,
+		RetrainTable: func(table string) error {
+			_, err := sys.Forge.TrainTable(table)
+			return err
+		},
+		FineTuneNDV: func(column string, profiles []sample.Profile, truths []float64) error {
+			return sys.Forge.FineTuneRBX(column, profiles, truths, rbx.FineTuneConfig{})
+		},
+	}
+	return sys, nil
+}
+
+func (s *System) estimatorByName(name string) (engine.CardEstimator, error) {
+	switch name {
+	case "bytecard":
+		return s.Estimator, nil
+	case "sketch":
+		return s.Sketch, nil
+	case "sample":
+		return s.Sample, nil
+	case "heuristic":
+		return engine.HeuristicEstimator{}, nil
+	default:
+		return nil, fmt.Errorf("bytecard: unknown estimator %q", name)
+	}
+}
+
+// Run executes a SQL query through the optimizer and executors.
+func (s *System) Run(sql string) (*engine.Result, error) { return s.Engine.Run(sql) }
+
+// EstimateCount returns ByteCard's COUNT cardinality estimate for a query
+// without executing it.
+func (s *System) EstimateCount(sql string) (float64, error) {
+	fv, err := s.Featurizer.FeaturizeSQLQuery(sql)
+	if err != nil {
+		return 0, err
+	}
+	return s.Estimator.Estimate(fv)
+}
+
+// EstimateNDV returns ByteCard's COUNT-DISTINCT estimate for a query
+// containing a COUNT(DISTINCT …) aggregate or GROUP BY.
+func (s *System) EstimateNDV(sql string) (float64, error) {
+	fv, err := s.Featurizer.FeaturizeSQLQuery(sql)
+	if err != nil {
+		return 0, err
+	}
+	return s.Estimator.EstimateNDV(fv)
+}
+
+// TrueCount executes the query's COUNT(*) form for ground truth.
+func (s *System) TrueCount(sql string) (float64, error) {
+	return s.Engine.TrueCardinality(workload.CountForm(sql))
+}
+
+// RefreshModels ships newly trained artifacts into the inference engine.
+func (s *System) RefreshModels() (int, error) { return s.Loader.RefreshOnce() }
+
+// CheckModels runs the Model Monitor over every single-table COUNT model.
+func (s *System) CheckModels() ([]monitor.TableReport, error) { return s.Monitor.CheckAll() }
+
+// Workload generates the dataset's hybrid evaluation workload.
+func (s *System) Workload(seed int64) (workload.Workload, error) {
+	return workload.ByName(s.Dataset, seed)
+}

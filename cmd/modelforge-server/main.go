@@ -1,0 +1,53 @@
+// Command modelforge-server runs the ModelForge training service as a
+// standalone HTTP server — the paper's isolated-training deployment shape.
+//
+//	modelforge-server -dataset stats -addr :8491 -store ./models
+//
+// Endpoints: POST /train, POST /train/{table}, POST /ingest,
+// POST /finetune, GET /models.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+
+	"bytecard/internal/datagen"
+	"bytecard/internal/modelforge"
+	"bytecard/internal/modelstore"
+	"bytecard/internal/rbx"
+)
+
+func main() {
+	var (
+		dataset = flag.String("dataset", "imdb", "dataset: imdb, stats, aeolus, toy")
+		scale   = flag.Float64("scale", 0.05, "dataset scale factor")
+		seed    = flag.Int64("seed", 1, "generator seed")
+		dir     = flag.String("store", "./models", "model store directory")
+		addr    = flag.String("addr", ":8491", "listen address")
+	)
+	flag.Parse()
+	if err := run(*dataset, *scale, *seed, *dir, *addr); err != nil {
+		fmt.Fprintln(os.Stderr, "modelforge-server:", err)
+		os.Exit(1)
+	}
+}
+
+func run(dataset string, scale float64, seed int64, dir, addr string) error {
+	ds, err := datagen.ByName(dataset, datagen.Config{Scale: scale, Seed: seed})
+	if err != nil {
+		return err
+	}
+	store, err := modelstore.Open(dir)
+	if err != nil {
+		return err
+	}
+	svc := modelforge.New(ds.Name, ds.DB, ds.Schema, store, modelforge.Config{
+		RBX:  rbx.TrainConfig{Columns: 400, Epochs: 12, MaxPop: 50000, Seed: seed + 9},
+		Seed: seed,
+	})
+	fmt.Printf("modelforge-server: dataset %s (%d rows), store %s, listening on %s\n",
+		ds.Name, ds.DB.TotalRows(), dir, addr)
+	return http.ListenAndServe(addr, modelforge.NewServer(svc))
+}

@@ -1,0 +1,3 @@
+module bytecard
+
+go 1.22

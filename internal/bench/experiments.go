@@ -1,0 +1,517 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"bytecard/internal/bn"
+	"bytecard/internal/cardinal"
+	"bytecard/internal/engine"
+	"bytecard/internal/mscn"
+	"bytecard/internal/spn"
+	"bytecard/internal/sqlparse"
+	"bytecard/internal/workload"
+)
+
+func tmpDir() string { return os.TempDir() }
+
+// estimateCount routes a COUNT probe through the estimator the way the
+// optimizer would: single tables via EstimateFilter, joins via EstimateJoin.
+func estimateCount(est engine.CardEstimator, q *engine.Query) float64 {
+	if len(q.Tables) == 1 {
+		return est.EstimateFilter(q.Tables[0])
+	}
+	return est.EstimateJoin(q.Tables, q.Joins)
+}
+
+// estimateNDV rewrites a COUNT DISTINCT probe into a group-NDV request.
+func estimateNDV(est engine.CardEstimator, q *engine.Query) float64 {
+	target := *q
+	for _, agg := range q.Aggs {
+		if agg.Kind == engine.AggCountDistinct {
+			target.GroupBy = agg.Cols
+			break
+		}
+	}
+	return est.EstimateGroupNDV(&target)
+}
+
+// QErrorRow is one row of Tables 1/2 (and the Figure 7 distributions).
+type QErrorRow struct {
+	Dataset string
+	Method  string
+	// Kind is "COUNT" or "NDV".
+	Kind    string
+	Summary cardinal.Summary
+	// Errors holds the raw Q-error distribution.
+	Errors []float64
+}
+
+// QErrors runs the COUNT and NDV probe workloads against one estimator.
+func (e *Env) QErrors(method string) ([]QErrorRow, error) {
+	est, err := e.Estimator(method)
+	if err != nil {
+		return nil, err
+	}
+	counts, err := workload.CountProbes(e.DS, e.Cfg.ProbeCount, e.Cfg.Seed+5)
+	if err != nil {
+		return nil, err
+	}
+	ndvs, err := workload.NDVProbes(e.DS, e.Cfg.ProbeCount, e.Cfg.Seed+6)
+	if err != nil {
+		return nil, err
+	}
+	countRow := QErrorRow{Dataset: e.DS.Name, Method: method, Kind: "COUNT"}
+	for _, probe := range counts.Queries {
+		q, err := e.Truth.Analyze(sqlparse.MustParse(probe.SQL))
+		if err != nil {
+			return nil, err
+		}
+		truth, err := e.Truth.TrueCardinality(probe.SQL)
+		if err != nil {
+			return nil, err
+		}
+		if truth < 1 {
+			continue // Q-error is undefined for empty results
+		}
+		countRow.Errors = append(countRow.Errors, cardinal.QError(estimateCount(est, q), truth))
+	}
+	countRow.Summary = cardinal.Summarize(countRow.Errors)
+
+	ndvRow := QErrorRow{Dataset: e.DS.Name, Method: method, Kind: "NDV"}
+	for _, probe := range ndvs.Queries {
+		q, err := e.Truth.Analyze(sqlparse.MustParse(probe.SQL))
+		if err != nil {
+			return nil, err
+		}
+		res, err := e.Truth.Run(probe.SQL)
+		if err != nil {
+			return nil, err
+		}
+		truth, err := res.ScalarInt()
+		if err != nil {
+			return nil, err
+		}
+		if truth < 1 {
+			continue // Q-error is undefined for empty results
+		}
+		ndvRow.Errors = append(ndvRow.Errors, cardinal.QError(estimateNDV(est, q), float64(truth)))
+	}
+	ndvRow.Summary = cardinal.Summarize(ndvRow.Errors)
+	return []QErrorRow{countRow, ndvRow}, nil
+}
+
+// Table1 reports traditional-estimator Q-errors (sketch-based, the
+// warehouse's original estimator).
+func (e *Env) Table1() ([]QErrorRow, error) { return e.QErrors("sketch") }
+
+// Table2 reports ByteCard's learned-estimator Q-errors.
+func (e *Env) Table2() ([]QErrorRow, error) { return e.QErrors("bytecard") }
+
+// TrainingRow is one cell group of Table 3.
+type TrainingRow struct {
+	Method       string
+	Dataset      string
+	TrainSeconds float64
+	ModelBytes   int64
+}
+
+// Table3 trains the four comparison methods and reports cost and size.
+// MSCN's training time excludes true-cardinality labelling, matching the
+// paper's accounting (which still concludes query-driven labelling is the
+// impractical part).
+func (e *Env) Table3() ([]TrainingRow, error) {
+	var rows []TrainingRow
+
+	// MSCN: label a training workload by execution, then train.
+	probes, err := workload.CountProbes(e.DS, 200, e.Cfg.Seed+11)
+	if err != nil {
+		return nil, err
+	}
+	feat, queries, err := e.mscnWorkload(probes)
+	if err != nil {
+		return nil, err
+	}
+	model := mscn.New(feat, e.Cfg.Seed+12)
+	if err := model.Train(queries, mscn.TrainConfig{Epochs: 25, Seed: e.Cfg.Seed + 13}); err != nil {
+		return nil, err
+	}
+	rows = append(rows, TrainingRow{Method: "MSCN", Dataset: e.DS.Name, TrainSeconds: model.TrainSeconds, ModelBytes: model.SizeBytes()})
+
+	// DeepDB: denormalized join sample + SPN (denormalization charged to
+	// training, as the paper does).
+	spnStart := time.Now()
+	cols, data, err := spn.Denormalize(e.DS.DB, e.DS.Schema.JoinPatterns(), 20000, e.Cfg.Seed+14)
+	if err != nil {
+		return nil, err
+	}
+	spnModel, err := spn.Train(cols, data, spn.TrainConfig{Seed: e.Cfg.Seed + 15})
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, TrainingRow{Method: "DeepDB", Dataset: e.DS.Name, TrainSeconds: time.Since(spnStart).Seconds(), ModelBytes: spnModel.SizeBytes()})
+
+	// BayesCard: Bayesian network over the same denormalized sample (its
+	// published design denormalizes for joins).
+	bcStart := time.Now()
+	colMajor := make([][]float64, len(cols))
+	for c := range cols {
+		colMajor[c] = make([]float64, len(data))
+		for r := range data {
+			colMajor[c][r] = data[r][c]
+		}
+	}
+	bcModel, err := bn.Train(bn.TrainConfig{
+		Table: e.DS.Name + "-denorm", ColNames: cols, Sample: colMajor,
+		Rows: float64(len(data)), MaxBins: 32,
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, TrainingRow{Method: "BayesCard", Dataset: e.DS.Name, TrainSeconds: time.Since(bcStart).Seconds(), ModelBytes: bcModel.SizeBytes()})
+
+	// ByteCard: per-table BNs + FactorJoin buckets, straight from the
+	// ModelForge training report (no denormalization, no labelling).
+	var bcSeconds float64
+	var bcBytes int64
+	for _, m := range e.Report.Models {
+		if m.Kind == "rbx" {
+			continue // workload-independent, trained once globally
+		}
+		bcSeconds += m.TrainSeconds
+		bcBytes += m.SizeBytes
+	}
+	rows = append(rows, TrainingRow{Method: "ByteCard(BN+FactorJoin)", Dataset: e.DS.Name, TrainSeconds: bcSeconds, ModelBytes: bcBytes})
+	return rows, nil
+}
+
+// mscnWorkload featurizes and labels a probe workload for MSCN training.
+func (e *Env) mscnWorkload(probes workload.Workload) (*mscn.Featurizer, []mscn.Query, error) {
+	feat := &mscn.Featurizer{ColMin: map[string]float64{}, ColMax: map[string]float64{}}
+	for _, name := range e.DS.DB.TableNames() {
+		feat.Tables = append(feat.Tables, name)
+		t := e.DS.DB.Table(name)
+		for i := 0; i < t.NumCols(); i++ {
+			col := t.Col(i)
+			if !col.Kind().Scalar() {
+				continue
+			}
+			qc := name + "." + col.Name()
+			feat.Columns = append(feat.Columns, qc)
+			if t.NumRows() > 0 {
+				lo, hi := col.Numeric(0), col.Numeric(0)
+				for r := 1; r < t.NumRows(); r++ {
+					v := col.Numeric(r)
+					if v < lo {
+						lo = v
+					}
+					if v > hi {
+						hi = v
+					}
+				}
+				feat.ColMin[qc], feat.ColMax[qc] = lo, hi
+			}
+		}
+	}
+	for _, p := range e.DS.Schema.JoinPatterns() {
+		feat.Joins = append(feat.Joins, mscn.CanonicalJoin(p.Left.Table, p.Left.Column, p.Right.Table, p.Right.Column))
+	}
+	var queries []mscn.Query
+	for _, probe := range probes.Queries {
+		q, err := e.Truth.Analyze(sqlparse.MustParse(probe.SQL))
+		if err != nil {
+			return nil, nil, err
+		}
+		truth, err := e.Truth.TrueCardinality(probe.SQL)
+		if err != nil {
+			return nil, nil, err
+		}
+		mq := mscn.Query{Card: truth}
+		for _, t := range q.Tables {
+			mq.Tables = append(mq.Tables, t.Name)
+			if t.Filter == nil {
+				continue
+			}
+			for _, pred := range t.Filter.Leaves() {
+				col := t.Name + "." + pred.Col
+				v, _ := t.Table.ColByName(pred.Col).EncodeDatum(pred.Val)
+				mq.Preds = append(mq.Preds, mscn.Pred{
+					Column: col, Op: int(pred.Op), Value: feat.Normalize(col, v),
+				})
+			}
+		}
+		for _, j := range q.Joins {
+			lt, rt := q.TableByBinding(j.LeftTab), q.TableByBinding(j.RightTab)
+			mq.Joins = append(mq.Joins, mscn.CanonicalJoin(lt.Name, j.LeftCol, rt.Name, j.RightCol))
+		}
+		queries = append(queries, mq)
+	}
+	return feat, queries, nil
+}
+
+// LatencyRow is one series of Figure 5: per-method latency quantiles over a
+// hybrid workload, in milliseconds and normalized to the slowest value in
+// the figure.
+type LatencyRow struct {
+	Workload             string
+	Method               string
+	P50, P75, P90, P99   float64 // milliseconds
+	N50, N75, N90, N99   float64 // normalized 0..1
+	TotalSeconds         float64
+	EstimatorPlanSeconds float64
+}
+
+// Figure5 executes the hybrid workload end to end under each estimator and
+// reports latency quantiles.
+func (e *Env) Figure5() ([]LatencyRow, error) {
+	var rows []LatencyRow
+	var peak float64
+	for _, method := range Methods() {
+		exec, err := e.Engine(method)
+		if err != nil {
+			return nil, err
+		}
+		var lats []float64
+		var total, plan time.Duration
+		for _, q := range e.Hybrid.Queries {
+			// Two runs, keeping the faster one: scheduling noise would
+			// otherwise dominate the tail quantiles at bench scale.
+			var best time.Duration
+			var bestPlan time.Duration
+			for rep := 0; rep < 2; rep++ {
+				res, err := exec.Run(q.SQL)
+				if err != nil {
+					return nil, fmt.Errorf("bench: %s on %q: %w", method, q.SQL, err)
+				}
+				d := res.Metrics.PlanDuration + res.Metrics.ExecDuration
+				if rep == 0 || d < best {
+					best = d
+					bestPlan = res.Metrics.PlanDuration
+				}
+			}
+			lats = append(lats, float64(best.Microseconds())/1000)
+			total += best
+			plan += bestPlan
+		}
+		row := LatencyRow{
+			Workload:             e.Hybrid.Name,
+			Method:               method,
+			P50:                  cardinal.Quantile(lats, 0.50),
+			P75:                  cardinal.Quantile(lats, 0.75),
+			P90:                  cardinal.Quantile(lats, 0.90),
+			P99:                  cardinal.Quantile(lats, 0.99),
+			TotalSeconds:         total.Seconds(),
+			EstimatorPlanSeconds: plan.Seconds(),
+		}
+		if row.P99 > peak {
+			peak = row.P99
+		}
+		rows = append(rows, row)
+	}
+	for i := range rows {
+		rows[i].N50 = rows[i].P50 / peak
+		rows[i].N75 = rows[i].P75 / peak
+		rows[i].N90 = rows[i].P90 / peak
+		rows[i].N99 = rows[i].P99 / peak
+	}
+	return rows, nil
+}
+
+// IORow is one point of Figure 6a: blocks read at one dataset scale.
+type IORow struct {
+	Scale  float64
+	Method string
+	Blocks int64
+	Bytes  int64
+}
+
+// Figure6a sweeps dataset scales measuring read I/O over the STATS-Hybrid
+// COUNT queries. Alongside the three estimators, a "naive" configuration
+// (single-stage readers, no sideways information passing) quantifies how
+// much I/O the estimate-driven reading saves at each scale. Each scale
+// builds a fresh environment.
+func Figure6a(cfg Config, scales []float64) ([]IORow, error) {
+	var rows []IORow
+	for _, s := range scales {
+		sub := cfg
+		sub.Scale = s
+		env, err := NewEnv("stats", sub)
+		if err != nil {
+			return nil, err
+		}
+		run := func(method string, naive bool) (IORow, error) {
+			exec, err := env.Engine(method)
+			if err != nil {
+				return IORow{}, err
+			}
+			label := method
+			if naive {
+				exec.ForceReader = "single-stage"
+				exec.DisableSIP = true
+				label = "naive"
+			}
+			var blocks, bytes int64
+			for _, q := range env.Hybrid.Queries {
+				if q.Kind != workload.KindCount {
+					continue
+				}
+				res, err := exec.Run(q.SQL)
+				if err != nil {
+					return IORow{}, err
+				}
+				blocks += res.Metrics.IO.BlocksRead()
+				bytes += res.Metrics.IO.BytesRead()
+			}
+			return IORow{Scale: s, Method: label, Blocks: blocks, Bytes: bytes}, nil
+		}
+		naiveRow, err := run("heuristic", true)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, naiveRow)
+		for _, method := range Methods() {
+			row, err := run(method, false)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// ResizeRow is one point of Figure 6b: aggregation hash-table resizes at
+// one dataset scale.
+type ResizeRow struct {
+	Scale   float64
+	Method  string // "bytecard" or "no-presize"
+	Resizes int64
+}
+
+// Figure6b sweeps AEOLUS scales measuring hash-table resize counts during
+// the aggregation queries, with and without ByteCard's RBX presizing.
+func Figure6b(cfg Config, scales []float64) ([]ResizeRow, error) {
+	var rows []ResizeRow
+	for _, s := range scales {
+		sub := cfg
+		sub.Scale = s
+		env, err := NewEnv("aeolus", sub)
+		if err != nil {
+			return nil, err
+		}
+		for _, mode := range []string{"bytecard", "no-presize"} {
+			exec, err := env.Engine("bytecard")
+			if err != nil {
+				return nil, err
+			}
+			exec.DisableNDVPresize = mode == "no-presize"
+			var resizes int64
+			for _, q := range env.Hybrid.Queries {
+				if q.Kind != workload.KindAgg {
+					continue
+				}
+				res, err := exec.Run(q.SQL)
+				if err != nil {
+					return nil, err
+				}
+				resizes += res.Metrics.HashResizes
+			}
+			rows = append(rows, ResizeRow{Scale: s, Method: mode, Resizes: resizes})
+		}
+	}
+	return rows, nil
+}
+
+// Figure7 reports the full Q-error distribution per method over the hybrid
+// workload's COUNT queries (the violin plots).
+func (e *Env) Figure7() ([]QErrorRow, error) {
+	var rows []QErrorRow
+	type probe struct {
+		q     *engine.Query
+		truth float64
+	}
+	var probes []probe
+	for _, wq := range e.Hybrid.Queries {
+		sql := workload.CountForm(wq.SQL)
+		q, err := e.Truth.Analyze(sqlparse.MustParse(sql))
+		if err != nil {
+			return nil, err
+		}
+		truth, err := e.Truth.TrueCardinality(sql)
+		if err != nil {
+			return nil, err
+		}
+		if truth < 1 {
+			continue // Q-error is undefined for empty results
+		}
+		probes = append(probes, probe{q: q, truth: truth})
+	}
+	for _, method := range Methods() {
+		est, err := e.Estimator(method)
+		if err != nil {
+			return nil, err
+		}
+		row := QErrorRow{Dataset: e.DS.Name, Method: method, Kind: "COUNT"}
+		for _, p := range probes {
+			row.Errors = append(row.Errors, cardinal.QError(estimateCount(est, p.q), p.truth))
+		}
+		row.Summary = cardinal.Summarize(row.Errors)
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Table5 computes the workload statistics.
+func (e *Env) Table5() (workload.Stats, error) {
+	return workload.ComputeStats(e.Hybrid, e.Truth)
+}
+
+// ModelDetailRow is one row of Table 6.
+type ModelDetailRow struct {
+	Dataset      string
+	Method       string
+	SizeBytes    int64
+	TrainSeconds float64
+}
+
+// Table6 reports per-dataset model details from the training report.
+func (e *Env) Table6() []ModelDetailRow {
+	agg := map[string]*ModelDetailRow{}
+	order := []string{"BN", "FactorJoin", "RBX"}
+	name := func(kind string) string {
+		switch kind {
+		case "bn":
+			return "BN"
+		case "factorjoin":
+			return "FactorJoin"
+		default:
+			return "RBX"
+		}
+	}
+	for _, m := range e.Report.Models {
+		key := name(string(m.Kind))
+		row, ok := agg[key]
+		if !ok {
+			row = &ModelDetailRow{Dataset: e.DS.Name, Method: key}
+			agg[key] = row
+		}
+		row.SizeBytes += m.SizeBytes
+		row.TrainSeconds += m.TrainSeconds
+	}
+	var out []ModelDetailRow
+	for _, k := range order {
+		if row, ok := agg[k]; ok {
+			out = append(out, *row)
+		}
+	}
+	return out
+}
+
+// sortedCopy returns an ascending copy (test helper for distributions).
+func sortedCopy(v []float64) []float64 {
+	out := append([]float64(nil), v...)
+	sort.Float64s(out)
+	return out
+}

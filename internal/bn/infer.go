@@ -1,0 +1,340 @@
+package bn
+
+import (
+	"errors"
+	"fmt"
+
+	"bytecard/internal/expr"
+)
+
+// Context is the immutable inference state built by the paper's
+// initContext step: nodes laid out in a topological array with flattened
+// CPT access and precomputed child lists. A Context is safe for concurrent
+// use — Estimate calls allocate only local scratch, so query threads never
+// take a lock (the high-concurrency property the paper engineers for).
+type Context struct {
+	m *Model
+	// topo orders nodes parents-first; root is topo[0].
+	topo []int
+	// children lists each node's children.
+	children [][]int
+	bins     []int
+}
+
+// NewContext validates the model and builds the topological CPD index.
+func (m *Model) NewContext() (*Context, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(m.Cols)
+	ctx := &Context{m: m, children: make([][]int, n), bins: make([]int, n)}
+	for i := range m.Cols {
+		ctx.bins[i] = m.Cols[i].Bins()
+		if p := m.Parent[i]; p >= 0 {
+			ctx.children[p] = append(ctx.children[p], i)
+		}
+	}
+	root := m.Root()
+	ctx.topo = append(ctx.topo, root)
+	for qi := 0; qi < len(ctx.topo); qi++ {
+		for _, c := range ctx.children[ctx.topo[qi]] {
+			ctx.topo = append(ctx.topo, c)
+		}
+	}
+	if len(ctx.topo) != n {
+		return nil, errors.New("bn: tree does not reach every node")
+	}
+	return ctx, nil
+}
+
+// Model returns the underlying model.
+func (c *Context) Model() *Model { return c.m }
+
+// Prob computes P(evidence) with an upward (variable-elimination) pass.
+// weights[i] gives per-bin soft-evidence weights for node i, or nil for an
+// unconstrained node.
+func (c *Context) Prob(weights [][]float64) float64 {
+	lambda := c.upward(weights)
+	root := c.topo[0]
+	var p float64
+	for b, prior := range c.m.Prior {
+		p += prior * lambda[root][b]
+	}
+	return p
+}
+
+// upward computes λ messages bottom-up: λ_i(b) = w_i(b)·∏_c Σ_b' P(b'|b)·λ_c(b').
+func (c *Context) upward(weights [][]float64) [][]float64 {
+	n := len(c.m.Cols)
+	lambda := make([][]float64, n)
+	for ti := len(c.topo) - 1; ti >= 0; ti-- {
+		i := c.topo[ti]
+		nb := c.bins[i]
+		l := make([]float64, nb)
+		w := weights[i]
+		for b := 0; b < nb; b++ {
+			if w != nil {
+				l[b] = w[b]
+			} else {
+				l[b] = 1
+			}
+		}
+		for _, ch := range c.children[i] {
+			cb := c.bins[ch]
+			cpt := c.m.CPT[ch]
+			lc := lambda[ch]
+			for b := 0; b < nb; b++ {
+				if l[b] == 0 {
+					continue
+				}
+				var msg float64
+				row := cpt[b*cb : (b+1)*cb]
+				for j, p := range row {
+					msg += p * lc[j]
+				}
+				l[b] *= msg
+			}
+		}
+		lambda[i] = l
+	}
+	return lambda
+}
+
+// Marginals runs full belief propagation, returning P(evidence), the
+// unnormalized node beliefs P(x_i=b, e), and the unnormalized pairwise
+// tables P(x_parent=a, x_i=b, e) (nil for the root). EM's E-step and
+// FactorJoin's per-bucket conditioning both consume this.
+func (c *Context) Marginals(weights [][]float64) (float64, [][]float64, [][]float64) {
+	n := len(c.m.Cols)
+	lambda := c.upward(weights)
+	root := c.topo[0]
+
+	// Downward π messages.
+	pi := make([][]float64, n)
+	pi[root] = append([]float64(nil), c.m.Prior...)
+	belief := make([][]float64, n)
+	pair := make([][]float64, n)
+
+	var pe float64
+	for b := range c.m.Prior {
+		pe += c.m.Prior[b] * lambda[root][b]
+	}
+
+	for _, i := range c.topo {
+		nb := c.bins[i]
+		belief[i] = make([]float64, nb)
+		for b := 0; b < nb; b++ {
+			belief[i][b] = pi[i][b] * lambda[i][b]
+		}
+		for _, ch := range c.children[i] {
+			cb := c.bins[ch]
+			cpt := c.m.CPT[ch]
+			// π contribution to child ch excludes ch's own λ message:
+			// exclMsg(b) = π_i(b)·w_i(b)·∏_{c'≠ch} m_{c'→i}(b)
+			//            = belief_i(b) / m_{ch→i}(b) computed stably by
+			// recomputing the product without ch.
+			excl := make([]float64, nb)
+			w := weights[i]
+			for b := 0; b < nb; b++ {
+				v := pi[i][b]
+				if w != nil {
+					v *= w[b]
+				}
+				excl[b] = v
+			}
+			for _, other := range c.children[i] {
+				if other == ch {
+					continue
+				}
+				ob := c.bins[other]
+				ocpt := c.m.CPT[other]
+				ol := lambda[other]
+				for b := 0; b < nb; b++ {
+					if excl[b] == 0 {
+						continue
+					}
+					var msg float64
+					row := ocpt[b*ob : (b+1)*ob]
+					for j, p := range row {
+						msg += p * ol[j]
+					}
+					excl[b] *= msg
+				}
+			}
+			pi[ch] = make([]float64, cb)
+			pair[ch] = make([]float64, nb*cb)
+			for b := 0; b < nb; b++ {
+				if excl[b] == 0 {
+					continue
+				}
+				row := cpt[b*cb : (b+1)*cb]
+				for j, p := range row {
+					contrib := excl[b] * p
+					pi[ch][j] += contrib
+					pair[ch][b*cb+j] = contrib * lambda[ch][j]
+				}
+			}
+		}
+	}
+	return pe, belief, pair
+}
+
+// WeightsFor compiles a column constraint into the column's bin weights.
+func (m *Model) WeightsFor(col string, cons expr.Constraint) ([]float64, error) {
+	i := m.ColIndex(col)
+	if i < 0 {
+		return nil, fmt.Errorf("bn: model for %s has no column %q", m.Table, col)
+	}
+	return m.Cols[i].Weights(cons), nil
+}
+
+// SelectivityConj estimates P(∧ constraints). Constraints on columns the
+// model does not cover yield an error (the caller falls back to a
+// traditional estimator, as the Model Monitor prescribes).
+func (c *Context) SelectivityConj(constraints []expr.Constraint) (float64, error) {
+	weights := make([][]float64, len(c.m.Cols))
+	for _, cons := range constraints {
+		i := c.m.ColIndex(cons.Col)
+		if i < 0 {
+			return 0, fmt.Errorf("bn: no column %q in model for %s", cons.Col, c.m.Table)
+		}
+		w := c.m.Cols[i].Weights(cons)
+		if weights[i] != nil {
+			for b := range w {
+				weights[i][b] *= w[b]
+			}
+		} else {
+			weights[i] = w
+		}
+	}
+	return c.Prob(weights), nil
+}
+
+// SelectivityNode estimates the probability of a general filter tree via
+// the inclusion–exclusion transformation (ByteCard's OR handling) with an
+// encoder mapping literals to numeric images.
+func (c *Context) SelectivityNode(filter *expr.Node, enc expr.Encoder) (float64, error) {
+	if filter == nil {
+		return 1, nil
+	}
+	terms, err := filter.InclusionExclusion()
+	if err != nil {
+		return 0, err
+	}
+	var sel float64
+	for _, term := range terms {
+		s, err := c.SelectivityConj(expr.BuildConstraints(term.Preds, enc))
+		if err != nil {
+			return 0, err
+		}
+		sel += term.Sign * s
+	}
+	if sel < 0 {
+		sel = 0
+	}
+	if sel > 1 {
+		sel = 1
+	}
+	return sel, nil
+}
+
+// JointWithColumn returns P(filter-constraints ∧ col = bin b) for every bin
+// of col in one belief-propagation pass — FactorJoin reads its per-bucket
+// filtered counts through this.
+func (c *Context) JointWithColumn(constraints []expr.Constraint, col string) ([]float64, error) {
+	i := c.m.ColIndex(col)
+	if i < 0 {
+		return nil, fmt.Errorf("bn: no column %q in model for %s", col, c.m.Table)
+	}
+	weights := make([][]float64, len(c.m.Cols))
+	for _, cons := range constraints {
+		j := c.m.ColIndex(cons.Col)
+		if j < 0 {
+			return nil, fmt.Errorf("bn: no column %q in model for %s", cons.Col, c.m.Table)
+		}
+		w := c.m.Cols[j].Weights(cons)
+		if weights[j] != nil {
+			for b := range w {
+				weights[j][b] *= w[b]
+			}
+		} else {
+			weights[j] = w
+		}
+	}
+	_, belief, _ := c.Marginals(weights)
+	return belief[i], nil
+}
+
+// treeNode is the pointer-linked representation used by the ablation
+// baseline that walks the tree structure on every inference instead of the
+// flattened topological arrays.
+type treeNode struct {
+	idx      int
+	children []*treeNode
+}
+
+// TreeWalker is the non-indexed inference baseline for the CPD-indexing
+// ablation (BenchmarkAblationCPDIndexing): mathematically identical to
+// Context.Prob but re-traversing a pointer tree with per-node map lookups,
+// the access pattern the paper's initContext optimization removes.
+type TreeWalker struct {
+	m     *Model
+	root  *treeNode
+	byIdx map[int]*treeNode
+}
+
+// NewTreeWalker builds the pointer-tree inference baseline.
+func (m *Model) NewTreeWalker() (*TreeWalker, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	tw := &TreeWalker{m: m, byIdx: map[int]*treeNode{}}
+	for i := range m.Cols {
+		tw.byIdx[i] = &treeNode{idx: i}
+	}
+	for i, p := range m.Parent {
+		if p < 0 {
+			tw.root = tw.byIdx[i]
+		} else {
+			tw.byIdx[p].children = append(tw.byIdx[p].children, tw.byIdx[i])
+		}
+	}
+	return tw, nil
+}
+
+// Prob computes P(evidence) recursively over the pointer tree.
+func (t *TreeWalker) Prob(weights [][]float64) float64 {
+	var lambda func(n *treeNode) []float64
+	lambda = func(n *treeNode) []float64 {
+		nb := t.m.Cols[n.idx].Bins()
+		l := make([]float64, nb)
+		w := weights[n.idx]
+		for b := 0; b < nb; b++ {
+			if w != nil {
+				l[b] = w[b]
+			} else {
+				l[b] = 1
+			}
+		}
+		for _, ch := range n.children {
+			child := t.byIdx[ch.idx] // deliberate indirection per visit
+			cb := t.m.Cols[child.idx].Bins()
+			cl := lambda(child)
+			cpt := t.m.CPT[child.idx]
+			for b := 0; b < nb; b++ {
+				var msg float64
+				for j := 0; j < cb; j++ {
+					msg += cpt[b*cb+j] * cl[j]
+				}
+				l[b] *= msg
+			}
+		}
+		return l
+	}
+	l := lambda(t.root)
+	var p float64
+	for b, prior := range t.m.Prior {
+		p += prior * l[b]
+	}
+	return p
+}

@@ -1,0 +1,106 @@
+// Package cardinal defines the cardinality-estimation metric machinery
+// (Q-error and its quantile summaries) and the two traditional estimators
+// the paper compares ByteCard against: the sketch-based estimator
+// (histograms + attribute-value independence + join uniformity +
+// HyperLogLog) and the sample-based estimator (AnalyticDB style: predicate
+// evaluation over reservoir samples at estimation time).
+package cardinal
+
+import (
+	"math"
+	"sort"
+)
+
+// QError is the standard cardinality-estimation error metric:
+// max(est/true, true/est), with both quantities floored at one row so the
+// metric's theoretical lower bound is 1.
+func QError(est, truth float64) float64 {
+	if est < 1 {
+		est = 1
+	}
+	if truth < 1 {
+		truth = 1
+	}
+	if est > truth {
+		return est / truth
+	}
+	return truth / est
+}
+
+// Quantile returns the q-th quantile (0..1, nearest-rank interpolation) of
+// the values; the input need not be sorted.
+func Quantile(values []float64, q float64) float64 {
+	if len(values) == 0 {
+		return math.NaN()
+	}
+	s := append([]float64(nil), values...)
+	sort.Float64s(s)
+	if q <= 0 {
+		return s[0]
+	}
+	if q >= 1 {
+		return s[len(s)-1]
+	}
+	pos := q * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := pos - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// Summary is a distribution digest of Q-errors (or any positive metric):
+// the quantiles the paper reports plus the spread statistics behind its
+// violin plots.
+type Summary struct {
+	Count                        int
+	Min, P25, P50, P75, P90, P99 float64
+	Max                          float64
+	Mean                         float64
+}
+
+// Summarize computes a Summary.
+func Summarize(values []float64) Summary {
+	s := Summary{Count: len(values)}
+	if len(values) == 0 {
+		return s
+	}
+	s.Min = Quantile(values, 0)
+	s.P25 = Quantile(values, 0.25)
+	s.P50 = Quantile(values, 0.50)
+	s.P75 = Quantile(values, 0.75)
+	s.P90 = Quantile(values, 0.90)
+	s.P99 = Quantile(values, 0.99)
+	s.Max = Quantile(values, 1)
+	var sum float64
+	for _, v := range values {
+		sum += v
+	}
+	s.Mean = sum / float64(len(values))
+	return s
+}
+
+// Cardenas estimates the number of distinct values surviving a selection:
+// picking m of n rows from a column with d distinct values leaves
+// d·(1−(1−m/n)^(n/d)) distinct values in expectation.
+func Cardenas(d, n, m float64) float64 {
+	if d <= 0 || n <= 0 {
+		return 0
+	}
+	if m >= n {
+		return d
+	}
+	if m <= 0 {
+		return 0
+	}
+	est := d * (1 - math.Pow(1-m/n, n/d))
+	if est > m {
+		est = m
+	}
+	if est > d {
+		est = d
+	}
+	return est
+}

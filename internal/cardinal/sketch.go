@@ -1,0 +1,222 @@
+package cardinal
+
+import (
+	"math"
+
+	"bytecard/internal/engine"
+	"bytecard/internal/expr"
+	"bytecard/internal/histogram"
+	"bytecard/internal/hll"
+	"bytecard/internal/storage"
+	"bytecard/internal/types"
+)
+
+// ColStats are the per-column sketches of the traditional estimator: an
+// equi-height histogram and a HyperLogLog distinct-count estimate, both
+// built from a full column scan (the full-scan pressure the paper calls
+// out).
+type ColStats struct {
+	Hist *histogram.EquiHeight
+	NDV  float64
+}
+
+// TableStats are the per-table sketches.
+type TableStats struct {
+	Rows float64
+	Cols map[string]*ColStats
+}
+
+// DefaultHistogramBuckets is the per-column bucket budget.
+const DefaultHistogramBuckets = 64
+
+// BuildTableStats scans every scalar column of t building sketches.
+func BuildTableStats(t *storage.Table, buckets int) *TableStats {
+	if buckets <= 0 {
+		buckets = DefaultHistogramBuckets
+	}
+	ts := &TableStats{Rows: float64(t.NumRows()), Cols: map[string]*ColStats{}}
+	for i := 0; i < t.NumCols(); i++ {
+		col := t.Col(i)
+		if !col.Kind().Scalar() {
+			continue
+		}
+		vals := col.NumericAll()
+		sk := hll.MustNew(12)
+		for j := range vals {
+			sk.Add(col.Value(j).Hash64())
+		}
+		ts.Cols[col.Name()] = &ColStats{
+			Hist: histogram.BuildEquiHeight(vals, buckets),
+			NDV:  sk.Estimate(),
+		}
+	}
+	return ts
+}
+
+// selConstraint estimates the selectivity of one compiled column constraint
+// from the histogram.
+func (cs *ColStats) selConstraint(c expr.Constraint) float64 {
+	if cs == nil || cs.Hist == nil {
+		return 1
+	}
+	if c.Empty {
+		return 0
+	}
+	var sel float64
+	if c.HasEq {
+		sel = cs.Hist.SelEq(c.Lo)
+	} else {
+		sel = cs.Hist.SelRange(c.Lo, c.Hi, c.LoIncl, c.HiIncl)
+	}
+	for _, ne := range c.Ne {
+		if ne >= c.Lo && ne <= c.Hi {
+			sel -= cs.Hist.SelEq(ne)
+		}
+	}
+	if sel < 0 {
+		sel = 0
+	}
+	if sel > 1 {
+		sel = 1
+	}
+	return sel
+}
+
+// SketchEstimator is the warehouse's original Selinger-style estimator:
+// per-column histograms combined under attribute-value independence, joins
+// under the uniformity/containment assumption, and NDV from HyperLogLog
+// with independence across group keys. Its failure modes on skewed,
+// correlated data are the paper's Table 1.
+type SketchEstimator struct {
+	stats map[string]*TableStats
+}
+
+// NewSketchEstimator builds sketches for every table of db.
+func NewSketchEstimator(db *storage.Database, buckets int) *SketchEstimator {
+	e := &SketchEstimator{stats: map[string]*TableStats{}}
+	for _, name := range db.TableNames() {
+		e.stats[name] = BuildTableStats(db.Table(name), buckets)
+	}
+	return e
+}
+
+// Name implements engine.CardEstimator.
+func (e *SketchEstimator) Name() string { return "sketch" }
+
+// conjSelectivity multiplies per-column constraint selectivities (AVI).
+func (e *SketchEstimator) conjSelectivity(t *engine.QueryTable, preds []expr.Pred) float64 {
+	ts := e.stats[t.Name]
+	if ts == nil {
+		return 1
+	}
+	constraints := expr.BuildConstraints(preds, func(col string, d types.Datum) (float64, bool) {
+		return t.Table.ColByName(col).EncodeDatum(d)
+	})
+	sel := 1.0
+	for _, c := range constraints {
+		sel *= ts.Cols[c.Col].selConstraint(c)
+	}
+	return sel
+}
+
+// filterSelectivity handles general trees via inclusion–exclusion over the
+// DNF terms, with each conjunction estimated under AVI.
+func (e *SketchEstimator) filterSelectivity(t *engine.QueryTable) float64 {
+	if t.Filter == nil {
+		return 1
+	}
+	terms, err := t.Filter.InclusionExclusion()
+	if err != nil {
+		// Oversize expansion: fall back to evaluating OR as independent.
+		return e.conjSelectivity(t, t.Filter.Leaves())
+	}
+	var sel float64
+	for _, term := range terms {
+		sel += term.Sign * e.conjSelectivity(t, term.Preds)
+	}
+	return clamp01(sel)
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// EstimateFilter implements engine.CardEstimator.
+func (e *SketchEstimator) EstimateFilter(t *engine.QueryTable) float64 {
+	ts := e.stats[t.Name]
+	if ts == nil {
+		return float64(t.Table.NumRows())
+	}
+	return ts.Rows * e.filterSelectivity(t)
+}
+
+// EstimateConj implements engine.CardEstimator.
+func (e *SketchEstimator) EstimateConj(t *engine.QueryTable, preds []expr.Pred) float64 {
+	return clamp01(e.conjSelectivity(t, preds))
+}
+
+// EstimateJoin implements engine.CardEstimator with the classic
+// join-uniformity estimate |L⋈R| = |L|·|R| / max(ndv(l), ndv(r)) applied
+// per join condition over the filtered cross product.
+func (e *SketchEstimator) EstimateJoin(tables []*engine.QueryTable, joins []engine.JoinCond) float64 {
+	rows := 1.0
+	for _, t := range tables {
+		r := e.EstimateFilter(t)
+		if r < 1 {
+			r = 1
+		}
+		rows *= r
+	}
+	byBinding := map[string]*engine.QueryTable{}
+	for _, t := range tables {
+		byBinding[t.Binding] = t
+	}
+	for _, j := range joins {
+		l, r := byBinding[j.LeftTab], byBinding[j.RightTab]
+		ndv := math.Max(e.colNDV(l, j.LeftCol), e.colNDV(r, j.RightCol))
+		if ndv < 1 {
+			ndv = 1
+		}
+		rows /= ndv
+	}
+	return math.Max(rows, 1)
+}
+
+func (e *SketchEstimator) colNDV(t *engine.QueryTable, col string) float64 {
+	ts := e.stats[t.Name]
+	if ts == nil || ts.Cols[col] == nil {
+		return 1
+	}
+	return ts.Cols[col].NDV
+}
+
+// EstimateGroupNDV implements engine.CardEstimator: per-key HLL NDVs
+// adjusted for filters with the Cardenas formula and multiplied under
+// independence, capped by the estimated input size — the combination whose
+// breakdown under correlated keys motivates RBX.
+func (e *SketchEstimator) EstimateGroupNDV(q *engine.Query) float64 {
+	ndv := 1.0
+	for _, g := range q.GroupBy {
+		t := q.TableByBinding(g.Tab)
+		ts := e.stats[t.Name]
+		if ts == nil || ts.Cols[g.Col] == nil {
+			continue
+		}
+		d := ts.Cols[g.Col].NDV
+		filtered := e.EstimateFilter(t)
+		ndv *= math.Max(Cardenas(d, ts.Rows, filtered), 1)
+	}
+	// Cap by the (rough) output size of the join.
+	if len(q.Tables) == 1 {
+		ndv = math.Min(ndv, math.Max(e.EstimateFilter(q.Tables[0]), 1))
+	} else {
+		ndv = math.Min(ndv, math.Max(e.EstimateJoin(q.Tables, q.Joins), 1))
+	}
+	return ndv
+}

@@ -1,0 +1,204 @@
+// Package catalog holds schema metadata: tables, columns, their ML type
+// mapping, declared join patterns (collected by the analyzer rather than
+// PK–FK constraints, matching the paper's warehouse where customers do not
+// declare keys), and the model_preprocessor_info system table the
+// preprocessor fills for the ModelForge service.
+package catalog
+
+import (
+	"fmt"
+	"sort"
+
+	"bytecard/internal/types"
+)
+
+// ColumnMeta describes one column.
+type ColumnMeta struct {
+	Name string
+	Kind types.Kind
+	// MLType is filled by the preprocessor's preliminary type mapping.
+	MLType types.MLType
+	// Excluded marks columns the preprocessor removed from training
+	// (complex types).
+	Excluded bool
+	// NDV is the (approximate) distinct count recorded during
+	// preprocessing; zero until profiled.
+	NDV int64
+}
+
+// TableMeta describes one table.
+type TableMeta struct {
+	Name     string
+	Columns  []ColumnMeta
+	RowCount int64
+	// ShardKey names the column used for shard-specialized training, or
+	// is empty for unsharded tables.
+	ShardKey string
+}
+
+// Column returns the named column's metadata, or nil.
+func (t *TableMeta) Column(name string) *ColumnMeta {
+	for i := range t.Columns {
+		if t.Columns[i].Name == name {
+			return &t.Columns[i]
+		}
+	}
+	return nil
+}
+
+// ColumnRef identifies a column of a table.
+type ColumnRef struct {
+	Table  string
+	Column string
+}
+
+// String renders the reference as table.column.
+func (r ColumnRef) String() string { return r.Table + "." + r.Column }
+
+// JoinPattern records one equi-join relationship observed by the analyzer.
+type JoinPattern struct {
+	Left  ColumnRef
+	Right ColumnRef
+}
+
+// String renders the pattern as an equality.
+func (p JoinPattern) String() string { return p.Left.String() + " = " + p.Right.String() }
+
+// PreprocInfo is one row of the model_preprocessor_info system table.
+type PreprocInfo struct {
+	Table    string
+	Column   string
+	DBType   types.Kind
+	MLType   types.MLType
+	Selected bool
+}
+
+// Schema is the catalog for one database.
+type Schema struct {
+	tables  map[string]*TableMeta
+	order   []string
+	joins   []JoinPattern
+	preproc []PreprocInfo
+}
+
+// NewSchema creates an empty schema.
+func NewSchema() *Schema {
+	return &Schema{tables: make(map[string]*TableMeta)}
+}
+
+// AddTable registers table metadata, replacing a previous entry.
+func (s *Schema) AddTable(t *TableMeta) {
+	if _, ok := s.tables[t.Name]; !ok {
+		s.order = append(s.order, t.Name)
+	}
+	s.tables[t.Name] = t
+}
+
+// Table returns the named table's metadata or nil.
+func (s *Schema) Table(name string) *TableMeta { return s.tables[name] }
+
+// TableNames returns table names in registration order.
+func (s *Schema) TableNames() []string { return append([]string(nil), s.order...) }
+
+// AddJoinPattern records an observed join relationship. Duplicate patterns
+// (in either orientation) are ignored.
+func (s *Schema) AddJoinPattern(p JoinPattern) {
+	for _, q := range s.joins {
+		if q == p || (q.Left == p.Right && q.Right == p.Left) {
+			return
+		}
+	}
+	s.joins = append(s.joins, p)
+}
+
+// JoinPatterns returns the recorded join patterns.
+func (s *Schema) JoinPatterns() []JoinPattern { return append([]JoinPattern(nil), s.joins...) }
+
+// SetPreprocInfo replaces the model_preprocessor_info system table.
+func (s *Schema) SetPreprocInfo(rows []PreprocInfo) { s.preproc = rows }
+
+// PreprocInfoRows returns the model_preprocessor_info system table.
+func (s *Schema) PreprocInfoRows() []PreprocInfo { return append([]PreprocInfo(nil), s.preproc...) }
+
+// JoinClass is one equivalence class of join columns: every member column
+// is transitively joined with every other. FactorJoin assigns one bucket
+// layout per class.
+type JoinClass struct {
+	// Members are sorted for determinism.
+	Members []ColumnRef
+}
+
+// Contains reports whether the class includes ref.
+func (c JoinClass) Contains(ref ColumnRef) bool {
+	for _, m := range c.Members {
+		if m == ref {
+			return true
+		}
+	}
+	return false
+}
+
+// JoinClasses partitions all columns that appear in join patterns into
+// equivalence classes using union–find over the recorded patterns.
+func (s *Schema) JoinClasses() []JoinClass {
+	parent := make(map[ColumnRef]ColumnRef)
+	var find func(ColumnRef) ColumnRef
+	find = func(x ColumnRef) ColumnRef {
+		p, ok := parent[x]
+		if !ok {
+			parent[x] = x
+			return x
+		}
+		if p == x {
+			return x
+		}
+		root := find(p)
+		parent[x] = root
+		return root
+	}
+	union := func(a, b ColumnRef) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+	for _, p := range s.joins {
+		union(p.Left, p.Right)
+	}
+	groups := make(map[ColumnRef][]ColumnRef)
+	for ref := range parent {
+		root := find(ref)
+		groups[root] = append(groups[root], ref)
+	}
+	classes := make([]JoinClass, 0, len(groups))
+	for _, members := range groups {
+		sort.Slice(members, func(i, j int) bool {
+			if members[i].Table != members[j].Table {
+				return members[i].Table < members[j].Table
+			}
+			return members[i].Column < members[j].Column
+		})
+		classes = append(classes, JoinClass{Members: members})
+	}
+	sort.Slice(classes, func(i, j int) bool {
+		return classes[i].Members[0].String() < classes[j].Members[0].String()
+	})
+	return classes
+}
+
+// Validate checks internal consistency: join patterns must reference known
+// tables and columns.
+func (s *Schema) Validate() error {
+	for _, p := range s.joins {
+		for _, ref := range []ColumnRef{p.Left, p.Right} {
+			t := s.Table(ref.Table)
+			if t == nil {
+				return fmt.Errorf("catalog: join pattern %s references unknown table %s", p, ref.Table)
+			}
+			if t.Column(ref.Column) == nil {
+				return fmt.Errorf("catalog: join pattern %s references unknown column %s", p, ref)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,168 @@
+package catalog
+
+import (
+	"testing"
+
+	"bytecard/internal/types"
+)
+
+func twoTableSchema() *Schema {
+	s := NewSchema()
+	s.AddTable(&TableMeta{
+		Name: "orders",
+		Columns: []ColumnMeta{
+			{Name: "id", Kind: types.KindInt64},
+			{Name: "user_id", Kind: types.KindInt64},
+			{Name: "tags", Kind: types.KindArray},
+		},
+		RowCount: 1000,
+	})
+	s.AddTable(&TableMeta{
+		Name: "users",
+		Columns: []ColumnMeta{
+			{Name: "id", Kind: types.KindInt64},
+			{Name: "name", Kind: types.KindString},
+		},
+		RowCount: 100,
+	})
+	return s
+}
+
+func TestSchemaTables(t *testing.T) {
+	s := twoTableSchema()
+	if s.Table("orders") == nil || s.Table("nope") != nil {
+		t.Error("Table lookup broken")
+	}
+	names := s.TableNames()
+	if len(names) != 2 || names[0] != "orders" {
+		t.Errorf("TableNames = %v", names)
+	}
+	if s.Table("users").Column("name") == nil || s.Table("users").Column("zz") != nil {
+		t.Error("Column lookup broken")
+	}
+}
+
+func TestAddTableReplaces(t *testing.T) {
+	s := twoTableSchema()
+	s.AddTable(&TableMeta{Name: "users", RowCount: 5})
+	if len(s.TableNames()) != 2 || s.Table("users").RowCount != 5 {
+		t.Error("replacement broken")
+	}
+}
+
+func TestJoinPatternDedup(t *testing.T) {
+	s := twoTableSchema()
+	p := JoinPattern{
+		Left:  ColumnRef{Table: "orders", Column: "user_id"},
+		Right: ColumnRef{Table: "users", Column: "id"},
+	}
+	s.AddJoinPattern(p)
+	s.AddJoinPattern(p)
+	s.AddJoinPattern(JoinPattern{Left: p.Right, Right: p.Left}) // reversed
+	if got := len(s.JoinPatterns()); got != 1 {
+		t.Errorf("join patterns = %d, want 1 after dedup", got)
+	}
+}
+
+func TestJoinClassesTransitive(t *testing.T) {
+	s := NewSchema()
+	for _, name := range []string{"a", "b", "c", "d", "e"} {
+		s.AddTable(&TableMeta{Name: name, Columns: []ColumnMeta{{Name: "k", Kind: types.KindInt64}, {Name: "j", Kind: types.KindInt64}}})
+	}
+	ref := func(t, c string) ColumnRef { return ColumnRef{Table: t, Column: c} }
+	// a.k = b.k, b.k = c.k → one class {a.k, b.k, c.k}
+	s.AddJoinPattern(JoinPattern{Left: ref("a", "k"), Right: ref("b", "k")})
+	s.AddJoinPattern(JoinPattern{Left: ref("b", "k"), Right: ref("c", "k")})
+	// d.j = e.j → separate class
+	s.AddJoinPattern(JoinPattern{Left: ref("d", "j"), Right: ref("e", "j")})
+	classes := s.JoinClasses()
+	if len(classes) != 2 {
+		t.Fatalf("classes = %d, want 2", len(classes))
+	}
+	var big JoinClass
+	for _, c := range classes {
+		if len(c.Members) == 3 {
+			big = c
+		}
+	}
+	for _, m := range []ColumnRef{ref("a", "k"), ref("b", "k"), ref("c", "k")} {
+		if !big.Contains(m) {
+			t.Errorf("class missing %s", m)
+		}
+	}
+	if big.Contains(ref("d", "j")) {
+		t.Error("class must not contain d.j")
+	}
+}
+
+func TestJoinClassesDeterministic(t *testing.T) {
+	build := func() []JoinClass {
+		s := NewSchema()
+		ref := func(t, c string) ColumnRef { return ColumnRef{Table: t, Column: c} }
+		s.AddJoinPattern(JoinPattern{Left: ref("x", "a"), Right: ref("y", "b")})
+		s.AddJoinPattern(JoinPattern{Left: ref("p", "q"), Right: ref("r", "s")})
+		return s.JoinClasses()
+	}
+	a, b := build(), build()
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic class count")
+	}
+	for i := range a {
+		if len(a[i].Members) != len(b[i].Members) || a[i].Members[0] != b[i].Members[0] {
+			t.Error("nondeterministic class ordering")
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	s := twoTableSchema()
+	s.AddJoinPattern(JoinPattern{
+		Left:  ColumnRef{Table: "orders", Column: "user_id"},
+		Right: ColumnRef{Table: "users", Column: "id"},
+	})
+	if err := s.Validate(); err != nil {
+		t.Errorf("valid schema rejected: %v", err)
+	}
+	s.AddJoinPattern(JoinPattern{
+		Left:  ColumnRef{Table: "orders", Column: "id"},
+		Right: ColumnRef{Table: "ghost", Column: "id"},
+	})
+	if err := s.Validate(); err == nil {
+		t.Error("unknown table must fail validation")
+	}
+}
+
+func TestValidateUnknownColumn(t *testing.T) {
+	s := twoTableSchema()
+	s.AddJoinPattern(JoinPattern{
+		Left:  ColumnRef{Table: "orders", Column: "ghost"},
+		Right: ColumnRef{Table: "users", Column: "id"},
+	})
+	if err := s.Validate(); err == nil {
+		t.Error("unknown column must fail validation")
+	}
+}
+
+func TestPreprocInfoRoundtrip(t *testing.T) {
+	s := twoTableSchema()
+	rows := []PreprocInfo{
+		{Table: "orders", Column: "tags", DBType: types.KindArray, MLType: types.MLUnsupported, Selected: false},
+		{Table: "orders", Column: "id", DBType: types.KindInt64, MLType: types.MLContinuous, Selected: true},
+	}
+	s.SetPreprocInfo(rows)
+	got := s.PreprocInfoRows()
+	if len(got) != 2 || got[0].Column != "tags" || got[1].Selected != true {
+		t.Errorf("preproc info roundtrip broken: %v", got)
+	}
+}
+
+func TestColumnRefString(t *testing.T) {
+	r := ColumnRef{Table: "a", Column: "b"}
+	if r.String() != "a.b" {
+		t.Errorf("String = %q", r.String())
+	}
+	p := JoinPattern{Left: r, Right: ColumnRef{Table: "c", Column: "d"}}
+	if p.String() != "a.b = c.d" {
+		t.Errorf("pattern String = %q", p.String())
+	}
+}

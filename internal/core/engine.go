@@ -1,0 +1,370 @@
+package core
+
+import (
+	"container/list"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"bytecard/internal/bn"
+	"bytecard/internal/costmodel"
+	"bytecard/internal/factorjoin"
+	"bytecard/internal/rbx"
+)
+
+// Options configure the Inference Engine's size checker.
+type Options struct {
+	// MaxModelBytes rejects any single model above this size (the
+	// per-model size check); 0 means 64 MiB.
+	MaxModelBytes int64
+	// MaxTotalBytes caps the cumulative loaded size; least recently used
+	// BN models are evicted beyond it. 0 means 512 MiB.
+	MaxTotalBytes int64
+}
+
+func (o *Options) fill() {
+	if o.MaxModelBytes <= 0 {
+		o.MaxModelBytes = 64 << 20
+	}
+	if o.MaxTotalBytes <= 0 {
+		o.MaxTotalBytes = 512 << 20
+	}
+}
+
+// bnEntry is one loaded single-table model (possibly one shard of a
+// shard-specialized set) with its immutable inference context.
+type bnEntry struct {
+	model     *bn.Model
+	ctx       *bn.Context
+	shard     int
+	timestamp time.Time
+	size      int64
+}
+
+// tableModels groups the shard entries of one table.
+type tableModels struct {
+	shards  []*bnEntry
+	lruElem *list.Element
+}
+
+// InferenceEngine is the central hub for deployed inference algorithms: it
+// loads and validates models, builds their immutable inference contexts
+// (initContext), enforces size limits with LRU retention, and serves
+// lock-free estimation to concurrent query threads (contexts are immutable;
+// the registry itself takes only a read lock per lookup).
+type InferenceEngine struct {
+	opts Options
+
+	mu        sync.RWMutex
+	tables    map[string]*tableModels
+	fj        *factorjoin.Model
+	fjStamp   time.Time
+	rbxModel  *rbx.Model
+	rbxStamp  time.Time
+	cost      *costmodel.Model
+	costStamp time.Time
+	disabled  map[string]bool
+	lru       *list.List // of table names; front = most recent
+	totalSize int64
+
+	// counters for observability
+	loads, rejects, evictions int64
+}
+
+// NewInferenceEngine creates an empty engine.
+func NewInferenceEngine(opts Options) *InferenceEngine {
+	opts.fill()
+	return &InferenceEngine{
+		opts:     opts,
+		tables:   map[string]*tableModels{},
+		disabled: map[string]bool{},
+		lru:      list.New(),
+	}
+}
+
+// LoadModel implements the loadModel/validate/initContext sequence for one
+// artifact: decode, health-check, size-check, build the immutable context,
+// and swap it into the registry. Artifacts older than the installed version
+// are ignored (timestamp-based loading).
+func (e *InferenceEngine) LoadModel(a Artifact) error {
+	if err := a.Validate(); err != nil {
+		return err
+	}
+	switch a.Kind {
+	case KindBN:
+		return e.loadBN(a)
+	case KindFactorJoin:
+		return e.loadFJ(a)
+	case KindRBX:
+		return e.loadRBX(a)
+	case KindCost:
+		return e.loadCost(a)
+	default:
+		return fmt.Errorf("core: unknown model kind %q", a.Kind)
+	}
+}
+
+func (e *InferenceEngine) loadBN(a Artifact) error {
+	model, err := bn.Decode(a.Data) // decode + health detector
+	if err != nil {
+		e.mu.Lock()
+		e.rejects++
+		e.mu.Unlock()
+		return fmt.Errorf("core: BN artifact %s failed validation: %w", a.Name, err)
+	}
+	size := int64(len(a.Data))
+	if size > e.opts.MaxModelBytes {
+		e.mu.Lock()
+		e.rejects++
+		e.mu.Unlock()
+		return fmt.Errorf("core: BN artifact %s (%d bytes) exceeds per-model limit %d", a.Name, size, e.opts.MaxModelBytes)
+	}
+	ctx, err := model.NewContext() // initContext
+	if err != nil {
+		return fmt.Errorf("core: BN artifact %s context: %w", a.Name, err)
+	}
+	entry := &bnEntry{model: model, ctx: ctx, shard: a.Shard, timestamp: a.Timestamp, size: size}
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	tm := e.tables[a.Table]
+	if tm == nil {
+		tm = &tableModels{}
+		e.tables[a.Table] = tm
+		tm.lruElem = e.lru.PushFront(a.Table)
+	}
+	for i, s := range tm.shards {
+		if s.shard == a.Shard {
+			if !a.Timestamp.After(s.timestamp) {
+				return nil // stale artifact; keep the newer model
+			}
+			e.totalSize -= s.size
+			tm.shards[i] = entry
+			e.totalSize += size
+			e.loads++
+			e.touchLocked(a.Table)
+			e.evictLocked()
+			return nil
+		}
+	}
+	tm.shards = append(tm.shards, entry)
+	sort.Slice(tm.shards, func(i, j int) bool { return tm.shards[i].shard < tm.shards[j].shard })
+	e.totalSize += size
+	e.loads++
+	e.touchLocked(a.Table)
+	e.evictLocked()
+	return nil
+}
+
+func (e *InferenceEngine) loadFJ(a Artifact) error {
+	model, err := factorjoin.Decode(a.Data)
+	if err != nil {
+		return fmt.Errorf("core: FactorJoin artifact %s failed validation: %w", a.Name, err)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.fj != nil && !a.Timestamp.After(e.fjStamp) {
+		return nil
+	}
+	e.fj = model
+	e.fjStamp = a.Timestamp
+	e.loads++
+	return nil
+}
+
+func (e *InferenceEngine) loadRBX(a Artifact) error {
+	model, err := rbx.Decode(a.Data)
+	if err != nil {
+		return fmt.Errorf("core: RBX artifact %s failed validation: %w", a.Name, err)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.rbxModel != nil && !a.Timestamp.After(e.rbxStamp) {
+		return nil
+	}
+	e.rbxModel = model
+	e.rbxStamp = a.Timestamp
+	e.loads++
+	return nil
+}
+
+func (e *InferenceEngine) loadCost(a Artifact) error {
+	model, err := costmodel.Decode(a.Data)
+	if err != nil {
+		return fmt.Errorf("core: cost-model artifact %s failed validation: %w", a.Name, err)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.cost != nil && !a.Timestamp.After(e.costStamp) {
+		return nil
+	}
+	e.cost = model
+	e.costStamp = a.Timestamp
+	e.loads++
+	return nil
+}
+
+// CostModel returns the loaded learned cost model, or nil.
+func (e *InferenceEngine) CostModel() *costmodel.Model {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.disabled["costmodel"] {
+		return nil
+	}
+	return e.cost
+}
+
+// touchLocked marks a table as recently used.
+func (e *InferenceEngine) touchLocked(table string) {
+	if tm := e.tables[table]; tm != nil && tm.lruElem != nil {
+		e.lru.MoveToFront(tm.lruElem)
+	}
+}
+
+// evictLocked drops least-recently-used table models until the cumulative
+// size fits the cap.
+func (e *InferenceEngine) evictLocked() {
+	for e.totalSize > e.opts.MaxTotalBytes && e.lru.Len() > 1 {
+		back := e.lru.Back()
+		table := back.Value.(string)
+		tm := e.tables[table]
+		for _, s := range tm.shards {
+			e.totalSize -= s.size
+		}
+		delete(e.tables, table)
+		e.lru.Remove(back)
+		e.evictions++
+	}
+}
+
+// BNContexts returns the immutable contexts of a table's models (one per
+// shard) and marks the table recently used. ok is false when the table has
+// no usable model (absent or disabled).
+func (e *InferenceEngine) BNContexts(table string) ([]*bn.Context, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.disabled["bn:"+table] {
+		return nil, false
+	}
+	tm := e.tables[table]
+	if tm == nil || len(tm.shards) == 0 {
+		return nil, false
+	}
+	e.touchLocked(table)
+	out := make([]*bn.Context, len(tm.shards))
+	for i, s := range tm.shards {
+		out[i] = s.ctx
+	}
+	return out, true
+}
+
+// FactorJoin returns the loaded join model, or nil.
+func (e *InferenceEngine) FactorJoin() *factorjoin.Model {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.disabled["factorjoin"] {
+		return nil
+	}
+	return e.fj
+}
+
+// RBX returns the loaded NDV model, or nil.
+func (e *InferenceEngine) RBX() *rbx.Model {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.disabled["rbx"] {
+		return nil
+	}
+	return e.rbxModel
+}
+
+// RBXUsable reports whether RBX may serve the given column (the monitor
+// disables individual problem columns until calibration lands).
+func (e *InferenceEngine) RBXUsable(column string) bool {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return !e.disabled["rbx"] && !e.disabled["rbx:"+column]
+}
+
+// Disable marks a model key unusable; estimation falls back to the
+// traditional estimator (the Model Monitor's guardrail). Keys: "bn:<table>",
+// "factorjoin", "rbx", "rbx:<table.column>".
+func (e *InferenceEngine) Disable(key string) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.disabled[key] = true
+}
+
+// Enable re-enables a previously disabled key.
+func (e *InferenceEngine) Enable(key string) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	delete(e.disabled, key)
+}
+
+// Disabled reports whether a key is disabled.
+func (e *InferenceEngine) Disabled(key string) bool {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.disabled[key]
+}
+
+// Timestamp returns the installed version time of a model key ("bn:<table>",
+// "factorjoin", "rbx"); zero when absent.
+func (e *InferenceEngine) Timestamp(key string) time.Time {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	switch key {
+	case "factorjoin":
+		return e.fjStamp
+	case "rbx":
+		return e.rbxStamp
+	case "costmodel":
+		return e.costStamp
+	default:
+		if tm := e.tables[trimPrefix(key, "bn:")]; tm != nil && len(tm.shards) > 0 {
+			latest := tm.shards[0].timestamp
+			for _, s := range tm.shards[1:] {
+				if s.timestamp.After(latest) {
+					latest = s.timestamp
+				}
+			}
+			return latest
+		}
+	}
+	return time.Time{}
+}
+
+func trimPrefix(s, prefix string) string {
+	if len(s) >= len(prefix) && s[:len(prefix)] == prefix {
+		return s[len(prefix):]
+	}
+	return s
+}
+
+// Stats summarizes the registry for observability.
+type Stats struct {
+	Tables    int
+	TotalSize int64
+	Loads     int64
+	Rejects   int64
+	Evictions int64
+	HasFJ     bool
+	HasRBX    bool
+}
+
+// Snapshot returns current registry statistics.
+func (e *InferenceEngine) Snapshot() Stats {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return Stats{
+		Tables:    len(e.tables),
+		TotalSize: e.totalSize,
+		Loads:     e.loads,
+		Rejects:   e.rejects,
+		Evictions: e.evictions,
+		HasFJ:     e.fj != nil,
+		HasRBX:    e.rbxModel != nil,
+	}
+}

@@ -1,0 +1,316 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"bytecard/internal/engine"
+	"bytecard/internal/expr"
+	"bytecard/internal/factorjoin"
+	"bytecard/internal/sample"
+	"bytecard/internal/types"
+)
+
+// Estimator is ByteCard's cardinality estimator: Bayesian networks for
+// single-table COUNT, FactorJoin for join sizes (fed by the BNs' filtered
+// per-bucket key counts), and RBX over per-table sample frames for group
+// NDV. Whenever a needed model is missing, disabled by the Model Monitor,
+// or fails, the estimate transparently falls back to the configured
+// traditional estimator — the reliability contract the paper's deployment
+// depends on.
+type Estimator struct {
+	Infer *InferenceEngine
+	// Fallback is the traditional estimator (typically sketch-based).
+	Fallback engine.CardEstimator
+	// Samples holds per-table sample frames for RBX featurization (the
+	// Model Loader's in-memory DataFrames).
+	Samples map[string]*sample.Frame
+	// JoinMode selects FactorJoin's estimate or bound output.
+	JoinMode factorjoin.Mode
+
+	calls     atomic.Int64
+	fallbacks atomic.Int64
+
+	// vecMu guards vecCache: the optimizer's dynamic programming asks for
+	// the same table's filtered bucket vector once per enumerated subset,
+	// so memoizing per (table instance, key column) keeps join planning
+	// O(tables) BN inferences instead of O(2^tables).
+	vecMu    sync.Mutex
+	vecCache map[vecKey][]float64
+}
+
+type vecKey struct {
+	table *engine.QueryTable
+	col   string
+}
+
+const vecCacheLimit = 8192
+
+// NewEstimator wires an estimator to a loaded inference engine.
+func NewEstimator(infer *InferenceEngine, fallback engine.CardEstimator) *Estimator {
+	return &Estimator{
+		Infer:    infer,
+		Fallback: fallback,
+		Samples:  map[string]*sample.Frame{},
+	}
+}
+
+// Name implements engine.CardEstimator.
+func (e *Estimator) Name() string { return "bytecard" }
+
+// Calls returns the total number of estimate requests served.
+func (e *Estimator) Calls() int64 { return e.calls.Load() }
+
+// Fallbacks returns how many requests fell back to the traditional path.
+func (e *Estimator) Fallbacks() int64 { return e.fallbacks.Load() }
+
+func encoderFor(t *engine.QueryTable) expr.Encoder {
+	return func(col string, d types.Datum) (float64, bool) {
+		c := t.Table.ColByName(col)
+		if c == nil {
+			return d.AsFloat(), false
+		}
+		return c.EncodeDatum(d)
+	}
+}
+
+// filterSelectivity evaluates a filter tree over the table's shard
+// contexts, weighting shards by their population.
+func (e *Estimator) filterSelectivity(t *engine.QueryTable) (float64, error) {
+	ctxs, ok := e.Infer.BNContexts(t.Name)
+	if !ok {
+		return 0, fmt.Errorf("core: no BN for table %s", t.Name)
+	}
+	enc := encoderFor(t)
+	var rows, matched float64
+	for _, ctx := range ctxs {
+		sel, err := ctx.SelectivityNode(t.Filter, enc)
+		if err != nil {
+			return 0, err
+		}
+		rows += ctx.Model().Rows
+		matched += ctx.Model().Rows * sel
+	}
+	if rows == 0 {
+		return 0, fmt.Errorf("core: BN for %s has zero population", t.Name)
+	}
+	return matched / rows, nil
+}
+
+// EstimateFilter implements engine.CardEstimator.
+func (e *Estimator) EstimateFilter(t *engine.QueryTable) float64 {
+	e.calls.Add(1)
+	sel, err := e.filterSelectivity(t)
+	if err != nil {
+		e.fallbacks.Add(1)
+		return e.Fallback.EstimateFilter(t)
+	}
+	return sel * float64(t.Table.NumRows())
+}
+
+// EstimateConj implements engine.CardEstimator (the column-order input).
+func (e *Estimator) EstimateConj(t *engine.QueryTable, preds []expr.Pred) float64 {
+	e.calls.Add(1)
+	ctxs, ok := e.Infer.BNContexts(t.Name)
+	if !ok {
+		e.fallbacks.Add(1)
+		return e.Fallback.EstimateConj(t, preds)
+	}
+	constraints := expr.BuildConstraints(preds, encoderFor(t))
+	var rows, matched float64
+	for _, ctx := range ctxs {
+		sel, err := ctx.SelectivityConj(constraints)
+		if err != nil {
+			e.fallbacks.Add(1)
+			return e.Fallback.EstimateConj(t, preds)
+		}
+		rows += ctx.Model().Rows
+		matched += ctx.Model().Rows * sel
+	}
+	if rows == 0 {
+		e.fallbacks.Add(1)
+		return e.Fallback.EstimateConj(t, preds)
+	}
+	return matched / rows
+}
+
+// jointVector returns the filtered per-bucket count vector of keyCol under
+// the table's filter tree, applying inclusion–exclusion for OR filters and
+// summing across shard models.
+func (e *Estimator) jointVector(t *engine.QueryTable, keyCol string, buckets int) ([]float64, error) {
+	ctxs, ok := e.Infer.BNContexts(t.Name)
+	if !ok {
+		return nil, fmt.Errorf("core: no BN for table %s", t.Name)
+	}
+	enc := encoderFor(t)
+	terms := []expr.IETerm{{Sign: 1}}
+	if t.Filter != nil {
+		var err error
+		terms, err = t.Filter.InclusionExclusion()
+		if err != nil {
+			return nil, err
+		}
+	}
+	scale := float64(t.Table.NumRows())
+	var popRows float64
+	for _, ctx := range ctxs {
+		popRows += ctx.Model().Rows
+	}
+	if popRows == 0 {
+		return nil, fmt.Errorf("core: BN for %s has zero population", t.Name)
+	}
+	out := make([]float64, buckets)
+	for _, ctx := range ctxs {
+		weight := ctx.Model().Rows / popRows * scale
+		for _, term := range terms {
+			vec, err := ctx.JointWithColumn(expr.BuildConstraints(term.Preds, enc), keyCol)
+			if err != nil {
+				return nil, err
+			}
+			if len(vec) != buckets {
+				return nil, fmt.Errorf("core: BN key %s.%s has %d bins, buckets want %d", t.Name, keyCol, len(vec), buckets)
+			}
+			for b, v := range vec {
+				out[b] += term.Sign * weight * v
+			}
+		}
+	}
+	for b := range out {
+		if out[b] < 0 {
+			out[b] = 0
+		}
+	}
+	return out, nil
+}
+
+// EstimateJoin implements engine.CardEstimator via FactorJoin inference
+// over BN-conditioned bucket counts.
+func (e *Estimator) EstimateJoin(tables []*engine.QueryTable, joins []engine.JoinCond) float64 {
+	e.calls.Add(1)
+	fj := e.Infer.FactorJoin()
+	if fj == nil {
+		e.fallbacks.Add(1)
+		return e.Fallback.EstimateJoin(tables, joins)
+	}
+	byBinding := map[string]*engine.QueryTable{}
+	fjTables := make([]factorjoin.QueryTable, len(tables))
+	for i, t := range tables {
+		fjTables[i] = factorjoin.QueryTable{Binding: t.Binding, Name: t.Name}
+		byBinding[t.Binding] = t
+	}
+	conds := make([]factorjoin.Cond, len(joins))
+	for i, j := range joins {
+		conds[i] = factorjoin.Cond{LBind: j.LeftTab, LCol: j.LeftCol, RBind: j.RightTab, RCol: j.RightCol}
+	}
+	src := func(binding, table, column string, bounds []float64) ([]float64, error) {
+		t := byBinding[binding]
+		key := vecKey{table: t, col: column}
+		e.vecMu.Lock()
+		if vec, ok := e.vecCache[key]; ok {
+			e.vecMu.Unlock()
+			return vec, nil
+		}
+		e.vecMu.Unlock()
+		vec, err := e.jointVector(t, column, len(bounds)-1)
+		if err != nil {
+			return nil, err
+		}
+		if e.JoinMode == factorjoin.ModeEstimate {
+			// Sub-half-row bucket mass is smoothing noise, but a
+			// high-fanout bucket amplifies it by orders of magnitude;
+			// floor it (bound mode keeps every epsilon to stay sound).
+			for b, v := range vec {
+				if v < 0.5 {
+					vec[b] = 0
+				}
+			}
+		}
+		e.vecMu.Lock()
+		if e.vecCache == nil || len(e.vecCache) > vecCacheLimit {
+			e.vecCache = map[vecKey][]float64{}
+		}
+		e.vecCache[key] = vec
+		e.vecMu.Unlock()
+		return vec, nil
+	}
+	est, err := fj.Estimate(fjTables, conds, src, e.JoinMode)
+	if err != nil {
+		e.fallbacks.Add(1)
+		return e.Fallback.EstimateJoin(tables, joins)
+	}
+	return est
+}
+
+// groupColumnKey names a group-key set for calibration lookup.
+func groupColumnKey(table string, cols []string) string {
+	return table + "." + strings.Join(cols, ",")
+}
+
+// EstimateGroupNDV implements engine.CardEstimator: RBX over the filtered
+// sample profile of each table's group keys, multiplied across tables and
+// capped by the estimated result size.
+func (e *Estimator) EstimateGroupNDV(q *engine.Query) float64 {
+	e.calls.Add(1)
+	model := e.Infer.RBX()
+	if model == nil {
+		e.fallbacks.Add(1)
+		return e.Fallback.EstimateGroupNDV(q)
+	}
+	perTable := map[string][]string{}
+	var order []string
+	for _, g := range q.GroupBy {
+		if _, ok := perTable[g.Tab]; !ok {
+			order = append(order, g.Tab)
+		}
+		perTable[g.Tab] = append(perTable[g.Tab], g.Col)
+	}
+	ndv := 1.0
+	for _, binding := range order {
+		cols := perTable[binding]
+		t := q.TableByBinding(binding)
+		frame := e.Samples[t.Name]
+		if frame == nil || frame.Len() == 0 {
+			e.fallbacks.Add(1)
+			return e.Fallback.EstimateGroupNDV(q)
+		}
+		key := groupColumnKey(t.Name, cols)
+		if !e.Infer.RBXUsable(key) {
+			e.fallbacks.Add(1)
+			return e.Fallback.EstimateGroupNDV(q)
+		}
+		filtered := frame
+		if t.Filter != nil {
+			idx := map[string]int{}
+			for i, c := range frame.Columns() {
+				idx[c] = i
+			}
+			filtered = frame.Filter(func(row []types.Datum) bool {
+				return t.Filter.Eval(func(_, col string) types.Datum { return row[idx[col]] })
+			})
+		}
+		if filtered.Len() == 0 {
+			continue // no sample survivors: contributes nothing measurable
+		}
+		ndv *= math.Max(model.EstimateNDVForColumn(key, filtered.ProfileOf(cols...)), 1)
+	}
+	var out float64
+	if len(q.Tables) == 1 {
+		out = e.EstimateFilter(q.Tables[0])
+	} else {
+		out = e.EstimateJoin(q.Tables, q.Joins)
+	}
+	return math.Min(ndv, math.Max(out, 1))
+}
+
+// countSingle estimates one filtered table without fallback (used by the
+// featurization Estimate API, which surfaces errors to its caller).
+func (e *Estimator) countSingle(t *engine.QueryTable) (float64, error) {
+	sel, err := e.filterSelectivity(t)
+	if err != nil {
+		return 0, err
+	}
+	return sel * float64(t.Table.NumRows()), nil
+}

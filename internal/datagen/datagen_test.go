@@ -1,0 +1,274 @@
+package datagen
+
+import (
+	"math"
+	"testing"
+
+	"bytecard/internal/types"
+)
+
+func TestIMDBShape(t *testing.T) {
+	ds := IMDB(Config{Scale: 0.05, Seed: 1})
+	wantTables := []string{"title", "cast_info", "movie_keyword", "movie_info", "movie_companies", "movie_info_idx"}
+	for _, name := range wantTables {
+		if ds.DB.Table(name) == nil {
+			t.Errorf("missing table %s", name)
+		}
+		if ds.Schema.Table(name) == nil {
+			t.Errorf("missing schema for %s", name)
+		}
+	}
+	if got := len(ds.DB.TableNames()); got != 6 {
+		t.Errorf("tables = %d, want 6", got)
+	}
+	if err := ds.Schema.Validate(); err != nil {
+		t.Errorf("schema invalid: %v", err)
+	}
+	// All five fact tables join to title.id → one join class.
+	classes := ds.Schema.JoinClasses()
+	if len(classes) != 1 || len(classes[0].Members) != 6 {
+		t.Errorf("join classes = %v", classes)
+	}
+}
+
+func TestIMDBForeignKeysInRange(t *testing.T) {
+	ds := IMDB(Config{Scale: 0.03, Seed: 2})
+	nTitle := ds.DB.Table("title").NumRows()
+	ci := ds.DB.Table("cast_info")
+	col := ci.ColByName("movie_id")
+	for i := 0; i < ci.NumRows(); i++ {
+		v := col.Value(i).I
+		if v < 1 || v > int64(nTitle) {
+			t.Fatalf("cast_info.movie_id[%d] = %d out of [1,%d]", i, v, nTitle)
+		}
+	}
+}
+
+func TestIMDBKindYearCorrelation(t *testing.T) {
+	ds := IMDB(Config{Scale: 0.2, Seed: 3})
+	title := ds.DB.Table("title")
+	kind := title.ColByName("kind_id")
+	year := title.ColByName("production_year")
+	var sumTV, nTV, sumOther, nOther float64
+	for i := 0; i < title.NumRows(); i++ {
+		if kind.Value(i).I == 2 {
+			sumTV += float64(year.Value(i).I)
+			nTV++
+		} else {
+			sumOther += float64(year.Value(i).I)
+			nOther++
+		}
+	}
+	if nTV == 0 || nOther == 0 {
+		t.Fatal("degenerate kind distribution")
+	}
+	if sumTV/nTV-sumOther/nOther < 5 {
+		t.Errorf("TV series must skew later: tv=%.1f other=%.1f", sumTV/nTV, sumOther/nOther)
+	}
+}
+
+func TestSTATSShape(t *testing.T) {
+	ds := STATS(Config{Scale: 0.05, Seed: 1})
+	if got := len(ds.DB.TableNames()); got != 8 {
+		t.Errorf("tables = %d, want 8", got)
+	}
+	if err := ds.Schema.Validate(); err != nil {
+		t.Errorf("schema invalid: %v", err)
+	}
+	// Two hub keys: users.id and posts.id — postLinks.related_post_id also
+	// joins posts.id, so everything reachable stays in two classes.
+	classes := ds.Schema.JoinClasses()
+	if len(classes) != 2 {
+		t.Errorf("join classes = %d, want 2", len(classes))
+	}
+}
+
+func TestSTATSReputationUpvoteCorrelation(t *testing.T) {
+	ds := STATS(Config{Scale: 0.1, Seed: 5})
+	users := ds.DB.Table("users")
+	rep := users.ColByName("reputation")
+	up := users.ColByName("up_votes")
+	// Pearson correlation should be strongly positive.
+	n := float64(users.NumRows())
+	var sx, sy, sxx, syy, sxy float64
+	for i := 0; i < users.NumRows(); i++ {
+		x, y := float64(rep.Value(i).I), float64(up.Value(i).I)
+		sx += x
+		sy += y
+		sxx += x * x
+		syy += y * y
+		sxy += x * y
+	}
+	corr := (n*sxy - sx*sy) / math.Sqrt((n*sxx-sx*sx)*(n*syy-sy*sy))
+	if corr < 0.8 {
+		t.Errorf("reputation/up_votes correlation = %g, want > 0.8", corr)
+	}
+}
+
+func TestAEOLUSShape(t *testing.T) {
+	ds := AEOLUS(Config{Scale: 0.02, Seed: 1})
+	if got := len(ds.DB.TableNames()); got != 5 {
+		t.Errorf("tables = %d, want 5", got)
+	}
+	if err := ds.Schema.Validate(); err != nil {
+		t.Errorf("schema invalid: %v", err)
+	}
+}
+
+func TestAEOLUSPlatformContentCorrelation(t *testing.T) {
+	ds := AEOLUS(Config{Scale: 0.05, Seed: 2})
+	ads := ds.DB.Table("ads")
+	plat := ads.ColByName("target_platform")
+	content := ads.ColByName("content_type")
+	// P(content=1 | platform=1) must far exceed P(content=1 | platform=2).
+	var c1p1, p1, c1p2, p2 float64
+	for i := 0; i < ads.NumRows(); i++ {
+		switch plat.Value(i).I {
+		case 1:
+			p1++
+			if content.Value(i).I == 1 {
+				c1p1++
+			}
+		case 2:
+			p2++
+			if content.Value(i).I == 1 {
+				c1p2++
+			}
+		}
+	}
+	if p1 == 0 || p2 == 0 {
+		t.Fatal("degenerate platform distribution")
+	}
+	if c1p1/p1 < 2*(c1p2/p2) {
+		t.Errorf("content|platform correlation too weak: %g vs %g", c1p1/p1, c1p2/p2)
+	}
+}
+
+func TestAEOLUSHighNDVColumn(t *testing.T) {
+	ds := AEOLUS(Config{Scale: 0.02, Seed: 3})
+	ev := ds.DB.Table("ad_events")
+	col := ev.ColByName("session_id")
+	seen := map[int64]bool{}
+	for i := 0; i < ev.NumRows(); i++ {
+		seen[col.Value(i).I] = true
+	}
+	ratio := float64(len(seen)) / float64(ev.NumRows())
+	if ratio < 0.95 {
+		t.Errorf("session_id NDV ratio = %g, want near-unique", ratio)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := Toy(Config{Scale: 1, Seed: 9})
+	b := Toy(Config{Scale: 1, Seed: 9})
+	ta, tb := a.DB.Table("fact"), b.DB.Table("fact")
+	if ta.NumRows() != tb.NumRows() {
+		t.Fatal("row counts differ across identical seeds")
+	}
+	for i := 0; i < ta.NumRows(); i++ {
+		for j := 0; j < ta.NumCols(); j++ {
+			if !ta.Col(j).Value(i).Equal(tb.Col(j).Value(i)) {
+				t.Fatalf("row %d col %d differs", i, j)
+			}
+		}
+	}
+	c := Toy(Config{Scale: 1, Seed: 10})
+	if c.DB.Table("fact").Col(2).Value(0).Equal(ta.Col(2).Value(0)) &&
+		c.DB.Table("fact").Col(2).Value(1).Equal(ta.Col(2).Value(1)) &&
+		c.DB.Table("fact").Col(2).Value(2).Equal(ta.Col(2).Value(2)) {
+		t.Error("different seeds produced identical prefixes")
+	}
+}
+
+func TestScaleControlsRowCounts(t *testing.T) {
+	small := IMDB(Config{Scale: 0.01, Seed: 1})
+	big := IMDB(Config{Scale: 0.02, Seed: 1})
+	ns, nb := small.DB.Table("title").NumRows(), big.DB.Table("title").NumRows()
+	if nb < ns*3/2 {
+		t.Errorf("scale 0.02 (%d rows) should be ~2x scale 0.01 (%d rows)", nb, ns)
+	}
+}
+
+func TestToyFlagDeterminedByVal(t *testing.T) {
+	ds := Toy(Config{Scale: 1, Seed: 4})
+	fact := ds.DB.Table("fact")
+	val, flag := fact.ColByName("val"), fact.ColByName("flag")
+	for i := 0; i < fact.NumRows(); i++ {
+		want := int64(0)
+		if val.Value(i).I >= 50 {
+			want = 1
+		}
+		if flag.Value(i).I != want {
+			t.Fatalf("row %d: flag %d inconsistent with val %d", i, flag.Value(i).I, val.Value(i).I)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range Names() {
+		ds, err := ByName(name, Config{Scale: 0.01, Seed: 1})
+		if err != nil {
+			t.Errorf("ByName(%s): %v", name, err)
+			continue
+		}
+		if ds.Name != name {
+			t.Errorf("dataset name = %s, want %s", ds.Name, name)
+		}
+	}
+	if _, err := ByName("nope", Config{}); err == nil {
+		t.Error("unknown dataset must error")
+	}
+}
+
+func TestMetadataRowCountsMatch(t *testing.T) {
+	ds := STATS(Config{Scale: 0.02, Seed: 8})
+	for _, name := range ds.DB.TableNames() {
+		meta := ds.Schema.Table(name)
+		if meta.RowCount != int64(ds.DB.Table(name).NumRows()) {
+			t.Errorf("%s: catalog rows %d != storage rows %d", name, meta.RowCount, ds.DB.Table(name).NumRows())
+		}
+	}
+}
+
+func TestGenHelpers(t *testing.T) {
+	g := newGen(1)
+	for i := 0; i < 100; i++ {
+		if v := g.uniform(5, 10); v < 5 || v > 10 {
+			t.Fatalf("uniform out of range: %d", v)
+		}
+		if v := g.zipf(1.5, 100); v < 1 || v > 100 {
+			t.Fatalf("zipf out of range: %d", v)
+		}
+		if v := g.normalClamped(0, 100, -10, 10); v < -10 || v > 10 {
+			t.Fatalf("normalClamped out of range: %d", v)
+		}
+	}
+	if g.zipf(1.5, 1) != 1 {
+		t.Error("zipf with max 1 must return 1")
+	}
+	if g.uniform(5, 5) != 5 {
+		t.Error("uniform degenerate range")
+	}
+	counts := make([]int, 3)
+	for i := 0; i < 3000; i++ {
+		counts[g.pick([]float64{0.8, 0.15, 0.05})]++
+	}
+	if counts[0] < 2000 || counts[2] > 400 {
+		t.Errorf("pick distribution off: %v", counts)
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	g := newGen(2)
+	s := g.zipfSampler(1.5, 10000)
+	counts := map[int64]int{}
+	for i := 0; i < 50000; i++ {
+		counts[s()]++
+	}
+	// Value 1 must dominate under Zipf.
+	if counts[1] < 10000 {
+		t.Errorf("zipf head count = %d, want heavy head", counts[1])
+	}
+}
+
+var _ = types.Int // keep import if assertions change

@@ -1,0 +1,285 @@
+package engine
+
+import (
+	"fmt"
+
+	"bytecard/internal/expr"
+	"bytecard/internal/sqlparse"
+	"bytecard/internal/types"
+)
+
+// Analyze resolves a parsed statement against the database: binds tables,
+// qualifies columns, separates join conditions from table-local filters,
+// records join patterns into the catalog (the preprocessor's join-pattern
+// collection hook), and validates the aggregate/grouping shape.
+func (e *Engine) Analyze(stmt *sqlparse.SelectStmt) (*Query, error) {
+	q := &Query{Stmt: stmt}
+	if len(stmt.From) == 0 {
+		return nil, fmt.Errorf("engine: query has no FROM clause")
+	}
+	seen := map[string]bool{}
+	for _, ref := range stmt.From {
+		tab := e.DB.Table(ref.Name)
+		if tab == nil {
+			return nil, fmt.Errorf("engine: unknown table %q", ref.Name)
+		}
+		binding := ref.Binding()
+		if seen[binding] {
+			return nil, fmt.Errorf("engine: duplicate table binding %q", binding)
+		}
+		seen[binding] = true
+		q.Tables = append(q.Tables, &QueryTable{Binding: binding, Name: ref.Name, Table: tab})
+	}
+
+	if stmt.Where != nil {
+		if err := e.analyzeWhere(q, stmt.Where); err != nil {
+			return nil, err
+		}
+	}
+	if err := e.analyzeSelect(q, stmt); err != nil {
+		return nil, err
+	}
+	if len(q.Tables) > 1 {
+		if err := q.checkConnected(); err != nil {
+			return nil, err
+		}
+	}
+	return q, nil
+}
+
+// resolveCol finds the binding for a column reference.
+func (q *Query) resolveCol(ref sqlparse.ColRef) (ColRef, error) {
+	if ref.Qualifier != "" {
+		t := q.TableByBinding(ref.Qualifier)
+		if t == nil {
+			return ColRef{}, fmt.Errorf("engine: unknown table binding %q", ref.Qualifier)
+		}
+		if t.Table.ColIndex(ref.Name) < 0 {
+			return ColRef{}, fmt.Errorf("engine: table %s has no column %q", t.Name, ref.Name)
+		}
+		return ColRef{Tab: ref.Qualifier, Col: ref.Name}, nil
+	}
+	var found *QueryTable
+	for _, t := range q.Tables {
+		if t.Table.ColIndex(ref.Name) >= 0 {
+			if found != nil {
+				return ColRef{}, fmt.Errorf("engine: ambiguous column %q (in %s and %s)", ref.Name, found.Binding, t.Binding)
+			}
+			found = t
+		}
+	}
+	if found == nil {
+		return ColRef{}, fmt.Errorf("engine: unknown column %q", ref.Name)
+	}
+	return ColRef{Tab: found.Binding, Col: ref.Name}, nil
+}
+
+// analyzeWhere splits the condition tree into equi-join conditions and
+// per-table filters. Join conditions must be top-level conjuncts; OR
+// subtrees must reference a single table.
+func (e *Engine) analyzeWhere(q *Query, cond *sqlparse.Cond) error {
+	conjuncts := flattenAnd(cond)
+	perTable := map[string][]*expr.Node{}
+	for _, c := range conjuncts {
+		if c.Kind == sqlparse.CondCmp && c.IsJoin() {
+			if c.Op != expr.OpEq {
+				return fmt.Errorf("engine: only equi-joins are supported, got %s", c)
+			}
+			l, err := q.resolveCol(c.Left)
+			if err != nil {
+				return err
+			}
+			r, err := q.resolveCol(*c.RightCol)
+			if err != nil {
+				return err
+			}
+			if l.Tab == r.Tab {
+				return fmt.Errorf("engine: same-table column equality %s is not supported", c)
+			}
+			q.Joins = append(q.Joins, JoinCond{LeftTab: l.Tab, LeftCol: l.Col, RightTab: r.Tab, RightCol: r.Col})
+			e.recordJoinPattern(q, l, r)
+			continue
+		}
+		node, tab, err := q.buildFilterNode(c)
+		if err != nil {
+			return err
+		}
+		perTable[tab] = append(perTable[tab], node)
+	}
+	for tab, nodes := range perTable {
+		q.TableByBinding(tab).Filter = expr.And(nodes...)
+	}
+	return nil
+}
+
+func flattenAnd(c *sqlparse.Cond) []*sqlparse.Cond {
+	if c.Kind != sqlparse.CondAnd {
+		return []*sqlparse.Cond{c}
+	}
+	var out []*sqlparse.Cond
+	for _, ch := range c.Children {
+		out = append(out, flattenAnd(ch)...)
+	}
+	return out
+}
+
+// buildFilterNode converts a condition subtree (no join comparisons) to an
+// expr tree, verifying all leaves reference one table and literal types are
+// comparable with their columns.
+func (q *Query) buildFilterNode(c *sqlparse.Cond) (*expr.Node, string, error) {
+	switch c.Kind {
+	case sqlparse.CondCmp:
+		if c.IsJoin() {
+			return nil, "", fmt.Errorf("engine: join condition %s must be a top-level conjunct", c)
+		}
+		ref, err := q.resolveCol(c.Left)
+		if err != nil {
+			return nil, "", err
+		}
+		t := q.TableByBinding(ref.Tab)
+		colKind := t.Table.ColByName(ref.Col).Kind()
+		if (colKind == types.KindString) != (c.RightVal.K == types.KindString) {
+			return nil, "", fmt.Errorf("engine: predicate %s compares %s column with %s literal", c, colKind, c.RightVal.K)
+		}
+		return expr.Leaf(expr.Pred{Table: ref.Tab, Col: ref.Col, Op: c.Op, Val: c.RightVal}), ref.Tab, nil
+	case sqlparse.CondAnd, sqlparse.CondOr:
+		var (
+			nodes []*expr.Node
+			tab   string
+		)
+		for _, ch := range c.Children {
+			node, chTab, err := q.buildFilterNode(ch)
+			if err != nil {
+				return nil, "", err
+			}
+			if tab == "" {
+				tab = chTab
+			} else if tab != chTab {
+				return nil, "", fmt.Errorf("engine: filter subtree %s mixes tables %s and %s", c, tab, chTab)
+			}
+			nodes = append(nodes, node)
+		}
+		if c.Kind == sqlparse.CondAnd {
+			return expr.And(nodes...), tab, nil
+		}
+		return expr.Or(nodes...), tab, nil
+	default:
+		return nil, "", fmt.Errorf("engine: unknown condition kind")
+	}
+}
+
+// recordJoinPattern feeds the catalog's join-pattern collection using
+// physical table names.
+func (e *Engine) recordJoinPattern(q *Query, l, r ColRef) {
+	if e.Schema == nil {
+		return
+	}
+	lt, rt := q.TableByBinding(l.Tab), q.TableByBinding(r.Tab)
+	e.Schema.AddJoinPattern(joinPattern(lt.Name, l.Col, rt.Name, r.Col))
+}
+
+func (e *Engine) analyzeSelect(q *Query, stmt *sqlparse.SelectStmt) error {
+	for _, g := range stmt.GroupBy {
+		ref, err := q.resolveCol(g)
+		if err != nil {
+			return err
+		}
+		q.GroupBy = append(q.GroupBy, ref)
+	}
+	groupIdx := func(ref ColRef) int {
+		for i, g := range q.GroupBy {
+			if g == ref {
+				return i
+			}
+		}
+		return -1
+	}
+	for _, item := range stmt.Items {
+		switch item.Kind {
+		case sqlparse.ItemStar:
+			return fmt.Errorf("engine: SELECT * is not supported; name columns or aggregates")
+		case sqlparse.ItemColumn:
+			ref, err := q.resolveCol(item.Cols[0])
+			if err != nil {
+				return err
+			}
+			gi := groupIdx(ref)
+			if gi < 0 {
+				return fmt.Errorf("engine: column %s must appear in GROUP BY", ref)
+			}
+			q.outPlan = append(q.outPlan, outputItem{groupIdx: gi})
+		case sqlparse.ItemCountStar:
+			q.Aggs = append(q.Aggs, AggSpec{Kind: AggCountStar})
+			q.outPlan = append(q.outPlan, outputItem{isAgg: true, aggIdx: len(q.Aggs) - 1})
+		case sqlparse.ItemCountDistinct:
+			spec := AggSpec{Kind: AggCountDistinct}
+			for _, c := range item.Cols {
+				ref, err := q.resolveCol(c)
+				if err != nil {
+					return err
+				}
+				spec.Cols = append(spec.Cols, ref)
+			}
+			q.Aggs = append(q.Aggs, spec)
+			q.outPlan = append(q.outPlan, outputItem{isAgg: true, aggIdx: len(q.Aggs) - 1})
+		case sqlparse.ItemAgg:
+			ref, err := q.resolveCol(item.Cols[0])
+			if err != nil {
+				return err
+			}
+			t := q.TableByBinding(ref.Tab)
+			if t.Table.ColByName(ref.Col).Kind() == types.KindString && item.Agg != "MIN" && item.Agg != "MAX" {
+				return fmt.Errorf("engine: %s over string column %s", item.Agg, ref)
+			}
+			var kind AggKind
+			switch item.Agg {
+			case "SUM":
+				kind = AggSum
+			case "AVG":
+				kind = AggAvg
+			case "MIN":
+				kind = AggMin
+			case "MAX":
+				kind = AggMax
+			case "COUNT":
+				kind = AggCountStar // COUNT(col) without NULLs equals COUNT(*)
+			default:
+				return fmt.Errorf("engine: unknown aggregate %s", item.Agg)
+			}
+			q.Aggs = append(q.Aggs, AggSpec{Kind: kind, Cols: []ColRef{ref}})
+			q.outPlan = append(q.outPlan, outputItem{isAgg: true, aggIdx: len(q.Aggs) - 1})
+		}
+	}
+	if len(q.Aggs) == 0 {
+		return fmt.Errorf("engine: query must contain at least one aggregate")
+	}
+	return nil
+}
+
+// checkConnected verifies the join graph connects every table (the engine
+// rejects cross products).
+func (q *Query) checkConnected() error {
+	adj := map[string][]string{}
+	for _, j := range q.Joins {
+		adj[j.LeftTab] = append(adj[j.LeftTab], j.RightTab)
+		adj[j.RightTab] = append(adj[j.RightTab], j.LeftTab)
+	}
+	visited := map[string]bool{q.Tables[0].Binding: true}
+	stack := []string{q.Tables[0].Binding}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, nb := range adj[cur] {
+			if !visited[nb] {
+				visited[nb] = true
+				stack = append(stack, nb)
+			}
+		}
+	}
+	for _, t := range q.Tables {
+		if !visited[t.Binding] {
+			return fmt.Errorf("engine: table %s is not connected by join conditions (cross products unsupported)", t.Binding)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,121 @@
+package engine
+
+import (
+	"fmt"
+	"time"
+
+	"bytecard/internal/catalog"
+	"bytecard/internal/sqlparse"
+	"bytecard/internal/storage"
+)
+
+// Default tuning knobs.
+const (
+	// DefaultReaderThreshold is the overall-selectivity fraction below
+	// which the optimizer picks the multi-stage reader (selective
+	// predicates benefit from staged, late materialization; non-selective
+	// ones would re-read most blocks per stage).
+	DefaultReaderThreshold = 0.15
+	// DefaultAggCapacity is the cold-start aggregation hash-table
+	// capacity used when NDV presizing is disabled.
+	DefaultAggCapacity = 16
+	// DefaultColOrderEarlyStop stops predicate-order enumeration once the
+	// running conjunction selectivity exceeds this fraction (the paper's
+	// constraint easing the enumeration overhead).
+	DefaultColOrderEarlyStop = 0.5
+	// MaxIntermediateRows aborts runaway joins.
+	MaxIntermediateRows = 50_000_000
+)
+
+// Engine executes SQL over a storage database, taking every
+// cardinality-driven optimization decision from its CardEstimator.
+type Engine struct {
+	DB     *storage.Database
+	Schema *catalog.Schema
+	Est    CardEstimator
+
+	// ReaderThreshold overrides DefaultReaderThreshold when positive.
+	ReaderThreshold float64
+	// AggCapacity overrides DefaultAggCapacity when positive.
+	AggCapacity int
+	// DisableNDVPresize forces cold-start aggregation tables (the
+	// "without ByteCard" configuration of Figure 6b).
+	DisableNDVPresize bool
+	// ForceReader pins the materialization strategy for every scan:
+	// "single-stage" or "multi-stage" (ablation hook); empty selects
+	// dynamically.
+	ForceReader string
+	// DisableSIP turns off sideways information passing (ablation hook).
+	DisableSIP bool
+}
+
+// New creates an engine. Schema may be nil (join-pattern collection is then
+// skipped).
+func New(db *storage.Database, schema *catalog.Schema, est CardEstimator) *Engine {
+	return &Engine{DB: db, Schema: schema, Est: est}
+}
+
+func (e *Engine) readerThreshold() float64 {
+	if e.ReaderThreshold > 0 {
+		return e.ReaderThreshold
+	}
+	return DefaultReaderThreshold
+}
+
+func (e *Engine) defaultAggCapacity() int {
+	if e.AggCapacity > 0 {
+		return e.AggCapacity
+	}
+	return DefaultAggCapacity
+}
+
+// Run parses, analyzes, optimizes, and executes sql.
+func (e *Engine) Run(sql string) (*Result, error) {
+	stmt, err := sqlparse.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	return e.RunStmt(stmt)
+}
+
+// RunStmt analyzes, optimizes, and executes a parsed statement.
+func (e *Engine) RunStmt(stmt *sqlparse.SelectStmt) (*Result, error) {
+	q, err := e.Analyze(stmt)
+	if err != nil {
+		return nil, err
+	}
+	planStart := time.Now()
+	p, err := e.Plan(q)
+	if err != nil {
+		return nil, err
+	}
+	planDur := time.Since(planStart)
+	res, err := e.Execute(p)
+	if err != nil {
+		return nil, err
+	}
+	res.Metrics.PlanDuration = planDur
+	return res, nil
+}
+
+func joinPattern(lt, lc, rt, rc string) catalog.JoinPattern {
+	return catalog.JoinPattern{
+		Left:  catalog.ColumnRef{Table: lt, Column: lc},
+		Right: catalog.ColumnRef{Table: rt, Column: rc},
+	}
+}
+
+// TrueCardinality executes SELECT COUNT(*) semantics for the query and
+// returns the exact row count of the filtered join — the ground truth used
+// by Q-error experiments and by the Model Monitor's probe evaluation.
+func (e *Engine) TrueCardinality(sql string) (float64, error) {
+	res, err := e.Run(sql)
+	if err != nil {
+		return 0, err
+	}
+	n, err := res.ScalarInt()
+	if err != nil {
+		return 0, fmt.Errorf("engine: true-cardinality query must be a bare COUNT(*): %w", err)
+	}
+	return float64(n), nil
+}

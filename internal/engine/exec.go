@@ -1,0 +1,775 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"bytecard/internal/expr"
+	"bytecard/internal/storage"
+	"bytecard/internal/types"
+)
+
+// scanState is the runtime image of one scanned table: the surviving row
+// ids and lazily created block-accounted column readers shared by later
+// operators (late materialization reads land on the same readers, so every
+// block is charged at most once per query).
+type scanState struct {
+	t       *QueryTable
+	rows    []int32
+	readers map[string]*storage.Reader
+	io      *storage.IOStats
+}
+
+func (s *scanState) reader(col string) *storage.Reader {
+	if r, ok := s.readers[col]; ok {
+		return r
+	}
+	c := s.t.Table.ColByName(col)
+	if c == nil {
+		panic(fmt.Sprintf("engine: table %s has no column %s", s.t.Name, col))
+	}
+	r := c.NewReader(s.io)
+	s.readers[col] = r
+	return r
+}
+
+func (s *scanState) value(col string, row int32) types.Datum {
+	return s.reader(col).Value(int(row))
+}
+
+// Execute runs a physical plan.
+func (e *Engine) Execute(p *Plan) (*Result, error) {
+	start := time.Now()
+	q := p.Query
+	m := Metrics{IO: &storage.IOStats{}, ReaderStrategy: map[string]string{}}
+
+	// Only the leftmost table is scanned eagerly; later tables are scanned
+	// at their join step so sideways information passing can prune them
+	// with the intermediate's key set before their predicate columns are
+	// read.
+	states := make([]*scanState, len(q.Tables))
+	first := p.JoinOrder[0]
+	st, err := e.executeScan(q, p.Scans[first], &m)
+	if err != nil {
+		return nil, err
+	}
+	states[first] = st
+	m.ReaderStrategy[q.Tables[first].Binding] = p.Scans[first].Strategy
+
+	inter, err := e.executeJoins(q, p, states, &m)
+	if err != nil {
+		return nil, err
+	}
+
+	res, err := e.executeAggregation(q, p, states, inter, &m)
+	if err != nil {
+		return nil, err
+	}
+	m.ExecDuration = time.Since(start)
+	res.Metrics = m
+	return res, nil
+}
+
+// neededColumns lists the columns of table idx the query touches beyond the
+// filter: join keys, group keys, and aggregate inputs.
+func neededColumns(q *Query, idx int) []string {
+	t := q.Tables[idx]
+	seen := map[string]bool{}
+	var out []string
+	add := func(col string) {
+		if !seen[col] {
+			seen[col] = true
+			out = append(out, col)
+		}
+	}
+	for _, j := range q.Joins {
+		if j.LeftTab == t.Binding {
+			add(j.LeftCol)
+		}
+		if j.RightTab == t.Binding {
+			add(j.RightCol)
+		}
+	}
+	for _, g := range q.GroupBy {
+		if g.Tab == t.Binding {
+			add(g.Col)
+		}
+	}
+	for _, a := range q.Aggs {
+		for _, c := range a.Cols {
+			if c.Tab == t.Binding {
+				add(c.Col)
+			}
+		}
+	}
+	return out
+}
+
+// executeScan applies the table filter with the planned reader strategy.
+func (e *Engine) executeScan(q *Query, sp *ScanPlan, m *Metrics) (*scanState, error) {
+	t := q.Tables[sp.TableIdx]
+	st := &scanState{t: t, readers: map[string]*storage.Reader{}, io: m.IO}
+	n := t.Table.NumRows()
+
+	if sp.Strategy == "multi-stage" {
+		if err := e.multiStageScan(st, sp, n); err != nil {
+			return nil, err
+		}
+	} else {
+		e.singleStageScan(q, st, sp, n)
+	}
+	m.RowsMaterialized += int64(len(st.rows))
+	return st, nil
+}
+
+// singleStageScan loads every block of every touched column up front (early
+// materialization) and evaluates the full filter tree row-at-a-time.
+func (e *Engine) singleStageScan(q *Query, st *scanState, sp *ScanPlan, n int) {
+	filter := st.t.Filter
+	// Touch predicate columns plus downstream columns: the one-pass reader
+	// constructs complete tuples immediately.
+	cols := map[string]bool{}
+	if filter != nil {
+		for _, p := range filter.Leaves() {
+			cols[p.Col] = true
+		}
+	}
+	for _, c := range neededColumns(q, sp.TableIdx) {
+		cols[c] = true
+	}
+	for c := range cols {
+		st.reader(c).LoadAll()
+	}
+	if filter == nil {
+		st.rows = allRows(n)
+		return
+	}
+	rows := make([]int32, 0, n/4+1)
+	for i := 0; i < n; i++ {
+		ii := int32(i)
+		ok := filter.Eval(func(_, col string) types.Datum { return st.value(col, ii) })
+		if ok {
+			rows = append(rows, ii)
+		}
+	}
+	st.rows = rows
+}
+
+// multiStageScan filters column by column in the planned order, touching
+// later columns only for candidate rows (the staged reader whose I/O wins
+// Figure 6a measures).
+func (e *Engine) multiStageScan(st *scanState, sp *ScanPlan, n int) error {
+	preds, ok := st.t.Filter.Conjunction()
+	if !ok {
+		return fmt.Errorf("engine: multi-stage reader requires a conjunctive filter")
+	}
+	col := st.t.Table.ColByName // shorthand
+	constraints := expr.BuildConstraints(preds, func(c string, d types.Datum) (float64, bool) {
+		return col(c).EncodeDatum(d)
+	})
+	byCol := map[string]expr.Constraint{}
+	for _, c := range constraints {
+		byCol[c.Col] = c
+	}
+	rows := allRows(n)
+	for _, c := range sp.ColOrder {
+		cons, ok := byCol[c]
+		if !ok {
+			continue
+		}
+		if cons.Empty {
+			rows = nil
+			break
+		}
+		r := st.reader(c)
+		kept := rows[:0]
+		for _, row := range rows {
+			if cons.Contains(r.Numeric(int(row))) {
+				kept = append(kept, row)
+			}
+		}
+		rows = kept
+		if len(rows) == 0 {
+			break
+		}
+	}
+	st.rows = rows
+	return nil
+}
+
+func allRows(n int) []int32 {
+	rows := make([]int32, n)
+	for i := range rows {
+		rows[i] = int32(i)
+	}
+	return rows
+}
+
+// intermediate is a joined relation: tuples of row ids, one per table,
+// each carrying a multiplicity count. Compression merges tuples that agree
+// on every column the rest of the plan can still observe (remaining join
+// keys, group keys, aggregate inputs), summing their multiplicities — the
+// groupjoin-style optimization that keeps COUNT-heavy star joins bounded
+// even when their logical cardinality reaches the paper's 10^12 range.
+type intermediate struct {
+	// tabs lists query-table indices; pos inverts it.
+	tabs []int
+	pos  map[int]int
+	// tuples[i][k] is the row id in table tabs[k].
+	tuples [][]int32
+	// counts[i] is the logical multiplicity of tuple i.
+	counts []int64
+}
+
+// executeJoins folds the scans together in the planned left-deep order.
+func (e *Engine) executeJoins(q *Query, p *Plan, states []*scanState, m *Metrics) (*intermediate, error) {
+	first := p.JoinOrder[0]
+	inter := &intermediate{tabs: []int{first}, pos: map[int]int{first: 0}}
+	inter.tuples = make([][]int32, len(states[first].rows))
+	inter.counts = make([]int64, len(states[first].rows))
+	for i, r := range states[first].rows {
+		inter.tuples[i] = []int32{r}
+		inter.counts[i] = 1
+	}
+	bindingIdx := map[string]int{}
+	for i, t := range q.Tables {
+		bindingIdx[t.Binding] = i
+	}
+	inter = compress(q, inter, states, p.JoinOrder[1:])
+	for step, next := range p.JoinOrder[1:] {
+		var conds []JoinCond
+		for _, j := range q.Joins {
+			l, r := bindingIdx[j.LeftTab], bindingIdx[j.RightTab]
+			if _, in := inter.pos[l]; in && r == next {
+				conds = append(conds, j)
+			} else if _, in := inter.pos[r]; in && l == next {
+				// Normalize so Left references the intermediate side.
+				conds = append(conds, JoinCond{LeftTab: j.RightTab, LeftCol: j.RightCol, RightTab: j.LeftTab, RightCol: j.LeftCol})
+			}
+		}
+		if len(conds) == 0 {
+			return nil, fmt.Errorf("engine: table %s joins nothing in the current prefix", q.Tables[next].Binding)
+		}
+		// Sideways information passing: the intermediate's key set prunes
+		// the next table's scan before its predicate columns are read.
+		var sip map[uint64]bool
+		if !e.DisableSIP {
+			sip = make(map[uint64]bool, len(inter.tuples))
+			key := make([]types.Datum, len(conds))
+			for _, tuple := range inter.tuples {
+				for k, c := range conds {
+					lt := bindingIdx[c.LeftTab]
+					key[k] = states[lt].value(c.LeftCol, tuple[inter.pos[lt]])
+				}
+				sip[hashKey(key)] = true
+			}
+		}
+		if err := e.scanForJoin(q, p, states, next, conds, sip, m); err != nil {
+			return nil, err
+		}
+		out, err := hashJoin(q, inter, states, next, conds, bindingIdx, m)
+		if err != nil {
+			return nil, err
+		}
+		inter = compress(q, out, states, p.JoinOrder[2+step:])
+	}
+	return inter, nil
+}
+
+// sipFirstFraction bounds when SIP runs before the table filter: a key set
+// smaller than this fraction of the table is worth probing first.
+const sipFirstFraction = 0.25
+
+// scanForJoin scans the next join table, applying sideways information
+// passing when the intermediate's key set is selective enough: the key
+// columns are read first, non-joining rows are dropped, and only then are
+// the table's predicate columns read for the survivors — so a join order
+// that keeps intermediates small (good estimates) directly reduces block
+// I/O.
+func (e *Engine) scanForJoin(q *Query, p *Plan, states []*scanState, next int, conds []JoinCond, sip map[uint64]bool, m *Metrics) error {
+	sp := p.Scans[next]
+	t := q.Tables[next]
+	n := t.Table.NumRows()
+	sipFirst := sip != nil && float64(len(sip)) < sipFirstFraction*float64(n)
+	if !sipFirst {
+		st, err := e.executeScan(q, sp, m)
+		if err != nil {
+			return err
+		}
+		states[next] = st
+		m.ReaderStrategy[t.Binding] = sp.Strategy
+		return nil
+	}
+	st := &scanState{t: t, readers: map[string]*storage.Reader{}, io: m.IO}
+	states[next] = st
+	m.ReaderStrategy[t.Binding] = "sip+" + sp.Strategy
+
+	// Stage 0: key-membership probe over the whole key column(s).
+	keyReaders := make([]*storage.Reader, len(conds))
+	for k, c := range conds {
+		keyReaders[k] = st.reader(c.RightCol)
+	}
+	key := make([]types.Datum, len(conds))
+	candidates := make([]int32, 0, len(sip))
+	for i := 0; i < n; i++ {
+		for k := range conds {
+			key[k] = keyReaders[k].Value(i)
+		}
+		if sip[hashKey(key)] {
+			candidates = append(candidates, int32(i))
+		}
+	}
+	m.SIPPruned += int64(n - len(candidates))
+
+	// Stage 1..k: the table's own filter over the surviving candidates,
+	// touching predicate-column blocks only where candidates remain.
+	filter := t.Filter
+	if filter == nil || len(candidates) == 0 {
+		st.rows = candidates
+		m.RowsMaterialized += int64(len(st.rows))
+		return nil
+	}
+	if preds, ok := filter.Conjunction(); ok {
+		col := t.Table.ColByName
+		constraints := expr.BuildConstraints(preds, func(c string, d types.Datum) (float64, bool) {
+			return col(c).EncodeDatum(d)
+		})
+		order := sp.ColOrder
+		if len(order) == 0 {
+			order = distinctCols(preds)
+		}
+		byCol := map[string]expr.Constraint{}
+		for _, c := range constraints {
+			byCol[c.Col] = c
+		}
+		rows := candidates
+		for _, c := range order {
+			cons, ok := byCol[c]
+			if !ok {
+				continue
+			}
+			if cons.Empty {
+				rows = nil
+				break
+			}
+			r := st.reader(c)
+			kept := rows[:0]
+			for _, row := range rows {
+				if cons.Contains(r.Numeric(int(row))) {
+					kept = append(kept, row)
+				}
+			}
+			rows = kept
+			if len(rows) == 0 {
+				break
+			}
+		}
+		st.rows = rows
+	} else {
+		kept := candidates[:0]
+		for _, row := range candidates {
+			if filter.Eval(func(_, col string) types.Datum { return st.value(col, row) }) {
+				kept = append(kept, row)
+			}
+		}
+		st.rows = kept
+	}
+	m.RowsMaterialized += int64(len(st.rows))
+	return nil
+}
+
+// liveColumns lists, per joined table, the columns later plan stages can
+// still observe: keys of join conditions involving tables outside the
+// current set, group keys, and aggregate inputs.
+func liveColumns(q *Query, inter *intermediate, remaining []int) map[int][]string {
+	bindingIdx := map[string]int{}
+	for i, t := range q.Tables {
+		bindingIdx[t.Binding] = i
+	}
+	pending := map[int]bool{}
+	for _, idx := range remaining {
+		pending[idx] = true
+	}
+	live := map[int]map[string]bool{}
+	add := func(binding, col string) {
+		i := bindingIdx[binding]
+		if _, in := inter.pos[i]; !in {
+			return
+		}
+		if live[i] == nil {
+			live[i] = map[string]bool{}
+		}
+		live[i][col] = true
+	}
+	for _, j := range q.Joins {
+		l, r := bindingIdx[j.LeftTab], bindingIdx[j.RightTab]
+		if pending[l] || pending[r] {
+			add(j.LeftTab, j.LeftCol)
+			add(j.RightTab, j.RightCol)
+		}
+	}
+	for _, g := range q.GroupBy {
+		add(g.Tab, g.Col)
+	}
+	for _, a := range q.Aggs {
+		for _, c := range a.Cols {
+			add(c.Tab, c.Col)
+		}
+	}
+	out := map[int][]string{}
+	for i, cols := range live {
+		for c := range cols {
+			out[i] = append(out[i], c)
+		}
+		sort.Strings(out[i])
+	}
+	return out
+}
+
+// compressThreshold skips compression for small intermediates.
+const compressThreshold = 1024
+
+// compress merges tuples that agree on every live column, summing their
+// multiplicities.
+func compress(q *Query, inter *intermediate, states []*scanState, remaining []int) *intermediate {
+	if len(inter.tuples) < compressThreshold {
+		return inter
+	}
+	live := liveColumns(q, inter, remaining)
+	var width int
+	for _, cols := range live {
+		width += len(cols)
+	}
+	type slot struct {
+		sig []types.Datum
+		idx int
+	}
+	merged := make(map[uint64][]slot, len(inter.tuples)/4)
+	out := &intermediate{tabs: inter.tabs, pos: inter.pos}
+	sig := make([]types.Datum, 0, width)
+	for ti, tuple := range inter.tuples {
+		sig = sig[:0]
+		for _, tabIdx := range inter.tabs {
+			for _, col := range live[tabIdx] {
+				sig = append(sig, states[tabIdx].value(col, tuple[inter.pos[tabIdx]]))
+			}
+		}
+		h := hashKey(sig)
+		found := false
+		for _, s := range merged[h] {
+			if keysEqual(s.sig, sig) {
+				out.counts[s.idx] += inter.counts[ti]
+				found = true
+				break
+			}
+		}
+		if !found {
+			cp := make([]types.Datum, len(sig))
+			copy(cp, sig)
+			merged[h] = append(merged[h], slot{sig: cp, idx: len(out.tuples)})
+			out.tuples = append(out.tuples, tuple)
+			out.counts = append(out.counts, inter.counts[ti])
+		}
+	}
+	return out
+}
+
+// hashJoin joins the intermediate with one new table over the given
+// conditions (Left side = intermediate, Right side = new table).
+func hashJoin(q *Query, inter *intermediate, states []*scanState, next int, conds []JoinCond, bindingIdx map[string]int, m *Metrics) (*intermediate, error) {
+	st := states[next]
+
+	// Build side: the new table's surviving rows (hash build), probe with
+	// intermediate tuples. Entries keep key datums for exact matching.
+	type entry struct {
+		key []types.Datum
+		row int32
+	}
+	build := make(map[uint64][]entry, len(st.rows))
+	for _, row := range st.rows {
+		key := make([]types.Datum, len(conds))
+		for k, c := range conds {
+			key[k] = st.value(c.RightCol, row)
+		}
+		h := hashKey(key)
+		build[h] = append(build[h], entry{key: key, row: row})
+	}
+
+	out := &intermediate{tabs: append(append([]int(nil), inter.tabs...), next), pos: map[int]int{}}
+	for i, t := range out.tabs {
+		out.pos[t] = i
+	}
+	probeKey := make([]types.Datum, len(conds))
+	for ti, tuple := range inter.tuples {
+		for k, c := range conds {
+			lt := bindingIdx[c.LeftTab]
+			probeKey[k] = states[lt].value(c.LeftCol, tuple[inter.pos[lt]])
+		}
+		h := hashKey(probeKey)
+		for _, ent := range build[h] {
+			if !keysEqual(ent.key, probeKey) {
+				continue
+			}
+			combined := make([]int32, len(tuple)+1)
+			copy(combined, tuple)
+			combined[len(tuple)] = ent.row
+			out.tuples = append(out.tuples, combined)
+			out.counts = append(out.counts, inter.counts[ti])
+			if int64(len(out.tuples)) > MaxIntermediateRows {
+				return nil, fmt.Errorf("engine: join intermediate exceeds %d rows", int64(MaxIntermediateRows))
+			}
+		}
+	}
+	m.RowsMaterialized += int64(len(out.tuples))
+	return out, nil
+}
+
+func hashKey(key []types.Datum) uint64 {
+	var h uint64 = 1469598103934665603
+	for _, d := range key {
+		h = h*1099511628211 ^ d.Hash64()
+	}
+	return h
+}
+
+func keysEqual(a, b []types.Datum) bool {
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// executeAggregation folds the joined relation through the aggregation
+// hash table (or a single accumulator when there is no GROUP BY).
+func (e *Engine) executeAggregation(q *Query, p *Plan, states []*scanState, inter *intermediate, m *Metrics) (*Result, error) {
+	res := &Result{}
+	for _, item := range q.Stmt.Items {
+		res.Columns = append(res.Columns, item.String())
+	}
+
+	fetch := func(ref ColRef, tuple []int32) types.Datum {
+		for k, ti := range inter.tabs {
+			if q.Tables[ti].Binding == ref.Tab {
+				return states[ti].value(ref.Col, tuple[k])
+			}
+		}
+		panic("engine: unresolved column " + ref.String())
+	}
+
+	if len(q.GroupBy) == 0 {
+		accs := newAccs(q.Aggs)
+		for ti, tuple := range inter.tuples {
+			updateAccs(accs, q.Aggs, fetch, tuple, inter.counts[ti])
+		}
+		res.Rows = [][]types.Datum{buildOutputRow(q, nil, accs)}
+		m.InitialAggCapacity = 0
+		return res, nil
+	}
+
+	table := newAggTable(p.AggCapacity)
+	m.InitialAggCapacity = p.AggCapacity
+	key := make([]types.Datum, len(q.GroupBy))
+	for ti, tuple := range inter.tuples {
+		for i, g := range q.GroupBy {
+			key[i] = fetch(g, tuple)
+		}
+		accs := table.lookup(key, func() []aggAcc { return newAccs(q.Aggs) })
+		updateAccs(accs, q.Aggs, fetch, tuple, inter.counts[ti])
+	}
+	m.HashResizes += int64(table.resizes)
+
+	for _, slot := range table.slots {
+		if slot.used {
+			res.Rows = append(res.Rows, buildOutputRow(q, slot.key, slot.accs))
+		}
+	}
+	sortRows(res.Rows)
+	return res, nil
+}
+
+func buildOutputRow(q *Query, key []types.Datum, accs []aggAcc) []types.Datum {
+	row := make([]types.Datum, len(q.outPlan))
+	for i, item := range q.outPlan {
+		if item.isAgg {
+			row[i] = accs[item.aggIdx].result(q.Aggs[item.aggIdx].Kind)
+		} else {
+			row[i] = key[item.groupIdx]
+		}
+	}
+	return row
+}
+
+func sortRows(rows [][]types.Datum) {
+	sort.Slice(rows, func(i, j int) bool {
+		a, b := rows[i], rows[j]
+		for k := range a {
+			if a[k].K == types.KindString && b[k].K != types.KindString ||
+				a[k].K != types.KindString && b[k].K == types.KindString {
+				return a[k].K < b[k].K
+			}
+			if c := a[k].Compare(b[k]); c != 0 {
+				return c < 0
+			}
+		}
+		return false
+	})
+}
+
+// aggAcc accumulates one aggregate for one group.
+type aggAcc struct {
+	count    int64
+	sum      float64
+	min, max types.Datum
+	seen     bool
+	distinct map[uint64]struct{}
+}
+
+func newAccs(aggs []AggSpec) []aggAcc {
+	accs := make([]aggAcc, len(aggs))
+	for i, a := range aggs {
+		if a.Kind == AggCountDistinct {
+			accs[i].distinct = make(map[uint64]struct{})
+		}
+	}
+	return accs
+}
+
+func updateAccs(accs []aggAcc, aggs []AggSpec, fetch func(ColRef, []int32) types.Datum, tuple []int32, mult int64) {
+	for i := range aggs {
+		acc := &accs[i]
+		switch aggs[i].Kind {
+		case AggCountStar:
+			acc.count += mult
+		case AggCountDistinct:
+			var h uint64 = 1469598103934665603
+			for _, c := range aggs[i].Cols {
+				h = h*1099511628211 ^ fetch(c, tuple).Hash64()
+			}
+			acc.distinct[h] = struct{}{}
+		case AggSum, AggAvg:
+			v := fetch(aggs[i].Cols[0], tuple)
+			acc.sum += v.AsFloat() * float64(mult)
+			acc.count += mult
+		case AggMin, AggMax:
+			v := fetch(aggs[i].Cols[0], tuple)
+			if !acc.seen {
+				acc.min, acc.max, acc.seen = v, v, true
+			} else {
+				if v.Less(acc.min) {
+					acc.min = v
+				}
+				if acc.max.Less(v) {
+					acc.max = v
+				}
+			}
+		}
+	}
+}
+
+func (a *aggAcc) result(kind AggKind) types.Datum {
+	switch kind {
+	case AggCountStar:
+		return types.Int(a.count)
+	case AggCountDistinct:
+		return types.Int(int64(len(a.distinct)))
+	case AggSum:
+		return types.Float(a.sum)
+	case AggAvg:
+		if a.count == 0 {
+			return types.Float(0)
+		}
+		return types.Float(a.sum / float64(a.count))
+	case AggMin:
+		return a.min
+	case AggMax:
+		return a.max
+	default:
+		panic("engine: unknown aggregate kind")
+	}
+}
+
+// aggTable is an open-addressing hash table with linear probing that counts
+// its resize events — the observable the paper's aggregation optimization
+// reduces by presizing from RBX's NDV estimate.
+type aggTable struct {
+	slots   []aggSlot
+	used    int
+	resizes int
+}
+
+type aggSlot struct {
+	h    uint64
+	key  []types.Datum
+	accs []aggAcc
+	used bool
+}
+
+// aggLoadFactor triggers growth.
+const aggLoadFactor = 0.7
+
+func newAggTable(expectedGroups int) *aggTable {
+	if expectedGroups < 1 {
+		expectedGroups = 1
+	}
+	n := nextPow2(int(float64(expectedGroups)/aggLoadFactor) + 1)
+	if n < 16 {
+		n = 16
+	}
+	return &aggTable{slots: make([]aggSlot, n)}
+}
+
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// lookup finds or inserts the group for key, copying the key on insert.
+func (t *aggTable) lookup(key []types.Datum, mk func() []aggAcc) []aggAcc {
+	if float64(t.used+1) > aggLoadFactor*float64(len(t.slots)) {
+		t.grow()
+	}
+	h := hashKey(key)
+	mask := uint64(len(t.slots) - 1)
+	i := h & mask
+	for {
+		s := &t.slots[i]
+		if !s.used {
+			kc := make([]types.Datum, len(key))
+			copy(kc, key)
+			*s = aggSlot{h: h, key: kc, accs: mk(), used: true}
+			t.used++
+			return s.accs
+		}
+		if s.h == h && keysEqual(s.key, key) {
+			return s.accs
+		}
+		i = (i + 1) & mask
+	}
+}
+
+// grow doubles the table and rehashes every entry — the resize cost the
+// presizing optimization avoids.
+func (t *aggTable) grow() {
+	t.resizes++
+	old := t.slots
+	t.slots = make([]aggSlot, len(old)*2)
+	t.used = 0
+	mask := uint64(len(t.slots) - 1)
+	for _, s := range old {
+		if !s.used {
+			continue
+		}
+		i := s.h & mask
+		for t.slots[i].used {
+			i = (i + 1) & mask
+		}
+		t.slots[i] = s
+		t.used++
+	}
+}

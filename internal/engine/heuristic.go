@@ -1,0 +1,98 @@
+package engine
+
+import (
+	"math"
+
+	"bytecard/internal/expr"
+)
+
+// HeuristicEstimator is the statistics-free fallback estimator: fixed magic
+// selectivities per operator kind and join-uniformity with a guessed key
+// domain. It is what the engine runs on before any sketches or models are
+// built, and the floor every real estimator is compared against.
+type HeuristicEstimator struct{}
+
+// Magic selectivity constants (the classic System R defaults).
+const (
+	heuristicEqSel    = 0.05
+	heuristicRangeSel = 0.33
+	heuristicNeSel    = 0.95
+)
+
+// Name implements CardEstimator.
+func (HeuristicEstimator) Name() string { return "heuristic" }
+
+func heuristicNodeSel(n *expr.Node) float64 {
+	if n == nil {
+		return 1
+	}
+	switch n.Kind {
+	case expr.KindLeaf:
+		switch n.Pred.Op {
+		case expr.OpEq:
+			return heuristicEqSel
+		case expr.OpNe:
+			return heuristicNeSel
+		default:
+			return heuristicRangeSel
+		}
+	case expr.KindAnd:
+		s := 1.0
+		for _, c := range n.Children {
+			s *= heuristicNodeSel(c)
+		}
+		return s
+	default: // KindOr
+		s := 0.0
+		for _, c := range n.Children {
+			s += heuristicNodeSel(c)
+		}
+		return math.Min(s, 1)
+	}
+}
+
+// EstimateFilter implements CardEstimator.
+func (HeuristicEstimator) EstimateFilter(t *QueryTable) float64 {
+	return float64(t.Table.NumRows()) * heuristicNodeSel(t.Filter)
+}
+
+// EstimateConj implements CardEstimator.
+func (HeuristicEstimator) EstimateConj(_ *QueryTable, preds []expr.Pred) float64 {
+	s := 1.0
+	for _, p := range preds {
+		s *= heuristicNodeSel(expr.Leaf(p))
+	}
+	return s
+}
+
+// EstimateJoin implements CardEstimator with join uniformity over a guessed
+// key domain of max(|L|,|R|).
+func (h HeuristicEstimator) EstimateJoin(tables []*QueryTable, joins []JoinCond) float64 {
+	rows := 1.0
+	var maxRows float64
+	for _, t := range tables {
+		r := h.EstimateFilter(t)
+		if r < 1 {
+			r = 1
+		}
+		rows *= r
+		if n := float64(t.Table.NumRows()); n > maxRows {
+			maxRows = n
+		}
+	}
+	for range joins {
+		rows /= math.Max(maxRows, 1)
+	}
+	return math.Max(rows, 1)
+}
+
+// EstimateGroupNDV implements CardEstimator with a fixed fraction of the
+// smallest grouped table.
+func (h HeuristicEstimator) EstimateGroupNDV(q *Query) float64 {
+	ndv := 1.0
+	for _, g := range q.GroupBy {
+		t := q.TableByBinding(g.Tab)
+		ndv *= math.Max(float64(t.Table.NumRows())*0.1, 1)
+	}
+	return ndv
+}

@@ -1,0 +1,276 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sort"
+
+	"bytecard/internal/expr"
+)
+
+// ScanPlan records the optimizer's materialization decision for one table.
+type ScanPlan struct {
+	TableIdx int
+	// Strategy is "single-stage" or "multi-stage".
+	Strategy string
+	// ColOrder is the predicate-column order for the multi-stage reader.
+	ColOrder []string
+	// EstRows is the estimated filtered row count.
+	EstRows float64
+}
+
+// Plan is a fully optimized physical plan.
+type Plan struct {
+	Query *Query
+	Scans []*ScanPlan
+	// JoinOrder lists table indices in left-deep join sequence; the first
+	// entry is the leftmost base table.
+	JoinOrder []int
+	// EstFinalRows is the estimated cardinality of the joined, filtered
+	// relation.
+	EstFinalRows float64
+	// AggCapacity is the presized aggregation hash-table capacity.
+	AggCapacity int
+}
+
+// Plan optimizes the analyzed query: per-scan materialization strategy and
+// column order, join order via dynamic programming over connected subsets,
+// and aggregation hash-table presizing — each decision driven by the
+// engine's estimator, which is exactly where ByteCard plugs in.
+func (e *Engine) Plan(q *Query) (*Plan, error) {
+	p := &Plan{Query: q}
+	for i := range q.Tables {
+		p.Scans = append(p.Scans, e.planScan(q, i))
+	}
+	if err := e.planJoinOrder(p); err != nil {
+		return nil, err
+	}
+	e.planAggregation(p)
+	return p, nil
+}
+
+// planScan chooses the reader strategy and predicate column order.
+func (e *Engine) planScan(q *Query, idx int) *ScanPlan {
+	t := q.Tables[idx]
+	sp := &ScanPlan{TableIdx: idx, Strategy: "single-stage"}
+	n := float64(t.Table.NumRows())
+	sp.EstRows = e.Est.EstimateFilter(t)
+	if sp.EstRows < 0 {
+		sp.EstRows = 0
+	}
+	if sp.EstRows > n {
+		sp.EstRows = n
+	}
+	preds, isConj := t.Filter.Conjunction()
+	predCols := distinctCols(preds)
+	switch {
+	case e.ForceReader != "":
+		sp.Strategy = e.ForceReader
+	case !isConj || len(predCols) < 2:
+		// OR trees and zero/one-column filters gain nothing from staging.
+		sp.Strategy = "single-stage"
+	case n > 0 && sp.EstRows/n < e.readerThreshold():
+		sp.Strategy = "multi-stage"
+	}
+	if sp.Strategy == "multi-stage" {
+		switch {
+		case !isConj:
+			// The staged reader only decomposes conjunctions; downgrade
+			// even when forced.
+			sp.Strategy = "single-stage"
+		case len(predCols) >= 2:
+			sp.ColOrder = e.orderPredColumns(t, preds, predCols)
+		default:
+			sp.ColOrder = predCols
+		}
+	}
+	return sp
+}
+
+func distinctCols(preds []expr.Pred) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, p := range preds {
+		if !seen[p.Col] {
+			seen[p.Col] = true
+			out = append(out, p.Col)
+		}
+	}
+	return out
+}
+
+// orderPredColumns greedily orders predicate columns by conditional
+// selectivity: each step adds the column whose predicates shrink the
+// running conjunction the most, letting the estimator's cross-column
+// modelling (the BN joint distribution) pay off. Enumeration early-stops
+// once the running selectivity exceeds a threshold; remaining columns are
+// appended by single-column selectivity.
+func (e *Engine) orderPredColumns(t *QueryTable, preds []expr.Pred, cols []string) []string {
+	predsOf := func(col string) []expr.Pred {
+		var out []expr.Pred
+		for _, p := range preds {
+			if p.Col == col {
+				out = append(out, p)
+			}
+		}
+		return out
+	}
+	remaining := append([]string(nil), cols...)
+	var order []string
+	var chosen []expr.Pred
+	runningSel := 1.0
+	for len(remaining) > 0 {
+		if runningSel > DefaultColOrderEarlyStop && len(order) > 0 {
+			// Early stop: order the tail by single-column selectivity.
+			sort.SliceStable(remaining, func(i, j int) bool {
+				return e.Est.EstimateConj(t, predsOf(remaining[i])) < e.Est.EstimateConj(t, predsOf(remaining[j]))
+			})
+			order = append(order, remaining...)
+			break
+		}
+		best, bestSel := -1, math.Inf(1)
+		for i, col := range remaining {
+			sel := e.Est.EstimateConj(t, append(append([]expr.Pred(nil), chosen...), predsOf(col)...))
+			if sel < bestSel {
+				best, bestSel = i, sel
+			}
+		}
+		col := remaining[best]
+		order = append(order, col)
+		chosen = append(chosen, predsOf(col)...)
+		runningSel = bestSel
+		remaining = append(remaining[:best], remaining[best+1:]...)
+	}
+	return order
+}
+
+// planJoinOrder runs left-deep dynamic programming over connected table
+// subsets, costing each plan by the sum of intermediate cardinalities
+// (C_out) from the estimator.
+func (e *Engine) planJoinOrder(p *Plan) error {
+	q := p.Query
+	n := len(q.Tables)
+	if n == 1 {
+		p.JoinOrder = []int{0}
+		p.EstFinalRows = p.Scans[0].EstRows
+		return nil
+	}
+	if n > 12 {
+		return fmt.Errorf("engine: join of %d tables exceeds the optimizer's limit", n)
+	}
+	bindingIdx := map[string]int{}
+	for i, t := range q.Tables {
+		bindingIdx[t.Binding] = i
+	}
+	// connected[a] = bitmask of tables joined to a by some condition.
+	connected := make([]uint32, n)
+	for _, j := range q.Joins {
+		a, b := bindingIdx[j.LeftTab], bindingIdx[j.RightTab]
+		connected[a] |= 1 << b
+		connected[b] |= 1 << a
+	}
+
+	card := make(map[uint32]float64) // estimated rows of each subset
+	for i := range q.Tables {
+		card[1<<i] = p.Scans[i].EstRows
+	}
+	subsetCard := func(mask uint32) float64 {
+		if c, ok := card[mask]; ok {
+			return c
+		}
+		var tabs []*QueryTable
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				tabs = append(tabs, q.Tables[i])
+			}
+		}
+		var conds []JoinCond
+		for _, j := range q.Joins {
+			if mask&(1<<bindingIdx[j.LeftTab]) != 0 && mask&(1<<bindingIdx[j.RightTab]) != 0 {
+				conds = append(conds, j)
+			}
+		}
+		c := e.Est.EstimateJoin(tabs, conds)
+		if c < 1 || math.IsNaN(c) {
+			c = 1
+		}
+		card[mask] = c
+		return c
+	}
+
+	type dpEntry struct {
+		cost  float64
+		order []int
+	}
+	dp := map[uint32]dpEntry{}
+	for i := 0; i < n; i++ {
+		dp[1<<i] = dpEntry{cost: 0, order: []int{i}}
+	}
+	full := uint32(1<<n) - 1
+	// Enumerate subsets by population count so extensions see their bases.
+	var masks []uint32
+	for m := uint32(1); m <= full; m++ {
+		masks = append(masks, m)
+	}
+	sort.Slice(masks, func(i, j int) bool { return bits.OnesCount32(masks[i]) < bits.OnesCount32(masks[j]) })
+	for _, m := range masks {
+		base, ok := dp[m]
+		if !ok {
+			continue
+		}
+		// Extend with any table connected to the subset.
+		for i := 0; i < n; i++ {
+			bit := uint32(1 << i)
+			if m&bit != 0 {
+				continue
+			}
+			joinedTo := false
+			for j := 0; j < n; j++ {
+				if m&(1<<j) != 0 && connected[j]&bit != 0 {
+					joinedTo = true
+					break
+				}
+			}
+			if !joinedTo {
+				continue
+			}
+			next := m | bit
+			cost := base.cost + subsetCard(next)
+			if cur, ok := dp[next]; !ok || cost < cur.cost {
+				order := append(append([]int(nil), base.order...), i)
+				dp[next] = dpEntry{cost: cost, order: order}
+			}
+		}
+	}
+	best, ok := dp[full]
+	if !ok {
+		return fmt.Errorf("engine: join graph is not connected")
+	}
+	p.JoinOrder = best.order
+	p.EstFinalRows = subsetCard(full)
+	return nil
+}
+
+// planAggregation presizes the aggregation hash table from the estimator's
+// group-NDV estimate (the Figure 6b mechanism). Without grouping no hash
+// table is needed.
+func (e *Engine) planAggregation(p *Plan) {
+	q := p.Query
+	if len(q.GroupBy) == 0 {
+		p.AggCapacity = 0
+		return
+	}
+	if e.DisableNDVPresize {
+		p.AggCapacity = e.defaultAggCapacity()
+		return
+	}
+	ndv := e.Est.EstimateGroupNDV(q)
+	if ndv < 1 || math.IsNaN(ndv) || math.IsInf(ndv, 0) {
+		ndv = float64(e.defaultAggCapacity())
+	}
+	if p.EstFinalRows > 0 && ndv > p.EstFinalRows {
+		ndv = p.EstFinalRows
+	}
+	p.AggCapacity = int(ndv)
+}

@@ -1,0 +1,167 @@
+// Package engine implements the analytical query engine ByteCard plugs
+// into: semantic analysis, a cost-based optimizer whose decisions —
+// materialization strategy, predicate column order, join order, and
+// aggregation hash-table sizing — are all driven by a pluggable cardinality
+// estimator, and columnar executors with block-level I/O accounting and
+// hash-table resize counting. It is the reproduction substrate for the
+// paper's end-to-end experiments.
+package engine
+
+import (
+	"fmt"
+	"time"
+
+	"bytecard/internal/expr"
+	"bytecard/internal/sqlparse"
+	"bytecard/internal/storage"
+	"bytecard/internal/types"
+)
+
+// QueryTable is one resolved FROM entry.
+type QueryTable struct {
+	// Binding is the name the query uses (alias or table name).
+	Binding string
+	// Name is the physical table name.
+	Name string
+	// Table is the storage handle.
+	Table *storage.Table
+	// Filter is the table-local filter tree (leaf Table fields hold the
+	// binding), or nil.
+	Filter *expr.Node
+}
+
+// JoinCond is one equi-join condition between two resolved tables,
+// referencing bindings.
+type JoinCond struct {
+	LeftTab, LeftCol   string
+	RightTab, RightCol string
+}
+
+// String renders the condition.
+func (j JoinCond) String() string {
+	return fmt.Sprintf("%s.%s = %s.%s", j.LeftTab, j.LeftCol, j.RightTab, j.RightCol)
+}
+
+// ColRef references a column of a bound table.
+type ColRef struct {
+	Tab string // binding
+	Col string
+}
+
+// String renders the reference.
+func (c ColRef) String() string { return c.Tab + "." + c.Col }
+
+// AggKind identifies an aggregate function.
+type AggKind int
+
+// Aggregate kinds.
+const (
+	AggCountStar AggKind = iota
+	AggCountDistinct
+	AggSum
+	AggAvg
+	AggMin
+	AggMax
+)
+
+// AggSpec is one aggregate of the select list.
+type AggSpec struct {
+	Kind AggKind
+	// Cols holds the aggregated columns (several for COUNT DISTINCT).
+	Cols []ColRef
+}
+
+// Query is the analyzed form of a select statement.
+type Query struct {
+	Stmt    *sqlparse.SelectStmt
+	Tables  []*QueryTable
+	Joins   []JoinCond
+	GroupBy []ColRef
+	Aggs    []AggSpec
+	// OutCols mirrors the select list: group columns and aggregates in
+	// select-list order; -1 entries index Aggs, >=0 entries index GroupBy.
+	outPlan []outputItem
+}
+
+type outputItem struct {
+	// isAgg selects between aggIdx and groupIdx.
+	isAgg    bool
+	aggIdx   int
+	groupIdx int
+}
+
+// TableByBinding returns the table bound to name, or nil.
+func (q *Query) TableByBinding(name string) *QueryTable {
+	for _, t := range q.Tables {
+		if t.Binding == name {
+			return t
+		}
+	}
+	return nil
+}
+
+// Metrics records the observable cost of one query execution — the
+// quantities the paper's Figure 6 experiments chart.
+type Metrics struct {
+	// IO accumulates block reads across all scans of the query.
+	IO *storage.IOStats
+	// HashResizes counts aggregation hash-table growth events.
+	HashResizes int64
+	// RowsMaterialized counts tuples constructed across operators.
+	RowsMaterialized int64
+	// SIPPruned counts rows dropped by sideways information passing
+	// before their predicate columns were read.
+	SIPPruned int64
+	// InitialAggCapacity is the presized aggregation capacity (0 when the
+	// query has no aggregation).
+	InitialAggCapacity int
+	// ReaderStrategy maps each scanned binding to "single-stage" or
+	// "multi-stage".
+	ReaderStrategy map[string]string
+	// PlanDuration includes all estimator calls made during optimization.
+	PlanDuration time.Duration
+	// ExecDuration is pure execution time.
+	ExecDuration time.Duration
+}
+
+// Result is a query result: column labels and materialized rows.
+type Result struct {
+	Columns []string
+	Rows    [][]types.Datum
+	Metrics Metrics
+}
+
+// ScalarInt returns the single int64 cell of a one-row one-column result
+// (the shape of COUNT(*) queries).
+func (r *Result) ScalarInt() (int64, error) {
+	if len(r.Rows) != 1 || len(r.Rows[0]) != 1 {
+		return 0, fmt.Errorf("engine: result is %dx%d, not scalar", len(r.Rows), len(r.Columns))
+	}
+	d := r.Rows[0][0]
+	if d.K != types.KindInt64 {
+		return 0, fmt.Errorf("engine: scalar result is %s, not INT64", d.K)
+	}
+	return d.I, nil
+}
+
+// CardEstimator is the estimation interface the optimizer consumes. The
+// three implementations compared in the paper — sketch-based, sample-based,
+// and ByteCard — all satisfy it.
+type CardEstimator interface {
+	// Name identifies the estimator in reports.
+	Name() string
+	// EstimateFilter returns the estimated number of rows of t surviving
+	// its filter (t.Filter may be nil).
+	EstimateFilter(t *QueryTable) float64
+	// EstimateConj returns the estimated selectivity fraction of a
+	// conjunction of predicates over t, used for predicate column
+	// ordering in the multi-stage reader.
+	EstimateConj(t *QueryTable, preds []expr.Pred) float64
+	// EstimateJoin returns the estimated row count of joining the given
+	// tables (with their filters) under the given conditions. tables has
+	// at least two entries and the conditions connect them.
+	EstimateJoin(tables []*QueryTable, joins []JoinCond) float64
+	// EstimateGroupNDV returns the estimated number of distinct group
+	// keys of the query (the aggregation hash-table sizing input).
+	EstimateGroupNDV(q *Query) float64
+}

@@ -1,0 +1,327 @@
+// Package factorjoin implements the multi-table COUNT model ByteCard
+// adopts: join-key domains are partitioned into equi-height "join buckets",
+// each table keeps per-bucket statistics (count, distinct values, max
+// value frequency), and a query-time factor graph over the join conditions
+// combines per-table filtered bucket counts — supplied by the single-table
+// Bayesian networks — into a join-size estimate or upper bound, without
+// ever training on denormalized joins.
+package factorjoin
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"bytecard/internal/catalog"
+	"bytecard/internal/storage"
+)
+
+// DefaultBucketCount matches the paper's equi-height bucket configuration.
+const DefaultBucketCount = 200
+
+// Buckets is the shared bucket layout of one join-key equivalence class.
+type Buckets struct {
+	// Class is the canonical class name (its first member reference).
+	Class string
+	// Bounds holds B+1 ascending boundaries; bucket i covers
+	// [Bounds[i], Bounds[i+1]) with the last bucket closed.
+	Bounds []float64
+}
+
+// Count returns the number of buckets.
+func (b *Buckets) Count() int { return len(b.Bounds) - 1 }
+
+// BucketOf maps a key value to its bucket, or -1 outside the domain.
+func (b *Buckets) BucketOf(v float64) int {
+	if v < b.Bounds[0] || v > b.Bounds[len(b.Bounds)-1] {
+		return -1
+	}
+	i := sort.SearchFloat64s(b.Bounds, v)
+	if i > 0 && (i >= len(b.Bounds) || b.Bounds[i] != v) {
+		i--
+	}
+	if i >= b.Count() {
+		i = b.Count() - 1
+	}
+	return i
+}
+
+// KeyStats are one table-column's per-bucket statistics (unfiltered; query
+// filters arrive through the CountSource at inference time).
+type KeyStats struct {
+	Table  string
+	Column string
+	Class  string
+	// Cnt is the row count per bucket.
+	Cnt []float64
+	// NDV is the distinct key count per bucket.
+	NDV []float64
+	// MaxF is the maximum single-value frequency per bucket (the quantity
+	// FactorJoin's upper bound multiplies).
+	MaxF []float64
+}
+
+// Model is a trained FactorJoin model for one dataset.
+type Model struct {
+	// BucketsByClass maps class name to layout.
+	BucketsByClass map[string]*Buckets
+	// Keys maps "table.column" to stats.
+	Keys map[string]*KeyStats
+	// PairJoint maps "table|colA|colB" (colA < colB) to the row-major
+	// bucketsA×bucketsB joint count matrix — the key-tree conditionals
+	// behind the distribution-dimension reduction for fact tables with
+	// several join keys.
+	PairJoint map[string][]float64
+	// BuildSeconds records construction time (FactorJoin's "training").
+	BuildSeconds float64
+}
+
+func keyName(table, column string) string { return table + "." + column }
+func pairName(t, a, b string) string      { return t + "|" + a + "|" + b }
+func orderedPair(a, b string) (string, string) {
+	if a < b {
+		return a, b
+	}
+	return b, a
+}
+
+// Build constructs join buckets and per-key statistics for every join class
+// over the database.
+func Build(db *storage.Database, classes []catalog.JoinClass, bucketCount int) (*Model, error) {
+	start := time.Now()
+	if bucketCount <= 1 {
+		bucketCount = DefaultBucketCount
+	}
+	m := &Model{
+		BucketsByClass: map[string]*Buckets{},
+		Keys:           map[string]*KeyStats{},
+		PairJoint:      map[string][]float64{},
+	}
+	keysByTable := map[string][]*KeyStats{}
+	for _, class := range classes {
+		if len(class.Members) == 0 {
+			continue
+		}
+		name := class.Members[0].String()
+		// Union multiset of key values across member columns.
+		var values []float64
+		type member struct {
+			ref catalog.ColumnRef
+			col *storage.Column
+		}
+		var members []member
+		for _, ref := range class.Members {
+			t := db.Table(ref.Table)
+			if t == nil {
+				return nil, fmt.Errorf("factorjoin: class %s references unknown table %s", name, ref.Table)
+			}
+			col := t.ColByName(ref.Column)
+			if col == nil {
+				return nil, fmt.Errorf("factorjoin: class %s references unknown column %s", name, ref)
+			}
+			members = append(members, member{ref: ref, col: col})
+			values = append(values, col.NumericAll()...)
+		}
+		if len(values) == 0 {
+			continue
+		}
+		buckets := buildBuckets(name, values, bucketCount)
+		m.BucketsByClass[name] = buckets
+		for _, mem := range members {
+			ks := buildKeyStats(mem.ref, mem.col, buckets)
+			m.Keys[keyName(mem.ref.Table, mem.ref.Column)] = ks
+			keysByTable[mem.ref.Table] = append(keysByTable[mem.ref.Table], ks)
+		}
+	}
+	// Pairwise joint bucket matrices for multi-key tables.
+	for table, keys := range keysByTable {
+		if len(keys) < 2 {
+			continue
+		}
+		t := db.Table(table)
+		for i := 0; i < len(keys); i++ {
+			for j := i + 1; j < len(keys); j++ {
+				a, b := keys[i], keys[j]
+				ca, cb := a.Column, b.Column
+				if cb < ca {
+					a, b = b, a
+					ca, cb = cb, ca
+				}
+				ba := m.BucketsByClass[a.Class]
+				bb := m.BucketsByClass[b.Class]
+				joint := make([]float64, ba.Count()*bb.Count())
+				colA, colB := t.ColByName(ca), t.ColByName(cb)
+				for r := 0; r < t.NumRows(); r++ {
+					ia, ib := ba.BucketOf(colA.Numeric(r)), bb.BucketOf(colB.Numeric(r))
+					if ia >= 0 && ib >= 0 {
+						joint[ia*bb.Count()+ib]++
+					}
+				}
+				m.PairJoint[pairName(table, ca, cb)] = joint
+			}
+		}
+	}
+	m.BuildSeconds = time.Since(start).Seconds()
+	return m, nil
+}
+
+// buildBuckets derives strictly increasing equi-height bounds.
+func buildBuckets(name string, values []float64, count int) *Buckets {
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	target := float64(len(sorted)) / float64(count)
+	bounds := []float64{sorted[0]}
+	var acc float64
+	for i := 0; i < len(sorted)-1; i++ {
+		acc++
+		if acc >= target && sorted[i+1] > bounds[len(bounds)-1] {
+			bounds = append(bounds, sorted[i+1])
+			acc = 0
+		}
+	}
+	last := sorted[len(sorted)-1]
+	if last > bounds[len(bounds)-1] {
+		bounds = append(bounds, math.Nextafter(last, math.Inf(1)))
+	} else {
+		bounds = append(bounds, bounds[len(bounds)-1]+1)
+	}
+	return &Buckets{Class: name, Bounds: bounds}
+}
+
+func buildKeyStats(ref catalog.ColumnRef, col *storage.Column, buckets *Buckets) *KeyStats {
+	n := buckets.Count()
+	ks := &KeyStats{
+		Table:  ref.Table,
+		Column: ref.Column,
+		Class:  buckets.Class,
+		Cnt:    make([]float64, n),
+		NDV:    make([]float64, n),
+		MaxF:   make([]float64, n),
+	}
+	freq := make([]map[float64]float64, n)
+	for i := range freq {
+		freq[i] = map[float64]float64{}
+	}
+	for r := 0; r < col.Len(); r++ {
+		v := col.Numeric(r)
+		if b := buckets.BucketOf(v); b >= 0 {
+			ks.Cnt[b]++
+			freq[b][v]++
+		}
+	}
+	for b := range freq {
+		ks.NDV[b] = float64(len(freq[b]))
+		for _, f := range freq[b] {
+			if f > ks.MaxF[b] {
+				ks.MaxF[b] = f
+			}
+		}
+	}
+	return ks
+}
+
+// BoundsFor exposes a key column's bucket bounds (the forced discretization
+// the table's Bayesian network adopts so its key marginals align with the
+// join buckets). ok is false for non-key columns.
+func (m *Model) BoundsFor(table, column string) ([]float64, bool) {
+	ks, ok := m.Keys[keyName(table, column)]
+	if !ok {
+		return nil, false
+	}
+	return m.BucketsByClass[ks.Class].Bounds, true
+}
+
+// NDVFor exposes a key column's exact per-bucket distinct counts (computed
+// from the full column during the build). Tables' Bayesian networks adopt
+// these as their bin NDVs so equality predicates on join keys estimate
+// against exact distinct counts rather than sampled approximations.
+func (m *Model) NDVFor(table, column string) ([]float64, bool) {
+	ks, ok := m.Keys[keyName(table, column)]
+	if !ok {
+		return nil, false
+	}
+	return ks.NDV, true
+}
+
+// KeyColumns lists the join-key columns recorded for a table.
+func (m *Model) KeyColumns(table string) []string {
+	var out []string
+	for _, ks := range m.Keys {
+		if ks.Table == table {
+			out = append(out, ks.Column)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SizeBytes reports the model's parameter footprint.
+func (m *Model) SizeBytes() int64 {
+	var total int64
+	for _, b := range m.BucketsByClass {
+		total += int64(len(b.Bounds)) * 8
+	}
+	for _, k := range m.Keys {
+		total += int64(len(k.Cnt)+len(k.NDV)+len(k.MaxF)) * 8
+	}
+	for _, j := range m.PairJoint {
+		total += int64(len(j)) * 8
+	}
+	return total
+}
+
+// Encode serializes the model with gob.
+func (m *Model) Encode() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(m); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// Decode deserializes and validates a model.
+func Decode(data []byte) (*Model, error) {
+	var m Model
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&m); err != nil {
+		return nil, err
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+// Validate checks structural consistency (the Model Validator health hook).
+func (m *Model) Validate() error {
+	if len(m.BucketsByClass) == 0 {
+		return errors.New("factorjoin: model has no join classes")
+	}
+	for name, b := range m.BucketsByClass {
+		if len(b.Bounds) < 2 {
+			return fmt.Errorf("factorjoin: class %s has %d bounds", name, len(b.Bounds))
+		}
+		if !sort.Float64sAreSorted(b.Bounds) {
+			return fmt.Errorf("factorjoin: class %s bounds unsorted", name)
+		}
+	}
+	for name, k := range m.Keys {
+		b, ok := m.BucketsByClass[k.Class]
+		if !ok {
+			return fmt.Errorf("factorjoin: key %s references unknown class %s", name, k.Class)
+		}
+		n := b.Count()
+		if len(k.Cnt) != n || len(k.NDV) != n || len(k.MaxF) != n {
+			return fmt.Errorf("factorjoin: key %s stats misshaped", name)
+		}
+		for i := range k.Cnt {
+			if k.Cnt[i] < 0 || math.IsNaN(k.Cnt[i]) || k.MaxF[i] > k.Cnt[i] || k.NDV[i] > k.Cnt[i] {
+				return fmt.Errorf("factorjoin: key %s bucket %d inconsistent", name, i)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,403 @@
+package factorjoin
+
+import (
+	"fmt"
+	"math"
+
+	"bytecard/internal/cardinal"
+)
+
+// Mode selects between the probabilistic point estimate and the upper
+// bound FactorJoin natively produces.
+type Mode int
+
+// Inference modes.
+const (
+	// ModeEstimate combines average per-value frequencies under the
+	// containment assumption (min-NDV).
+	ModeEstimate Mode = iota
+	// ModeBound combines maximum per-value frequencies, yielding an upper
+	// bound on the true join size when the supplied bucket counts are
+	// exact upper bounds.
+	ModeBound
+)
+
+// QueryTable identifies one joined table.
+type QueryTable struct {
+	// Binding is the query alias; Name the physical table carrying stats.
+	Binding, Name string
+}
+
+// Cond is one equi-join condition between bindings.
+type Cond struct {
+	LBind, LCol string
+	RBind, RCol string
+}
+
+// CountSource supplies the filtered per-bucket row counts of one table's
+// key column — in ByteCard this is the table's Bayesian network evaluated
+// jointly with the key bucket (P(filters ∧ key∈b)·|T|); tests supply exact
+// counts.
+type CountSource func(binding, table, column string, bounds []float64) ([]float64, error)
+
+// qvar is a join variable: an equivalence class of joined columns.
+type qvar struct {
+	id      int
+	class   string
+	buckets *Buckets
+	factors []*qfactor
+}
+
+// qfactor is a joined table with its variables.
+type qfactor struct {
+	binding, name string
+	vars          []*qvar
+	colOf         map[int]string // var id → column name
+}
+
+// Estimate runs factor-graph inference over the query's join structure.
+// The factor graph must be a tree (acyclic); cyclic graphs return an error
+// so the caller can fall back to a traditional estimator.
+func (m *Model) Estimate(tables []QueryTable, conds []Cond, src CountSource, mode Mode) (float64, error) {
+	if len(tables) < 2 || len(conds) == 0 {
+		return 0, fmt.Errorf("factorjoin: need at least two tables and one condition")
+	}
+	vars, _, err := m.buildGraph(tables, conds)
+	if err != nil {
+		return 0, err
+	}
+	// Root: the variable touching the most factors (richest containment
+	// information at the final combination step).
+	root := vars[0]
+	for _, v := range vars[1:] {
+		if len(v.factors) > len(root.factors) {
+			root = v
+		}
+	}
+	est, err := m.combineAtVar(root, nil, src, mode)
+	if err != nil {
+		return 0, err
+	}
+	if math.IsNaN(est) || est < 0 {
+		est = 0
+	}
+	return est, nil
+}
+
+// buildGraph unifies join columns into variables and checks the factor
+// graph is a connected tree.
+func (m *Model) buildGraph(tables []QueryTable, conds []Cond) ([]*qvar, []*qfactor, error) {
+	type colRef struct{ bind, col string }
+	parent := map[colRef]colRef{}
+	var find func(colRef) colRef
+	find = func(x colRef) colRef {
+		p, ok := parent[x]
+		if !ok || p == x {
+			parent[x] = x
+			return x
+		}
+		r := find(p)
+		parent[x] = r
+		return r
+	}
+	for _, c := range conds {
+		a, b := find(colRef{c.LBind, c.LCol}), find(colRef{c.RBind, c.RCol})
+		if a != b {
+			parent[a] = b
+		}
+	}
+	varOf := map[colRef]*qvar{}
+	var vars []*qvar
+	factorOf := map[string]*qfactor{}
+	var factors []*qfactor
+	for _, t := range tables {
+		f := &qfactor{binding: t.Binding, name: t.Name, colOf: map[int]string{}}
+		factorOf[t.Binding] = f
+		factors = append(factors, f)
+	}
+	edges := 0
+	for ref := range parent {
+		root := find(ref)
+		v, ok := varOf[root]
+		if !ok {
+			ks, found := m.Keys[keyName(factorOf[root.bind].name, root.col)]
+			if !found {
+				return nil, nil, fmt.Errorf("factorjoin: no bucket stats for %s.%s", factorOf[root.bind].name, root.col)
+			}
+			v = &qvar{id: len(vars), class: ks.Class, buckets: m.BucketsByClass[ks.Class]}
+			varOf[root] = v
+			vars = append(vars, v)
+		}
+		f := factorOf[ref.bind]
+		if f == nil {
+			return nil, nil, fmt.Errorf("factorjoin: condition references unknown binding %s", ref.bind)
+		}
+		if _, dup := f.colOf[v.id]; dup {
+			return nil, nil, fmt.Errorf("factorjoin: table %s joins variable twice (cyclic graph)", ref.bind)
+		}
+		if _, ok := m.Keys[keyName(f.name, ref.col)]; !ok {
+			return nil, nil, fmt.Errorf("factorjoin: no bucket stats for %s.%s", f.name, ref.col)
+		}
+		f.colOf[v.id] = ref.col
+		f.vars = append(f.vars, v)
+		v.factors = append(v.factors, f)
+		edges++
+	}
+	// Tree check on the bipartite graph: connected with nodes-1 edges.
+	nodes := len(vars) + len(factors)
+	if edges != nodes-1 {
+		return nil, nil, fmt.Errorf("factorjoin: join graph is cyclic (%d edges, %d nodes)", edges, nodes)
+	}
+	for _, f := range factors {
+		if len(f.vars) == 0 {
+			return nil, nil, fmt.Errorf("factorjoin: table %s participates in no join condition", f.binding)
+		}
+	}
+	return vars, factors, nil
+}
+
+// msg carries a subtree's per-bucket statistics at a variable: the
+// (expected or bounded) row count and the per-key-value maximum frequency
+// of the whole subtree (base MaxF amplified by downstream fan-out — the
+// quantity the upper bound multiplies).
+type msg struct {
+	ks   *KeyStats
+	cnt  []float64
+	maxF []float64
+}
+
+// downCount computes the message of factor f's subtree as seen from
+// variable v (excluding v's other factors).
+func (m *Model) downCount(f *qfactor, v *qvar, src CountSource, mode Mode) (msg, error) {
+	col := f.colOf[v.id]
+	ks := m.Keys[keyName(f.name, col)]
+	cnt, err := src(f.binding, f.name, col, v.buckets.Bounds)
+	if err != nil {
+		return msg{}, err
+	}
+	if len(cnt) != v.buckets.Count() {
+		return msg{}, fmt.Errorf("factorjoin: count source returned %d buckets for %s.%s, want %d", len(cnt), f.name, col, v.buckets.Count())
+	}
+	out := msg{ks: ks, cnt: append([]float64(nil), cnt...), maxF: append([]float64(nil), ks.MaxF...)}
+	for _, u := range f.vars {
+		if u.id == v.id {
+			continue
+		}
+		// Fan-out through variable u: expected (estimate) or maximal
+		// (bound) join partners per subtree row whose u-key falls in each
+		// u-bucket.
+		fan := make([]float64, u.buckets.Count())
+		worst := make([]float64, u.buckets.Count())
+		domain := m.varDomain(u)
+		for i := range fan {
+			fan[i] = 1
+			worst[i] = 1
+		}
+		for _, g := range u.factors {
+			if g == f {
+				continue
+			}
+			sub, err := m.downCount(g, u, src, mode)
+			if err != nil {
+				return msg{}, err
+			}
+			for b := range fan {
+				if mode == ModeBound {
+					fan[b] *= sub.maxF[b]
+				} else {
+					// Expected partners per row through u: the subtree's
+					// rows spread over the bucket's key domain.
+					fan[b] *= sub.cnt[b] / math.Max(domain[b], 1)
+				}
+				worst[b] *= sub.maxF[b]
+			}
+		}
+		// Project the fan-out from u-buckets onto v-buckets through f's
+		// key-tree conditional P(b_u | b_v).
+		cond, err := m.conditional(f, v, u)
+		if err != nil {
+			return msg{}, err
+		}
+		ub := u.buckets.Count()
+		for bv := range out.cnt {
+			row := cond[bv*ub : (bv+1)*ub]
+			if out.cnt[bv] > 0 {
+				var factor float64
+				for bu, p := range row {
+					factor += p * fan[bu]
+				}
+				out.cnt[bv] *= factor
+			}
+			// Per-value worst case: a value's rows may all land in the
+			// reachable u-bucket with the largest downstream frequency.
+			var w float64
+			for bu, p := range row {
+				if p > 0 && worst[bu] > w {
+					w = worst[bu]
+				}
+			}
+			out.maxF[bv] *= w
+		}
+	}
+	return out, nil
+}
+
+// varDomain estimates the per-bucket key-domain size of a variable: the
+// largest unfiltered distinct count among its attached tables (the
+// dimension side of a PK–FK join dominates).
+func (m *Model) varDomain(v *qvar) []float64 {
+	out := make([]float64, v.buckets.Count())
+	for _, f := range v.factors {
+		ks := m.Keys[keyName(f.name, f.colOf[v.id])]
+		for b := range out {
+			if ks.NDV[b] > out[b] {
+				out[b] = ks.NDV[b]
+			}
+		}
+	}
+	return out
+}
+
+// effNDV estimates the distinct key count of the subtree at bucket b.
+func (m *Model) effNDV(ks *KeyStats, sub []float64, b int) float64 {
+	base := math.Min(sub[b], ks.Cnt[b])
+	ndv := cardinal.Cardenas(ks.NDV[b], math.Max(ks.Cnt[b], 1), math.Max(base, 0))
+	if sub[b] > 0 && ndv < 1 {
+		ndv = 1
+	}
+	if ndv > ks.NDV[b] {
+		ndv = ks.NDV[b]
+	}
+	return ndv
+}
+
+// conditional returns the row-major P(b_u | b_v) matrix within factor f,
+// derived from the stored pairwise joint (or independence when the pair
+// was not materialized — the key-tree reduction's fallback edge).
+func (m *Model) conditional(f *qfactor, v, u *qvar) ([]float64, error) {
+	colV, colU := f.colOf[v.id], f.colOf[u.id]
+	a, b := orderedPair(colV, colU)
+	joint, ok := m.PairJoint[pairName(f.name, a, b)]
+	vb, ub := v.buckets.Count(), u.buckets.Count()
+	out := make([]float64, vb*ub)
+	if !ok {
+		// Independence fallback: P(b_u) from u's marginal.
+		ksU := m.Keys[keyName(f.name, colU)]
+		var total float64
+		for _, c := range ksU.Cnt {
+			total += c
+		}
+		if total == 0 {
+			total = 1
+		}
+		for bv := 0; bv < vb; bv++ {
+			for bu := 0; bu < ub; bu++ {
+				out[bv*ub+bu] = ksU.Cnt[bu] / total
+			}
+		}
+		return out, nil
+	}
+	// joint is (a-buckets)×(b-buckets); orient to (v,u).
+	transposed := colV != a
+	for bv := 0; bv < vb; bv++ {
+		var rowSum float64
+		for bu := 0; bu < ub; bu++ {
+			var j float64
+			if transposed {
+				j = joint[bu*vb+bv]
+			} else {
+				j = joint[bv*ub+bu]
+			}
+			out[bv*ub+bu] = j
+			rowSum += j
+		}
+		if rowSum > 0 {
+			for bu := 0; bu < ub; bu++ {
+				out[bv*ub+bu] /= rowSum
+			}
+		}
+	}
+	return out, nil
+}
+
+// combineAtVar folds every factor at the root variable into the final
+// estimate: Σ_b minNDV(b)·∏_i freq_i(b) (estimate) or
+// Σ_b min_i[cnt_i(b)·∏_{j≠i} maxF_j(b)] (bound).
+func (m *Model) combineAtVar(v *qvar, exclude *qfactor, src CountSource, mode Mode) (float64, error) {
+	var sides []msg
+	for _, f := range v.factors {
+		if f == exclude {
+			continue
+		}
+		sub, err := m.downCount(f, v, src, mode)
+		if err != nil {
+			return 0, err
+		}
+		sides = append(sides, sub)
+	}
+	if len(sides) == 1 {
+		var total float64
+		for _, c := range sides[0].cnt {
+			total += c
+		}
+		return total, nil
+	}
+	domain := m.varDomain(v)
+	var total float64
+	for b := 0; b < v.buckets.Count(); b++ {
+		if mode == ModeBound {
+			best := math.Inf(1)
+			for i := range sides {
+				term := sides[i].cnt[b]
+				for j := range sides {
+					if j != i {
+						term *= sides[j].maxF[b]
+					}
+				}
+				if term < best {
+					best = term
+				}
+			}
+			if !math.IsInf(best, 1) {
+				total += best
+			}
+			continue
+		}
+		// Probabilistic overlap: the expected number of key values shared
+		// by every side is ∏ effNDV_i / domain^(k-1) (capped by the
+		// smallest side), and each shared value contributes the product of
+		// the sides' average frequencies.
+		minNDV := math.Inf(1)
+		match := 1.0
+		freqProd := 1.0
+		ok := true
+		for i := range sides {
+			if sides[i].cnt[b] <= 0 {
+				ok = false
+				break
+			}
+			ndv := m.effNDV(sides[i].ks, sides[i].cnt, b)
+			if ndv < 1e-9 {
+				ok = false
+				break
+			}
+			if ndv < minNDV {
+				minNDV = ndv
+			}
+			match *= ndv
+			freqProd *= sides[i].cnt[b] / ndv
+		}
+		if !ok {
+			continue
+		}
+		d := math.Max(domain[b], 1)
+		for i := 1; i < len(sides); i++ {
+			match /= d
+		}
+		if match > minNDV {
+			match = minNDV
+		}
+		total += match * freqProd
+	}
+	return total, nil
+}

@@ -1,0 +1,270 @@
+// Package histogram implements the equi-height and equi-width histograms
+// that back the warehouse's traditional sketch-based cardinality estimator
+// and FactorJoin's join-bucket construction.
+package histogram
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// EquiHeight is an equi-height (equi-depth) histogram over float64 values.
+// Each bucket holds roughly the same number of rows; bucket boundaries are
+// value quantiles. Buckets additionally track per-bucket distinct counts so
+// equality selectivity can assume uniformity within a bucket.
+type EquiHeight struct {
+	// Bounds has len(Counts)+1 entries; bucket i covers
+	// [Bounds[i], Bounds[i+1]) except the last, which is closed.
+	Bounds []float64
+	// Counts is the number of rows per bucket.
+	Counts []float64
+	// Distinct is the number of distinct values per bucket.
+	Distinct []float64
+	// Total is the number of rows summarized.
+	Total float64
+	// NDV is the total number of distinct values.
+	NDV float64
+	// Min and Max are the extreme values seen.
+	Min, Max float64
+}
+
+// BuildEquiHeight constructs an equi-height histogram with up to nBuckets
+// buckets from values. Values need not be sorted; the input slice is not
+// modified. Building from an empty slice returns an empty histogram whose
+// selectivities are all zero.
+func BuildEquiHeight(values []float64, nBuckets int) *EquiHeight {
+	if nBuckets <= 0 {
+		panic("histogram: nBuckets must be positive")
+	}
+	h := &EquiHeight{}
+	if len(values) == 0 {
+		return h
+	}
+	sorted := make([]float64, len(values))
+	copy(sorted, values)
+	sort.Float64s(sorted)
+	h.Total = float64(len(sorted))
+	h.Min = sorted[0]
+	h.Max = sorted[len(sorted)-1]
+
+	// Count global NDV in the same pass as bucket assembly.
+	per := len(sorted) / nBuckets
+	if per == 0 {
+		per = 1
+	}
+	start := 0
+	for start < len(sorted) {
+		end := start + per
+		if end > len(sorted) {
+			end = len(sorted)
+		}
+		// Never split a run of equal values across buckets: extend the
+		// bucket to cover the full run so Bounds stay strictly increasing.
+		for end < len(sorted) && sorted[end] == sorted[end-1] {
+			end++
+		}
+		cnt := float64(end - start)
+		ndv := 1.0
+		for i := start + 1; i < end; i++ {
+			if sorted[i] != sorted[i-1] {
+				ndv++
+			}
+		}
+		if len(h.Bounds) == 0 {
+			h.Bounds = append(h.Bounds, sorted[start])
+		}
+		h.Bounds = append(h.Bounds, sorted[end-1])
+		h.Counts = append(h.Counts, cnt)
+		h.Distinct = append(h.Distinct, ndv)
+		h.NDV += ndv
+		start = end
+	}
+	// Upper bounds recorded above are the last value *in* the bucket, so
+	// every bucket is closed on both ends; make interior bounds exclusive
+	// by convention in the selectivity math below.
+	return h
+}
+
+// Buckets returns the number of buckets.
+func (h *EquiHeight) Buckets() int { return len(h.Counts) }
+
+// Empty reports whether the histogram summarizes no rows.
+func (h *EquiHeight) Empty() bool { return h.Total == 0 }
+
+// bucketRange returns the inclusive value range [lo, hi] of bucket i.
+func (h *EquiHeight) bucketRange(i int) (lo, hi float64) {
+	return h.Bounds[i], h.Bounds[i+1]
+}
+
+// fracOfBucket returns the fraction of bucket i's rows falling in
+// [lo, hi] assuming uniform spread inside the bucket.
+func (h *EquiHeight) fracOfBucket(i int, lo, hi float64, loIncl, hiIncl bool) float64 {
+	blo, bhi := h.bucketRange(i)
+	if hi < blo || lo > bhi {
+		return 0
+	}
+	if !hiIncl && hi == blo && bhi > blo {
+		return 0
+	}
+	if bhi == blo { // single-valued bucket
+		v := blo
+		inLo := v > lo || (loIncl && v == lo)
+		inHi := v < hi || (hiIncl && v == hi)
+		if inLo && inHi {
+			return 1
+		}
+		return 0
+	}
+	clo := math.Max(lo, blo)
+	chi := math.Min(hi, bhi)
+	if chi < clo {
+		return 0
+	}
+	return (chi - clo) / (bhi - blo)
+}
+
+// SelRange estimates the fraction of rows with value in the interval
+// between lo and hi; inclusivity of each endpoint is controlled by loIncl
+// and hiIncl. Pass -Inf/+Inf for open endpoints.
+func (h *EquiHeight) SelRange(lo, hi float64, loIncl, hiIncl bool) float64 {
+	if h.Empty() || lo > hi {
+		return 0
+	}
+	var rows float64
+	for i := range h.Counts {
+		rows += h.Counts[i] * h.fracOfBucket(i, lo, hi, loIncl, hiIncl)
+	}
+	sel := rows / h.Total
+	if sel > 1 {
+		sel = 1
+	}
+	return sel
+}
+
+// SelEq estimates the fraction of rows equal to v, assuming each distinct
+// value inside a bucket is equally frequent.
+func (h *EquiHeight) SelEq(v float64) float64 {
+	if h.Empty() || v < h.Min || v > h.Max {
+		return 0
+	}
+	for i := range h.Counts {
+		blo, bhi := h.bucketRange(i)
+		if v >= blo && (v < bhi || (v == bhi && (i == len(h.Counts)-1 || v == blo))) {
+			d := h.Distinct[i]
+			if d < 1 {
+				d = 1
+			}
+			return h.Counts[i] / d / h.Total
+		}
+	}
+	// v falls between two buckets (a gap with no observed values).
+	return 0
+}
+
+// SelLess estimates P(value < v) (or <= when incl).
+func (h *EquiHeight) SelLess(v float64, incl bool) float64 {
+	return h.SelRange(math.Inf(-1), v, false, incl)
+}
+
+// SelGreater estimates P(value > v) (or >= when incl).
+func (h *EquiHeight) SelGreater(v float64, incl bool) float64 {
+	return h.SelRange(v, math.Inf(1), incl, false)
+}
+
+// Quantile returns an approximation of the q-th quantile of the summarized
+// values, q in [0,1].
+func (h *EquiHeight) Quantile(q float64) float64 {
+	if h.Empty() {
+		return 0
+	}
+	if q <= 0 {
+		return h.Min
+	}
+	if q >= 1 {
+		return h.Max
+	}
+	target := q * h.Total
+	var acc float64
+	for i := range h.Counts {
+		if acc+h.Counts[i] >= target {
+			blo, bhi := h.bucketRange(i)
+			frac := (target - acc) / h.Counts[i]
+			return blo + frac*(bhi-blo)
+		}
+		acc += h.Counts[i]
+	}
+	return h.Max
+}
+
+// EquiWidth is an equi-width histogram: fixed-width buckets over [Min, Max].
+// It is cheaper to build than EquiHeight and is used for quick data profiling
+// in the preprocessor.
+type EquiWidth struct {
+	Min, Max float64
+	Width    float64
+	Counts   []float64
+	Total    float64
+}
+
+// BuildEquiWidth constructs an equi-width histogram with nBuckets buckets.
+func BuildEquiWidth(values []float64, nBuckets int) *EquiWidth {
+	if nBuckets <= 0 {
+		panic("histogram: nBuckets must be positive")
+	}
+	h := &EquiWidth{Counts: make([]float64, nBuckets)}
+	if len(values) == 0 {
+		return h
+	}
+	h.Min, h.Max = values[0], values[0]
+	for _, v := range values {
+		if v < h.Min {
+			h.Min = v
+		}
+		if v > h.Max {
+			h.Max = v
+		}
+	}
+	h.Width = (h.Max - h.Min) / float64(nBuckets)
+	if h.Width == 0 {
+		h.Width = 1
+	}
+	for _, v := range values {
+		i := int((v - h.Min) / h.Width)
+		if i >= nBuckets {
+			i = nBuckets - 1
+		}
+		h.Counts[i]++
+		h.Total++
+	}
+	return h
+}
+
+// SelRange estimates the fraction of rows in [lo, hi].
+func (h *EquiWidth) SelRange(lo, hi float64) float64 {
+	if h.Total == 0 || lo > hi {
+		return 0
+	}
+	var rows float64
+	for i := range h.Counts {
+		blo := h.Min + float64(i)*h.Width
+		bhi := blo + h.Width
+		clo := math.Max(lo, blo)
+		chi := math.Min(hi, bhi)
+		if chi <= clo {
+			continue
+		}
+		rows += h.Counts[i] * (chi - clo) / h.Width
+	}
+	sel := rows / h.Total
+	if sel > 1 {
+		sel = 1
+	}
+	return sel
+}
+
+// String summarizes the histogram for debugging.
+func (h *EquiHeight) String() string {
+	return fmt.Sprintf("EquiHeight{buckets=%d rows=%.0f ndv=%.0f range=[%g,%g]}",
+		h.Buckets(), h.Total, h.NDV, h.Min, h.Max)
+}

@@ -1,0 +1,230 @@
+package histogram
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func seq(n int) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = float64(i)
+	}
+	return v
+}
+
+func TestBuildEquiHeightEmpty(t *testing.T) {
+	h := BuildEquiHeight(nil, 10)
+	if !h.Empty() || h.Buckets() != 0 {
+		t.Fatal("empty build must yield empty histogram")
+	}
+	if h.SelEq(1) != 0 || h.SelRange(0, 10, true, true) != 0 {
+		t.Error("empty histogram selectivities must be zero")
+	}
+}
+
+func TestBuildEquiHeightPanicsOnBadBuckets(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for nBuckets=0")
+		}
+	}()
+	BuildEquiHeight(seq(10), 0)
+}
+
+func TestEquiHeightBasicStats(t *testing.T) {
+	h := BuildEquiHeight(seq(1000), 10)
+	if h.Total != 1000 {
+		t.Errorf("Total = %g, want 1000", h.Total)
+	}
+	if h.NDV != 1000 {
+		t.Errorf("NDV = %g, want 1000", h.NDV)
+	}
+	if h.Min != 0 || h.Max != 999 {
+		t.Errorf("range [%g,%g], want [0,999]", h.Min, h.Max)
+	}
+	if h.Buckets() != 10 {
+		t.Errorf("Buckets = %d, want 10", h.Buckets())
+	}
+}
+
+func TestEquiHeightBucketsBalanced(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	vals := make([]float64, 10000)
+	for i := range vals {
+		vals[i] = rng.NormFloat64() * 100
+	}
+	h := BuildEquiHeight(vals, 20)
+	for i, c := range h.Counts {
+		if c < 400 || c > 600 {
+			t.Errorf("bucket %d count %g far from equi-height target 500", i, c)
+		}
+	}
+}
+
+func TestEquiHeightSelRangeUniform(t *testing.T) {
+	h := BuildEquiHeight(seq(10000), 50)
+	got := h.SelRange(2500, 7499, true, true)
+	if math.Abs(got-0.5) > 0.02 {
+		t.Errorf("SelRange(2500,7499) = %g, want ~0.5", got)
+	}
+	if s := h.SelRange(-100, -1, true, true); s != 0 {
+		t.Errorf("out-of-range selectivity = %g, want 0", s)
+	}
+	if s := h.SelRange(0, 9999, true, true); math.Abs(s-1) > 1e-9 {
+		t.Errorf("full-range selectivity = %g, want 1", s)
+	}
+}
+
+func TestEquiHeightSelEq(t *testing.T) {
+	// 100 distinct values, each appearing 10 times.
+	vals := make([]float64, 0, 1000)
+	for v := 0; v < 100; v++ {
+		for j := 0; j < 10; j++ {
+			vals = append(vals, float64(v))
+		}
+	}
+	h := BuildEquiHeight(vals, 10)
+	got := h.SelEq(42)
+	if math.Abs(got-0.01) > 0.003 {
+		t.Errorf("SelEq(42) = %g, want ~0.01", got)
+	}
+	if h.SelEq(-5) != 0 || h.SelEq(1e9) != 0 {
+		t.Error("values outside range must have zero selectivity")
+	}
+}
+
+func TestEquiHeightHeavyDuplicatesNotSplit(t *testing.T) {
+	// One value dominating: runs of equal values must stay in one bucket.
+	vals := make([]float64, 0, 1100)
+	for i := 0; i < 1000; i++ {
+		vals = append(vals, 7)
+	}
+	for i := 0; i < 100; i++ {
+		vals = append(vals, float64(100+i))
+	}
+	h := BuildEquiHeight(vals, 10)
+	got := h.SelEq(7)
+	want := 1000.0 / 1100.0
+	if math.Abs(got-want) > 0.05 {
+		t.Errorf("SelEq(7) = %g, want ~%g", got, want)
+	}
+}
+
+func TestEquiHeightSelLessGreaterComplement(t *testing.T) {
+	h := BuildEquiHeight(seq(1000), 16)
+	for _, v := range []float64{100, 500, 900} {
+		lt := h.SelLess(v, false)
+		ge := h.SelGreater(v, true)
+		if math.Abs(lt+ge-1) > 0.02 {
+			t.Errorf("SelLess(%g)+SelGreaterEq(%g) = %g, want ~1", v, v, lt+ge)
+		}
+	}
+}
+
+func TestEquiHeightQuantile(t *testing.T) {
+	h := BuildEquiHeight(seq(10000), 100)
+	for _, q := range []float64{0.1, 0.25, 0.5, 0.9} {
+		got := h.Quantile(q)
+		want := q * 10000
+		if math.Abs(got-want) > 150 {
+			t.Errorf("Quantile(%g) = %g, want ~%g", q, got, want)
+		}
+	}
+	if h.Quantile(0) != h.Min || h.Quantile(1) != h.Max {
+		t.Error("Quantile endpoints must be Min/Max")
+	}
+}
+
+func TestEquiHeightSingleValue(t *testing.T) {
+	vals := []float64{5, 5, 5, 5}
+	h := BuildEquiHeight(vals, 4)
+	if got := h.SelEq(5); math.Abs(got-1) > 1e-9 {
+		t.Errorf("SelEq(5) = %g, want 1", got)
+	}
+	if got := h.SelRange(4, 6, true, true); math.Abs(got-1) > 1e-9 {
+		t.Errorf("SelRange(4,6) = %g, want 1", got)
+	}
+	if got := h.SelRange(6, 8, true, true); got != 0 {
+		t.Errorf("SelRange(6,8) = %g, want 0", got)
+	}
+}
+
+func TestEquiWidth(t *testing.T) {
+	h := BuildEquiWidth(seq(1000), 10)
+	if got := h.SelRange(0, 499); math.Abs(got-0.5) > 0.02 {
+		t.Errorf("SelRange(0,499) = %g, want ~0.5", got)
+	}
+	if got := h.SelRange(2000, 3000); got != 0 {
+		t.Errorf("out-of-range = %g, want 0", got)
+	}
+}
+
+func TestEquiWidthEmpty(t *testing.T) {
+	h := BuildEquiWidth(nil, 5)
+	if h.SelRange(0, 1) != 0 {
+		t.Error("empty equi-width must return 0")
+	}
+}
+
+func TestEquiWidthPanicsOnBadBuckets(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	BuildEquiWidth(seq(5), -1)
+}
+
+// Property: selectivity of any range is within [0,1] and monotone in the
+// range width.
+func TestQuickSelRangeBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	vals := make([]float64, 5000)
+	for i := range vals {
+		vals[i] = rng.ExpFloat64() * 1000
+	}
+	h := BuildEquiHeight(vals, 32)
+	f := func(a, b float64) bool {
+		lo, hi := math.Min(a, b), math.Max(a, b)
+		s := h.SelRange(lo, hi, true, true)
+		wider := h.SelRange(lo-1, hi+1, true, true)
+		return s >= 0 && s <= 1 && wider >= s-1e-12
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: estimated range selectivity is close to the true fraction for
+// random data and random ranges.
+func TestQuickSelRangeAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	vals := make([]float64, 20000)
+	for i := range vals {
+		vals[i] = rng.Float64() * 1e6
+	}
+	sorted := append([]float64(nil), vals...)
+	sort.Float64s(sorted)
+	h := BuildEquiHeight(vals, 64)
+	for trial := 0; trial < 50; trial++ {
+		lo := rng.Float64() * 1e6
+		hi := lo + rng.Float64()*(1e6-lo)
+		est := h.SelRange(lo, hi, true, true)
+		truth := float64(sort.SearchFloat64s(sorted, hi)-sort.SearchFloat64s(sorted, lo)) / float64(len(sorted))
+		if math.Abs(est-truth) > 0.03 {
+			t.Errorf("range [%g,%g]: est %g vs truth %g", lo, hi, est, truth)
+		}
+	}
+}
+
+func TestEquiHeightStringer(t *testing.T) {
+	h := BuildEquiHeight(seq(100), 4)
+	if h.String() == "" {
+		t.Error("String() must be non-empty")
+	}
+}

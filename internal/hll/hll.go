@@ -1,0 +1,111 @@
+// Package hll implements HyperLogLog, the sketch-based distinct-count
+// estimator used by the warehouse's traditional NDV path. It follows the
+// standard construction (Flajolet et al.) with linear-counting correction in
+// the small range, the regime the paper criticizes for sampled and rapidly
+// updated data.
+package hll
+
+import (
+	"errors"
+	"math"
+)
+
+// Sketch is a HyperLogLog sketch with 2^precision registers.
+type Sketch struct {
+	precision uint8
+	registers []uint8
+}
+
+// MinPrecision and MaxPrecision bound the register-count exponent.
+const (
+	MinPrecision = 4
+	MaxPrecision = 18
+)
+
+// New creates a sketch with 2^precision registers. Precision 14 (16384
+// registers, ~0.8% standard error) is a common production default.
+func New(precision uint8) (*Sketch, error) {
+	if precision < MinPrecision || precision > MaxPrecision {
+		return nil, errors.New("hll: precision out of range [4,18]")
+	}
+	return &Sketch{precision: precision, registers: make([]uint8, 1<<precision)}, nil
+}
+
+// MustNew is New for known-good precisions; it panics on error.
+func MustNew(precision uint8) *Sketch {
+	s, err := New(precision)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Add registers a 64-bit hash of one element.
+func (s *Sketch) Add(hash uint64) {
+	idx := hash >> (64 - s.precision)
+	rest := hash<<s.precision | 1<<(s.precision-1) // sentinel bit avoids rho(0)
+	rho := uint8(1)
+	for rest&(1<<63) == 0 {
+		rho++
+		rest <<= 1
+	}
+	if rho > s.registers[idx] {
+		s.registers[idx] = rho
+	}
+}
+
+// alpha returns the bias-correction constant for m registers.
+func alpha(m float64) float64 {
+	switch m {
+	case 16:
+		return 0.673
+	case 32:
+		return 0.697
+	case 64:
+		return 0.709
+	default:
+		return 0.7213 / (1 + 1.079/m)
+	}
+}
+
+// Estimate returns the estimated number of distinct elements added.
+func (s *Sketch) Estimate() float64 {
+	m := float64(len(s.registers))
+	var sum float64
+	zeros := 0
+	for _, r := range s.registers {
+		sum += 1 / math.Pow(2, float64(r))
+		if r == 0 {
+			zeros++
+		}
+	}
+	est := alpha(m) * m * m / sum
+	if est <= 2.5*m && zeros > 0 {
+		// Linear counting for the small range.
+		est = m * math.Log(m/float64(zeros))
+	}
+	return est
+}
+
+// Merge folds other into s. Both sketches must share a precision.
+func (s *Sketch) Merge(other *Sketch) error {
+	if other.precision != s.precision {
+		return errors.New("hll: precision mismatch")
+	}
+	for i, r := range other.registers {
+		if r > s.registers[i] {
+			s.registers[i] = r
+		}
+	}
+	return nil
+}
+
+// SizeBytes reports the in-memory size of the register array.
+func (s *Sketch) SizeBytes() int { return len(s.registers) }
+
+// Reset clears all registers.
+func (s *Sketch) Reset() {
+	for i := range s.registers {
+		s.registers[i] = 0
+	}
+}

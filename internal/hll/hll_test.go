@@ -1,0 +1,114 @@
+package hll
+
+import (
+	"math"
+	"testing"
+
+	"bytecard/internal/types"
+)
+
+func TestNewPrecisionBounds(t *testing.T) {
+	if _, err := New(3); err == nil {
+		t.Error("precision 3 must be rejected")
+	}
+	if _, err := New(19); err == nil {
+		t.Error("precision 19 must be rejected")
+	}
+	if _, err := New(14); err != nil {
+		t.Errorf("precision 14 rejected: %v", err)
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNew(0) must panic")
+		}
+	}()
+	MustNew(0)
+}
+
+func TestEstimateAccuracyLarge(t *testing.T) {
+	s := MustNew(14)
+	const n = 200000
+	for i := 0; i < n; i++ {
+		s.Add(types.Int(int64(i)).Hash64())
+	}
+	est := s.Estimate()
+	relErr := math.Abs(est-n) / n
+	if relErr > 0.03 {
+		t.Errorf("estimate %g for %d distinct, rel err %g > 3%%", est, n, relErr)
+	}
+}
+
+func TestEstimateAccuracySmall(t *testing.T) {
+	s := MustNew(14)
+	for i := 0; i < 100; i++ {
+		s.Add(types.Int(int64(i)).Hash64())
+	}
+	est := s.Estimate()
+	if math.Abs(est-100) > 5 {
+		t.Errorf("small-range estimate %g, want ~100 (linear counting)", est)
+	}
+}
+
+func TestEstimateDuplicatesIgnored(t *testing.T) {
+	s := MustNew(12)
+	for rep := 0; rep < 50; rep++ {
+		for i := 0; i < 1000; i++ {
+			s.Add(types.Int(int64(i)).Hash64())
+		}
+	}
+	est := s.Estimate()
+	if math.Abs(est-1000)/1000 > 0.05 {
+		t.Errorf("estimate %g, want ~1000 despite duplicates", est)
+	}
+}
+
+func TestEmptySketch(t *testing.T) {
+	s := MustNew(10)
+	if est := s.Estimate(); est != 0 {
+		t.Errorf("empty sketch estimate %g, want 0", est)
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a, b := MustNew(12), MustNew(12)
+	for i := 0; i < 5000; i++ {
+		a.Add(types.Int(int64(i)).Hash64())
+	}
+	for i := 2500; i < 10000; i++ {
+		b.Add(types.Int(int64(i)).Hash64())
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	est := a.Estimate()
+	if math.Abs(est-10000)/10000 > 0.05 {
+		t.Errorf("merged estimate %g, want ~10000", est)
+	}
+}
+
+func TestMergePrecisionMismatch(t *testing.T) {
+	a, b := MustNew(10), MustNew(12)
+	if err := a.Merge(b); err == nil {
+		t.Error("merging mismatched precisions must fail")
+	}
+}
+
+func TestReset(t *testing.T) {
+	s := MustNew(10)
+	for i := 0; i < 1000; i++ {
+		s.Add(types.Int(int64(i)).Hash64())
+	}
+	s.Reset()
+	if s.Estimate() != 0 {
+		t.Error("reset sketch must estimate 0")
+	}
+}
+
+func TestSizeBytes(t *testing.T) {
+	if MustNew(10).SizeBytes() != 1024 {
+		t.Error("precision 10 must use 1024 registers")
+	}
+}

@@ -1,0 +1,116 @@
+// Package loader implements the Model Loader: a background task (a peer of
+// compaction under the warehouse's Daemon Manager) that ships artifacts
+// from the model store into the Inference Engine on a timestamp basis —
+// only strictly newer versions are installed — and maintains the in-memory
+// per-table sample frames RBX featurization reads.
+package loader
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"bytecard/internal/core"
+	"bytecard/internal/modelstore"
+	"bytecard/internal/sample"
+	"bytecard/internal/storage"
+)
+
+// DefaultInterval is the paper's default refresh cadence.
+const DefaultInterval = time.Hour
+
+// DefaultSampleRows caps the per-table RBX sample frame (the paper loads
+// under 10 million rows per table; bench scale needs far less).
+const DefaultSampleRows = 20000
+
+// Loader periodically refreshes the Inference Engine from the store.
+type Loader struct {
+	Store  *modelstore.Store
+	Engine *core.InferenceEngine
+	// Interval between refreshes (default one hour).
+	Interval time.Duration
+
+	installed map[string]time.Time
+	// LastError records the most recent load failure for observability.
+	LastError error
+}
+
+// New creates a loader.
+func New(store *modelstore.Store, engine *core.InferenceEngine) *Loader {
+	return &Loader{
+		Store:     store,
+		Engine:    engine,
+		Interval:  DefaultInterval,
+		installed: map[string]time.Time{},
+	}
+}
+
+// RefreshOnce installs every artifact whose timestamp is newer than the
+// installed version, returning how many models were (re)loaded. Invalid
+// artifacts are skipped (and reported) rather than aborting the sweep —
+// one bad model must not block the rest.
+func (l *Loader) RefreshOnce() (int, error) {
+	manifests, err := l.Store.List()
+	if err != nil {
+		return 0, err
+	}
+	loaded := 0
+	var firstErr error
+	for _, m := range manifests {
+		prev, ok := l.installed[m.Name]
+		if ok && !m.Timestamp.After(prev) {
+			continue
+		}
+		art, err := l.Store.Get(m.Name)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		if err := l.Engine.LoadModel(art); err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("loader: %s: %w", m.Name, err)
+			}
+			continue
+		}
+		l.installed[m.Name] = m.Timestamp
+		loaded++
+	}
+	l.LastError = firstErr
+	return loaded, firstErr
+}
+
+// Run refreshes on the configured interval until the context is cancelled.
+func (l *Loader) Run(ctx context.Context) {
+	interval := l.Interval
+	if interval <= 0 {
+		interval = DefaultInterval
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+			_, _ = l.RefreshOnce()
+		}
+	}
+}
+
+// LoadSamples draws the per-table sample frames the ByteCard estimator's
+// RBX featurization needs and installs them on the estimator.
+func LoadSamples(db *storage.Database, est *core.Estimator, maxRows int, seed int64) {
+	if maxRows <= 0 {
+		maxRows = DefaultSampleRows
+	}
+	for _, name := range db.TableNames() {
+		t := db.Table(name)
+		res := sample.NewReservoir(maxRows, seed^int64(t.NumRows()))
+		for i := 0; i < t.NumRows(); i++ {
+			res.Offer(t.Row(i))
+		}
+		est.Samples[name] = sample.NewFrame(t.ColumnNames(), res.Rows(), int64(t.NumRows()))
+	}
+}

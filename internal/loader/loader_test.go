@@ -1,0 +1,164 @@
+package loader
+
+import (
+	"context"
+	"os"
+	"testing"
+	"time"
+
+	"bytecard/internal/core"
+	"bytecard/internal/datagen"
+	"bytecard/internal/modelforge"
+	"bytecard/internal/modelstore"
+	"bytecard/internal/rbx"
+)
+
+func trainedStore(t *testing.T) (*modelstore.Store, *datagen.Dataset, *modelforge.Service) {
+	t.Helper()
+	ds := datagen.Toy(datagen.Config{Scale: 1, Seed: 61})
+	store, err := modelstore.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	forge := modelforge.New("toy", ds.DB, ds.Schema, store, modelforge.Config{
+		SampleRows: 500, BucketCount: 12,
+		RBX:  rbx.TrainConfig{Columns: 50, Epochs: 2, MaxPop: 5000, Seed: 1},
+		Seed: 1,
+	})
+	if _, err := forge.TrainAll(); err != nil {
+		t.Fatal(err)
+	}
+	return store, ds, forge
+}
+
+func TestRefreshOnceLoadsEverything(t *testing.T) {
+	store, _, _ := trainedStore(t)
+	infer := core.NewInferenceEngine(core.Options{})
+	l := New(store, infer)
+	n, err := l.RefreshOnce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 4 { // 2 BN + factorjoin + rbx
+		t.Errorf("loaded = %d, want 4", n)
+	}
+	// Second refresh with no changes loads nothing.
+	n, err = l.RefreshOnce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Errorf("re-refresh loaded %d, want 0", n)
+	}
+}
+
+func TestRefreshPicksUpNewTimestamps(t *testing.T) {
+	store, _, forge := trainedStore(t)
+	infer := core.NewInferenceEngine(core.Options{})
+	l := New(store, infer)
+	if _, err := l.RefreshOnce(); err != nil {
+		t.Fatal(err)
+	}
+	// Retrain one table with a later clock.
+	if err := forgeWithClock(forge, time.Now().Add(time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	n, err := l.RefreshOnce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Errorf("refresh after retrain loaded %d, want 1", n)
+	}
+}
+
+func forgeWithClock(forge *modelforge.Service, at time.Time) error {
+	// NotifyIngest crossing the threshold retrains the table; inject the
+	// clock through the exported test hook on Config via a fresh train.
+	_, err := forge.TrainTableAt("fact", at)
+	return err
+}
+
+func TestRefreshSkipsCorruptArtifact(t *testing.T) {
+	store, _, _ := trainedStore(t)
+	// Inject a corrupt artifact.
+	err := store.Put(core.Artifact{
+		Name: "toy/bn/corrupt", Kind: core.KindBN, Table: "corrupt",
+		Timestamp: time.Now(), Data: []byte("garbage"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	infer := core.NewInferenceEngine(core.Options{})
+	l := New(store, infer)
+	n, err := l.RefreshOnce()
+	if err == nil {
+		t.Error("refresh must report the corrupt artifact")
+	}
+	if n != 4 {
+		t.Errorf("valid artifacts loaded = %d, want 4 despite corruption", n)
+	}
+	if l.LastError == nil {
+		t.Error("LastError must record the failure")
+	}
+}
+
+func TestRunLoop(t *testing.T) {
+	store, _, _ := trainedStore(t)
+	infer := core.NewInferenceEngine(core.Options{})
+	l := New(store, infer)
+	l.Interval = 5 * time.Millisecond
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		l.Run(ctx)
+		close(done)
+	}()
+	deadline := time.After(2 * time.Second)
+	for infer.Snapshot().Loads < 4 {
+		select {
+		case <-deadline:
+			t.Fatal("loader loop never installed models")
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	cancel()
+	<-done
+}
+
+func TestLoadSamples(t *testing.T) {
+	store, ds, _ := trainedStore(t)
+	infer := core.NewInferenceEngine(core.Options{})
+	l := New(store, infer)
+	if _, err := l.RefreshOnce(); err != nil {
+		t.Fatal(err)
+	}
+	est := core.NewEstimator(infer, nil)
+	LoadSamples(ds.DB, est, 100, 3)
+	if len(est.Samples) != 2 {
+		t.Fatalf("samples = %d tables, want 2", len(est.Samples))
+	}
+	f := est.Samples["fact"]
+	if f.Len() == 0 || f.Len() > 100 {
+		t.Errorf("fact sample = %d rows", f.Len())
+	}
+	if f.PopSize() != int64(ds.DB.Table("fact").NumRows()) {
+		t.Errorf("population = %d", f.PopSize())
+	}
+}
+
+func TestRefreshOnceUnreadableStore(t *testing.T) {
+	dir := t.TempDir()
+	store, err := modelstore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt a manifest so List fails.
+	if err := os.WriteFile(dir+"/broken.json", []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l := New(store, core.NewInferenceEngine(core.Options{}))
+	if _, err := l.RefreshOnce(); err == nil {
+		t.Error("corrupted manifest must surface an error")
+	}
+}

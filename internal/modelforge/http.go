@@ -1,0 +1,169 @@
+package modelforge
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"bytecard/internal/rbx"
+	"bytecard/internal/sample"
+)
+
+// Server exposes the service over HTTP — the standalone-deployment form
+// the paper describes (training must not share a process with query
+// execution in production; in-process use remains available for tests and
+// single-binary setups).
+type Server struct {
+	svc *Service
+	mux *http.ServeMux
+}
+
+// NewServer wraps a service with the HTTP API.
+func NewServer(svc *Service) *Server {
+	s := &Server{svc: svc, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /train", s.handleTrain)
+	s.mux.HandleFunc("POST /train/{table}", s.handleTrainTable)
+	s.mux.HandleFunc("POST /ingest", s.handleIngest)
+	s.mux.HandleFunc("POST /finetune", s.handleFineTune)
+	s.mux.HandleFunc("GET /models", s.handleModels)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func (s *Server) handleTrain(w http.ResponseWriter, _ *http.Request) {
+	rep, err := s.svc.TrainAll()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, rep)
+}
+
+func (s *Server) handleTrainTable(w http.ResponseWriter, r *http.Request) {
+	reports, err := s.svc.TrainTable(r.PathValue("table"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, reports)
+}
+
+// IngestSignal is the Data Ingestor's consumption message (the paper's
+// Hive/Kafka payload collapses to table identity and row volume here).
+type IngestSignal struct {
+	Table string `json:"table"`
+	Rows  int64  `json:"rows"`
+	// Source documents the upstream ("hive", "kafka").
+	Source string `json:"source,omitempty"`
+	// Location carries format/offset details for the record.
+	Location string `json:"location,omitempty"`
+}
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	var sig IngestSignal
+	if err := json.NewDecoder(r.Body).Decode(&sig); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := s.svc.NotifyIngest(sig.Table, sig.Rows); err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// FineTuneRequest carries the monitor's calibration evidence.
+type FineTuneRequest struct {
+	Column   string             `json:"column"`
+	Profiles []sample.Profile   `json:"profiles"`
+	Truths   []float64          `json:"truths"`
+	Config   rbx.FineTuneConfig `json:"config"`
+}
+
+func (s *Server) handleFineTune(w http.ResponseWriter, r *http.Request) {
+	var req FineTuneRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := s.svc.FineTuneRBX(req.Column, req.Profiles, req.Truths, req.Config); err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleModels(w http.ResponseWriter, _ *http.Request) {
+	manifests, err := s.svc.store.List()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, manifests)
+}
+
+// Client calls a remote ModelForge server.
+type Client struct {
+	BaseURL string
+	HTTP    *http.Client
+}
+
+// NewClient creates a client with the default transport.
+func NewClient(baseURL string) *Client {
+	return &Client{BaseURL: baseURL, HTTP: http.DefaultClient}
+}
+
+func (c *Client) post(path string, body, out any) error {
+	var buf bytes.Buffer
+	if body != nil {
+		if err := json.NewEncoder(&buf).Encode(body); err != nil {
+			return err
+		}
+	}
+	resp, err := c.HTTP.Post(c.BaseURL+path, "application/json", &buf)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var e map[string]string
+		_ = json.NewDecoder(resp.Body).Decode(&e)
+		return fmt.Errorf("modelforge: %s: %s (%s)", path, resp.Status, e["error"])
+	}
+	if out != nil {
+		return json.NewDecoder(resp.Body).Decode(out)
+	}
+	return nil
+}
+
+// TrainAll triggers full training remotely.
+func (c *Client) TrainAll() (*Report, error) {
+	var rep Report
+	if err := c.post("/train", nil, &rep); err != nil {
+		return nil, err
+	}
+	return &rep, nil
+}
+
+// Ingest sends a Data Ingestor signal.
+func (c *Client) Ingest(sig IngestSignal) error {
+	return c.post("/ingest", sig, nil)
+}
+
+// FineTune requests RBX calibration for a column.
+func (c *Client) FineTune(req FineTuneRequest) error {
+	return c.post("/finetune", req, nil)
+}

@@ -1,0 +1,160 @@
+// Package modelstore is the directory-backed stand-in for the cloud object
+// store the paper's ModelForge service writes trained models into and the
+// Model Loader reads them from: artifacts with JSON manifests, timestamp
+// ordering, and age-based purging of training residue.
+package modelstore
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"bytecard/internal/core"
+)
+
+// Manifest describes one stored artifact.
+type Manifest struct {
+	Name      string         `json:"name"`
+	Kind      core.ModelKind `json:"kind"`
+	Table     string         `json:"table,omitempty"`
+	Shard     int            `json:"shard"`
+	Timestamp time.Time      `json:"timestamp"`
+	SizeBytes int64          `json:"size_bytes"`
+	File      string         `json:"file"`
+}
+
+// Store is a single-directory artifact store. It is safe for concurrent
+// use within one process.
+type Store struct {
+	mu  sync.Mutex
+	dir string
+}
+
+// Open creates (if needed) and opens a store directory.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("modelstore: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// fileSafe converts an artifact name to a file stem.
+func fileSafe(name string) string {
+	r := strings.NewReplacer("/", "_", "\\", "_", ":", "_", "#", "_", " ", "_")
+	return r.Replace(name)
+}
+
+// Put stores an artifact, replacing any previous version of the same name.
+func (s *Store) Put(a core.Artifact) error {
+	if err := a.Validate(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	stem := fileSafe(a.Name)
+	dataFile := stem + ".bin"
+	if err := os.WriteFile(filepath.Join(s.dir, dataFile), a.Data, 0o644); err != nil {
+		return fmt.Errorf("modelstore: %w", err)
+	}
+	m := Manifest{
+		Name:      a.Name,
+		Kind:      a.Kind,
+		Table:     a.Table,
+		Shard:     a.Shard,
+		Timestamp: a.Timestamp,
+		SizeBytes: int64(len(a.Data)),
+		File:      dataFile,
+	}
+	blob, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(s.dir, stem+".json"), blob, 0o644); err != nil {
+		return fmt.Errorf("modelstore: %w", err)
+	}
+	return nil
+}
+
+// List returns all manifests sorted by name.
+func (s *Store) List() ([]Manifest, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("modelstore: %w", err)
+	}
+	var out []Manifest
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".json") {
+			continue
+		}
+		blob, err := os.ReadFile(filepath.Join(s.dir, e.Name()))
+		if err != nil {
+			return nil, err
+		}
+		var m Manifest
+		if err := json.Unmarshal(blob, &m); err != nil {
+			return nil, fmt.Errorf("modelstore: manifest %s: %w", e.Name(), err)
+		}
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}
+
+// Get loads one artifact by name.
+func (s *Store) Get(name string) (core.Artifact, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	stem := fileSafe(name)
+	blob, err := os.ReadFile(filepath.Join(s.dir, stem+".json"))
+	if err != nil {
+		return core.Artifact{}, fmt.Errorf("modelstore: artifact %q: %w", name, err)
+	}
+	var m Manifest
+	if err := json.Unmarshal(blob, &m); err != nil {
+		return core.Artifact{}, err
+	}
+	data, err := os.ReadFile(filepath.Join(s.dir, m.File))
+	if err != nil {
+		return core.Artifact{}, err
+	}
+	return core.Artifact{
+		Name:      m.Name,
+		Kind:      m.Kind,
+		Table:     m.Table,
+		Shard:     m.Shard,
+		Timestamp: m.Timestamp,
+		Data:      data,
+	}, nil
+}
+
+// Purge removes artifacts older than the cutoff, returning how many were
+// deleted (the paper's automatic training-data cleanup).
+func (s *Store) Purge(olderThan time.Time) (int, error) {
+	manifests, err := s.List()
+	if err != nil {
+		return 0, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	removed := 0
+	for _, m := range manifests {
+		if m.Timestamp.Before(olderThan) {
+			stem := fileSafe(m.Name)
+			if err := os.Remove(filepath.Join(s.dir, stem+".json")); err != nil {
+				return removed, err
+			}
+			if err := os.Remove(filepath.Join(s.dir, m.File)); err != nil && !os.IsNotExist(err) {
+				return removed, err
+			}
+			removed++
+		}
+	}
+	return removed, nil
+}

@@ -1,0 +1,120 @@
+package modelstore
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"bytecard/internal/core"
+)
+
+func art(name string, kind core.ModelKind, table string, ts time.Time, data string) core.Artifact {
+	return core.Artifact{Name: name, Kind: kind, Table: table, Shard: -1, Timestamp: ts, Data: []byte(data)}
+}
+
+func TestPutGetRoundtrip(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := time.Now().Truncate(time.Second)
+	a := art("ds/bn/title", core.KindBN, "title", now, "payload")
+	if err := s.Put(a); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Get("ds/bn/title")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != a.Name || got.Kind != a.Kind || got.Table != a.Table || !bytes.Equal(got.Data, a.Data) {
+		t.Errorf("roundtrip mismatch: %+v", got)
+	}
+	if !got.Timestamp.Equal(now) {
+		t.Errorf("timestamp %v != %v", got.Timestamp, now)
+	}
+}
+
+func TestGetMissing(t *testing.T) {
+	s, _ := Open(t.TempDir())
+	if _, err := s.Get("nope"); err == nil {
+		t.Error("missing artifact must error")
+	}
+}
+
+func TestPutRejectsInvalid(t *testing.T) {
+	s, _ := Open(t.TempDir())
+	if err := s.Put(core.Artifact{}); err == nil {
+		t.Error("invalid artifact must be rejected")
+	}
+}
+
+func TestListSorted(t *testing.T) {
+	s, _ := Open(t.TempDir())
+	now := time.Now()
+	for _, name := range []string{"z/model", "a/model", "m/model"} {
+		if err := s.Put(art(name, core.KindRBX, "", now, "x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	list, err := s.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 3 || list[0].Name != "a/model" || list[2].Name != "z/model" {
+		t.Errorf("list = %v", list)
+	}
+	if list[0].SizeBytes != 1 {
+		t.Errorf("size = %d", list[0].SizeBytes)
+	}
+}
+
+func TestReplaceKeepsOneEntry(t *testing.T) {
+	s, _ := Open(t.TempDir())
+	now := time.Now()
+	_ = s.Put(art("ds/bn/t", core.KindBN, "t", now, "v1"))
+	_ = s.Put(art("ds/bn/t", core.KindBN, "t", now.Add(time.Hour), "v2"))
+	list, _ := s.List()
+	if len(list) != 1 {
+		t.Fatalf("entries = %d, want 1", len(list))
+	}
+	got, _ := s.Get("ds/bn/t")
+	if string(got.Data) != "v2" {
+		t.Errorf("data = %q, want v2", got.Data)
+	}
+}
+
+func TestPurge(t *testing.T) {
+	s, _ := Open(t.TempDir())
+	old := time.Now().Add(-48 * time.Hour)
+	now := time.Now()
+	_ = s.Put(art("old/model", core.KindRBX, "", old, "x"))
+	_ = s.Put(art("new/model", core.KindRBX, "", now, "y"))
+	removed, err := s.Purge(now.Add(-time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 1 {
+		t.Errorf("removed = %d, want 1", removed)
+	}
+	if _, err := s.Get("old/model"); err == nil {
+		t.Error("purged artifact must be gone")
+	}
+	if _, err := s.Get("new/model"); err != nil {
+		t.Error("recent artifact must remain")
+	}
+}
+
+func TestNameSanitization(t *testing.T) {
+	s, _ := Open(t.TempDir())
+	name := "ds/bn/weird table#3"
+	if err := s.Put(art(name, core.KindBN, "weird table", time.Now(), "x")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Get(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != name {
+		t.Errorf("name = %q", got.Name)
+	}
+}

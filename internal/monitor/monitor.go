@@ -1,0 +1,301 @@
+// Package monitor implements the Model Monitor: it generates probe queries
+// with multiple predicates, executes them on the warehouse for true
+// cardinalities, compares against the models' estimates, and — when
+// Q-errors breach the threshold — disables the offending model (falling
+// back to traditional estimation) and triggers retraining or RBX
+// fine-tuning in the ModelForge service. Per the paper, only single-table
+// COUNT models are probed directly; FactorJoin inherits its health from
+// the single-table models it consumes.
+package monitor
+
+import (
+	"fmt"
+	"math/rand"
+
+	"bytecard/internal/cardinal"
+	"bytecard/internal/core"
+	"bytecard/internal/engine"
+	"bytecard/internal/expr"
+	"bytecard/internal/sample"
+	"bytecard/internal/storage"
+	"bytecard/internal/types"
+)
+
+// Monitor checks model quality against live query results.
+type Monitor struct {
+	// Exec executes probe queries for ground truth.
+	Exec *engine.Engine
+	// Est is the ByteCard estimator under evaluation.
+	Est *core.Estimator
+	// Feat featurizes probe SQL.
+	Feat *core.Featurizer
+	// Infer is the registry whose models get disabled on breach.
+	Infer *core.InferenceEngine
+
+	// Threshold is the maximum tolerated probe Q-error (default 100).
+	Threshold float64
+	// Probes is the number of probe queries per check (default 20).
+	Probes int
+	// Seed drives probe generation.
+	Seed int64
+
+	// RetrainTable is called when a table's COUNT model breaches (wired
+	// to ModelForge.TrainTable).
+	RetrainTable func(table string) error
+	// FineTuneNDV is called with calibration evidence when RBX breaches
+	// on a column (wired to ModelForge.FineTuneRBX).
+	FineTuneNDV func(column string, profiles []sample.Profile, truths []float64) error
+}
+
+func (m *Monitor) threshold() float64 {
+	if m.Threshold > 0 {
+		return m.Threshold
+	}
+	return 100
+}
+
+func (m *Monitor) probes() int {
+	if m.Probes > 0 {
+		return m.Probes
+	}
+	return 20
+}
+
+// TableReport summarizes one COUNT-model check.
+type TableReport struct {
+	Table    string
+	QErrors  []float64
+	Worst    float64
+	Breached bool
+}
+
+// probePreds draws 1..3 random predicates over a table's scalar columns
+// with literals sampled from actual rows (so probes hit populated regions).
+func probePreds(t *engineTable, rng *rand.Rand) []expr.Pred {
+	n := 1 + rng.Intn(3)
+	var preds []expr.Pred
+	for i := 0; i < n; i++ {
+		col := t.cols[rng.Intn(len(t.cols))]
+		row := rng.Intn(t.tab.NumRows())
+		val := t.tab.ColByName(col).Value(row)
+		var op expr.CmpOp
+		if val.K == types.KindString {
+			op = expr.OpEq
+		} else {
+			op = []expr.CmpOp{expr.OpEq, expr.OpLt, expr.OpLe, expr.OpGt, expr.OpGe}[rng.Intn(5)]
+		}
+		preds = append(preds, expr.Pred{Table: t.name, Col: col, Op: op, Val: val})
+	}
+	return preds
+}
+
+type engineTable struct {
+	name string
+	tab  *storage.Table
+	cols []string
+}
+
+// buildEngineTable adapts a storage table for probe generation, keeping
+// only scalar columns.
+func (m *Monitor) buildEngineTable(table string) (*engineTable, error) {
+	t := m.Exec.DB.Table(table)
+	if t == nil {
+		return nil, fmt.Errorf("monitor: unknown table %q", table)
+	}
+	et := &engineTable{name: table, tab: t}
+	for i := 0; i < t.NumCols(); i++ {
+		if t.Col(i).Kind().Scalar() {
+			et.cols = append(et.cols, t.Col(i).Name())
+		}
+	}
+	if len(et.cols) == 0 {
+		return nil, fmt.Errorf("monitor: table %q has no scalar columns", table)
+	}
+	if t.NumRows() == 0 {
+		return nil, fmt.Errorf("monitor: table %q is empty", table)
+	}
+	return et, nil
+}
+
+// predsToSQL renders probe predicates as a COUNT query.
+func predsToSQL(table string, preds []expr.Pred, distinctCols []string) string {
+	sql := "SELECT COUNT(*)"
+	if len(distinctCols) > 0 {
+		sql = "SELECT COUNT(DISTINCT "
+		for i, c := range distinctCols {
+			if i > 0 {
+				sql += ", "
+			}
+			sql += table + "." + c
+		}
+		sql += ")"
+	}
+	sql += " FROM " + table
+	for i, p := range preds {
+		if i == 0 {
+			sql += " WHERE "
+		} else {
+			sql += " AND "
+		}
+		sql += p.String()
+	}
+	return sql
+}
+
+// CheckTable probes one table's COUNT model. On breach the model is
+// disabled and retraining is triggered.
+func (m *Monitor) CheckTable(table string) (TableReport, error) {
+	et, err := m.buildEngineTable(table)
+	if err != nil {
+		return TableReport{}, err
+	}
+	rng := rand.New(rand.NewSource(m.Seed ^ int64(len(table))<<13))
+	rep := TableReport{Table: table}
+	for i := 0; i < m.probes(); i++ {
+		preds := probePreds(et, rng)
+		sql := predsToSQL(table, preds, nil)
+		truth, err := m.Exec.TrueCardinality(sql)
+		if err != nil {
+			return rep, fmt.Errorf("monitor: probe %q: %w", sql, err)
+		}
+		fv, err := m.Feat.FeaturizeSQLQuery(sql)
+		if err != nil {
+			return rep, err
+		}
+		est, err := m.Est.Estimate(fv)
+		if err != nil {
+			// A model that cannot even estimate is unhealthy.
+			rep.Breached = true
+			break
+		}
+		q := cardinal.QError(est, truth)
+		rep.QErrors = append(rep.QErrors, q)
+		if q > rep.Worst {
+			rep.Worst = q
+		}
+	}
+	if rep.Worst > m.threshold() {
+		rep.Breached = true
+	}
+	if rep.Breached {
+		m.Infer.Disable("bn:" + table)
+		if m.RetrainTable != nil {
+			if err := m.RetrainTable(table); err != nil {
+				return rep, err
+			}
+		}
+	}
+	return rep, nil
+}
+
+// CheckAll probes every table's single-table COUNT model.
+func (m *Monitor) CheckAll() ([]TableReport, error) {
+	var out []TableReport
+	for _, table := range m.Exec.DB.TableNames() {
+		rep, err := m.CheckTable(table)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, rep)
+	}
+	return out, nil
+}
+
+// NDVReport summarizes one COUNT-DISTINCT check.
+type NDVReport struct {
+	Table, Column string
+	QErrors       []float64
+	Worst         float64
+	Breached      bool
+}
+
+// CheckNDV probes RBX on one column (optionally under random filters). On
+// breach the column is disabled for RBX and the calibration protocol is
+// triggered with the collected (profile, truth) evidence.
+func (m *Monitor) CheckNDV(table, column string) (NDVReport, error) {
+	et, err := m.buildEngineTable(table)
+	if err != nil {
+		return NDVReport{}, err
+	}
+	rng := rand.New(rand.NewSource(m.Seed ^ int64(len(table+column))<<7))
+	rep := NDVReport{Table: table, Column: column}
+	key := table + "." + column
+	frame := m.Est.Samples[table]
+	var profiles []sample.Profile
+	var truths []float64
+	for i := 0; i < m.probes(); i++ {
+		var preds []expr.Pred
+		if i > 0 { // first probe is unfiltered
+			preds = probePreds(et, rng)[:1]
+		}
+		sql := predsToSQL(table, preds, []string{column})
+		res, err := m.Exec.Run(sql)
+		if err != nil {
+			return rep, fmt.Errorf("monitor: probe %q: %w", sql, err)
+		}
+		truth, err := res.ScalarInt()
+		if err != nil {
+			return rep, err
+		}
+		fv, err := m.Feat.FeaturizeSQLQuery(sql)
+		if err != nil {
+			return rep, err
+		}
+		est, err := m.Est.EstimateNDV(fv)
+		if err != nil {
+			rep.Breached = true
+			break
+		}
+		q := cardinal.QError(est, float64(truth))
+		rep.QErrors = append(rep.QErrors, q)
+		if q > rep.Worst {
+			rep.Worst = q
+		}
+		if frame != nil {
+			filtered := frame
+			if len(preds) > 0 {
+				node := expr.Leaf(preds[0])
+				idx := map[string]int{}
+				for ci, c := range frame.Columns() {
+					idx[c] = ci
+				}
+				filtered = frame.Filter(func(row []types.Datum) bool {
+					return node.Eval(func(_, col string) types.Datum { return row[idx[col]] })
+				})
+			}
+			if filtered.Len() > 0 {
+				profiles = append(profiles, filtered.ProfileOf(column))
+				truths = append(truths, float64(truth))
+			}
+		}
+	}
+	if rep.Worst > m.threshold() {
+		rep.Breached = true
+	}
+	if rep.Breached {
+		m.Infer.Disable("rbx:" + key)
+		if m.FineTuneNDV != nil && len(profiles) > 0 {
+			if err := m.FineTuneNDV(key, profiles, truths); err != nil {
+				return rep, err
+			}
+		}
+	}
+	return rep, nil
+}
+
+// RevalidateNDV re-probes a disabled column and re-enables RBX for it when
+// the calibrated parameters pass — the paper's "only integrate once the
+// Model Monitor has validated the new parameters".
+func (m *Monitor) RevalidateNDV(table, column string) (NDVReport, error) {
+	key := table + "." + column
+	m.Infer.Enable("rbx:" + key) // probe with the new parameters
+	rep, err := m.CheckNDV(table, column)
+	if err != nil {
+		m.Infer.Disable("rbx:" + key)
+		return rep, err
+	}
+	if rep.Breached {
+		m.Infer.Disable("rbx:" + key)
+	}
+	return rep, nil
+}

@@ -1,0 +1,328 @@
+// Package mscn implements the query-driven MSCN baseline (multi-set
+// convolutional network): queries are featurized as sets of tables, joins,
+// and predicates; each set member passes through a shared MLP encoder,
+// encodings are average-pooled per set, and a final MLP regresses the log
+// cardinality. The paper evaluates MSCN only as a training-cost comparison
+// point (Table 3): query-driven training requires labelled workloads,
+// which is exactly the expense ByteCard avoids.
+package mscn
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"bytecard/internal/nn"
+)
+
+// Pred is one featurized predicate.
+type Pred struct {
+	// Column is the qualified physical column "table.column".
+	Column string
+	// Op is the comparison operator index (0..5 matching expr.CmpOp).
+	Op int
+	// Value is the literal normalized to [0,1] by the featurizer.
+	Value float64
+}
+
+// Query is the featurizer-level query representation.
+type Query struct {
+	// Tables lists physical table names.
+	Tables []string
+	// Joins lists canonical join strings "t1.c1=t2.c2" (sides ordered).
+	Joins []string
+	// Preds lists the filter predicates.
+	Preds []Pred
+	// Card is the true cardinality label (training only).
+	Card float64
+}
+
+// CanonicalJoin renders a join condition canonically regardless of side
+// order.
+func CanonicalJoin(lt, lc, rt, rc string) string {
+	a, b := lt+"."+lc, rt+"."+rc
+	if b < a {
+		a, b = b, a
+	}
+	return a + "=" + b
+}
+
+// Featurizer fixes the one-hot vocabularies and value normalization.
+type Featurizer struct {
+	Tables  []string
+	Joins   []string
+	Columns []string
+	// ColMin/ColMax normalize literals per column.
+	ColMin, ColMax map[string]float64
+}
+
+// NumOps is the operator vocabulary size.
+const NumOps = 6
+
+func indexOf(list []string, v string) int {
+	for i, s := range list {
+		if s == v {
+			return i
+		}
+	}
+	return -1
+}
+
+// TableVecDim returns the table one-hot width.
+func (f *Featurizer) TableVecDim() int { return len(f.Tables) }
+
+// JoinVecDim returns the join one-hot width.
+func (f *Featurizer) JoinVecDim() int { return len(f.Joins) }
+
+// PredVecDim returns the predicate feature width.
+func (f *Featurizer) PredVecDim() int { return len(f.Columns) + NumOps + 1 }
+
+// Normalize maps a literal into [0,1] for its column.
+func (f *Featurizer) Normalize(col string, v float64) float64 {
+	lo, hi := f.ColMin[col], f.ColMax[col]
+	if hi <= lo {
+		return 0.5
+	}
+	x := (v - lo) / (hi - lo)
+	if x < 0 {
+		x = 0
+	}
+	if x > 1 {
+		x = 1
+	}
+	return x
+}
+
+// featurize renders the three feature sets of a query.
+func (f *Featurizer) featurize(q Query) (tables, joins, preds [][]float64, err error) {
+	for _, t := range q.Tables {
+		i := indexOf(f.Tables, t)
+		if i < 0 {
+			return nil, nil, nil, fmt.Errorf("mscn: unknown table %q", t)
+		}
+		v := make([]float64, f.TableVecDim())
+		v[i] = 1
+		tables = append(tables, v)
+	}
+	for _, j := range q.Joins {
+		i := indexOf(f.Joins, j)
+		if i < 0 {
+			return nil, nil, nil, fmt.Errorf("mscn: unknown join %q", j)
+		}
+		v := make([]float64, f.JoinVecDim())
+		v[i] = 1
+		joins = append(joins, v)
+	}
+	for _, p := range q.Preds {
+		i := indexOf(f.Columns, p.Column)
+		if i < 0 {
+			return nil, nil, nil, fmt.Errorf("mscn: unknown column %q", p.Column)
+		}
+		if p.Op < 0 || p.Op >= NumOps {
+			return nil, nil, nil, fmt.Errorf("mscn: bad operator %d", p.Op)
+		}
+		v := make([]float64, f.PredVecDim())
+		v[i] = 1
+		v[len(f.Columns)+p.Op] = 1
+		v[len(f.Columns)+NumOps] = p.Value
+		preds = append(preds, v)
+	}
+	return tables, joins, preds, nil
+}
+
+// HiddenDim is the shared encoder/pooled width.
+const HiddenDim = 32
+
+// Model is a trained MSCN.
+type Model struct {
+	F *Featurizer
+	// TableEnc/JoinEnc/PredEnc are the shared per-item set encoders.
+	TableEnc, JoinEnc, PredEnc *nn.Network
+	// Head regresses pooled encodings to log2(card).
+	Head *nn.Network
+	// TrainSeconds records training wall time (excluding label
+	// computation, matching the paper's accounting).
+	TrainSeconds float64
+}
+
+// New initializes an untrained model for the featurizer.
+func New(f *Featurizer, seed int64) *Model {
+	return &Model{
+		F:        f,
+		TableEnc: nn.NewNetwork(seed+1, f.TableVecDim(), HiddenDim, HiddenDim),
+		JoinEnc:  nn.NewNetwork(seed+2, maxInt(f.JoinVecDim(), 1), HiddenDim, HiddenDim),
+		PredEnc:  nn.NewNetwork(seed+3, f.PredVecDim(), HiddenDim, HiddenDim),
+		Head:     nn.NewNetwork(seed+4, 3*HiddenDim, 64, 32, 1),
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// forward encodes a query, returning the prediction and the tapes needed
+// for backprop.
+type forwardState struct {
+	tableTapes, joinTapes, predTapes []*nn.Tape
+	headTape                         *nn.Tape
+	pooled                           []float64
+}
+
+func (m *Model) forward(q Query) (float64, *forwardState, error) {
+	tv, jv, pv, err := m.F.featurize(q)
+	if err != nil {
+		return 0, nil, err
+	}
+	st := &forwardState{}
+	pool := func(net *nn.Network, items [][]float64, tapes *[]*nn.Tape) []float64 {
+		out := make([]float64, HiddenDim)
+		if len(items) == 0 {
+			return out
+		}
+		for _, x := range items {
+			tape := net.ForwardTape(x)
+			*tapes = append(*tapes, tape)
+			for i, v := range tape.Output() {
+				out[i] += v
+			}
+		}
+		for i := range out {
+			out[i] /= float64(len(items))
+		}
+		return out
+	}
+	tp := pool(m.TableEnc, tv, &st.tableTapes)
+	jp := pool(m.JoinEnc, jv, &st.joinTapes)
+	pp := pool(m.PredEnc, pv, &st.predTapes)
+	st.pooled = append(append(append([]float64{}, tp...), jp...), pp...)
+	st.headTape = m.Head.ForwardTape(st.pooled)
+	return st.headTape.Output()[0], st, nil
+}
+
+// Predict returns the estimated cardinality for a query.
+func (m *Model) Predict(q Query) (float64, error) {
+	y, _, err := m.forward(q)
+	if err != nil {
+		return 0, err
+	}
+	return math.Exp2(y), nil
+}
+
+// TrainConfig controls training.
+type TrainConfig struct {
+	Epochs    int
+	BatchSize int
+	LR        float64
+	Seed      int64
+}
+
+// Train fits the model on labelled queries (Card holds true cardinality).
+func (m *Model) Train(queries []Query, cfg TrainConfig) error {
+	if len(queries) == 0 {
+		return errors.New("mscn: empty training workload")
+	}
+	if cfg.Epochs <= 0 {
+		cfg.Epochs = 40
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 16
+	}
+	if cfg.LR <= 0 {
+		cfg.LR = 1e-3
+	}
+	start := time.Now()
+	optT := nn.NewAdam(m.TableEnc, cfg.LR)
+	optJ := nn.NewAdam(m.JoinEnc, cfg.LR)
+	optP := nn.NewAdam(m.PredEnc, cfg.LR)
+	optH := nn.NewAdam(m.Head, cfg.LR)
+	gT, gJ, gP, gH := nn.NewGrads(m.TableEnc), nn.NewGrads(m.JoinEnc), nn.NewGrads(m.PredEnc), nn.NewGrads(m.Head)
+
+	rng := rand.New(rand.NewSource(cfg.Seed + 11))
+	idx := make([]int, len(queries))
+	for i := range idx {
+		idx[i] = i
+	}
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		for s := 0; s < len(idx); s += cfg.BatchSize {
+			e := s + cfg.BatchSize
+			if e > len(idx) {
+				e = len(idx)
+			}
+			gT.Zero()
+			gJ.Zero()
+			gP.Zero()
+			gH.Zero()
+			bs := float64(e - s)
+			for _, qi := range idx[s:e] {
+				q := queries[qi]
+				pred, st, err := m.forward(q)
+				if err != nil {
+					return err
+				}
+				y := math.Log2(math.Max(q.Card, 1))
+				dOut := 2 * (pred - y) / bs
+				dPooled := m.Head.BackwardTape(st.headTape, []float64{dOut}, gH)
+				backSet := func(net *nn.Network, tapes []*nn.Tape, g *nn.Grads, seg []float64) {
+					if len(tapes) == 0 {
+						return
+					}
+					d := make([]float64, HiddenDim)
+					for i := range d {
+						d[i] = seg[i] / float64(len(tapes))
+					}
+					for _, tape := range tapes {
+						net.BackwardTape(tape, d, g)
+					}
+				}
+				backSet(m.TableEnc, st.tableTapes, gT, dPooled[:HiddenDim])
+				backSet(m.JoinEnc, st.joinTapes, gJ, dPooled[HiddenDim:2*HiddenDim])
+				backSet(m.PredEnc, st.predTapes, gP, dPooled[2*HiddenDim:])
+			}
+			optT.StepGrads(m.TableEnc, gT)
+			optJ.StepGrads(m.JoinEnc, gJ)
+			optP.StepGrads(m.PredEnc, gP)
+			optH.StepGrads(m.Head, gH)
+		}
+	}
+	m.TrainSeconds = time.Since(start).Seconds()
+	return nil
+}
+
+// SizeBytes reports the parameter footprint.
+func (m *Model) SizeBytes() int64 {
+	return m.TableEnc.SizeBytes() + m.JoinEnc.SizeBytes() + m.PredEnc.SizeBytes() + m.Head.SizeBytes()
+}
+
+// Encode serializes the model with gob.
+func (m *Model) Encode() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(m); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// Decode deserializes a model.
+func Decode(data []byte) (*Model, error) {
+	var m Model
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&m); err != nil {
+		return nil, err
+	}
+	for _, net := range []*nn.Network{m.TableEnc, m.JoinEnc, m.PredEnc, m.Head} {
+		if net == nil {
+			return nil, errors.New("mscn: missing sub-network")
+		}
+		if err := net.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	return &m, nil
+}

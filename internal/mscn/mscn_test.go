@@ -1,0 +1,153 @@
+package mscn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func testFeaturizer() *Featurizer {
+	return &Featurizer{
+		Tables:  []string{"a", "b"},
+		Joins:   []string{CanonicalJoin("a", "id", "b", "a_id")},
+		Columns: []string{"a.x", "b.y"},
+		ColMin:  map[string]float64{"a.x": 0, "b.y": 0},
+		ColMax:  map[string]float64{"a.x": 100, "b.y": 1000},
+	}
+}
+
+// syntheticWorkload builds queries whose true cardinality follows a simple
+// closed form the network can learn: card = 10000 * selX * selY with
+// selX = x/100 for "a.x < x" etc.
+func syntheticWorkload(n int, seed int64) []Query {
+	rng := rand.New(rand.NewSource(seed))
+	f := testFeaturizer()
+	var out []Query
+	for i := 0; i < n; i++ {
+		x := rng.Float64() * 100
+		y := rng.Float64() * 1000
+		q := Query{
+			Tables: []string{"a", "b"},
+			Joins:  []string{f.Joins[0]},
+			Preds: []Pred{
+				{Column: "a.x", Op: 2, Value: f.Normalize("a.x", x)},
+				{Column: "b.y", Op: 2, Value: f.Normalize("b.y", y)},
+			},
+			Card: math.Max(10000*(x/100)*(y/1000), 1),
+		}
+		out = append(out, q)
+	}
+	return out
+}
+
+func TestCanonicalJoinOrderIndependent(t *testing.T) {
+	if CanonicalJoin("a", "id", "b", "a_id") != CanonicalJoin("b", "a_id", "a", "id") {
+		t.Error("canonical join must ignore side order")
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	f := testFeaturizer()
+	if f.Normalize("a.x", 50) != 0.5 {
+		t.Error("mid-range must normalize to 0.5")
+	}
+	if f.Normalize("a.x", -10) != 0 || f.Normalize("a.x", 500) != 1 {
+		t.Error("out-of-range must clamp")
+	}
+	if f.Normalize("unknown", 5) != 0.5 {
+		t.Error("unknown column must default to 0.5")
+	}
+}
+
+func TestFeaturizeErrors(t *testing.T) {
+	f := testFeaturizer()
+	m := New(f, 1)
+	if _, err := m.Predict(Query{Tables: []string{"zz"}}); err == nil {
+		t.Error("unknown table must error")
+	}
+	if _, err := m.Predict(Query{Tables: []string{"a"}, Joins: []string{"zz"}}); err == nil {
+		t.Error("unknown join must error")
+	}
+	if _, err := m.Predict(Query{Tables: []string{"a"}, Preds: []Pred{{Column: "zz"}}}); err == nil {
+		t.Error("unknown column must error")
+	}
+	if _, err := m.Predict(Query{Tables: []string{"a"}, Preds: []Pred{{Column: "a.x", Op: 99}}}); err == nil {
+		t.Error("bad operator must error")
+	}
+}
+
+func TestTrainReducesError(t *testing.T) {
+	f := testFeaturizer()
+	m := New(f, 2)
+	train := syntheticWorkload(400, 3)
+	test := syntheticWorkload(50, 4)
+
+	qerr := func() float64 {
+		var total float64
+		for _, q := range test {
+			pred, err := m.Predict(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += math.Max(pred/q.Card, q.Card/math.Max(pred, 1))
+		}
+		return total / float64(len(test))
+	}
+	before := qerr()
+	if err := m.Train(train, TrainConfig{Epochs: 60, Seed: 5}); err != nil {
+		t.Fatal(err)
+	}
+	after := qerr()
+	if after >= before {
+		t.Errorf("training did not improve: before %g after %g", before, after)
+	}
+	if after > 3 {
+		t.Errorf("mean q-error after training = %g, want < 3", after)
+	}
+	if m.TrainSeconds <= 0 {
+		t.Error("training time not recorded")
+	}
+}
+
+func TestTrainEmptyWorkloadFails(t *testing.T) {
+	m := New(testFeaturizer(), 1)
+	if err := m.Train(nil, TrainConfig{}); err == nil {
+		t.Error("empty workload must fail")
+	}
+}
+
+func TestPredictWithEmptySets(t *testing.T) {
+	// Single-table query without joins or predicates must still predict.
+	m := New(testFeaturizer(), 1)
+	if _, err := m.Predict(Query{Tables: []string{"a"}}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncodeDecodeRoundtrip(t *testing.T) {
+	m := New(testFeaturizer(), 6)
+	q := syntheticWorkload(1, 7)[0]
+	want, _ := m.Predict(q)
+	data, err := m.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := m2.Predict(q)
+	if got != want {
+		t.Errorf("roundtrip changed prediction: %g vs %g", got, want)
+	}
+	if _, err := Decode([]byte("junk")); err == nil {
+		t.Error("garbage must fail decode")
+	}
+}
+
+func TestSizeBytes(t *testing.T) {
+	m := New(testFeaturizer(), 8)
+	if m.SizeBytes() <= 0 {
+		t.Error("size must be positive")
+	}
+}

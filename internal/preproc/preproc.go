@@ -1,0 +1,97 @@
+// Package preproc implements the Model Preprocessor: column selection
+// (excluding complex types the CardEst models cannot consume), the
+// preliminary type mapping recorded in the model_preprocessor_info system
+// table, join-pattern-driven join-bucket construction for FactorJoin, and
+// the per-column NDV profiling type mapping depends on.
+package preproc
+
+import (
+	"fmt"
+
+	"bytecard/internal/catalog"
+	"bytecard/internal/factorjoin"
+	"bytecard/internal/hll"
+	"bytecard/internal/storage"
+	"bytecard/internal/types"
+)
+
+// Result is the preprocessor's output: the updated catalog rows, the
+// per-table training column lists, and the FactorJoin bucket model.
+type Result struct {
+	// Selected maps table → trainable column names, in declaration order.
+	Selected map[string][]string
+	// Buckets is the constructed join-bucket model (nil when the schema
+	// records no join patterns).
+	Buckets *factorjoin.Model
+	// Info mirrors the model_preprocessor_info system table rows.
+	Info []catalog.PreprocInfo
+}
+
+// Config controls preprocessing.
+type Config struct {
+	// BucketCount sizes FactorJoin's join buckets (default 200).
+	BucketCount int
+}
+
+// Run profiles every table, fills the model_preprocessor_info system
+// table, and constructs join buckets from the schema's collected join
+// patterns.
+func Run(db *storage.Database, schema *catalog.Schema, cfg Config) (*Result, error) {
+	if schema == nil {
+		return nil, fmt.Errorf("preproc: nil schema")
+	}
+	res := &Result{Selected: map[string][]string{}}
+	for _, name := range db.TableNames() {
+		t := db.Table(name)
+		meta := schema.Table(name)
+		if meta == nil {
+			return nil, fmt.Errorf("preproc: table %s missing from catalog", name)
+		}
+		for i := 0; i < t.NumCols(); i++ {
+			col := t.Col(i)
+			info := catalog.PreprocInfo{Table: name, Column: col.Name(), DBType: col.Kind()}
+			if !col.Kind().Scalar() {
+				info.MLType = types.MLUnsupported
+				info.Selected = false
+				res.Info = append(res.Info, info)
+				markColumn(meta, col.Name(), info.MLType, true, 0)
+				continue
+			}
+			ndv := profileNDV(col)
+			info.MLType = types.MapToML(col.Kind(), ndv)
+			info.Selected = true
+			res.Info = append(res.Info, info)
+			res.Selected[name] = append(res.Selected[name], col.Name())
+			markColumn(meta, col.Name(), info.MLType, false, ndv)
+		}
+	}
+	schema.SetPreprocInfo(res.Info)
+
+	// Join-bucket construction from the collected join patterns.
+	classes := schema.JoinClasses()
+	if len(classes) > 0 {
+		buckets, err := factorjoin.Build(db, classes, cfg.BucketCount)
+		if err != nil {
+			return nil, fmt.Errorf("preproc: join-bucket construction: %w", err)
+		}
+		res.Buckets = buckets
+	}
+	return res, nil
+}
+
+// profileNDV estimates a column's distinct count with HyperLogLog.
+func profileNDV(col *storage.Column) int64 {
+	sk := hll.MustNew(12)
+	for i := 0; i < col.Len(); i++ {
+		sk.Add(col.Value(i).Hash64())
+	}
+	return int64(sk.Estimate())
+}
+
+func markColumn(meta *catalog.TableMeta, name string, ml types.MLType, excluded bool, ndv int64) {
+	if c := meta.Column(name); c != nil {
+		c.MLType = ml
+		c.Excluded = excluded
+		c.NDV = ndv
+	}
+}

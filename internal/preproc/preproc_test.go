@@ -1,0 +1,96 @@
+package preproc
+
+import (
+	"testing"
+
+	"bytecard/internal/datagen"
+	"bytecard/internal/types"
+)
+
+func TestRunExcludesComplexTypes(t *testing.T) {
+	ds := datagen.AEOLUS(datagen.Config{Scale: 0.01, Seed: 1})
+	res, err := Run(ds.DB, ds.Schema, Config{BucketCount: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, col := range res.Selected["ads"] {
+		if col == "audience_tags" {
+			t.Error("array column must be excluded from training")
+		}
+	}
+	var foundExcluded bool
+	for _, info := range res.Info {
+		if info.Table == "ads" && info.Column == "audience_tags" {
+			foundExcluded = true
+			if info.Selected || info.MLType != types.MLUnsupported {
+				t.Errorf("audience_tags info = %+v", info)
+			}
+		}
+	}
+	if !foundExcluded {
+		t.Error("model_preprocessor_info must record the excluded column")
+	}
+	if meta := ds.Schema.Table("ads").Column("audience_tags"); meta == nil || !meta.Excluded {
+		t.Error("catalog must mark the column excluded")
+	}
+}
+
+func TestRunTypeMapping(t *testing.T) {
+	ds := datagen.AEOLUS(datagen.Config{Scale: 0.02, Seed: 2})
+	if _, err := Run(ds.DB, ds.Schema, Config{BucketCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+	// target_platform has 5 distinct values → categorical.
+	if got := ds.Schema.Table("ads").Column("target_platform").MLType; got != types.MLCategorical {
+		t.Errorf("target_platform mapped to %s, want Categorical", got)
+	}
+	// ad_events.session_id is near-unique → continuous.
+	if got := ds.Schema.Table("ad_events").Column("session_id").MLType; got != types.MLContinuous {
+		t.Errorf("session_id mapped to %s, want Continuous", got)
+	}
+	// NDV must be profiled.
+	if ndv := ds.Schema.Table("ads").Column("target_platform").NDV; ndv < 3 || ndv > 8 {
+		t.Errorf("target_platform NDV = %d, want ~5", ndv)
+	}
+}
+
+func TestRunBuildsJoinBuckets(t *testing.T) {
+	ds := datagen.Toy(datagen.Config{Scale: 1, Seed: 3})
+	res, err := Run(ds.DB, ds.Schema, Config{BucketCount: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Buckets == nil {
+		t.Fatal("join buckets must be built from collected patterns")
+	}
+	if _, ok := res.Buckets.BoundsFor("fact", "dim_id"); !ok {
+		t.Error("fact.dim_id must have bucket bounds")
+	}
+	if err := res.Buckets.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRunSystemTable(t *testing.T) {
+	ds := datagen.Toy(datagen.Config{Scale: 1, Seed: 4})
+	if _, err := Run(ds.DB, ds.Schema, Config{BucketCount: 8}); err != nil {
+		t.Fatal(err)
+	}
+	rows := ds.Schema.PreprocInfoRows()
+	// Toy has 2+4 = 6 scalar columns.
+	if len(rows) != 6 {
+		t.Errorf("model_preprocessor_info rows = %d, want 6", len(rows))
+	}
+	for _, r := range rows {
+		if !r.Selected {
+			t.Errorf("column %s.%s unexpectedly excluded", r.Table, r.Column)
+		}
+	}
+}
+
+func TestRunNilSchema(t *testing.T) {
+	ds := datagen.Toy(datagen.Config{Scale: 1, Seed: 5})
+	if _, err := Run(ds.DB, nil, Config{}); err == nil {
+		t.Error("nil schema must error")
+	}
+}

@@ -1,0 +1,208 @@
+// Package sample provides reservoir sampling, the in-memory sample
+// "DataFrame" the paper's Model Loader keeps per table for RBX
+// featurization, frequency profiles, and the GEE sample-based NDV
+// estimator used by the traditional baseline.
+package sample
+
+import (
+	"math"
+	"math/rand"
+
+	"bytecard/internal/types"
+)
+
+// Reservoir maintains a uniform random sample of up to capacity rows using
+// Vitter's algorithm R. It is deterministic for a given seed and insertion
+// order.
+type Reservoir struct {
+	capacity int
+	seen     int64
+	rows     [][]types.Datum
+	rng      *rand.Rand
+}
+
+// NewReservoir creates a reservoir holding at most capacity rows.
+func NewReservoir(capacity int, seed int64) *Reservoir {
+	if capacity <= 0 {
+		panic("sample: capacity must be positive")
+	}
+	return &Reservoir{capacity: capacity, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Offer presents one row to the reservoir. The row is copied.
+func (r *Reservoir) Offer(row []types.Datum) {
+	r.seen++
+	cp := make([]types.Datum, len(row))
+	copy(cp, row)
+	if len(r.rows) < r.capacity {
+		r.rows = append(r.rows, cp)
+		return
+	}
+	j := r.rng.Int63n(r.seen)
+	if j < int64(r.capacity) {
+		r.rows[j] = cp
+	}
+}
+
+// Rows returns the sampled rows. The slice is owned by the reservoir.
+func (r *Reservoir) Rows() [][]types.Datum { return r.rows }
+
+// Seen returns the number of rows offered.
+func (r *Reservoir) Seen() int64 { return r.seen }
+
+// Rate returns the effective sampling rate len(rows)/seen.
+func (r *Reservoir) Rate() float64 {
+	if r.seen == 0 {
+		return 0
+	}
+	return float64(len(r.rows)) / float64(r.seen)
+}
+
+// Frame is the mutable two-dimensional sample table the Model Loader keeps
+// per base table: column-labelled, filterable in place, and the substrate
+// for sample-profile computation. It corresponds to the paper's
+// "DataFrame" built by a high-performance C++ library.
+type Frame struct {
+	cols    []string
+	colIdx  map[string]int
+	rows    [][]types.Datum
+	popSize int64 // size of the population the sample was drawn from
+}
+
+// NewFrame builds a frame over the given rows (not copied) with popSize
+// recording the size of the underlying population.
+func NewFrame(cols []string, rows [][]types.Datum, popSize int64) *Frame {
+	idx := make(map[string]int, len(cols))
+	for i, c := range cols {
+		idx[c] = i
+	}
+	return &Frame{cols: cols, colIdx: idx, rows: rows, popSize: popSize}
+}
+
+// Len returns the number of sample rows.
+func (f *Frame) Len() int { return len(f.rows) }
+
+// PopSize returns the population size the sample represents.
+func (f *Frame) PopSize() int64 { return f.popSize }
+
+// Columns returns the column labels.
+func (f *Frame) Columns() []string { return f.cols }
+
+// ColumnIndex returns the index of the named column, or -1.
+func (f *Frame) ColumnIndex(name string) int {
+	if i, ok := f.colIdx[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// Row returns row i.
+func (f *Frame) Row(i int) []types.Datum { return f.rows[i] }
+
+// Filter returns a new frame containing only rows where keep returns true.
+// The population size is scaled by the surviving fraction so downstream NDV
+// scaling stays consistent.
+func (f *Frame) Filter(keep func(row []types.Datum) bool) *Frame {
+	var out [][]types.Datum
+	for _, row := range f.rows {
+		if keep(row) {
+			out = append(out, row)
+		}
+	}
+	pop := f.popSize
+	if len(f.rows) > 0 {
+		pop = int64(math.Round(float64(f.popSize) * float64(len(out)) / float64(len(f.rows))))
+	}
+	return &Frame{cols: f.cols, colIdx: f.colIdx, rows: out, popSize: pop}
+}
+
+// Profile is a frequency profile: Freq[j-1] counts the distinct (composite)
+// values that appear exactly j times in the sample, with the final entry
+// accumulating everything at or above the cap. It is the key feature of the
+// RBX NDV estimator.
+type Profile struct {
+	// Freq has ProfileLen entries: exact counts for multiplicities
+	// 1..ProfileLen-1 and a tail bucket.
+	Freq []float64
+	// SampleRows is the number of rows profiled.
+	SampleRows float64
+	// SampleNDV is the number of distinct values in the sample.
+	SampleNDV float64
+	// PopRows is the population row count the sample represents.
+	PopRows float64
+}
+
+// ProfileLen is the length of the frequency-profile vector (multiplicities
+// 1..99 plus a 100+ tail).
+const ProfileLen = 100
+
+// ProfileOf computes the frequency profile of the composite key formed by
+// the named columns over the frame's rows.
+func (f *Frame) ProfileOf(cols ...string) Profile {
+	idxs := make([]int, len(cols))
+	for i, c := range cols {
+		j := f.ColumnIndex(c)
+		if j < 0 {
+			panic("sample: unknown column " + c)
+		}
+		idxs[i] = j
+	}
+	counts := make(map[uint64]int, len(f.rows))
+	for _, row := range f.rows {
+		var h uint64 = 1469598103934665603
+		for _, j := range idxs {
+			h = h*1099511628211 ^ row[j].Hash64()
+		}
+		counts[h]++
+	}
+	return profileFromCounts(counts, len(f.rows), f.popSize)
+}
+
+func profileFromCounts(counts map[uint64]int, rows int, pop int64) Profile {
+	p := Profile{
+		Freq:       make([]float64, ProfileLen),
+		SampleRows: float64(rows),
+		SampleNDV:  float64(len(counts)),
+		PopRows:    float64(pop),
+	}
+	for _, c := range counts {
+		if c >= ProfileLen {
+			p.Freq[ProfileLen-1]++
+		} else {
+			p.Freq[c-1]++
+		}
+	}
+	return p
+}
+
+// ProfileOfValues computes a frequency profile directly from a value slice,
+// used when training RBX on synthetic columns.
+func ProfileOfValues(values []types.Datum, popRows int64) Profile {
+	counts := make(map[uint64]int, len(values))
+	for _, v := range values {
+		counts[v.Hash64()]++
+	}
+	return profileFromCounts(counts, len(values), popRows)
+}
+
+// GEE returns the Guaranteed-Error Estimator of the population NDV from the
+// profile: sqrt(N/n)*f1 + sum_{j>=2} fj. It is the sample-based baseline's
+// NDV estimator and is known to break down under skew — the behaviour
+// Table 1 documents.
+func (p Profile) GEE() float64 {
+	if p.SampleRows == 0 {
+		return 0
+	}
+	scale := math.Sqrt(p.PopRows / p.SampleRows)
+	est := scale * p.Freq[0]
+	for j := 1; j < len(p.Freq); j++ {
+		est += p.Freq[j]
+	}
+	if est < p.SampleNDV {
+		est = p.SampleNDV
+	}
+	if p.PopRows > 0 && est > p.PopRows {
+		est = p.PopRows
+	}
+	return est
+}

@@ -1,0 +1,229 @@
+package sample
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"bytecard/internal/types"
+)
+
+func TestReservoirUnderCapacity(t *testing.T) {
+	r := NewReservoir(100, 1)
+	for i := 0; i < 50; i++ {
+		r.Offer([]types.Datum{types.Int(int64(i))})
+	}
+	if len(r.Rows()) != 50 || r.Seen() != 50 {
+		t.Fatalf("rows=%d seen=%d, want 50/50", len(r.Rows()), r.Seen())
+	}
+	if r.Rate() != 1 {
+		t.Errorf("rate = %g, want 1", r.Rate())
+	}
+}
+
+func TestReservoirCapacityBound(t *testing.T) {
+	r := NewReservoir(64, 2)
+	for i := 0; i < 10000; i++ {
+		r.Offer([]types.Datum{types.Int(int64(i))})
+	}
+	if len(r.Rows()) != 64 {
+		t.Fatalf("rows=%d, want 64", len(r.Rows()))
+	}
+	if math.Abs(r.Rate()-64.0/10000) > 1e-12 {
+		t.Errorf("rate = %g", r.Rate())
+	}
+}
+
+func TestReservoirUniformity(t *testing.T) {
+	// Offer 0..999 into a 100-slot reservoir many times; the mean of the
+	// sampled values should approximate the population mean.
+	var sum, n float64
+	for seed := int64(0); seed < 30; seed++ {
+		r := NewReservoir(100, seed)
+		for i := 0; i < 1000; i++ {
+			r.Offer([]types.Datum{types.Int(int64(i))})
+		}
+		for _, row := range r.Rows() {
+			sum += float64(row[0].I)
+			n++
+		}
+	}
+	mean := sum / n
+	if math.Abs(mean-499.5) > 25 {
+		t.Errorf("sample mean %g far from population mean 499.5", mean)
+	}
+}
+
+func TestReservoirCopiesRows(t *testing.T) {
+	r := NewReservoir(10, 3)
+	row := []types.Datum{types.Int(1)}
+	r.Offer(row)
+	row[0] = types.Int(999)
+	if r.Rows()[0][0].I != 1 {
+		t.Error("reservoir must copy offered rows")
+	}
+}
+
+func TestReservoirPanicsOnBadCapacity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewReservoir(0, 1)
+}
+
+func makeFrame(n int) *Frame {
+	rows := make([][]types.Datum, n)
+	for i := range rows {
+		rows[i] = []types.Datum{types.Int(int64(i % 10)), types.Int(int64(i))}
+	}
+	return NewFrame([]string{"a", "b"}, rows, int64(n)*100)
+}
+
+func TestFrameBasics(t *testing.T) {
+	f := makeFrame(50)
+	if f.Len() != 50 || f.PopSize() != 5000 {
+		t.Fatalf("len=%d pop=%d", f.Len(), f.PopSize())
+	}
+	if f.ColumnIndex("a") != 0 || f.ColumnIndex("b") != 1 || f.ColumnIndex("zz") != -1 {
+		t.Error("ColumnIndex broken")
+	}
+	if len(f.Columns()) != 2 {
+		t.Error("Columns broken")
+	}
+	if f.Row(3)[1].I != 3 {
+		t.Error("Row access broken")
+	}
+}
+
+func TestFrameFilterScalesPopulation(t *testing.T) {
+	f := makeFrame(100)
+	g := f.Filter(func(row []types.Datum) bool { return row[0].I < 5 })
+	if g.Len() != 50 {
+		t.Fatalf("filtered len=%d, want 50", g.Len())
+	}
+	if g.PopSize() != 5000 {
+		t.Errorf("filtered pop=%d, want 5000 (half of 10000)", g.PopSize())
+	}
+}
+
+func TestFrameFilterEmpty(t *testing.T) {
+	f := makeFrame(10)
+	g := f.Filter(func([]types.Datum) bool { return false })
+	if g.Len() != 0 || g.PopSize() != 0 {
+		t.Errorf("empty filter: len=%d pop=%d", g.Len(), g.PopSize())
+	}
+}
+
+func TestProfileOfSingleColumn(t *testing.T) {
+	// Column "a" cycles 0..9 over 100 rows: 10 distinct values, each 10x.
+	f := makeFrame(100)
+	p := f.ProfileOf("a")
+	if p.SampleNDV != 10 {
+		t.Errorf("SampleNDV = %g, want 10", p.SampleNDV)
+	}
+	if p.Freq[9] != 10 {
+		t.Errorf("Freq[9] = %g, want 10 (all values appear 10 times)", p.Freq[9])
+	}
+	if p.SampleRows != 100 {
+		t.Errorf("SampleRows = %g", p.SampleRows)
+	}
+}
+
+func TestProfileOfCompositeKey(t *testing.T) {
+	f := makeFrame(100)
+	p := f.ProfileOf("a", "b")
+	// b is unique per row, so every composite is unique.
+	if p.SampleNDV != 100 || p.Freq[0] != 100 {
+		t.Errorf("composite profile: NDV=%g f1=%g, want 100/100", p.SampleNDV, p.Freq[0])
+	}
+}
+
+func TestProfileUnknownColumnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	makeFrame(5).ProfileOf("nope")
+}
+
+func TestProfileTailBucket(t *testing.T) {
+	vals := make([]types.Datum, 0, 500)
+	for i := 0; i < 500; i++ {
+		vals = append(vals, types.Int(7)) // one value, multiplicity 500
+	}
+	p := ProfileOfValues(vals, 500)
+	if p.Freq[ProfileLen-1] != 1 {
+		t.Errorf("tail bucket = %g, want 1", p.Freq[ProfileLen-1])
+	}
+}
+
+func TestGEEUniqueColumn(t *testing.T) {
+	vals := make([]types.Datum, 1000)
+	for i := range vals {
+		vals[i] = types.Int(int64(i))
+	}
+	p := ProfileOfValues(vals, 100000)
+	est := p.GEE()
+	// All f1: GEE = sqrt(100000/1000)*1000 = 10000*sqrt(10)/... = 10*1000.
+	want := math.Sqrt(100.0) * 1000
+	if math.Abs(est-want)/want > 0.01 {
+		t.Errorf("GEE = %g, want %g", est, want)
+	}
+}
+
+func TestGEEBoundedByPopulation(t *testing.T) {
+	vals := []types.Datum{types.Int(1), types.Int(2)}
+	p := ProfileOfValues(vals, 3)
+	if est := p.GEE(); est > 3 {
+		t.Errorf("GEE = %g exceeds population 3", est)
+	}
+}
+
+func TestGEEAtLeastSampleNDV(t *testing.T) {
+	vals := make([]types.Datum, 0, 100)
+	for i := 0; i < 50; i++ {
+		vals = append(vals, types.Int(int64(i)), types.Int(int64(i)))
+	}
+	p := ProfileOfValues(vals, 1000)
+	if est := p.GEE(); est < 50 {
+		t.Errorf("GEE = %g below sample NDV 50", est)
+	}
+}
+
+func TestGEEEmpty(t *testing.T) {
+	p := ProfileOfValues(nil, 0)
+	if p.GEE() != 0 {
+		t.Error("empty profile GEE must be 0")
+	}
+}
+
+// Property: profile frequencies always sum to the sample NDV and weighted
+// multiplicities recover the row count (when nothing lands in the tail).
+func TestQuickProfileInvariants(t *testing.T) {
+	f := func(raw []uint8) bool {
+		vals := make([]types.Datum, len(raw))
+		for i, b := range raw {
+			vals[i] = types.Int(int64(b % 16))
+		}
+		p := ProfileOfValues(vals, int64(len(vals)))
+		var ndv, rows float64
+		for j, c := range p.Freq {
+			ndv += c
+			rows += float64(j+1) * c
+		}
+		if ndv != p.SampleNDV {
+			return false
+		}
+		// Row-count identity only exact when the tail bucket is empty.
+		if len(raw) < ProfileLen && rows != p.SampleRows {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,148 @@
+package spn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"bytecard/internal/catalog"
+	"bytecard/internal/storage"
+)
+
+// Denormalize materializes a row-major sample of the full join across the
+// given join patterns, starting from the largest table and repeatedly
+// looking up join partners (uniformly sampling one partner per step, which
+// preserves per-row distributions while bounding the sample). This is the
+// denormalization step DeepDB-style and BayesCard-style multi-table models
+// require — and whose cost Table 3 charges against them.
+//
+// The returned column names are qualified "table.column".
+func Denormalize(db *storage.Database, patterns []catalog.JoinPattern, maxRows int, seed int64) ([]string, [][]float64, error) {
+	if len(patterns) == 0 {
+		return nil, nil, fmt.Errorf("spn: no join patterns to denormalize")
+	}
+	if maxRows <= 0 {
+		maxRows = 10000
+	}
+	rng := rand.New(rand.NewSource(seed))
+
+	// Collect the table set and pick the largest as the anchor fact table.
+	tables := map[string]bool{}
+	for _, p := range patterns {
+		tables[p.Left.Table] = true
+		tables[p.Right.Table] = true
+	}
+	anchor := ""
+	for t := range tables {
+		if db.Table(t) == nil {
+			return nil, nil, fmt.Errorf("spn: unknown table %s in join patterns", t)
+		}
+		if anchor == "" || db.Table(t).NumRows() > db.Table(anchor).NumRows() {
+			anchor = t
+		}
+	}
+
+	// Build partner indexes: for each pattern, map key value → row ids on
+	// both sides so the walk can traverse in either direction.
+	type index struct {
+		pattern catalog.JoinPattern
+		byLeft  map[float64][]int32
+		byRight map[float64][]int32
+	}
+	indexes := make([]index, len(patterns))
+	for i, p := range patterns {
+		idx := index{pattern: p, byLeft: map[float64][]int32{}, byRight: map[float64][]int32{}}
+		lt, rt := db.Table(p.Left.Table), db.Table(p.Right.Table)
+		lc, rc := lt.ColByName(p.Left.Column), rt.ColByName(p.Right.Column)
+		if lc == nil || rc == nil {
+			return nil, nil, fmt.Errorf("spn: join pattern %s references missing columns", p)
+		}
+		for r := 0; r < lt.NumRows(); r++ {
+			v := lc.Numeric(r)
+			idx.byLeft[v] = append(idx.byLeft[v], int32(r))
+		}
+		for r := 0; r < rt.NumRows(); r++ {
+			v := rc.Numeric(r)
+			idx.byRight[v] = append(idx.byRight[v], int32(r))
+		}
+		indexes[i] = idx
+	}
+
+	// Column layout: qualified columns of every joined table.
+	var cols []string
+	colOf := map[string][2]int{} // table → [start, end)
+	var order []string
+	order = append(order, anchor)
+	for t := range tables {
+		if t != anchor {
+			order = append(order, t)
+		}
+	}
+	for _, t := range order {
+		start := len(cols)
+		for _, c := range db.Table(t).ColumnNames() {
+			cols = append(cols, t+"."+c)
+		}
+		colOf[t] = [2]int{start, len(cols)}
+	}
+
+	anchorTab := db.Table(anchor)
+	n := anchorTab.NumRows()
+	step := 1
+	if n > maxRows {
+		step = n / maxRows
+	}
+	var data [][]float64
+	for r := 0; r < n; r += step {
+		rowIDs := map[string]int32{anchor: int32(r)}
+		// Walk patterns to fixpoint, sampling one partner per pattern.
+		complete := true
+		for changed := true; changed; {
+			changed = false
+			for _, idx := range indexes {
+				p := idx.pattern
+				_, haveL := rowIDs[p.Left.Table]
+				_, haveR := rowIDs[p.Right.Table]
+				if haveL == haveR {
+					continue
+				}
+				if haveL {
+					v := db.Table(p.Left.Table).ColByName(p.Left.Column).Numeric(int(rowIDs[p.Left.Table]))
+					partners := idx.byRight[v]
+					if len(partners) == 0 {
+						complete = false
+						break
+					}
+					rowIDs[p.Right.Table] = partners[rng.Intn(len(partners))]
+				} else {
+					v := db.Table(p.Right.Table).ColByName(p.Right.Column).Numeric(int(rowIDs[p.Right.Table]))
+					partners := idx.byLeft[v]
+					if len(partners) == 0 {
+						complete = false
+						break
+					}
+					rowIDs[p.Left.Table] = partners[rng.Intn(len(partners))]
+				}
+				changed = true
+			}
+			if !complete {
+				break
+			}
+		}
+		if !complete || len(rowIDs) != len(tables) {
+			continue // inner-join semantics: drop rows without partners
+		}
+		row := make([]float64, len(cols))
+		for t, rid := range rowIDs {
+			span := colOf[t]
+			tab := db.Table(t)
+			for ci := 0; ci < tab.NumCols(); ci++ {
+				row[span[0]+ci] = tab.Col(ci).Numeric(int(rid))
+			}
+		}
+		data = append(data, row)
+	}
+	if len(data) == 0 {
+		return nil, nil, fmt.Errorf("spn: denormalization produced no complete rows")
+	}
+	return cols, data, nil
+}

@@ -1,0 +1,439 @@
+// Package spn implements the DeepDB baseline: sum-product networks learned
+// over (optionally denormalized) row samples. Column splits come from an
+// independence test over pairwise correlation; row splits from 2-means
+// clustering; leaves are one-dimensional histograms. The paper uses DeepDB
+// as a Table 3 comparison point — its denormalized join samples are what
+// make its training slower and its models larger than ByteCard's.
+package spn
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"bytecard/internal/expr"
+	"bytecard/internal/histogram"
+)
+
+// NodeKind discriminates serialized SPN nodes.
+type NodeKind int
+
+// Node kinds.
+const (
+	KindLeaf NodeKind = iota
+	KindProduct
+	KindSum
+)
+
+// Node is one SPN node in a flattened, gob-friendly representation.
+type Node struct {
+	Kind NodeKind
+	// Children indexes into Model.Nodes.
+	Children []int
+	// Weights pairs with Children for sum nodes.
+	Weights []float64
+	// Col and Hist define leaves.
+	Col  int
+	Hist *histogram.EquiHeight
+}
+
+// Model is a trained sum-product network over named columns.
+type Model struct {
+	Cols  []string
+	Nodes []Node
+	// Root indexes Model.Nodes.
+	Root int
+	// Rows is the training population size.
+	Rows float64
+	// TrainSeconds records training wall time (including denormalization
+	// when the caller charges it here).
+	TrainSeconds float64
+}
+
+// TrainConfig controls structure learning.
+type TrainConfig struct {
+	// MinRows stops row splitting (default 256).
+	MinRows int
+	// CorrThreshold groups columns whose |correlation| exceeds it
+	// (default 0.3).
+	CorrThreshold float64
+	// MaxDepth caps recursion (default 12).
+	MaxDepth int
+	// LeafBuckets sizes leaf histograms (default 48).
+	LeafBuckets int
+	Seed        int64
+}
+
+func (c *TrainConfig) fill() {
+	if c.MinRows <= 0 {
+		c.MinRows = 256
+	}
+	if c.CorrThreshold <= 0 {
+		c.CorrThreshold = 0.3
+	}
+	if c.MaxDepth <= 0 {
+		c.MaxDepth = 12
+	}
+	if c.LeafBuckets <= 0 {
+		c.LeafBuckets = 48
+	}
+}
+
+// Train learns an SPN from row-major data (data[r][c]).
+func Train(cols []string, data [][]float64, cfg TrainConfig) (*Model, error) {
+	if len(cols) == 0 || len(data) == 0 {
+		return nil, errors.New("spn: empty training data")
+	}
+	for _, row := range data {
+		if len(row) != len(cols) {
+			return nil, fmt.Errorf("spn: row width %d != %d columns", len(row), len(cols))
+		}
+	}
+	cfg.fill()
+	start := time.Now()
+	m := &Model{Cols: cols, Rows: float64(len(data))}
+	rng := rand.New(rand.NewSource(cfg.Seed + 3))
+	colIdx := make([]int, len(cols))
+	for i := range colIdx {
+		colIdx[i] = i
+	}
+	m.Root = m.build(data, colIdx, cfg, rng, 0)
+	m.TrainSeconds = time.Since(start).Seconds()
+	return m, nil
+}
+
+// build recursively learns one node over the given rows and column subset,
+// returning its index in m.Nodes.
+func (m *Model) build(rows [][]float64, cols []int, cfg TrainConfig, rng *rand.Rand, depth int) int {
+	if len(cols) == 1 {
+		return m.addLeaf(rows, cols[0], cfg)
+	}
+	if len(rows) < cfg.MinRows || depth >= cfg.MaxDepth {
+		// Independence fallback: product of leaves.
+		node := Node{Kind: KindProduct}
+		for _, c := range cols {
+			node.Children = append(node.Children, m.addLeaf(rows, c, cfg))
+		}
+		return m.add(node)
+	}
+	// Column split: connected components under |corr| > threshold.
+	groups := correlationGroups(rows, cols, cfg.CorrThreshold)
+	if len(groups) > 1 {
+		node := Node{Kind: KindProduct}
+		for _, g := range groups {
+			node.Children = append(node.Children, m.build(rows, g, cfg, rng, depth+1))
+		}
+		return m.add(node)
+	}
+	// Row split: 2-means over normalized rows.
+	a, b := kmeans2(rows, cols, rng)
+	if len(a) == 0 || len(b) == 0 {
+		node := Node{Kind: KindProduct}
+		for _, c := range cols {
+			node.Children = append(node.Children, m.addLeaf(rows, c, cfg))
+		}
+		return m.add(node)
+	}
+	node := Node{Kind: KindSum}
+	node.Children = append(node.Children, m.build(a, cols, cfg, rng, depth+1))
+	node.Children = append(node.Children, m.build(b, cols, cfg, rng, depth+1))
+	node.Weights = []float64{
+		float64(len(a)) / float64(len(rows)),
+		float64(len(b)) / float64(len(rows)),
+	}
+	return m.add(node)
+}
+
+func (m *Model) add(n Node) int {
+	m.Nodes = append(m.Nodes, n)
+	return len(m.Nodes) - 1
+}
+
+func (m *Model) addLeaf(rows [][]float64, col int, cfg TrainConfig) int {
+	vals := make([]float64, len(rows))
+	for i, r := range rows {
+		vals[i] = r[col]
+	}
+	return m.add(Node{Kind: KindLeaf, Col: col, Hist: histogram.BuildEquiHeight(vals, cfg.LeafBuckets)})
+}
+
+// correlationGroups partitions cols into connected components of the
+// |pearson| > threshold graph.
+func correlationGroups(rows [][]float64, cols []int, threshold float64) [][]int {
+	n := len(cols)
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		if parent[x] != x {
+			parent[x] = find(parent[x])
+		}
+		return parent[x]
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if math.Abs(pearson(rows, cols[i], cols[j])) > threshold {
+				parent[find(i)] = find(j)
+			}
+		}
+	}
+	byRoot := map[int][]int{}
+	for i := range cols {
+		r := find(i)
+		byRoot[r] = append(byRoot[r], cols[i])
+	}
+	var out [][]int
+	for i := 0; i < n; i++ {
+		if find(i) == i {
+			out = append(out, byRoot[i])
+		}
+	}
+	return out
+}
+
+func pearson(rows [][]float64, a, b int) float64 {
+	n := float64(len(rows))
+	if n < 2 {
+		return 0
+	}
+	var sx, sy, sxx, syy, sxy float64
+	for _, r := range rows {
+		x, y := r[a], r[b]
+		sx += x
+		sy += y
+		sxx += x * x
+		syy += y * y
+		sxy += x * y
+	}
+	den := math.Sqrt((n*sxx - sx*sx) * (n*syy - sy*sy))
+	if den == 0 {
+		return 0
+	}
+	return (n*sxy - sx*sy) / den
+}
+
+// kmeans2 splits rows into two clusters over the column subset.
+func kmeans2(rows [][]float64, cols []int, rng *rand.Rand) (a, b [][]float64) {
+	// Normalize per column to balance scales.
+	mins := make([]float64, len(cols))
+	maxs := make([]float64, len(cols))
+	for i := range cols {
+		mins[i], maxs[i] = math.Inf(1), math.Inf(-1)
+	}
+	for _, r := range rows {
+		for i, c := range cols {
+			if r[c] < mins[i] {
+				mins[i] = r[c]
+			}
+			if r[c] > maxs[i] {
+				maxs[i] = r[c]
+			}
+		}
+	}
+	norm := func(r []float64, i int) float64 {
+		c := cols[i]
+		if maxs[i] <= mins[i] {
+			return 0
+		}
+		return (r[c] - mins[i]) / (maxs[i] - mins[i])
+	}
+	c1 := rows[rng.Intn(len(rows))]
+	c2 := rows[rng.Intn(len(rows))]
+	cent1 := make([]float64, len(cols))
+	cent2 := make([]float64, len(cols))
+	for i := range cols {
+		cent1[i], cent2[i] = norm(c1, i), norm(c2, i)
+	}
+	assign := make([]bool, len(rows))
+	for iter := 0; iter < 8; iter++ {
+		var n1, n2 float64
+		s1 := make([]float64, len(cols))
+		s2 := make([]float64, len(cols))
+		for ri, r := range rows {
+			var d1, d2 float64
+			for i := range cols {
+				v := norm(r, i)
+				d1 += (v - cent1[i]) * (v - cent1[i])
+				d2 += (v - cent2[i]) * (v - cent2[i])
+			}
+			assign[ri] = d2 < d1
+			if assign[ri] {
+				n2++
+				for i := range cols {
+					s2[i] += norm(r, i)
+				}
+			} else {
+				n1++
+				for i := range cols {
+					s1[i] += norm(r, i)
+				}
+			}
+		}
+		if n1 == 0 || n2 == 0 {
+			break
+		}
+		for i := range cols {
+			cent1[i] = s1[i] / n1
+			cent2[i] = s2[i] / n2
+		}
+	}
+	for ri, r := range rows {
+		if assign[ri] {
+			b = append(b, r)
+		} else {
+			a = append(a, r)
+		}
+	}
+	return a, b
+}
+
+// Prob evaluates the probability of a conjunctive box: constraints indexed
+// by column name; unconstrained columns integrate to one.
+func (m *Model) Prob(constraints []expr.Constraint) (float64, error) {
+	byCol := map[int]expr.Constraint{}
+	for _, c := range constraints {
+		idx := -1
+		for i, name := range m.Cols {
+			if name == c.Col {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			return 0, fmt.Errorf("spn: unknown column %q", c.Col)
+		}
+		byCol[idx] = c
+	}
+	return m.eval(m.Root, byCol), nil
+}
+
+func (m *Model) eval(idx int, byCol map[int]expr.Constraint) float64 {
+	n := &m.Nodes[idx]
+	switch n.Kind {
+	case KindLeaf:
+		c, ok := byCol[n.Col]
+		if !ok {
+			return 1
+		}
+		if c.Empty {
+			return 0
+		}
+		var sel float64
+		if c.HasEq {
+			sel = n.Hist.SelEq(c.Lo)
+		} else {
+			sel = n.Hist.SelRange(c.Lo, c.Hi, c.LoIncl, c.HiIncl)
+		}
+		for _, ne := range c.Ne {
+			if ne >= c.Lo && ne <= c.Hi {
+				sel -= n.Hist.SelEq(ne)
+			}
+		}
+		if sel < 0 {
+			sel = 0
+		}
+		return sel
+	case KindProduct:
+		p := 1.0
+		for _, ch := range n.Children {
+			p *= m.eval(ch, byCol)
+		}
+		return p
+	case KindSum:
+		var p float64
+		for i, ch := range n.Children {
+			p += n.Weights[i] * m.eval(ch, byCol)
+		}
+		return p
+	default:
+		panic("spn: unknown node kind")
+	}
+}
+
+// EstimateRows scales Prob by the training population.
+func (m *Model) EstimateRows(constraints []expr.Constraint) (float64, error) {
+	p, err := m.Prob(constraints)
+	if err != nil {
+		return 0, err
+	}
+	return p * m.Rows, nil
+}
+
+// SizeBytes reports the model footprint.
+func (m *Model) SizeBytes() int64 {
+	var total int64
+	for i := range m.Nodes {
+		total += 32
+		total += int64(len(m.Nodes[i].Children)+len(m.Nodes[i].Weights)) * 8
+		if m.Nodes[i].Hist != nil {
+			h := m.Nodes[i].Hist
+			total += int64(len(h.Bounds)+len(h.Counts)+len(h.Distinct)) * 8
+		}
+	}
+	return total
+}
+
+// Validate checks structural sanity.
+func (m *Model) Validate() error {
+	if len(m.Nodes) == 0 {
+		return errors.New("spn: empty model")
+	}
+	if m.Root < 0 || m.Root >= len(m.Nodes) {
+		return fmt.Errorf("spn: root %d out of range", m.Root)
+	}
+	for i := range m.Nodes {
+		n := &m.Nodes[i]
+		switch n.Kind {
+		case KindLeaf:
+			if n.Hist == nil {
+				return fmt.Errorf("spn: leaf %d missing histogram", i)
+			}
+		case KindSum:
+			if len(n.Weights) != len(n.Children) {
+				return fmt.Errorf("spn: sum %d weight/child mismatch", i)
+			}
+			var sum float64
+			for _, w := range n.Weights {
+				sum += w
+			}
+			if math.Abs(sum-1) > 1e-6 {
+				return fmt.Errorf("spn: sum %d weights total %g", i, sum)
+			}
+			fallthrough
+		case KindProduct:
+			for _, ch := range n.Children {
+				if ch < 0 || ch >= len(m.Nodes) {
+					return fmt.Errorf("spn: node %d child %d out of range", i, ch)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Encode serializes the model with gob.
+func (m *Model) Encode() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(m); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// Decode deserializes and validates a model.
+func Decode(data []byte) (*Model, error) {
+	var m Model
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&m); err != nil {
+		return nil, err
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}

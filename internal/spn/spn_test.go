@@ -1,0 +1,234 @@
+package spn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"bytecard/internal/datagen"
+	"bytecard/internal/expr"
+)
+
+func corrData(n int, seed int64) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	data := make([][]float64, n)
+	for i := range data {
+		a := rng.Float64() * 100
+		b := a*2 + rng.NormFloat64()*5 // correlated with a
+		c := rng.Float64() * 10        // independent
+		data[i] = []float64{a, b, c}
+	}
+	return data
+}
+
+func eq(col string, v float64) expr.Constraint {
+	c := expr.NewConstraint(col)
+	c.Add(expr.OpEq, v, true)
+	return c
+}
+
+func lt(col string, v float64) expr.Constraint {
+	c := expr.NewConstraint(col)
+	c.Add(expr.OpLt, v, true)
+	return c
+}
+
+func TestTrainAndValidate(t *testing.T) {
+	m, err := Train([]string{"a", "b", "c"}, corrData(4000, 1), TrainConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m.TrainSeconds <= 0 || m.SizeBytes() <= 0 {
+		t.Error("metadata missing")
+	}
+	// Structure should contain at least one product node separating the
+	// independent column c.
+	var hasProduct bool
+	for _, n := range m.Nodes {
+		if n.Kind == KindProduct {
+			hasProduct = true
+		}
+	}
+	if !hasProduct {
+		t.Error("expected a product split for the independent column")
+	}
+}
+
+func TestProbUnconstrainedIsOne(t *testing.T) {
+	m, _ := Train([]string{"a", "b", "c"}, corrData(2000, 2), TrainConfig{Seed: 2})
+	p, err := m.Prob(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p-1) > 1e-9 {
+		t.Errorf("P() = %g, want 1", p)
+	}
+}
+
+func TestProbRangeAccuracy(t *testing.T) {
+	data := corrData(20000, 3)
+	m, _ := Train([]string{"a", "b", "c"}, data, TrainConfig{Seed: 3})
+	p, err := m.Prob([]expr.Constraint{lt("a", 50)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var truth float64
+	for _, r := range data {
+		if r[0] < 50 {
+			truth++
+		}
+	}
+	truth /= float64(len(data))
+	if math.Abs(p-truth) > 0.05 {
+		t.Errorf("P(a<50) = %g, want %g", p, truth)
+	}
+}
+
+func TestProbCapturesCorrelation(t *testing.T) {
+	data := corrData(20000, 4)
+	m, _ := Train([]string{"a", "b", "c"}, data, TrainConfig{Seed: 4})
+	// P(a<30 ∧ b<60): under b≈2a these nearly coincide (~0.3), while the
+	// independence estimate would be ~0.09.
+	p, err := m.Prob([]expr.Constraint{lt("a", 30), lt("b", 60)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var truth float64
+	for _, r := range data {
+		if r[0] < 30 && r[1] < 60 {
+			truth++
+		}
+	}
+	truth /= float64(len(data))
+	if p < truth*0.5 || p > truth*1.8 {
+		t.Errorf("P(a<30,b<60) = %g, want ~%g (independence would give ~%g)", p, truth, 0.3*0.3)
+	}
+}
+
+func TestEstimateRows(t *testing.T) {
+	data := corrData(5000, 5)
+	m, _ := Train([]string{"a", "b", "c"}, data, TrainConfig{Seed: 5})
+	est, err := m.EstimateRows([]expr.Constraint{lt("c", 5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est < 1500 || est > 3500 {
+		t.Errorf("EstimateRows = %g, want ~2500", est)
+	}
+}
+
+func TestUnknownColumn(t *testing.T) {
+	m, _ := Train([]string{"a"}, [][]float64{{1}, {2}}, TrainConfig{Seed: 1})
+	if _, err := m.Prob([]expr.Constraint{eq("zz", 1)}); err == nil {
+		t.Error("unknown column must error")
+	}
+}
+
+func TestTrainErrors(t *testing.T) {
+	if _, err := Train(nil, nil, TrainConfig{}); err == nil {
+		t.Error("empty data must fail")
+	}
+	if _, err := Train([]string{"a", "b"}, [][]float64{{1}}, TrainConfig{}); err == nil {
+		t.Error("ragged data must fail")
+	}
+}
+
+func TestEncodeDecodeRoundtrip(t *testing.T) {
+	m, _ := Train([]string{"a", "b", "c"}, corrData(2000, 6), TrainConfig{Seed: 6})
+	data, err := m.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := []expr.Constraint{lt("a", 40)}
+	a, _ := m.Prob(c)
+	b, _ := m2.Prob(c)
+	if a != b {
+		t.Errorf("roundtrip changed probability: %g vs %g", a, b)
+	}
+	if _, err := Decode([]byte("garbage")); err == nil {
+		t.Error("garbage must fail decode")
+	}
+}
+
+func TestValidateCorruption(t *testing.T) {
+	m, _ := Train([]string{"a", "b", "c"}, corrData(2000, 7), TrainConfig{Seed: 7})
+	for i := range m.Nodes {
+		if m.Nodes[i].Kind == KindSum {
+			m.Nodes[i].Weights[0] += 0.5
+			break
+		}
+	}
+	// Only fails if a sum node existed; force one invalid node otherwise.
+	m.Nodes = append(m.Nodes, Node{Kind: KindSum, Children: []int{0}, Weights: []float64{0.2}})
+	if err := m.Validate(); err == nil {
+		t.Error("corrupted weights must fail validation")
+	}
+}
+
+func TestDenormalizeToy(t *testing.T) {
+	ds := datagen.Toy(datagen.Config{Scale: 1, Seed: 8})
+	cols, rows, err := Denormalize(ds.DB, ds.Schema.JoinPatterns(), 500, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// fact(4 cols) + dim(2 cols) = 6 qualified columns.
+	if len(cols) != 6 {
+		t.Fatalf("cols = %v", cols)
+	}
+	if len(rows) == 0 {
+		t.Fatal("no denormalized rows")
+	}
+	// Every row must satisfy the join: fact.dim_id == dim.id.
+	var di, fi int = -1, -1
+	for i, c := range cols {
+		if c == "fact.dim_id" {
+			fi = i
+		}
+		if c == "dim.id" {
+			di = i
+		}
+	}
+	for _, r := range rows {
+		if r[fi] != r[di] {
+			t.Fatalf("join violated: %g != %g", r[fi], r[di])
+		}
+	}
+}
+
+func TestDenormalizeTrainsSPN(t *testing.T) {
+	ds := datagen.Toy(datagen.Config{Scale: 1, Seed: 9})
+	cols, rows, err := Denormalize(ds.DB, ds.Schema.JoinPatterns(), 400, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Train(cols, rows, TrainConfig{Seed: 9, MinRows: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Sanity: probability of flag=1 over the join should be near the
+	// fact-side marginal (~0.5).
+	p, err := m.Prob([]expr.Constraint{eq("fact.flag", 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p < 0.2 || p > 0.8 {
+		t.Errorf("P(flag=1) = %g, want ~0.5", p)
+	}
+}
+
+func TestDenormalizeErrors(t *testing.T) {
+	ds := datagen.Toy(datagen.Config{Scale: 1, Seed: 10})
+	if _, _, err := Denormalize(ds.DB, nil, 100, 1); err == nil {
+		t.Error("no patterns must fail")
+	}
+}

@@ -1,0 +1,181 @@
+// Package sqlparse implements the SQL front end for the query class the
+// evaluation workloads use: select–project–join blocks with conjunctive/
+// disjunctive filters, GROUP BY, and the COUNT / COUNT DISTINCT / SUM /
+// AVG / MIN / MAX aggregates.
+package sqlparse
+
+import (
+	"strings"
+
+	"bytecard/internal/expr"
+	"bytecard/internal/types"
+)
+
+// ColRef names a possibly-qualified column.
+type ColRef struct {
+	Qualifier string // table name or alias; may be empty
+	Name      string
+}
+
+// String renders the reference.
+func (c ColRef) String() string {
+	if c.Qualifier == "" {
+		return c.Name
+	}
+	return c.Qualifier + "." + c.Name
+}
+
+// TableRef names a table with an optional alias.
+type TableRef struct {
+	Name  string
+	Alias string
+}
+
+// Binding returns the name the query binds the table to.
+func (t TableRef) Binding() string {
+	if t.Alias != "" {
+		return t.Alias
+	}
+	return t.Name
+}
+
+// String renders the reference.
+func (t TableRef) String() string {
+	if t.Alias == "" {
+		return t.Name
+	}
+	return t.Name + " " + t.Alias
+}
+
+// ItemKind classifies select-list items.
+type ItemKind int
+
+// Select-list item kinds.
+const (
+	ItemStar ItemKind = iota
+	ItemColumn
+	ItemCountStar
+	ItemCountDistinct
+	ItemAgg // SUM/AVG/MIN/MAX/COUNT over a column
+)
+
+// SelectItem is one entry of the select list.
+type SelectItem struct {
+	Kind ItemKind
+	// Agg holds the aggregate name (upper case) for ItemAgg.
+	Agg string
+	// Cols holds the referenced columns: one for ItemColumn/ItemAgg, one
+	// or more for ItemCountDistinct.
+	Cols []ColRef
+}
+
+// String renders the item.
+func (s SelectItem) String() string {
+	switch s.Kind {
+	case ItemStar:
+		return "*"
+	case ItemColumn:
+		return s.Cols[0].String()
+	case ItemCountStar:
+		return "COUNT(*)"
+	case ItemCountDistinct:
+		parts := make([]string, len(s.Cols))
+		for i, c := range s.Cols {
+			parts[i] = c.String()
+		}
+		return "COUNT(DISTINCT " + strings.Join(parts, ", ") + ")"
+	default:
+		return s.Agg + "(" + s.Cols[0].String() + ")"
+	}
+}
+
+// CondKind classifies condition nodes.
+type CondKind int
+
+// Condition node kinds.
+const (
+	CondCmp CondKind = iota
+	CondAnd
+	CondOr
+)
+
+// Cond is a WHERE-clause tree. Comparison leaves either compare a column
+// with a literal (RightCol nil) or two columns (a join condition).
+type Cond struct {
+	Kind     CondKind
+	Op       expr.CmpOp
+	Left     ColRef
+	RightCol *ColRef
+	RightVal types.Datum
+	Children []*Cond
+}
+
+// IsJoin reports whether the leaf compares two columns.
+func (c *Cond) IsJoin() bool { return c.Kind == CondCmp && c.RightCol != nil }
+
+// String renders the condition.
+func (c *Cond) String() string {
+	switch c.Kind {
+	case CondCmp:
+		right := c.RightVal.String()
+		if c.RightCol != nil {
+			right = c.RightCol.String()
+		}
+		return c.Left.String() + " " + c.Op.String() + " " + right
+	case CondAnd, CondOr:
+		op := " AND "
+		if c.Kind == CondOr {
+			op = " OR "
+		}
+		parts := make([]string, len(c.Children))
+		for i, ch := range c.Children {
+			if ch.Kind == CondCmp {
+				parts[i] = ch.String()
+			} else {
+				parts[i] = "(" + ch.String() + ")"
+			}
+		}
+		return strings.Join(parts, op)
+	default:
+		panic("sqlparse: unknown cond kind")
+	}
+}
+
+// SelectStmt is a parsed query block.
+type SelectStmt struct {
+	Items   []SelectItem
+	From    []TableRef
+	Where   *Cond
+	GroupBy []ColRef
+}
+
+// String renders the statement as SQL; Parse(stmt.String()) reproduces an
+// equivalent AST.
+func (s *SelectStmt) String() string {
+	var sb strings.Builder
+	sb.WriteString("SELECT ")
+	items := make([]string, len(s.Items))
+	for i, it := range s.Items {
+		items[i] = it.String()
+	}
+	sb.WriteString(strings.Join(items, ", "))
+	sb.WriteString(" FROM ")
+	tabs := make([]string, len(s.From))
+	for i, t := range s.From {
+		tabs[i] = t.String()
+	}
+	sb.WriteString(strings.Join(tabs, ", "))
+	if s.Where != nil {
+		sb.WriteString(" WHERE ")
+		sb.WriteString(s.Where.String())
+	}
+	if len(s.GroupBy) > 0 {
+		cols := make([]string, len(s.GroupBy))
+		for i, c := range s.GroupBy {
+			cols[i] = c.String()
+		}
+		sb.WriteString(" GROUP BY ")
+		sb.WriteString(strings.Join(cols, ", "))
+	}
+	return sb.String()
+}

@@ -1,0 +1,356 @@
+package sqlparse
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"bytecard/internal/expr"
+	"bytecard/internal/types"
+)
+
+// Parse parses one SELECT statement.
+func Parse(sql string) (*SelectStmt, error) {
+	toks, err := lex(sql)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	stmt, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	if !p.atEOF() {
+		return nil, p.errorf("unexpected trailing input %s", p.peek())
+	}
+	return stmt, nil
+}
+
+// MustParse parses known-good SQL; it panics on error (used by generators
+// and tests).
+func MustParse(sql string) *SelectStmt {
+	stmt, err := Parse(sql)
+	if err != nil {
+		panic(err)
+	}
+	return stmt
+}
+
+type parser struct {
+	toks []token
+	i    int
+}
+
+func (p *parser) peek() token   { return p.toks[p.i] }
+func (p *parser) next() token   { t := p.toks[p.i]; p.i++; return t }
+func (p *parser) atEOF() bool   { return p.peek().kind == tokEOF }
+func (p *parser) save() int     { return p.i }
+func (p *parser) restore(s int) { p.i = s }
+
+func (p *parser) errorf(format string, args ...any) error {
+	return fmt.Errorf("sqlparse: %s (at offset %d)", fmt.Sprintf(format, args...), p.peek().pos)
+}
+
+// keyword consumes an identifier token matching kw case-insensitively.
+func (p *parser) keyword(kw string) bool {
+	t := p.peek()
+	if t.kind == tokIdent && strings.EqualFold(t.text, kw) {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.keyword(kw) {
+		return p.errorf("expected %s, found %s", kw, p.peek())
+	}
+	return nil
+}
+
+func (p *parser) symbol(s string) bool {
+	t := p.peek()
+	if t.kind == tokSymbol && t.text == s {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectSymbol(s string) error {
+	if !p.symbol(s) {
+		return p.errorf("expected %q, found %s", s, p.peek())
+	}
+	return nil
+}
+
+var reservedWords = map[string]bool{
+	"select": true, "from": true, "where": true, "group": true, "by": true,
+	"and": true, "or": true, "as": true, "count": true, "sum": true,
+	"avg": true, "min": true, "max": true, "distinct": true, "join": true, "on": true,
+}
+
+func (p *parser) ident() (string, error) {
+	t := p.peek()
+	if t.kind != tokIdent {
+		return "", p.errorf("expected identifier, found %s", t)
+	}
+	if reservedWords[strings.ToLower(t.text)] {
+		return "", p.errorf("unexpected keyword %s", t)
+	}
+	p.next()
+	return t.text, nil
+}
+
+func (p *parser) parseSelect() (*SelectStmt, error) {
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	stmt := &SelectStmt{}
+	for {
+		item, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Items = append(stmt.Items, item)
+		if !p.symbol(",") {
+			break
+		}
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	for {
+		ref, err := p.parseTableRef()
+		if err != nil {
+			return nil, err
+		}
+		stmt.From = append(stmt.From, ref)
+		if p.symbol(",") || p.keyword("JOIN") {
+			continue
+		}
+		break
+	}
+	if p.keyword("WHERE") {
+		cond, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Where = cond
+	}
+	if p.keyword("GROUP") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			col, err := p.parseColRef()
+			if err != nil {
+				return nil, err
+			}
+			stmt.GroupBy = append(stmt.GroupBy, col)
+			if !p.symbol(",") {
+				break
+			}
+		}
+	}
+	return stmt, nil
+}
+
+func (p *parser) parseSelectItem() (SelectItem, error) {
+	if p.symbol("*") {
+		return SelectItem{Kind: ItemStar}, nil
+	}
+	for _, agg := range []string{"COUNT", "SUM", "AVG", "MIN", "MAX"} {
+		if p.keyword(agg) {
+			return p.parseAgg(agg)
+		}
+	}
+	col, err := p.parseColRef()
+	if err != nil {
+		return SelectItem{}, err
+	}
+	return SelectItem{Kind: ItemColumn, Cols: []ColRef{col}}, nil
+}
+
+func (p *parser) parseAgg(agg string) (SelectItem, error) {
+	if err := p.expectSymbol("("); err != nil {
+		return SelectItem{}, err
+	}
+	if agg == "COUNT" {
+		if p.symbol("*") {
+			if err := p.expectSymbol(")"); err != nil {
+				return SelectItem{}, err
+			}
+			return SelectItem{Kind: ItemCountStar}, nil
+		}
+		if p.keyword("DISTINCT") {
+			item := SelectItem{Kind: ItemCountDistinct}
+			for {
+				col, err := p.parseColRef()
+				if err != nil {
+					return SelectItem{}, err
+				}
+				item.Cols = append(item.Cols, col)
+				if !p.symbol(",") {
+					break
+				}
+			}
+			if err := p.expectSymbol(")"); err != nil {
+				return SelectItem{}, err
+			}
+			return item, nil
+		}
+	}
+	col, err := p.parseColRef()
+	if err != nil {
+		return SelectItem{}, err
+	}
+	if err := p.expectSymbol(")"); err != nil {
+		return SelectItem{}, err
+	}
+	return SelectItem{Kind: ItemAgg, Agg: agg, Cols: []ColRef{col}}, nil
+}
+
+func (p *parser) parseTableRef() (TableRef, error) {
+	name, err := p.ident()
+	if err != nil {
+		return TableRef{}, err
+	}
+	ref := TableRef{Name: name}
+	if p.keyword("AS") {
+		alias, err := p.ident()
+		if err != nil {
+			return TableRef{}, err
+		}
+		ref.Alias = alias
+		return ref, nil
+	}
+	// Bare alias: an identifier not followed by '.' and not a keyword.
+	if t := p.peek(); t.kind == tokIdent && !reservedWords[strings.ToLower(t.text)] {
+		ref.Alias = t.text
+		p.next()
+	}
+	return ref, nil
+}
+
+func (p *parser) parseColRef() (ColRef, error) {
+	first, err := p.ident()
+	if err != nil {
+		return ColRef{}, err
+	}
+	if p.symbol(".") {
+		second, err := p.ident()
+		if err != nil {
+			return ColRef{}, err
+		}
+		return ColRef{Qualifier: first, Name: second}, nil
+	}
+	return ColRef{Name: first}, nil
+}
+
+func (p *parser) parseOr() (*Cond, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	children := []*Cond{left}
+	for p.keyword("OR") {
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		children = append(children, right)
+	}
+	if len(children) == 1 {
+		return left, nil
+	}
+	return &Cond{Kind: CondOr, Children: children}, nil
+}
+
+func (p *parser) parseAnd() (*Cond, error) {
+	left, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	children := []*Cond{left}
+	for p.keyword("AND") {
+		right, err := p.parsePrimary()
+		if err != nil {
+			return nil, err
+		}
+		children = append(children, right)
+	}
+	if len(children) == 1 {
+		return left, nil
+	}
+	return &Cond{Kind: CondAnd, Children: children}, nil
+}
+
+func (p *parser) parsePrimary() (*Cond, error) {
+	if p.symbol("(") {
+		cond, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		return cond, nil
+	}
+	return p.parseComparison()
+}
+
+var opBySymbol = map[string]expr.CmpOp{
+	"=": expr.OpEq, "<>": expr.OpNe, "!=": expr.OpNe,
+	"<": expr.OpLt, "<=": expr.OpLe, ">": expr.OpGt, ">=": expr.OpGe,
+}
+
+func (p *parser) parseComparison() (*Cond, error) {
+	left, err := p.parseColRef()
+	if err != nil {
+		return nil, err
+	}
+	t := p.peek()
+	op, ok := opBySymbol[t.text]
+	if t.kind != tokSymbol || !ok {
+		return nil, p.errorf("expected comparison operator, found %s", t)
+	}
+	p.next()
+	// Right side: literal or column.
+	switch rt := p.peek(); rt.kind {
+	case tokNumber:
+		p.next()
+		val, err := parseNumber(rt.text)
+		if err != nil {
+			return nil, p.errorf("%v", err)
+		}
+		return &Cond{Kind: CondCmp, Op: op, Left: left, RightVal: val}, nil
+	case tokString:
+		p.next()
+		return &Cond{Kind: CondCmp, Op: op, Left: left, RightVal: types.Str(rt.text)}, nil
+	case tokIdent:
+		save := p.save()
+		right, err := p.parseColRef()
+		if err != nil {
+			p.restore(save)
+			return nil, p.errorf("expected literal or column, found %s", rt)
+		}
+		return &Cond{Kind: CondCmp, Op: op, Left: left, RightCol: &right}, nil
+	default:
+		return nil, p.errorf("expected literal or column, found %s", rt)
+	}
+}
+
+func parseNumber(text string) (types.Datum, error) {
+	if !strings.Contains(text, ".") {
+		v, err := strconv.ParseInt(text, 10, 64)
+		if err == nil {
+			return types.Int(v), nil
+		}
+	}
+	f, err := strconv.ParseFloat(text, 64)
+	if err != nil {
+		return types.Datum{}, fmt.Errorf("bad numeric literal %q", text)
+	}
+	return types.Float(f), nil
+}

@@ -1,0 +1,186 @@
+package sqlparse
+
+import (
+	"strings"
+	"testing"
+
+	"bytecard/internal/expr"
+	"bytecard/internal/types"
+)
+
+func TestParseCountStar(t *testing.T) {
+	s := MustParse("SELECT COUNT(*) FROM title")
+	if len(s.Items) != 1 || s.Items[0].Kind != ItemCountStar {
+		t.Fatalf("items = %v", s.Items)
+	}
+	if len(s.From) != 1 || s.From[0].Name != "title" {
+		t.Fatalf("from = %v", s.From)
+	}
+	if s.Where != nil || s.GroupBy != nil {
+		t.Error("unexpected where/group by")
+	}
+}
+
+func TestParseAliases(t *testing.T) {
+	s := MustParse("SELECT COUNT(*) FROM title t, cast_info AS ci WHERE t.id = ci.movie_id")
+	if s.From[0].Binding() != "t" || s.From[1].Binding() != "ci" {
+		t.Errorf("bindings = %v %v", s.From[0], s.From[1])
+	}
+	if s.From[1].Name != "cast_info" {
+		t.Errorf("second table = %v", s.From[1])
+	}
+	w := s.Where
+	if w.Kind != CondCmp || !w.IsJoin() {
+		t.Fatalf("where = %v", w)
+	}
+	if w.Left.Qualifier != "t" || w.RightCol.Qualifier != "ci" || w.RightCol.Name != "movie_id" {
+		t.Errorf("join refs = %v %v", w.Left, w.RightCol)
+	}
+}
+
+func TestParseJoinKeyword(t *testing.T) {
+	s := MustParse("SELECT COUNT(*) FROM a JOIN b WHERE a.x = b.y")
+	if len(s.From) != 2 {
+		t.Fatalf("from = %v", s.From)
+	}
+}
+
+func TestParsePredicates(t *testing.T) {
+	s := MustParse("SELECT COUNT(*) FROM t WHERE t.a >= 10 AND t.b < 2.5 AND t.c = 'xyz'")
+	w := s.Where
+	if w.Kind != CondAnd || len(w.Children) != 3 {
+		t.Fatalf("where = %v", w)
+	}
+	if w.Children[0].Op != expr.OpGe || w.Children[0].RightVal.I != 10 {
+		t.Errorf("pred 0 = %v", w.Children[0])
+	}
+	if w.Children[1].RightVal.K != types.KindFloat64 || w.Children[1].RightVal.F != 2.5 {
+		t.Errorf("pred 1 = %v", w.Children[1])
+	}
+	if w.Children[2].RightVal.S != "xyz" {
+		t.Errorf("pred 2 = %v", w.Children[2])
+	}
+}
+
+func TestParseNegativeNumber(t *testing.T) {
+	s := MustParse("SELECT COUNT(*) FROM t WHERE t.a > -5")
+	if s.Where.RightVal.I != -5 {
+		t.Errorf("literal = %v", s.Where.RightVal)
+	}
+}
+
+func TestParseOrPrecedence(t *testing.T) {
+	s := MustParse("SELECT COUNT(*) FROM t WHERE a = 1 OR b = 2 AND c = 3")
+	// AND binds tighter: OR(a=1, AND(b=2, c=3)).
+	w := s.Where
+	if w.Kind != CondOr || len(w.Children) != 2 {
+		t.Fatalf("where = %v", w)
+	}
+	if w.Children[1].Kind != CondAnd {
+		t.Errorf("second child = %v", w.Children[1])
+	}
+}
+
+func TestParseParens(t *testing.T) {
+	s := MustParse("SELECT COUNT(*) FROM t WHERE (a = 1 OR b = 2) AND c = 3")
+	w := s.Where
+	if w.Kind != CondAnd || w.Children[0].Kind != CondOr {
+		t.Fatalf("where = %v", w)
+	}
+}
+
+func TestParseGroupByAndAggregates(t *testing.T) {
+	s := MustParse("SELECT u.state, COUNT(*), AVG(p.score), COUNT(DISTINCT p.owner, p.kind) FROM posts p, users u WHERE p.owner = u.id GROUP BY u.state, p.kind")
+	if len(s.Items) != 4 {
+		t.Fatalf("items = %v", s.Items)
+	}
+	if s.Items[0].Kind != ItemColumn || s.Items[1].Kind != ItemCountStar {
+		t.Error("item kinds broken")
+	}
+	if s.Items[2].Kind != ItemAgg || s.Items[2].Agg != "AVG" {
+		t.Errorf("avg item = %v", s.Items[2])
+	}
+	cd := s.Items[3]
+	if cd.Kind != ItemCountDistinct || len(cd.Cols) != 2 {
+		t.Errorf("count distinct item = %v", cd)
+	}
+	if len(s.GroupBy) != 2 || s.GroupBy[0].Qualifier != "u" || s.GroupBy[1].Name != "kind" {
+		t.Errorf("group by = %v", s.GroupBy)
+	}
+}
+
+func TestParseStringEscapes(t *testing.T) {
+	s := MustParse("SELECT COUNT(*) FROM t WHERE name = 'O''Brien'")
+	if s.Where.RightVal.S != "O'Brien" {
+		t.Errorf("string = %q", s.Where.RightVal.S)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"SELECT",
+		"SELECT COUNT(* FROM t",
+		"SELECT COUNT(*) FROM",
+		"SELECT COUNT(*) FROM t WHERE",
+		"SELECT COUNT(*) FROM t WHERE a",
+		"SELECT COUNT(*) FROM t WHERE a = ",
+		"SELECT COUNT(*) FROM t WHERE a = 'unterminated",
+		"SELECT COUNT(*) FROM t WHERE a ~ 1",
+		"SELECT COUNT(*) FROM t trailing garbage = 1",
+		"SELECT COUNT(*) FROM t GROUP",
+		"SELECT FROM t",
+	}
+	for _, sql := range bad {
+		if _, err := Parse(sql); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", sql)
+		}
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParse on bad SQL must panic")
+		}
+	}()
+	MustParse("not sql")
+}
+
+func TestStringRoundtrip(t *testing.T) {
+	queries := []string{
+		"SELECT COUNT(*) FROM title",
+		"SELECT COUNT(*) FROM title t, cast_info ci WHERE t.id = ci.movie_id AND t.year > 2000",
+		"SELECT a, COUNT(*) FROM t WHERE a = 1 OR (b < 2 AND c <> 'x') GROUP BY a",
+		"SELECT COUNT(DISTINCT a, b), SUM(c) FROM t GROUP BY d",
+		"SELECT MIN(x) FROM t WHERE x >= -3.5",
+	}
+	for _, q := range queries {
+		first := MustParse(q)
+		second := MustParse(first.String())
+		if first.String() != second.String() {
+			t.Errorf("roundtrip mismatch:\n  in:  %s\n  out: %s\n  re:  %s", q, first, second)
+		}
+	}
+}
+
+func TestCaseInsensitiveKeywords(t *testing.T) {
+	s := MustParse("select count(*) from t where a = 1 group by b")
+	if s.Items[0].Kind != ItemCountStar || len(s.GroupBy) != 1 {
+		t.Error("lower-case keywords must parse")
+	}
+}
+
+func TestReservedWordAsIdentifierRejected(t *testing.T) {
+	if _, err := Parse("SELECT COUNT(*) FROM select"); err == nil {
+		t.Error("reserved word as table name must fail")
+	}
+}
+
+func TestCondString(t *testing.T) {
+	s := MustParse("SELECT COUNT(*) FROM t WHERE a = 1 AND (b = 2 OR c = 3)")
+	str := s.Where.String()
+	if !strings.Contains(str, "AND") || !strings.Contains(str, "(") {
+		t.Errorf("Cond.String = %q", str)
+	}
+}

@@ -1,0 +1,412 @@
+// Package storage implements the warehouse's columnar storage layer:
+// dictionary-encoded typed columns split into fixed-size blocks, block-level
+// read accounting (the substrate for the paper's read-I/O experiments), and
+// an in-memory database of tables.
+package storage
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+
+	"bytecard/internal/types"
+)
+
+// BlockSize is the number of values per column block. Readers fetch whole
+// blocks, so I/O accounting happens at this granularity. (Production
+// column stores use granules around 8192 values; the reproduction datasets
+// are orders of magnitude smaller, so a proportionally smaller block keeps
+// the block-skipping behaviour observable.)
+const BlockSize = 2048
+
+// IOStats accumulates block-read counters. It is safe for concurrent use.
+type IOStats struct {
+	blocksRead atomic.Int64
+	bytesRead  atomic.Int64
+}
+
+// AddBlock records one block read of width bytes per value over n values.
+func (s *IOStats) AddBlock(bytes int64) {
+	s.blocksRead.Add(1)
+	s.bytesRead.Add(bytes)
+}
+
+// BlocksRead returns the number of blocks fetched.
+func (s *IOStats) BlocksRead() int64 { return s.blocksRead.Load() }
+
+// BytesRead returns the number of bytes fetched.
+func (s *IOStats) BytesRead() int64 { return s.bytesRead.Load() }
+
+// Reset zeroes the counters.
+func (s *IOStats) Reset() {
+	s.blocksRead.Store(0)
+	s.bytesRead.Store(0)
+}
+
+// ColumnSpec declares one column of a table under construction.
+type ColumnSpec struct {
+	Name string
+	Kind types.Kind
+}
+
+// Column is one materialized column. Strings are dictionary encoded; after
+// Build the dictionary is sorted so code order equals lexicographic order.
+type Column struct {
+	name   string
+	kind   types.Kind
+	ints   []int64
+	floats []float64
+	codes  []int32
+	dict   []string
+}
+
+// Name returns the column name.
+func (c *Column) Name() string { return c.name }
+
+// Kind returns the column's database type.
+func (c *Column) Kind() types.Kind { return c.kind }
+
+// Len returns the number of rows.
+func (c *Column) Len() int {
+	switch c.kind {
+	case types.KindInt64:
+		return len(c.ints)
+	case types.KindFloat64:
+		return len(c.floats)
+	default:
+		return len(c.codes)
+	}
+}
+
+// valueWidth is the per-value width in bytes used for byte accounting.
+func (c *Column) valueWidth() int64 {
+	if c.kind == types.KindInt64 || c.kind == types.KindFloat64 {
+		return 8
+	}
+	return 4
+}
+
+// NumBlocks returns the number of storage blocks in the column.
+func (c *Column) NumBlocks() int { return (c.Len() + BlockSize - 1) / BlockSize }
+
+// BlockOf returns the block index containing row i.
+func BlockOf(i int) int { return i / BlockSize }
+
+// Value returns the datum at row i.
+func (c *Column) Value(i int) types.Datum {
+	switch c.kind {
+	case types.KindInt64:
+		return types.Int(c.ints[i])
+	case types.KindFloat64:
+		return types.Float(c.floats[i])
+	default:
+		return types.Datum{K: c.kind, S: c.dict[c.codes[i]]}
+	}
+}
+
+// Numeric returns the numeric image of row i: the value itself for numeric
+// kinds and the dictionary code for strings. Because dictionaries are sorted
+// at build time, code order equals string order, so histograms and bin
+// boundaries built on Numeric respect the column's comparison semantics.
+func (c *Column) Numeric(i int) float64 {
+	switch c.kind {
+	case types.KindInt64:
+		return float64(c.ints[i])
+	case types.KindFloat64:
+		return c.floats[i]
+	default:
+		return float64(c.codes[i])
+	}
+}
+
+// NumericAll materializes the numeric image of the whole column.
+func (c *Column) NumericAll() []float64 {
+	out := make([]float64, c.Len())
+	for i := range out {
+		out[i] = c.Numeric(i)
+	}
+	return out
+}
+
+// EncodeDatum converts a literal to the column's numeric image: numeric
+// literals pass through; string literals map to their dictionary code, with
+// non-member strings mapped to the insertion point minus 0.5 so range
+// predicates remain correct. The boolean reports whether an exact member was
+// found (relevant for equality predicates).
+func (c *Column) EncodeDatum(d types.Datum) (float64, bool) {
+	if c.kind != types.KindString {
+		return d.AsFloat(), true
+	}
+	if d.K != types.KindString {
+		return d.AsFloat(), false
+	}
+	i := sort.SearchStrings(c.dict, d.S)
+	if i < len(c.dict) && c.dict[i] == d.S {
+		return float64(i), true
+	}
+	return float64(i) - 0.5, false
+}
+
+// DictSize returns the dictionary length (0 for non-string columns).
+func (c *Column) DictSize() int { return len(c.dict) }
+
+// Reader provides block-accounted access to one column within one query.
+// The first touch of each block registers a block read in the IOStats; a
+// nil IOStats disables accounting. Reader is not safe for concurrent use —
+// each scan operator owns its readers.
+type Reader struct {
+	col    *Column
+	io     *IOStats
+	loaded []bool
+}
+
+// NewReader creates a reader over col accounting into io (which may be nil).
+func (c *Column) NewReader(io *IOStats) *Reader {
+	return &Reader{col: c, io: io, loaded: make([]bool, c.NumBlocks())}
+}
+
+// touch registers the block containing row i as read.
+func (r *Reader) touch(i int) {
+	b := BlockOf(i)
+	if !r.loaded[b] {
+		r.loaded[b] = true
+		if r.io != nil {
+			n := BlockSize
+			if start := b * BlockSize; start+n > r.col.Len() {
+				n = r.col.Len() - start
+			}
+			r.io.AddBlock(int64(n) * r.col.valueWidth())
+		}
+	}
+}
+
+// Numeric returns the numeric image of row i, accounting the block read.
+func (r *Reader) Numeric(i int) float64 {
+	r.touch(i)
+	return r.col.Numeric(i)
+}
+
+// Value returns the datum at row i, accounting the block read.
+func (r *Reader) Value(i int) types.Datum {
+	r.touch(i)
+	return r.col.Value(i)
+}
+
+// LoadAll touches every block (the single-stage reader's behaviour).
+func (r *Reader) LoadAll() {
+	n := r.col.Len()
+	for b := 0; b*BlockSize < n; b++ {
+		r.touch(b * BlockSize)
+	}
+}
+
+// BlocksTouched returns how many blocks this reader has loaded.
+func (r *Reader) BlocksTouched() int {
+	n := 0
+	for _, l := range r.loaded {
+		if l {
+			n++
+		}
+	}
+	return n
+}
+
+// Table is an immutable columnar table.
+type Table struct {
+	name   string
+	cols   []*Column
+	byName map[string]int
+	n      int
+}
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.name }
+
+// NumRows returns the row count.
+func (t *Table) NumRows() int { return t.n }
+
+// NumCols returns the column count.
+func (t *Table) NumCols() int { return len(t.cols) }
+
+// Col returns the i-th column.
+func (t *Table) Col(i int) *Column { return t.cols[i] }
+
+// ColByName returns the named column or nil.
+func (t *Table) ColByName(name string) *Column {
+	if i, ok := t.byName[name]; ok {
+		return t.cols[i]
+	}
+	return nil
+}
+
+// ColIndex returns the index of the named column or -1.
+func (t *Table) ColIndex(name string) int {
+	if i, ok := t.byName[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// ColumnNames returns the column names in declaration order.
+func (t *Table) ColumnNames() []string {
+	out := make([]string, len(t.cols))
+	for i, c := range t.cols {
+		out[i] = c.name
+	}
+	return out
+}
+
+// Row materializes row i across all columns (used by tests and the naive
+// reference executor; the real executors work columnar).
+func (t *Table) Row(i int) []types.Datum {
+	out := make([]types.Datum, len(t.cols))
+	for j, c := range t.cols {
+		out[j] = c.Value(i)
+	}
+	return out
+}
+
+// SizeBytes approximates the table's in-memory footprint.
+func (t *Table) SizeBytes() int64 {
+	var total int64
+	for _, c := range t.cols {
+		total += int64(c.Len()) * c.valueWidth()
+		for _, s := range c.dict {
+			total += int64(len(s))
+		}
+	}
+	return total
+}
+
+// Builder accumulates rows for a table.
+type Builder struct {
+	name    string
+	specs   []ColumnSpec
+	ints    [][]int64
+	floats  [][]float64
+	codes   [][]int32
+	dicts   []map[string]int32
+	dictArr [][]string
+	n       int
+}
+
+// NewBuilder starts a table with the given column specs.
+func NewBuilder(name string, specs []ColumnSpec) *Builder {
+	b := &Builder{name: name, specs: specs}
+	b.ints = make([][]int64, len(specs))
+	b.floats = make([][]float64, len(specs))
+	b.codes = make([][]int32, len(specs))
+	b.dicts = make([]map[string]int32, len(specs))
+	b.dictArr = make([][]string, len(specs))
+	for i, s := range specs {
+		if s.Kind != types.KindInt64 && s.Kind != types.KindFloat64 {
+			b.dicts[i] = make(map[string]int32)
+		}
+	}
+	return b
+}
+
+// Append adds one row. The datum kinds must match the specs (ints are
+// accepted into float columns).
+func (b *Builder) Append(row []types.Datum) {
+	if len(row) != len(b.specs) {
+		panic(fmt.Sprintf("storage: row width %d != %d columns", len(row), len(b.specs)))
+	}
+	for i, d := range row {
+		switch b.specs[i].Kind {
+		case types.KindInt64:
+			if d.K != types.KindInt64 {
+				panic(fmt.Sprintf("storage: column %s expects INT64, got %s", b.specs[i].Name, d.K))
+			}
+			b.ints[i] = append(b.ints[i], d.I)
+		case types.KindFloat64:
+			if !d.IsNumeric() {
+				panic(fmt.Sprintf("storage: column %s expects FLOAT64, got %s", b.specs[i].Name, d.K))
+			}
+			b.floats[i] = append(b.floats[i], d.AsFloat())
+		case types.KindString, types.KindArray, types.KindMap:
+			if d.K != b.specs[i].Kind {
+				panic(fmt.Sprintf("storage: column %s expects %s, got %s", b.specs[i].Name, b.specs[i].Kind, d.K))
+			}
+			code, ok := b.dicts[i][d.S]
+			if !ok {
+				code = int32(len(b.dictArr[i]))
+				b.dicts[i][d.S] = code
+				b.dictArr[i] = append(b.dictArr[i], d.S)
+			}
+			b.codes[i] = append(b.codes[i], code)
+		default:
+			panic("storage: unsupported column kind " + b.specs[i].Kind.String())
+		}
+	}
+	b.n++
+}
+
+// Build finalizes the table: string dictionaries are sorted and codes
+// remapped so code order equals lexicographic order.
+func (b *Builder) Build() *Table {
+	t := &Table{name: b.name, byName: make(map[string]int, len(b.specs)), n: b.n}
+	for i, s := range b.specs {
+		col := &Column{name: s.Name, kind: s.Kind}
+		switch s.Kind {
+		case types.KindInt64:
+			col.ints = b.ints[i]
+		case types.KindFloat64:
+			col.floats = b.floats[i]
+		case types.KindString, types.KindArray, types.KindMap:
+			sorted := append([]string(nil), b.dictArr[i]...)
+			sort.Strings(sorted)
+			remap := make([]int32, len(sorted))
+			newIdx := make(map[string]int32, len(sorted))
+			for j, s := range sorted {
+				newIdx[s] = int32(j)
+			}
+			for old, s := range b.dictArr[i] {
+				remap[old] = newIdx[s]
+			}
+			codes := b.codes[i]
+			for j, c := range codes {
+				codes[j] = remap[c]
+			}
+			col.codes = codes
+			col.dict = sorted
+		}
+		t.byName[s.Name] = len(t.cols)
+		t.cols = append(t.cols, col)
+	}
+	return t
+}
+
+// Database is a named collection of tables.
+type Database struct {
+	tables map[string]*Table
+	order  []string
+}
+
+// NewDatabase creates an empty database.
+func NewDatabase() *Database {
+	return &Database{tables: make(map[string]*Table)}
+}
+
+// Add registers a table, replacing any previous table of the same name.
+func (d *Database) Add(t *Table) {
+	if _, ok := d.tables[t.Name()]; !ok {
+		d.order = append(d.order, t.Name())
+	}
+	d.tables[t.Name()] = t
+}
+
+// Table returns the named table or nil.
+func (d *Database) Table(name string) *Table { return d.tables[name] }
+
+// TableNames returns table names in insertion order.
+func (d *Database) TableNames() []string { return append([]string(nil), d.order...) }
+
+// TotalRows sums row counts across tables.
+func (d *Database) TotalRows() int64 {
+	var n int64
+	for _, name := range d.order {
+		n += int64(d.tables[name].NumRows())
+	}
+	return n
+}

@@ -1,0 +1,221 @@
+package storage
+
+import (
+	"testing"
+
+	"bytecard/internal/types"
+)
+
+func buildTestTable(t *testing.T, n int) *Table {
+	t.Helper()
+	b := NewBuilder("t", []ColumnSpec{
+		{Name: "id", Kind: types.KindInt64},
+		{Name: "score", Kind: types.KindFloat64},
+		{Name: "tag", Kind: types.KindString},
+	})
+	tags := []string{"zeta", "alpha", "mid"}
+	for i := 0; i < n; i++ {
+		b.Append([]types.Datum{
+			types.Int(int64(i)),
+			types.Float(float64(i) / 2),
+			types.Str(tags[i%3]),
+		})
+	}
+	return b.Build()
+}
+
+func TestBuilderAndAccessors(t *testing.T) {
+	tab := buildTestTable(t, 10)
+	if tab.Name() != "t" || tab.NumRows() != 10 || tab.NumCols() != 3 {
+		t.Fatalf("basic metadata wrong: %s %d %d", tab.Name(), tab.NumRows(), tab.NumCols())
+	}
+	if tab.ColIndex("score") != 1 || tab.ColIndex("nope") != -1 {
+		t.Error("ColIndex broken")
+	}
+	if tab.ColByName("tag") == nil || tab.ColByName("zz") != nil {
+		t.Error("ColByName broken")
+	}
+	row := tab.Row(4)
+	if row[0].I != 4 || row[1].F != 2 || row[2].S != "alpha" {
+		t.Errorf("Row(4) = %v", row)
+	}
+	names := tab.ColumnNames()
+	if len(names) != 3 || names[2] != "tag" {
+		t.Errorf("ColumnNames = %v", names)
+	}
+}
+
+func TestDictionarySortedAfterBuild(t *testing.T) {
+	tab := buildTestTable(t, 6)
+	col := tab.ColByName("tag")
+	// Insertion order was zeta, alpha, mid; sorted order alpha < mid < zeta.
+	if col.Value(0).S != "zeta" {
+		t.Fatalf("row 0 tag = %v", col.Value(0))
+	}
+	av, _ := col.EncodeDatum(types.Str("alpha"))
+	mv, _ := col.EncodeDatum(types.Str("mid"))
+	zv, _ := col.EncodeDatum(types.Str("zeta"))
+	if !(av < mv && mv < zv) {
+		t.Errorf("dictionary codes not sorted: alpha=%g mid=%g zeta=%g", av, mv, zv)
+	}
+	// Numeric image must agree with the code.
+	if col.Numeric(0) != zv {
+		t.Errorf("Numeric(0) = %g, want %g", col.Numeric(0), zv)
+	}
+}
+
+func TestEncodeDatumMissingString(t *testing.T) {
+	tab := buildTestTable(t, 3)
+	col := tab.ColByName("tag")
+	v, found := col.EncodeDatum(types.Str("beta")) // between alpha and mid
+	if found {
+		t.Error("beta must not be found")
+	}
+	av, _ := col.EncodeDatum(types.Str("alpha"))
+	mv, _ := col.EncodeDatum(types.Str("mid"))
+	if !(v > av && v < mv) {
+		t.Errorf("missing-string code %g must fall between alpha %g and mid %g", v, av, mv)
+	}
+}
+
+func TestBuilderKindMismatchPanics(t *testing.T) {
+	b := NewBuilder("x", []ColumnSpec{{Name: "a", Kind: types.KindInt64}})
+	defer func() {
+		if recover() == nil {
+			t.Error("appending string into int column must panic")
+		}
+	}()
+	b.Append([]types.Datum{types.Str("oops")})
+}
+
+func TestBuilderWidthMismatchPanics(t *testing.T) {
+	b := NewBuilder("x", []ColumnSpec{{Name: "a", Kind: types.KindInt64}})
+	defer func() {
+		if recover() == nil {
+			t.Error("wrong row width must panic")
+		}
+	}()
+	b.Append([]types.Datum{types.Int(1), types.Int(2)})
+}
+
+func TestIntAcceptedIntoFloatColumn(t *testing.T) {
+	b := NewBuilder("x", []ColumnSpec{{Name: "f", Kind: types.KindFloat64}})
+	b.Append([]types.Datum{types.Int(7)})
+	tab := b.Build()
+	if tab.Col(0).Value(0).F != 7 {
+		t.Error("int must coerce into float column")
+	}
+}
+
+func TestBlockAccounting(t *testing.T) {
+	tab := buildTestTable(t, BlockSize*2+100) // 3 blocks
+	col := tab.ColByName("id")
+	if col.NumBlocks() != 3 {
+		t.Fatalf("NumBlocks = %d, want 3", col.NumBlocks())
+	}
+	var io IOStats
+	r := col.NewReader(&io)
+	_ = r.Numeric(0)
+	_ = r.Numeric(1) // same block: no extra I/O
+	if io.BlocksRead() != 1 {
+		t.Errorf("BlocksRead = %d, want 1", io.BlocksRead())
+	}
+	_ = r.Value(BlockSize) // second block
+	if io.BlocksRead() != 2 {
+		t.Errorf("BlocksRead = %d, want 2", io.BlocksRead())
+	}
+	if r.BlocksTouched() != 2 {
+		t.Errorf("BlocksTouched = %d, want 2", r.BlocksTouched())
+	}
+	if io.BytesRead() != 2*BlockSize*8 {
+		t.Errorf("BytesRead = %d, want %d", io.BytesRead(), 2*BlockSize*8)
+	}
+}
+
+func TestLoadAllCountsEveryBlockOnce(t *testing.T) {
+	tab := buildTestTable(t, BlockSize+1)
+	col := tab.ColByName("score")
+	var io IOStats
+	r := col.NewReader(&io)
+	r.LoadAll()
+	r.LoadAll()
+	if io.BlocksRead() != 2 {
+		t.Errorf("BlocksRead = %d, want 2 (idempotent)", io.BlocksRead())
+	}
+	// Last block is partial: 1 value * 8 bytes.
+	want := int64(BlockSize*8 + 8)
+	if io.BytesRead() != want {
+		t.Errorf("BytesRead = %d, want %d", io.BytesRead(), want)
+	}
+}
+
+func TestNilIOStatsReader(t *testing.T) {
+	tab := buildTestTable(t, 10)
+	r := tab.ColByName("id").NewReader(nil)
+	if r.Numeric(5) != 5 {
+		t.Error("reader without accounting must still read")
+	}
+}
+
+func TestIOStatsReset(t *testing.T) {
+	var io IOStats
+	io.AddBlock(100)
+	io.Reset()
+	if io.BlocksRead() != 0 || io.BytesRead() != 0 {
+		t.Error("Reset must zero counters")
+	}
+}
+
+func TestStringColumnWidth(t *testing.T) {
+	tab := buildTestTable(t, BlockSize)
+	var io IOStats
+	r := tab.ColByName("tag").NewReader(&io)
+	r.LoadAll()
+	if io.BytesRead() != BlockSize*4 {
+		t.Errorf("string column bytes = %d, want %d", io.BytesRead(), BlockSize*4)
+	}
+}
+
+func TestDatabase(t *testing.T) {
+	db := NewDatabase()
+	db.Add(buildTestTable(t, 5))
+	b := NewBuilder("u", []ColumnSpec{{Name: "a", Kind: types.KindInt64}})
+	b.Append([]types.Datum{types.Int(1)})
+	db.Add(b.Build())
+	if db.Table("t") == nil || db.Table("u") == nil || db.Table("v") != nil {
+		t.Error("Table lookup broken")
+	}
+	names := db.TableNames()
+	if len(names) != 2 || names[0] != "t" || names[1] != "u" {
+		t.Errorf("TableNames = %v", names)
+	}
+	if db.TotalRows() != 6 {
+		t.Errorf("TotalRows = %d, want 6", db.TotalRows())
+	}
+	// Replacing keeps one entry.
+	db.Add(buildTestTable(t, 7))
+	if len(db.TableNames()) != 2 || db.Table("t").NumRows() != 7 {
+		t.Error("replacement broken")
+	}
+}
+
+func TestSizeBytes(t *testing.T) {
+	tab := buildTestTable(t, 100)
+	if tab.SizeBytes() <= 0 {
+		t.Error("SizeBytes must be positive")
+	}
+}
+
+func TestNumericAll(t *testing.T) {
+	tab := buildTestTable(t, 8)
+	vals := tab.ColByName("id").NumericAll()
+	if len(vals) != 8 || vals[7] != 7 {
+		t.Errorf("NumericAll = %v", vals)
+	}
+}
+
+func TestBlockOf(t *testing.T) {
+	if BlockOf(0) != 0 || BlockOf(BlockSize-1) != 0 || BlockOf(BlockSize) != 1 {
+		t.Error("BlockOf broken")
+	}
+}

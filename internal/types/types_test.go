@@ -1,0 +1,187 @@
+package types
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		KindInt64:   "INT64",
+		KindFloat64: "FLOAT64",
+		KindString:  "STRING",
+		KindArray:   "ARRAY",
+		KindMap:     "MAP",
+		Kind(99):    "Kind(99)",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", int(k), got, want)
+		}
+	}
+}
+
+func TestKindScalar(t *testing.T) {
+	if !KindInt64.Scalar() || !KindFloat64.Scalar() || !KindString.Scalar() {
+		t.Error("scalar kinds must report Scalar() = true")
+	}
+	if KindArray.Scalar() || KindMap.Scalar() {
+		t.Error("nested kinds must report Scalar() = false")
+	}
+}
+
+func TestMapToML(t *testing.T) {
+	cases := []struct {
+		kind     Kind
+		distinct int64
+		want     MLType
+	}{
+		{KindArray, 10, MLUnsupported},
+		{KindMap, 10, MLUnsupported},
+		{KindInt64, 2, MLBinary},
+		{KindString, 2, MLBinary},
+		{KindString, 100000, MLCategorical},
+		{KindInt64, 100, MLCategorical},
+		{KindInt64, CategoricalThreshold, MLCategorical},
+		{KindInt64, CategoricalThreshold + 1, MLContinuous},
+		{KindFloat64, 1000000, MLContinuous},
+	}
+	for _, c := range cases {
+		if got := MapToML(c.kind, c.distinct); got != c.want {
+			t.Errorf("MapToML(%s, %d) = %s, want %s", c.kind, c.distinct, got, c.want)
+		}
+	}
+}
+
+func TestMLTypeString(t *testing.T) {
+	if MLBinary.String() != "Binary" || MLCategorical.String() != "Categorical" ||
+		MLContinuous.String() != "Continuous" || MLUnsupported.String() != "Unsupported" {
+		t.Error("MLType.String() mismatch")
+	}
+}
+
+func TestDatumCompareInts(t *testing.T) {
+	if Int(1).Compare(Int(2)) != -1 || Int(2).Compare(Int(1)) != 1 || Int(5).Compare(Int(5)) != 0 {
+		t.Error("int comparison broken")
+	}
+}
+
+func TestDatumCompareMixedNumeric(t *testing.T) {
+	if Int(3).Compare(Float(3.0)) != 0 {
+		t.Error("Int(3) should equal Float(3.0)")
+	}
+	if Int(3).Compare(Float(3.5)) != -1 {
+		t.Error("Int(3) should be less than Float(3.5)")
+	}
+	if Float(4.5).Compare(Int(4)) != 1 {
+		t.Error("Float(4.5) should be greater than Int(4)")
+	}
+}
+
+func TestDatumCompareStrings(t *testing.T) {
+	if Str("a").Compare(Str("b")) != -1 || Str("b").Compare(Str("a")) != 1 || Str("x").Compare(Str("x")) != 0 {
+		t.Error("string comparison broken")
+	}
+}
+
+func TestDatumCompareStringNumericPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("comparing string with int must panic")
+		}
+	}()
+	Str("a").Compare(Int(1))
+}
+
+func TestDatumEqualLess(t *testing.T) {
+	if !Int(7).Equal(Int(7)) || Int(7).Equal(Int(8)) {
+		t.Error("Equal broken")
+	}
+	if !Int(7).Less(Int(8)) || Int(8).Less(Int(7)) {
+		t.Error("Less broken")
+	}
+}
+
+func TestDatumAsFloat(t *testing.T) {
+	if Int(42).AsFloat() != 42 {
+		t.Error("Int AsFloat")
+	}
+	if Float(2.5).AsFloat() != 2.5 {
+		t.Error("Float AsFloat")
+	}
+	if !math.IsNaN(Str("x").AsFloat()) {
+		t.Error("string AsFloat must be NaN")
+	}
+}
+
+func TestDatumIsNumeric(t *testing.T) {
+	if !Int(1).IsNumeric() || !Float(1).IsNumeric() || Str("1").IsNumeric() {
+		t.Error("IsNumeric broken")
+	}
+}
+
+func TestDatumHashIntFloatAgree(t *testing.T) {
+	if Int(123).Hash64() != Float(123).Hash64() {
+		t.Error("Int(123) and Float(123.0) must hash identically")
+	}
+	if Int(123).Hash64() == Int(124).Hash64() {
+		t.Error("adjacent ints should not collide")
+	}
+}
+
+func TestDatumHashStringDistinctFromNumeric(t *testing.T) {
+	if Str("123").Hash64() == Int(123).Hash64() {
+		t.Error("string '123' must not hash as the number 123")
+	}
+}
+
+func TestDatumString(t *testing.T) {
+	if Int(-5).String() != "-5" {
+		t.Errorf("Int(-5).String() = %q", Int(-5).String())
+	}
+	if Float(2.5).String() != "2.5" {
+		t.Errorf("Float(2.5).String() = %q", Float(2.5).String())
+	}
+	if Str("hi").String() != "'hi'" {
+		t.Errorf("Str(hi).String() = %q", Str("hi").String())
+	}
+}
+
+// Property: Compare is antisymmetric and Equal is reflexive for ints.
+func TestQuickCompareAntisymmetric(t *testing.T) {
+	f := func(a, b int64) bool {
+		return Int(a).Compare(Int(b)) == -Int(b).Compare(Int(a))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: hash is deterministic.
+func TestQuickHashDeterministic(t *testing.T) {
+	f := func(a int64) bool {
+		return Int(a).Hash64() == Int(a).Hash64()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: string ordering matches Go's native ordering.
+func TestQuickStringOrder(t *testing.T) {
+	f := func(a, b string) bool {
+		got := Str(a).Compare(Str(b))
+		switch {
+		case a < b:
+			return got == -1
+		case a > b:
+			return got == 1
+		default:
+			return got == 0
+		}
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
