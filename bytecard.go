@@ -56,6 +56,13 @@ type Options struct {
 	// Estimator selects the optimizer's estimator: "bytecard" (default),
 	// "sketch", "sample", or "heuristic".
 	Estimator string
+	// Guard tunes the inference guard around every model call (panic
+	// recovery, latency budget, estimate sanitization). The zero value
+	// guards with no latency budget.
+	Guard core.GuardConfig
+	// Breaker tunes the per-model-key circuit breakers (zero values take
+	// the defaults: 5 consecutive failures open, 30s cooldown).
+	Breaker core.BreakerConfig
 }
 
 func (o *Options) fill() {
@@ -149,9 +156,10 @@ func OpenDataset(ds *datagen.Dataset, opts Options) (*System, error) {
 		RBX:         opts.RBX,
 		Seed:        opts.Seed + 3,
 	})
-	sys.Infer = core.NewInferenceEngine(core.Options{})
+	sys.Infer = core.NewInferenceEngine(core.Options{Breaker: opts.Breaker})
 	sys.Loader = loader.New(sys.Store, sys.Infer)
 	sys.Estimator = core.NewEstimator(sys.Infer, sys.Sketch)
+	sys.Estimator.Guard = core.NewGuard(opts.Guard)
 	sys.Featurizer = core.NewFeaturizer(ds.DB, ds.Schema)
 
 	if !opts.SkipTraining {
@@ -232,6 +240,37 @@ func (s *System) TrueCount(sql string) (float64, error) {
 
 // RefreshModels ships newly trained artifacts into the inference engine.
 func (s *System) RefreshModels() (int, error) { return s.Loader.RefreshOnce() }
+
+// Health is a point-in-time fault-tolerance snapshot of the deployment:
+// how often estimation fell back, what the guard intercepted, which model
+// keys are disabled or breaker-tripped, and whether the Model Loader is
+// keeping up.
+type Health struct {
+	// Calls and Fallbacks are the estimator's request counters.
+	Calls, Fallbacks int64
+	// Guard counts guard interventions by failure class.
+	Guard core.GuardStats
+	// Registry is the inference engine snapshot, including disabled keys
+	// and circuit-breaker states.
+	Registry core.Stats
+	// Loader reports the model-refresh loop's state.
+	Loader loader.Health
+}
+
+// Health returns the system's current fault-tolerance snapshot.
+func (s *System) Health() Health {
+	return Health{
+		Calls:     s.Estimator.Calls(),
+		Fallbacks: s.Estimator.Fallbacks(),
+		Guard:     s.Estimator.Guard.Stats(),
+		Registry:  s.Infer.Snapshot(),
+		Loader:    s.Loader.Health(),
+	}
+}
+
+// SetFaultHook installs (or, with nil, removes) a fault-injection hook on
+// the estimator's guard — chaos testing only.
+func (s *System) SetFaultHook(h core.FaultHook) { s.Estimator.Guard.SetHook(h) }
 
 // CheckModels runs the Model Monitor over every single-table COUNT model.
 func (s *System) CheckModels() ([]monitor.TableReport, error) { return s.Monitor.CheckAll() }

@@ -155,3 +155,29 @@ func TestUnknownOptions(t *testing.T) {
 		t.Error("unknown estimator must error")
 	}
 }
+
+func TestHealthSnapshot(t *testing.T) {
+	sys := openToy(t)
+	if _, err := sys.Run("SELECT COUNT(*) FROM fact WHERE val < 50"); err != nil {
+		t.Fatal(err)
+	}
+	h := sys.Health()
+	if h.Calls == 0 {
+		t.Error("health shows no estimator calls")
+	}
+	if h.Fallbacks != 0 {
+		t.Errorf("healthy system fell back %d times", h.Fallbacks)
+	}
+	if g := h.Guard; g.Panics+g.Timeouts+g.Invalid != 0 {
+		t.Errorf("healthy system recorded guard trips: %+v", g)
+	}
+	if !h.Registry.HasFJ || !h.Registry.HasRBX {
+		t.Errorf("registry incomplete: %+v", h.Registry)
+	}
+	if len(h.Registry.Disabled) != 0 || len(h.Registry.Breakers) != 0 {
+		t.Errorf("healthy system shows degradation: %+v", h.Registry)
+	}
+	if h.Loader.LastSuccess.IsZero() || h.Loader.ConsecutiveFailures != 0 {
+		t.Errorf("loader health = %+v", h.Loader)
+	}
+}

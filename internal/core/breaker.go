@@ -1,0 +1,173 @@
+package core
+
+import "time"
+
+// BreakerConfig tunes the per-model-key circuit breakers that sit between
+// the estimator and the model registry. A breaker opens when a model fails
+// too often — by consecutive count or by rate over a rolling window — and
+// routes calls straight to the traditional estimator without invoking the
+// model. After Cooldown the breaker admits probe calls (half-open) and
+// closes again once enough of them succeed, letting recovered models back
+// in without operator action. The Model Monitor's Disable/Enable flow sits
+// above this: Disable is a deliberate quality decision that only Enable
+// (revalidation) reverses, while breaker trips are transient reliability
+// decisions that heal on their own. Enable also resets the key's breaker so
+// a revalidated model starts with a clean slate.
+type BreakerConfig struct {
+	// FailureThreshold opens the breaker after this many consecutive
+	// failures. Default 5; negative disables consecutive tripping.
+	FailureThreshold int
+	// FailureRate opens the breaker when the failure fraction over the
+	// last Window outcomes reaches it. 0 disables rate tripping.
+	FailureRate float64
+	// Window is the rolling outcome window for FailureRate (default 20).
+	Window int
+	// Cooldown is how long an open breaker blocks calls before admitting
+	// half-open probes (default 30s).
+	Cooldown time.Duration
+	// HalfOpenProbes is how many consecutive successful probes close a
+	// half-open breaker (default 2). Any probe failure reopens it.
+	HalfOpenProbes int
+}
+
+func (c *BreakerConfig) fill() {
+	if c.FailureThreshold == 0 {
+		c.FailureThreshold = 5
+	}
+	if c.Window <= 0 {
+		c.Window = 20
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 30 * time.Second
+	}
+	if c.HalfOpenProbes <= 0 {
+		c.HalfOpenProbes = 2
+	}
+}
+
+// Breaker states.
+const (
+	BreakerClosed   = "closed"
+	BreakerOpen     = "open"
+	BreakerHalfOpen = "half-open"
+)
+
+// breaker is the per-key state machine. It is not self-locking: the
+// InferenceEngine serializes access under its registry mutex.
+type breaker struct {
+	cfg   BreakerConfig
+	state string
+
+	consecutive int    // consecutive failures while closed
+	window      []bool // rolling outcome ring, true = failure
+	windowNext  int
+	windowLen   int
+	successes   int // consecutive successes while half-open
+	openedAt    time.Time
+
+	trips    int64 // closed/half-open -> open transitions
+	failures int64 // total recorded failures
+}
+
+func newBreaker(cfg BreakerConfig) *breaker {
+	cfg.fill()
+	return &breaker{cfg: cfg, state: BreakerClosed, window: make([]bool, cfg.Window)}
+}
+
+// allow reports whether a call may proceed, transitioning open breakers to
+// half-open once the cooldown has elapsed.
+func (b *breaker) allow(now time.Time) bool {
+	switch b.state {
+	case BreakerOpen:
+		if now.Sub(b.openedAt) < b.cfg.Cooldown {
+			return false
+		}
+		b.state = BreakerHalfOpen
+		b.successes = 0
+		return true
+	default:
+		return true
+	}
+}
+
+func (b *breaker) recordFailure(now time.Time) {
+	b.failures++
+	switch b.state {
+	case BreakerHalfOpen:
+		// A failed probe means the model has not recovered.
+		b.open(now)
+	case BreakerClosed:
+		b.consecutive++
+		b.push(true)
+		if b.tripped() {
+			b.open(now)
+		}
+	}
+}
+
+func (b *breaker) recordSuccess() {
+	switch b.state {
+	case BreakerHalfOpen:
+		b.successes++
+		if b.successes >= b.cfg.HalfOpenProbes {
+			b.reset()
+		}
+	case BreakerClosed:
+		b.consecutive = 0
+		b.push(false)
+	}
+}
+
+func (b *breaker) tripped() bool {
+	if b.cfg.FailureThreshold > 0 && b.consecutive >= b.cfg.FailureThreshold {
+		return true
+	}
+	if b.cfg.FailureRate > 0 && b.windowLen >= b.cfg.Window {
+		fails := 0
+		for _, f := range b.window {
+			if f {
+				fails++
+			}
+		}
+		if float64(fails)/float64(b.windowLen) >= b.cfg.FailureRate {
+			return true
+		}
+	}
+	return false
+}
+
+func (b *breaker) open(now time.Time) {
+	b.state = BreakerOpen
+	b.openedAt = now
+	b.trips++
+}
+
+// reset returns the breaker to a pristine closed state (also used when the
+// Model Monitor re-enables a key after revalidation).
+func (b *breaker) reset() {
+	b.state = BreakerClosed
+	b.consecutive = 0
+	b.successes = 0
+	b.windowNext = 0
+	b.windowLen = 0
+	for i := range b.window {
+		b.window[i] = false
+	}
+}
+
+func (b *breaker) push(failed bool) {
+	b.window[b.windowNext] = failed
+	b.windowNext = (b.windowNext + 1) % len(b.window)
+	if b.windowLen < len(b.window) {
+		b.windowLen++
+	}
+}
+
+// BreakerInfo is one breaker's externally visible state.
+type BreakerInfo struct {
+	Key                 string
+	State               string
+	ConsecutiveFailures int
+	Failures            int64
+	Trips               int64
+}

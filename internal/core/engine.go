@@ -13,7 +13,8 @@ import (
 	"bytecard/internal/rbx"
 )
 
-// Options configure the Inference Engine's size checker.
+// Options configure the Inference Engine's size checker and circuit
+// breakers.
 type Options struct {
 	// MaxModelBytes rejects any single model above this size (the
 	// per-model size check); 0 means 64 MiB.
@@ -21,6 +22,9 @@ type Options struct {
 	// MaxTotalBytes caps the cumulative loaded size; least recently used
 	// BN models are evicted beyond it. 0 means 512 MiB.
 	MaxTotalBytes int64
+	// Breaker tunes the per-model-key circuit breakers (zero values take
+	// the BreakerConfig defaults).
+	Breaker BreakerConfig
 }
 
 func (o *Options) fill() {
@@ -30,6 +34,7 @@ func (o *Options) fill() {
 	if o.MaxTotalBytes <= 0 {
 		o.MaxTotalBytes = 512 << 20
 	}
+	o.Breaker.fill()
 }
 
 // bnEntry is one loaded single-table model (possibly one shard of a
@@ -65,6 +70,8 @@ type InferenceEngine struct {
 	cost      *costmodel.Model
 	costStamp time.Time
 	disabled  map[string]bool
+	breakers  map[string]*breaker
+	now       func() time.Time
 	lru       *list.List // of table names; front = most recent
 	totalSize int64
 
@@ -79,8 +86,17 @@ func NewInferenceEngine(opts Options) *InferenceEngine {
 		opts:     opts,
 		tables:   map[string]*tableModels{},
 		disabled: map[string]bool{},
+		breakers: map[string]*breaker{},
+		now:      time.Now,
 		lru:      list.New(),
 	}
+}
+
+// SetClock overrides the breaker clock (deterministic cooldown tests).
+func (e *InferenceEngine) SetClock(now func() time.Time) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.now = now
 }
 
 // LoadModel implements the loadModel/validate/initContext sequence for one
@@ -296,11 +312,67 @@ func (e *InferenceEngine) Disable(key string) {
 	e.disabled[key] = true
 }
 
-// Enable re-enables a previously disabled key.
+// Enable re-enables a previously disabled key. The key's circuit breaker
+// is reset too: a model the Monitor revalidated starts with a clean slate.
 func (e *InferenceEngine) Enable(key string) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	delete(e.disabled, key)
+	if b := e.breakers[key]; b != nil {
+		b.reset()
+	}
+}
+
+// Allow reports whether a model key may serve an inference right now —
+// false when the Monitor disabled it or its circuit breaker is open (an
+// open breaker past its cooldown transitions to half-open and admits the
+// probe). This is the admission rung of the degradation ladder; callers
+// must follow up with RecordSuccess or RecordFailure.
+func (e *InferenceEngine) Allow(key string) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.disabled[key] {
+		return false
+	}
+	b := e.breakers[key]
+	if b == nil {
+		return true
+	}
+	return b.allow(e.now())
+}
+
+// RecordFailure feeds one failed model call into the key's breaker,
+// creating it on first use.
+func (e *InferenceEngine) RecordFailure(key string) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	b := e.breakers[key]
+	if b == nil {
+		b = newBreaker(e.opts.Breaker)
+		e.breakers[key] = b
+	}
+	b.recordFailure(e.now())
+}
+
+// RecordSuccess feeds one successful model call into the key's breaker (a
+// no-op for keys that never failed).
+func (e *InferenceEngine) RecordSuccess(key string) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if b := e.breakers[key]; b != nil {
+		b.recordSuccess()
+	}
+}
+
+// BreakerState returns a key's breaker state (BreakerClosed for keys that
+// never tripped).
+func (e *InferenceEngine) BreakerState(key string) string {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if b := e.breakers[key]; b != nil {
+		return b.state
+	}
+	return BreakerClosed
 }
 
 // Disabled reports whether a key is disabled.
@@ -343,7 +415,8 @@ func trimPrefix(s, prefix string) string {
 	return s
 }
 
-// Stats summarizes the registry for observability.
+// Stats summarizes the registry for observability, including the full
+// degradation-ladder state: Monitor-disabled keys and circuit breakers.
 type Stats struct {
 	Tables    int
 	TotalSize int64
@@ -352,13 +425,20 @@ type Stats struct {
 	Evictions int64
 	HasFJ     bool
 	HasRBX    bool
+	// Disabled lists keys the Model Monitor turned off (sorted).
+	Disabled []string
+	// Breakers lists every breaker that has recorded at least one
+	// failure, sorted by key.
+	Breakers []BreakerInfo
+	// BreakerTrips totals closed→open transitions across all keys.
+	BreakerTrips int64
 }
 
 // Snapshot returns current registry statistics.
 func (e *InferenceEngine) Snapshot() Stats {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
-	return Stats{
+	s := Stats{
 		Tables:    len(e.tables),
 		TotalSize: e.totalSize,
 		Loads:     e.loads,
@@ -367,4 +447,20 @@ func (e *InferenceEngine) Snapshot() Stats {
 		HasFJ:     e.fj != nil,
 		HasRBX:    e.rbxModel != nil,
 	}
+	for key := range e.disabled {
+		s.Disabled = append(s.Disabled, key)
+	}
+	sort.Strings(s.Disabled)
+	for key, b := range e.breakers {
+		s.Breakers = append(s.Breakers, BreakerInfo{
+			Key:                 key,
+			State:               b.state,
+			ConsecutiveFailures: b.consecutive,
+			Failures:            b.failures,
+			Trips:               b.trips,
+		})
+		s.BreakerTrips += b.trips
+	}
+	sort.Slice(s.Breakers, func(i, j int) bool { return s.Breakers[i].Key < s.Breakers[j].Key })
+	return s
 }

@@ -25,6 +25,9 @@ type Estimator struct {
 	Infer *InferenceEngine
 	// Fallback is the traditional estimator (typically sketch-based).
 	Fallback engine.CardEstimator
+	// Guard wraps every model call with panic recovery, the latency
+	// budget, and estimate sanitization.
+	Guard *Guard
 	// Samples holds per-table sample frames for RBX featurization (the
 	// Model Loader's in-memory DataFrames).
 	Samples map[string]*sample.Frame
@@ -54,8 +57,29 @@ func NewEstimator(infer *InferenceEngine, fallback engine.CardEstimator) *Estima
 	return &Estimator{
 		Infer:    infer,
 		Fallback: fallback,
+		Guard:    NewGuard(GuardConfig{}),
 		Samples:  map[string]*sample.Frame{},
 	}
+}
+
+// guarded runs one model call through the full degradation ladder: breaker
+// admission (rung 2), the guard's panic recovery / latency budget /
+// sanitization into [lo, hi] (rung 1), and breaker accounting. Any error
+// means the caller must fall back to the traditional estimator.
+func (e *Estimator) guarded(key string, lo, hi float64, fn func() (float64, error)) (float64, error) {
+	if !e.Infer.Allow(key) {
+		return 0, fmt.Errorf("core: %s unavailable (breaker open or disabled)", key)
+	}
+	v, err := e.Guard.Do(key, fn)
+	if err == nil {
+		v, err = e.Guard.Sanitize(key, v, lo, hi)
+	}
+	if err != nil {
+		e.Infer.RecordFailure(key)
+		return 0, err
+	}
+	e.Infer.RecordSuccess(key)
+	return v, nil
 }
 
 // Name implements engine.CardEstimator.
@@ -78,26 +102,29 @@ func encoderFor(t *engine.QueryTable) expr.Encoder {
 }
 
 // filterSelectivity evaluates a filter tree over the table's shard
-// contexts, weighting shards by their population.
+// contexts, weighting shards by their population. The BN inference runs
+// under the guard; the result is a sanitized selectivity in [0, 1].
 func (e *Estimator) filterSelectivity(t *engine.QueryTable) (float64, error) {
 	ctxs, ok := e.Infer.BNContexts(t.Name)
 	if !ok {
 		return 0, fmt.Errorf("core: no BN for table %s", t.Name)
 	}
-	enc := encoderFor(t)
-	var rows, matched float64
-	for _, ctx := range ctxs {
-		sel, err := ctx.SelectivityNode(t.Filter, enc)
-		if err != nil {
-			return 0, err
+	return e.guarded("bn:"+t.Name, 0, 1, func() (float64, error) {
+		enc := encoderFor(t)
+		var rows, matched float64
+		for _, ctx := range ctxs {
+			sel, err := ctx.SelectivityNode(t.Filter, enc)
+			if err != nil {
+				return 0, err
+			}
+			rows += ctx.Model().Rows
+			matched += ctx.Model().Rows * sel
 		}
-		rows += ctx.Model().Rows
-		matched += ctx.Model().Rows * sel
-	}
-	if rows == 0 {
-		return 0, fmt.Errorf("core: BN for %s has zero population", t.Name)
-	}
-	return matched / rows, nil
+		if rows == 0 {
+			return 0, fmt.Errorf("core: BN for %s has zero population", t.Name)
+		}
+		return matched / rows, nil
+	})
 }
 
 // EstimateFilter implements engine.CardEstimator.
@@ -108,7 +135,7 @@ func (e *Estimator) EstimateFilter(t *engine.QueryTable) float64 {
 		e.fallbacks.Add(1)
 		return e.Fallback.EstimateFilter(t)
 	}
-	return sel * float64(t.Table.NumRows())
+	return math.Max(1, sel*float64(t.Table.NumRows()))
 }
 
 // EstimateConj implements engine.CardEstimator (the column-order input).
@@ -119,22 +146,27 @@ func (e *Estimator) EstimateConj(t *engine.QueryTable, preds []expr.Pred) float6
 		e.fallbacks.Add(1)
 		return e.Fallback.EstimateConj(t, preds)
 	}
-	constraints := expr.BuildConstraints(preds, encoderFor(t))
-	var rows, matched float64
-	for _, ctx := range ctxs {
-		sel, err := ctx.SelectivityConj(constraints)
-		if err != nil {
-			e.fallbacks.Add(1)
-			return e.Fallback.EstimateConj(t, preds)
+	sel, err := e.guarded("bn:"+t.Name, 0, 1, func() (float64, error) {
+		constraints := expr.BuildConstraints(preds, encoderFor(t))
+		var rows, matched float64
+		for _, ctx := range ctxs {
+			s, err := ctx.SelectivityConj(constraints)
+			if err != nil {
+				return 0, err
+			}
+			rows += ctx.Model().Rows
+			matched += ctx.Model().Rows * s
 		}
-		rows += ctx.Model().Rows
-		matched += ctx.Model().Rows * sel
-	}
-	if rows == 0 {
+		if rows == 0 {
+			return 0, fmt.Errorf("core: BN for %s has zero population", t.Name)
+		}
+		return matched / rows, nil
+	})
+	if err != nil {
 		e.fallbacks.Add(1)
 		return e.Fallback.EstimateConj(t, preds)
 	}
-	return matched / rows
+	return sel
 }
 
 // jointVector returns the filtered per-bucket count vector of keyCol under
@@ -236,7 +268,15 @@ func (e *Estimator) EstimateJoin(tables []*engine.QueryTable, joins []engine.Joi
 		e.vecMu.Unlock()
 		return vec, nil
 	}
-	est, err := fj.Estimate(fjTables, conds, src, e.JoinMode)
+	// The inner-join estimate can never exceed the Cartesian product of
+	// the joined relations; that product bounds the sanitizer.
+	upper := 1.0
+	for _, t := range tables {
+		upper *= math.Max(float64(t.Table.NumRows()), 1)
+	}
+	est, err := e.guarded("factorjoin", 1, upper, func() (float64, error) {
+		return fj.Estimate(fjTables, conds, src, e.JoinMode)
+	})
 	if err != nil {
 		e.fallbacks.Add(1)
 		return e.Fallback.EstimateJoin(tables, joins)
@@ -294,7 +334,15 @@ func (e *Estimator) EstimateGroupNDV(q *engine.Query) float64 {
 		if filtered.Len() == 0 {
 			continue // no sample survivors: contributes nothing measurable
 		}
-		ndv *= math.Max(model.EstimateNDVForColumn(key, filtered.ProfileOf(cols...)), 1)
+		// A column set's NDV cannot exceed the table population.
+		est, err := e.guarded("rbx", 1, math.Max(float64(frame.PopSize()), 1), func() (float64, error) {
+			return model.EstimateNDVForColumn(key, filtered.ProfileOf(cols...)), nil
+		})
+		if err != nil {
+			e.fallbacks.Add(1)
+			return e.Fallback.EstimateGroupNDV(q)
+		}
+		ndv *= est
 	}
 	var out float64
 	if len(q.Tables) == 1 {
@@ -313,4 +361,21 @@ func (e *Estimator) countSingle(t *engine.QueryTable) (float64, error) {
 		return 0, err
 	}
 	return sel * float64(t.Table.NumRows()), nil
+}
+
+// PredictCostMillis runs the learned cost model under the guard and
+// breaker. ok is false when the model is missing, tripped, or produced an
+// invalid latency — callers should then keep the heuristic cost.
+func (e *Estimator) PredictCostMillis(features []float64) (float64, bool) {
+	model := e.Infer.CostModel()
+	if model == nil {
+		return 0, false
+	}
+	ms, err := e.guarded("costmodel", 0, math.MaxFloat64, func() (float64, error) {
+		return model.PredictMillis(features), nil
+	})
+	if err != nil {
+		return 0, false
+	}
+	return ms, true
 }

@@ -72,9 +72,11 @@ func (e *Estimator) Estimate(fv *FeatureVector) (float64, error) {
 }
 
 // strict returns a copy whose fallback fails loudly; the original estimator
-// is left untouched, keeping concurrent query threads safe.
+// is left untouched, keeping concurrent query threads safe. The guard is
+// shared so probe traffic sees the same protections (and feeds the same
+// counters and breakers) as production traffic.
 func (e *Estimator) strict() *Estimator {
-	return &Estimator{Infer: e.Infer, Fallback: errorFallback{}, Samples: e.Samples, JoinMode: e.JoinMode}
+	return &Estimator{Infer: e.Infer, Fallback: errorFallback{}, Guard: e.Guard, Samples: e.Samples, JoinMode: e.JoinMode}
 }
 
 // EstimateNDV returns the COUNT-DISTINCT estimate for the featurized

@@ -8,6 +8,7 @@ package loader
 import (
 	"context"
 	"fmt"
+	"sync"
 	"time"
 
 	"bytecard/internal/core"
@@ -23,15 +24,40 @@ const DefaultInterval = time.Hour
 // under 10 million rows per table; bench scale needs far less).
 const DefaultSampleRows = 20000
 
+// DefaultBackoffBase is the first retry delay after a failed refresh.
+const DefaultBackoffBase = time.Second
+
 // Loader periodically refreshes the Inference Engine from the store.
 type Loader struct {
 	Store  *modelstore.Store
 	Engine *core.InferenceEngine
-	// Interval between refreshes (default one hour).
+	// Interval between successful refreshes (default one hour).
 	Interval time.Duration
+	// BackoffBase is the retry delay after the first failed refresh; it
+	// doubles per consecutive failure (default one second).
+	BackoffBase time.Duration
+	// BackoffMax caps the retry delay (default: the refresh interval).
+	BackoffMax time.Duration
 
-	installed map[string]time.Time
-	// LastError records the most recent load failure for observability.
+	// mu guards everything below: RefreshOnce may be called directly
+	// (System.RefreshModels) while the background Run loop is refreshing.
+	mu          sync.Mutex
+	installed   map[string]time.Time
+	lastErr     error
+	lastSuccess time.Time
+	failures    int
+}
+
+// Health reports the loader's operational state.
+type Health struct {
+	// LastSuccess is when a refresh last completed without error (zero if
+	// never).
+	LastSuccess time.Time
+	// ConsecutiveFailures counts refreshes that errored since the last
+	// success.
+	ConsecutiveFailures int
+	// LastError is the most recent refresh failure (nil after a clean
+	// refresh).
 	LastError error
 }
 
@@ -48,10 +74,14 @@ func New(store *modelstore.Store, engine *core.InferenceEngine) *Loader {
 // RefreshOnce installs every artifact whose timestamp is newer than the
 // installed version, returning how many models were (re)loaded. Invalid
 // artifacts are skipped (and reported) rather than aborting the sweep —
-// one bad model must not block the rest.
+// one bad model must not block the rest. Safe to call concurrently with
+// the background Run loop.
 func (l *Loader) RefreshOnce() (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	manifests, err := l.Store.List()
 	if err != nil {
+		l.recordLocked(err)
 		return 0, err
 	}
 	loaded := 0
@@ -77,24 +107,87 @@ func (l *Loader) RefreshOnce() (int, error) {
 		l.installed[m.Name] = m.Timestamp
 		loaded++
 	}
-	l.LastError = firstErr
+	l.recordLocked(firstErr)
 	return loaded, firstErr
 }
 
-// Run refreshes on the configured interval until the context is cancelled.
+func (l *Loader) recordLocked(err error) {
+	l.lastErr = err
+	if err != nil {
+		l.failures++
+		return
+	}
+	l.failures = 0
+	l.lastSuccess = time.Now()
+}
+
+// Health returns the loader's current operational state.
+func (l *Loader) Health() Health {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return Health{
+		LastSuccess:         l.lastSuccess,
+		ConsecutiveFailures: l.failures,
+		LastError:           l.lastErr,
+	}
+}
+
+// nextDelay picks the wait before the next refresh: the configured
+// interval after a success, exponential backoff (base doubling per
+// consecutive failure, capped) after a failure so a broken store is
+// retried promptly once it heals without being hammered.
+func (l *Loader) nextDelay(interval time.Duration, failed bool) time.Duration {
+	if !failed {
+		return interval
+	}
+	base := l.BackoffBase
+	if base <= 0 {
+		base = DefaultBackoffBase
+	}
+	cap := l.BackoffMax
+	if cap <= 0 || cap > interval {
+		cap = interval
+	}
+	n := l.Health().ConsecutiveFailures
+	d := base
+	for i := 1; i < n; i++ {
+		d *= 2
+		if d >= cap {
+			break
+		}
+	}
+	if d > cap {
+		d = cap
+	}
+	return d
+}
+
+// Run refreshes on the configured interval until the context is cancelled,
+// retrying failed refreshes with capped exponential backoff instead of
+// waiting out the full interval.
 func (l *Loader) Run(ctx context.Context) {
 	interval := l.Interval
 	if interval <= 0 {
 		interval = DefaultInterval
 	}
-	ticker := time.NewTicker(interval)
-	defer ticker.Stop()
+	l.run(ctx, interval)
+}
+
+// run is Run with an explicit first delay (tests start mid-backoff).
+func (l *Loader) run(ctx context.Context, first time.Duration) {
+	interval := l.Interval
+	if interval <= 0 {
+		interval = DefaultInterval
+	}
+	timer := time.NewTimer(first)
+	defer timer.Stop()
 	for {
 		select {
 		case <-ctx.Done():
 			return
-		case <-ticker.C:
-			_, _ = l.RefreshOnce()
+		case <-timer.C:
+			_, err := l.RefreshOnce()
+			timer.Reset(l.nextDelay(interval, err != nil))
 		}
 	}
 }

@@ -3,6 +3,8 @@ package loader
 import (
 	"context"
 	"os"
+	"path/filepath"
+	"sync"
 	"testing"
 	"time"
 
@@ -98,8 +100,183 @@ func TestRefreshSkipsCorruptArtifact(t *testing.T) {
 	if n != 4 {
 		t.Errorf("valid artifacts loaded = %d, want 4 despite corruption", n)
 	}
-	if l.LastError == nil {
-		t.Error("LastError must record the failure")
+	if l.Health().LastError == nil {
+		t.Error("Health().LastError must record the failure")
+	}
+}
+
+// TestRefreshSkipsTruncatedFile corrupts stored artifacts at the file level
+// (truncation and byte garbling — what a torn upload or disk fault leaves
+// behind) and verifies the sweep skips them while the intact artifacts all
+// load.
+func TestRefreshSkipsTruncatedFile(t *testing.T) {
+	ds := datagen.Toy(datagen.Config{Scale: 1, Seed: 61})
+	dir := t.TempDir()
+	store, err := modelstore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	forge := modelforge.New("toy", ds.DB, ds.Schema, store, modelforge.Config{
+		SampleRows: 500, BucketCount: 12,
+		RBX:  rbx.TrainConfig{Columns: 50, Epochs: 2, MaxPop: 5000, Seed: 1},
+		Seed: 1,
+	})
+	if _, err := forge.TrainAll(); err != nil {
+		t.Fatal(err)
+	}
+	// Truncate one payload and garble another, in place on disk.
+	manifests, err := store.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var corrupted []string
+	for _, m := range manifests {
+		if m.Kind != core.KindBN {
+			continue
+		}
+		art, err := store.Get(m.Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data := art.Data
+		if len(corrupted) == 0 {
+			data = data[:len(data)/3] // truncated
+		} else {
+			data = append([]byte{}, data...)
+			for i := 0; i < len(data); i += 7 {
+				data[i] ^= 0xA5 // garbled
+			}
+		}
+		if err := os.WriteFile(filepath.Join(dir, m.File), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		corrupted = append(corrupted, m.Table)
+		if len(corrupted) == 2 {
+			break
+		}
+	}
+	if len(corrupted) != 2 {
+		t.Fatalf("corrupted %d BN artifacts, want 2", len(corrupted))
+	}
+	infer := core.NewInferenceEngine(core.Options{})
+	l := New(store, infer)
+	n, err := l.RefreshOnce()
+	if err == nil {
+		t.Error("refresh must report the corrupt payloads")
+	}
+	if n != 2 { // factorjoin + rbx still load
+		t.Errorf("valid artifacts loaded = %d, want 2 despite corruption", n)
+	}
+	h := l.Health()
+	if h.LastError == nil || h.ConsecutiveFailures != 1 {
+		t.Errorf("health = %+v, want recorded failure", h)
+	}
+	// Retraining rewrites the payloads; the next sweep heals.
+	for _, table := range corrupted {
+		if _, err := forge.TrainTableAt(table, time.Now().Add(time.Minute)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := l.RefreshOnce(); err != nil {
+		t.Fatalf("refresh after repair: %v", err)
+	}
+	h = l.Health()
+	if h.LastError != nil || h.ConsecutiveFailures != 0 || h.LastSuccess.IsZero() {
+		t.Errorf("healed health = %+v", h)
+	}
+}
+
+// TestRefreshOnceConcurrent exercises RefreshOnce from many goroutines (as
+// System.RefreshModels racing the background Run loop would); run under
+// -race this guards the installed-map and health-state mutex.
+func TestRefreshOnceConcurrent(t *testing.T) {
+	store, _, forge := trainedStore(t)
+	infer := core.NewInferenceEngine(core.Options{})
+	l := New(store, infer)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 5; i++ {
+				_, _ = l.RefreshOnce()
+				_ = l.Health()
+				if g == 0 {
+					_, _ = forge.TrainTableAt("fact", time.Now().Add(time.Duration(i)*time.Minute))
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if infer.Snapshot().Loads < 4 {
+		t.Errorf("loads = %d, want >= 4", infer.Snapshot().Loads)
+	}
+}
+
+func TestRunRetriesWithBackoff(t *testing.T) {
+	dir := t.TempDir()
+	store, err := modelstore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A broken manifest makes every List (hence RefreshOnce) fail.
+	if err := os.WriteFile(filepath.Join(dir, "broken.json"), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l := New(store, core.NewInferenceEngine(core.Options{}))
+	l.Interval = time.Hour // retries must come from backoff, not the interval
+	l.BackoffBase = time.Millisecond
+	l.BackoffMax = 4 * time.Millisecond
+	// Trigger the first attempt quickly: RefreshOnce directly seeds the
+	// failure count, then Run's timer fires after the backoff delay.
+	if _, err := l.RefreshOnce(); err == nil {
+		t.Fatal("broken store must fail")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan struct{})
+	go func() {
+		l.run(ctx, l.nextDelay(time.Hour, true))
+		close(done)
+	}()
+	deadline := time.After(2 * time.Second)
+	for l.Health().ConsecutiveFailures < 4 {
+		select {
+		case <-deadline:
+			t.Fatalf("backoff retries not happening: %+v", l.Health())
+		case <-time.After(time.Millisecond):
+		}
+	}
+	// Heal the store: the loop recovers on the next backed-off retry.
+	if err := os.Remove(filepath.Join(dir, "broken.json")); err != nil {
+		t.Fatal(err)
+	}
+	for l.Health().ConsecutiveFailures != 0 {
+		select {
+		case <-deadline:
+			t.Fatalf("loop never recovered: %+v", l.Health())
+		case <-time.After(time.Millisecond):
+		}
+	}
+	cancel()
+	<-done
+}
+
+func TestNextDelay(t *testing.T) {
+	l := &Loader{BackoffBase: time.Second, BackoffMax: 8 * time.Second}
+	if d := l.nextDelay(time.Hour, false); d != time.Hour {
+		t.Errorf("success delay = %v", d)
+	}
+	for i, want := range []time.Duration{time.Second, 2 * time.Second, 4 * time.Second, 8 * time.Second, 8 * time.Second} {
+		l.failures = i + 1
+		if d := l.nextDelay(time.Hour, true); d != want {
+			t.Errorf("failure %d delay = %v, want %v", i+1, d, want)
+		}
+	}
+	// The cap never exceeds the refresh interval itself.
+	l.failures = 10
+	if d := l.nextDelay(3*time.Second, true); d != 3*time.Second {
+		t.Errorf("interval-capped delay = %v", d)
 	}
 }
 

@@ -9,6 +9,7 @@
 package monitor
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 
@@ -67,6 +68,9 @@ type TableReport struct {
 	QErrors  []float64
 	Worst    float64
 	Breached bool
+	// Err records why this table's check could not complete (CheckAll
+	// keeps sweeping the remaining tables).
+	Err error
 }
 
 // probePreds draws 1..3 random predicates over a table's scalar columns
@@ -188,17 +192,23 @@ func (m *Monitor) CheckTable(table string) (TableReport, error) {
 	return rep, nil
 }
 
-// CheckAll probes every table's single-table COUNT model.
+// CheckAll probes every table's single-table COUNT model. One table's
+// probe failure must not leave the rest of the fleet unmonitored: the
+// sweep continues past errors, records each in its table's report, and
+// returns them joined.
 func (m *Monitor) CheckAll() ([]TableReport, error) {
 	var out []TableReport
+	var errs []error
 	for _, table := range m.Exec.DB.TableNames() {
 		rep, err := m.CheckTable(table)
 		if err != nil {
-			return out, err
+			rep.Table = table
+			rep.Err = err
+			errs = append(errs, fmt.Errorf("monitor: table %s: %w", table, err))
 		}
 		out = append(out, rep)
 	}
-	return out, nil
+	return out, errors.Join(errs...)
 }
 
 // NDVReport summarizes one COUNT-DISTINCT check.

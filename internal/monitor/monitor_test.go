@@ -13,6 +13,8 @@ import (
 	"bytecard/internal/modelstore"
 	"bytecard/internal/rbx"
 	"bytecard/internal/sample"
+	"bytecard/internal/storage"
+	"bytecard/internal/types"
 )
 
 type fixture struct {
@@ -85,6 +87,40 @@ func TestCheckAllCoversEveryTable(t *testing.T) {
 	}
 	if len(reports) != 2 {
 		t.Errorf("reports = %d, want 2", len(reports))
+	}
+}
+
+func TestCheckAllContinuesPastErrors(t *testing.T) {
+	f := setup(t)
+	// An empty table makes its probe generation fail; the sweep must
+	// still cover the healthy tables and report the failure.
+	f.ds.DB.Add(storage.NewBuilder("hollow", []storage.ColumnSpec{{Name: "x", Kind: types.KindInt64}}).Build())
+	f.mon.Threshold = 1e9
+	f.mon.Probes = 3
+	reports, err := f.mon.CheckAll()
+	if err == nil {
+		t.Fatal("sweep must surface the empty table's error")
+	}
+	if len(reports) != 3 {
+		t.Fatalf("reports = %d, want 3 (error tables included)", len(reports))
+	}
+	probed := 0
+	for _, rep := range reports {
+		if rep.Table == "hollow" {
+			if rep.Err == nil {
+				t.Error("hollow report must carry its error")
+			}
+			continue
+		}
+		if rep.Err != nil {
+			t.Errorf("table %s unexpectedly errored: %v", rep.Table, rep.Err)
+		}
+		if len(rep.QErrors) == 3 {
+			probed++
+		}
+	}
+	if probed != 2 {
+		t.Errorf("healthy tables fully probed = %d, want 2", probed)
 	}
 }
 
