@@ -14,6 +14,8 @@
 package bytecard
 
 import (
+	"encoding/json"
+	"expvar"
 	"fmt"
 	"os"
 
@@ -25,6 +27,7 @@ import (
 	"bytecard/internal/modelforge"
 	"bytecard/internal/modelstore"
 	"bytecard/internal/monitor"
+	"bytecard/internal/obs"
 	"bytecard/internal/rbx"
 	"bytecard/internal/sample"
 	"bytecard/internal/workload"
@@ -178,6 +181,7 @@ func OpenDataset(ds *datagen.Dataset, opts Options) (*System, error) {
 		return nil, err
 	}
 	sys.Engine = engine.New(ds.DB, ds.Schema, est)
+	sys.Engine.Obs = obs.NewEngineMetrics()
 	sys.Monitor = &monitor.Monitor{
 		Exec:  sys.Engine,
 		Est:   sys.Estimator,
@@ -213,24 +217,84 @@ func (s *System) estimatorByName(name string) (engine.CardEstimator, error) {
 // Run executes a SQL query through the optimizer and executors.
 func (s *System) Run(sql string) (*engine.Result, error) { return s.Engine.Run(sql) }
 
-// EstimateCount returns ByteCard's COUNT cardinality estimate for a query
-// without executing it.
-func (s *System) EstimateCount(sql string) (float64, error) {
+// Explain parses and plans a query without executing it, returning the
+// chosen plan annotated with each node's cardinality estimate, the
+// estimator source that produced it (BN, FactorJoin, RBX, or the
+// traditional fallback), and the full per-call estimation trace — guard
+// outcomes, breaker verdicts, cache hits, and timings included.
+func (s *System) Explain(sql string) (*engine.ExplainResult, error) {
+	return s.Engine.Explain(sql)
+}
+
+// Estimate is a cardinality estimate with provenance: what the number is,
+// which model produced it, whether the traditional estimator had to step
+// in, and the full trace of how estimation unfolded.
+type Estimate struct {
+	// Value is the estimated cardinality (rows or distinct groups).
+	Value float64 `json:"value"`
+	// Source names the estimator that produced Value: "bn", "factorjoin",
+	// "rbx", or a fallback estimator name such as "sketch".
+	Source string `json:"source"`
+	// Fallback reports that a learned model failed (or was unavailable)
+	// and the traditional estimator answered instead.
+	Fallback bool `json:"fallback"`
+	// Trace is the per-call record behind Value.
+	Trace *obs.Trace `json:"-"`
+}
+
+// EstimateCountDetail returns ByteCard's COUNT cardinality estimate with
+// full provenance. Model failures degrade to the traditional estimator
+// (flagged via Fallback and visible in the trace) rather than erroring;
+// only unparsable or unanalyzable SQL returns an error.
+func (s *System) EstimateCountDetail(sql string) (Estimate, error) {
 	fv, err := s.Featurizer.FeaturizeSQLQuery(sql)
+	if err != nil {
+		return Estimate{}, err
+	}
+	tr := obs.NewTrace()
+	v := s.Estimator.CountWithTrace(fv, tr)
+	return Estimate{Value: v, Source: tr.Source(), Fallback: tr.Fallback(), Trace: tr}, nil
+}
+
+// EstimateNDVDetail returns ByteCard's COUNT-DISTINCT estimate with full
+// provenance for a query containing a COUNT(DISTINCT …) aggregate or
+// GROUP BY. Model failures degrade to the traditional estimator rather
+// than erroring.
+func (s *System) EstimateNDVDetail(sql string) (Estimate, error) {
+	fv, err := s.Featurizer.FeaturizeSQLQuery(sql)
+	if err != nil {
+		return Estimate{}, err
+	}
+	tr := obs.NewTrace()
+	v, err := s.Estimator.NDVWithTrace(fv, tr)
+	if err != nil {
+		return Estimate{}, err
+	}
+	return Estimate{Value: v, Source: tr.Source(), Fallback: tr.Fallback(), Trace: tr}, nil
+}
+
+// EstimateCount returns ByteCard's COUNT cardinality estimate for a query
+// without executing it — a thin wrapper over EstimateCountDetail that
+// keeps the original float64 signature. Like the optimizer path, it
+// degrades to the traditional estimator when models are missing or
+// failing; use EstimateCountDetail to see when that happened.
+func (s *System) EstimateCount(sql string) (float64, error) {
+	d, err := s.EstimateCountDetail(sql)
 	if err != nil {
 		return 0, err
 	}
-	return s.Estimator.Estimate(fv)
+	return d.Value, nil
 }
 
 // EstimateNDV returns ByteCard's COUNT-DISTINCT estimate for a query
-// containing a COUNT(DISTINCT …) aggregate or GROUP BY.
+// containing a COUNT(DISTINCT …) aggregate or GROUP BY — a thin wrapper
+// over EstimateNDVDetail keeping the original float64 signature.
 func (s *System) EstimateNDV(sql string) (float64, error) {
-	fv, err := s.Featurizer.FeaturizeSQLQuery(sql)
+	d, err := s.EstimateNDVDetail(sql)
 	if err != nil {
 		return 0, err
 	}
-	return s.Estimator.EstimateNDV(fv)
+	return d.Value, nil
 }
 
 // TrueCount executes the query's COUNT(*) form for ground truth.
@@ -241,10 +305,67 @@ func (s *System) TrueCount(sql string) (float64, error) {
 // RefreshModels ships newly trained artifacts into the inference engine.
 func (s *System) RefreshModels() (int, error) { return s.Loader.RefreshOnce() }
 
+// Metrics is the system-wide observability snapshot: estimator counters
+// with latency and q-error histograms, guard interventions, the inference
+// registry's degradation-ladder state, the Model Loader's refresh health,
+// and query-engine volumes. It subsumes the older Health view and is
+// fully serializable — String() renders JSON, so a Metrics value (or the
+// ExpvarFunc below) plugs straight into expvar.
+type Metrics struct {
+	// Estimator digests the shared estimator metrics: calls, fallbacks,
+	// per-source counts, join-vector cache hits/misses/evictions, model
+	// latency, and observed q-errors.
+	Estimator obs.EstimatorSnapshot `json:"estimator"`
+	// Guard counts guard interventions by failure class.
+	Guard core.GuardStats `json:"guard"`
+	// Registry is the inference engine snapshot, including disabled keys
+	// and circuit-breaker states.
+	Registry core.Stats `json:"registry"`
+	// Loader reports the model-refresh loop's state.
+	Loader loader.HealthSnapshot `json:"loader"`
+	// Engine covers query volume, plan/exec latency, and the q-error of
+	// final-plan estimates against executed truth.
+	Engine obs.EngineSnapshot `json:"engine"`
+}
+
+// String renders the snapshot as JSON, satisfying expvar.Var.
+func (m Metrics) String() string {
+	b, err := json.Marshal(m)
+	if err != nil {
+		return "{}"
+	}
+	return string(b)
+}
+
+// Metrics returns the system-wide observability snapshot.
+func (s *System) Metrics() Metrics {
+	return Metrics{
+		Estimator: s.Estimator.Metrics.Snapshot(),
+		Guard:     s.Estimator.Guard.Stats(),
+		Registry:  s.Infer.Snapshot(),
+		Loader:    s.Loader.Snapshot(),
+		Engine:    s.Engine.Obs.Snapshot(),
+	}
+}
+
+// ExpvarFunc adapts the system to expvar publishing:
+//
+//	expvar.Publish("bytecard", sys.ExpvarFunc())
+//
+// Publication is left to the caller because expvar names are global and
+// panic on reuse.
+func (s *System) ExpvarFunc() expvar.Func {
+	return expvar.Func(func() any { return s.Metrics() })
+}
+
 // Health is a point-in-time fault-tolerance snapshot of the deployment:
 // how often estimation fell back, what the guard intercepted, which model
 // keys are disabled or breaker-tripped, and whether the Model Loader is
 // keeping up.
+//
+// Deprecated: Health is the legacy subset of Metrics; new callers should
+// use Metrics, which adds histograms, cache counters, per-source
+// attribution, and engine-level statistics.
 type Health struct {
 	// Calls and Fallbacks are the estimator's request counters.
 	Calls, Fallbacks int64
@@ -257,13 +378,17 @@ type Health struct {
 	Loader loader.Health
 }
 
-// Health returns the system's current fault-tolerance snapshot.
+// Health returns the system's current fault-tolerance snapshot, built
+// from the same sources as Metrics.
+//
+// Deprecated: use Metrics.
 func (s *System) Health() Health {
+	m := s.Metrics()
 	return Health{
-		Calls:     s.Estimator.Calls(),
-		Fallbacks: s.Estimator.Fallbacks(),
-		Guard:     s.Estimator.Guard.Stats(),
-		Registry:  s.Infer.Snapshot(),
+		Calls:     m.Estimator.Calls,
+		Fallbacks: m.Estimator.Fallbacks,
+		Guard:     m.Guard,
+		Registry:  m.Registry,
 		Loader:    s.Loader.Health(),
 	}
 }

@@ -10,6 +10,7 @@ package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -42,7 +43,7 @@ func run(dataset string, scale float64, seed int64, estimator string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("ready: %d tables, %d rows. Commands: \\tables, \\estimate <sql>, \\ndv <sql>, \\quit\n",
+	fmt.Printf("ready: %d tables, %d rows. Commands: \\tables, \\estimate <sql>, \\ndv <sql>, \\explain <sql>, \\metrics, \\quit\n",
 		len(sys.Dataset.DB.TableNames()), sys.Dataset.DB.TotalRows())
 
 	scanner := bufio.NewScanner(os.Stdin)
@@ -84,6 +85,24 @@ func run(dataset string, scale float64, seed int64, estimator string) error {
 				continue
 			}
 			fmt.Printf("NDV estimate: %.1f\n", est)
+		case strings.HasPrefix(line, `\explain `):
+			sql := strings.TrimPrefix(line, `\explain `)
+			plan, err := sys.Explain(sql)
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			fmt.Print(plan)
+			for _, s := range plan.Trace {
+				fmt.Println("  trace:", s.String())
+			}
+		case line == `\metrics`:
+			b, err := json.MarshalIndent(sys.Metrics(), "", "  ")
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			fmt.Println(string(b))
 		default:
 			res, err := sys.Run(line)
 			if err != nil {

@@ -306,6 +306,8 @@ func (e *InferenceEngine) RBXUsable(column string) bool {
 // Disable marks a model key unusable; estimation falls back to the
 // traditional estimator (the Model Monitor's guardrail). Keys: "bn:<table>",
 // "factorjoin", "rbx", "rbx:<table.column>".
+//
+// Deprecated: prefer the documented Admin() view.
 func (e *InferenceEngine) Disable(key string) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -314,6 +316,8 @@ func (e *InferenceEngine) Disable(key string) {
 
 // Enable re-enables a previously disabled key. The key's circuit breaker
 // is reset too: a model the Monitor revalidated starts with a clean slate.
+//
+// Deprecated: prefer the documented Admin() view.
 func (e *InferenceEngine) Enable(key string) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -366,6 +370,8 @@ func (e *InferenceEngine) RecordSuccess(key string) {
 
 // BreakerState returns a key's breaker state (BreakerClosed for keys that
 // never tripped).
+//
+// Deprecated: prefer Admin().State(key).Breaker.
 func (e *InferenceEngine) BreakerState(key string) string {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
@@ -376,6 +382,8 @@ func (e *InferenceEngine) BreakerState(key string) string {
 }
 
 // Disabled reports whether a key is disabled.
+//
+// Deprecated: prefer Admin().State(key).Disabled.
 func (e *InferenceEngine) Disabled(key string) bool {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
@@ -384,6 +392,8 @@ func (e *InferenceEngine) Disabled(key string) bool {
 
 // Timestamp returns the installed version time of a model key ("bn:<table>",
 // "factorjoin", "rbx"); zero when absent.
+//
+// Deprecated: prefer Admin().State(key).Timestamp.
 func (e *InferenceEngine) Timestamp(key string) time.Time {
 	e.mu.RLock()
 	defer e.mu.RUnlock()

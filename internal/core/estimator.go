@@ -4,12 +4,12 @@ import (
 	"fmt"
 	"math"
 	"strings"
-	"sync"
-	"sync/atomic"
+	"time"
 
 	"bytecard/internal/engine"
 	"bytecard/internal/expr"
 	"bytecard/internal/factorjoin"
+	"bytecard/internal/obs"
 	"bytecard/internal/sample"
 	"bytecard/internal/types"
 )
@@ -21,6 +21,12 @@ import (
 // or fails, the estimate transparently falls back to the configured
 // traditional estimator — the reliability contract the paper's deployment
 // depends on.
+//
+// Every model call is observable: Metrics accumulates counters and latency
+// /q-error histograms across all views of the estimator, and WithTrace
+// derives a view that additionally records a per-query obs.Trace — which
+// model answered, guard outcomes, breaker verdicts, cache hits, and
+// nanosecond timings.
 type Estimator struct {
 	Infer *InferenceEngine
 	// Fallback is the traditional estimator (typically sketch-based).
@@ -33,16 +39,16 @@ type Estimator struct {
 	Samples map[string]*sample.Frame
 	// JoinMode selects FactorJoin's estimate or bound output.
 	JoinMode factorjoin.Mode
+	// Metrics is the shared observability block (never nil from
+	// NewEstimator; shared by traced and strict views).
+	Metrics *obs.EstimatorMetrics
 
-	calls     atomic.Int64
-	fallbacks atomic.Int64
-
-	// vecMu guards vecCache: the optimizer's dynamic programming asks for
-	// the same table's filtered bucket vector once per enumerated subset,
-	// so memoizing per (table instance, key column) keeps join planning
-	// O(tables) BN inferences instead of O(2^tables).
-	vecMu    sync.Mutex
-	vecCache map[vecKey][]float64
+	// vec memoizes the optimizer's per (table instance, key column)
+	// filtered bucket vectors so join planning stays O(tables) BN
+	// inferences instead of O(2^tables).
+	vec *vecCache
+	// trace, when non-nil, collects per-call spans (see WithTrace).
+	trace *obs.Trace
 }
 
 type vecKey struct {
@@ -50,35 +56,109 @@ type vecKey struct {
 	col   string
 }
 
-const vecCacheLimit = 8192
-
 // NewEstimator wires an estimator to a loaded inference engine.
 func NewEstimator(infer *InferenceEngine, fallback engine.CardEstimator) *Estimator {
+	m := obs.NewEstimatorMetrics()
 	return &Estimator{
 		Infer:    infer,
 		Fallback: fallback,
 		Guard:    NewGuard(GuardConfig{}),
 		Samples:  map[string]*sample.Frame{},
+		Metrics:  m,
+		vec:      newVecCache(vecCacheLimit, m),
 	}
+}
+
+// WithTrace returns a view of the estimator that records every model call,
+// fallback, and cache hit into tr. The view shares the registry, guard,
+// metrics, and vector cache with the original, so traced traffic feeds the
+// same breakers and counters as untraced traffic; the original estimator
+// stays trace-free and safe for concurrent queries.
+func (e *Estimator) WithTrace(tr *obs.Trace) engine.CardEstimator {
+	return e.traced(tr)
+}
+
+func (e *Estimator) traced(tr *obs.Trace) *Estimator {
+	view := *e
+	view.trace = tr
+	return &view
+}
+
+// span records one trace step, skipping all work when tracing is off.
+func (e *Estimator) span(s obs.Span) {
+	if e.trace == nil {
+		return
+	}
+	e.trace.Add(s)
+}
+
+// fallbackSpan records a fallback step and counts its source.
+func (e *Estimator) fallbackSpan(op string, tables []string, cause error, value float64, start time.Time) {
+	e.Metrics.Sources.Add(e.Fallback.Name(), 1)
+	if e.trace == nil {
+		return
+	}
+	s := obs.Span{
+		Op:       op,
+		Tables:   tables,
+		Source:   e.Fallback.Name(),
+		Outcome:  obs.OutcomeOK,
+		Fallback: true,
+		Value:    value,
+		Duration: time.Since(start),
+	}
+	if cause != nil {
+		s.Err = cause.Error()
+	}
+	e.trace.Add(s)
+}
+
+// sourceOfKey maps a model key to its trace source name.
+func sourceOfKey(key string) string {
+	if i := strings.IndexByte(key, ':'); i >= 0 {
+		return key[:i]
+	}
+	return key
 }
 
 // guarded runs one model call through the full degradation ladder: breaker
 // admission (rung 2), the guard's panic recovery / latency budget /
 // sanitization into [lo, hi] (rung 1), and breaker accounting. Any error
-// means the caller must fall back to the traditional estimator.
-func (e *Estimator) guarded(key string, lo, hi float64, fn func() (float64, error)) (float64, error) {
+// means the caller must fall back to the traditional estimator. Every
+// attempt lands in the metrics block and, on traced views, in the trace.
+func (e *Estimator) guarded(op string, tables []string, key string, lo, hi float64, fn func() (float64, error)) (float64, error) {
+	start := time.Now()
+	e.Metrics.ModelCalls.Add(1)
 	if !e.Infer.Allow(key) {
-		return 0, fmt.Errorf("core: %s unavailable (breaker open or disabled)", key)
+		outcome := obs.OutcomeBreakerOpen
+		if e.Infer.Disabled(key) {
+			outcome = obs.OutcomeDisabled
+		}
+		err := &ModelError{Key: key, Outcome: outcome, Msg: fmt.Sprintf("core: %s unavailable (breaker open or disabled)", key)}
+		e.Metrics.ModelFailures.Add(1)
+		e.span(obs.Span{Op: op, Tables: tables, Key: key, Source: sourceOfKey(key), Outcome: outcome, Err: err.Msg, Duration: time.Since(start)})
+		return 0, err
 	}
-	v, err := e.Guard.Do(key, fn)
+	raw, err := e.Guard.Do(key, fn)
+	v := raw
+	outcome := obs.OutcomeOK
 	if err == nil {
-		v, err = e.Guard.Sanitize(key, v, lo, hi)
+		v, err = e.Guard.Sanitize(key, raw, lo, hi)
+		if err == nil && v != raw {
+			outcome = obs.OutcomeClamped
+		}
 	}
 	if err != nil {
 		e.Infer.RecordFailure(key)
+		e.Metrics.ModelFailures.Add(1)
+		e.span(obs.Span{Op: op, Tables: tables, Key: key, Source: sourceOfKey(key), Outcome: OutcomeOf(err), Err: err.Error(), Duration: time.Since(start)})
 		return 0, err
 	}
 	e.Infer.RecordSuccess(key)
+	dur := time.Since(start)
+	e.Metrics.ModelLatency.Observe(float64(dur.Nanoseconds()))
+	e.Metrics.Sources.Add(sourceOfKey(key), 1)
+	e.span(obs.Span{Op: op, Tables: tables, Key: key, Source: sourceOfKey(key), Outcome: outcome, Value: v, Duration: dur})
 	return v, nil
 }
 
@@ -86,10 +166,13 @@ func (e *Estimator) guarded(key string, lo, hi float64, fn func() (float64, erro
 func (e *Estimator) Name() string { return "bytecard" }
 
 // Calls returns the total number of estimate requests served.
-func (e *Estimator) Calls() int64 { return e.calls.Load() }
+func (e *Estimator) Calls() int64 { return e.Metrics.Calls.Load() }
 
 // Fallbacks returns how many requests fell back to the traditional path.
-func (e *Estimator) Fallbacks() int64 { return e.fallbacks.Load() }
+func (e *Estimator) Fallbacks() int64 { return e.Metrics.Fallbacks.Load() }
+
+// CacheLen returns the resident join-vector cache size.
+func (e *Estimator) CacheLen() int { return e.vec.len() }
 
 func encoderFor(t *engine.QueryTable) expr.Encoder {
 	return func(col string, d types.Datum) (float64, bool) {
@@ -107,9 +190,9 @@ func encoderFor(t *engine.QueryTable) expr.Encoder {
 func (e *Estimator) filterSelectivity(t *engine.QueryTable) (float64, error) {
 	ctxs, ok := e.Infer.BNContexts(t.Name)
 	if !ok {
-		return 0, fmt.Errorf("core: no BN for table %s", t.Name)
+		return 0, &ModelError{Key: "bn:" + t.Name, Outcome: obs.OutcomeMissing, Msg: fmt.Sprintf("core: no BN for table %s", t.Name)}
 	}
-	return e.guarded("bn:"+t.Name, 0, 1, func() (float64, error) {
+	return e.guarded(obs.OpFilter, []string{t.Binding}, "bn:"+t.Name, 0, 1, func() (float64, error) {
 		enc := encoderFor(t)
 		var rows, matched float64
 		for _, ctx := range ctxs {
@@ -129,24 +212,30 @@ func (e *Estimator) filterSelectivity(t *engine.QueryTable) (float64, error) {
 
 // EstimateFilter implements engine.CardEstimator.
 func (e *Estimator) EstimateFilter(t *engine.QueryTable) float64 {
-	e.calls.Add(1)
+	e.Metrics.Calls.Add(1)
+	start := time.Now()
 	sel, err := e.filterSelectivity(t)
 	if err != nil {
-		e.fallbacks.Add(1)
-		return e.Fallback.EstimateFilter(t)
+		e.Metrics.Fallbacks.Add(1)
+		v := e.Fallback.EstimateFilter(t)
+		e.fallbackSpan(obs.OpFilter, []string{t.Binding}, err, v, start)
+		return v
 	}
 	return math.Max(1, sel*float64(t.Table.NumRows()))
 }
 
 // EstimateConj implements engine.CardEstimator (the column-order input).
 func (e *Estimator) EstimateConj(t *engine.QueryTable, preds []expr.Pred) float64 {
-	e.calls.Add(1)
+	e.Metrics.Calls.Add(1)
+	start := time.Now()
 	ctxs, ok := e.Infer.BNContexts(t.Name)
 	if !ok {
-		e.fallbacks.Add(1)
-		return e.Fallback.EstimateConj(t, preds)
+		e.Metrics.Fallbacks.Add(1)
+		v := e.Fallback.EstimateConj(t, preds)
+		e.fallbackSpan(obs.OpConj, []string{t.Binding}, &ModelError{Key: "bn:" + t.Name, Outcome: obs.OutcomeMissing, Msg: "core: no BN for table " + t.Name}, v, start)
+		return v
 	}
-	sel, err := e.guarded("bn:"+t.Name, 0, 1, func() (float64, error) {
+	sel, err := e.guarded(obs.OpConj, []string{t.Binding}, "bn:"+t.Name, 0, 1, func() (float64, error) {
 		constraints := expr.BuildConstraints(preds, encoderFor(t))
 		var rows, matched float64
 		for _, ctx := range ctxs {
@@ -163,8 +252,10 @@ func (e *Estimator) EstimateConj(t *engine.QueryTable, preds []expr.Pred) float6
 		return matched / rows, nil
 	})
 	if err != nil {
-		e.fallbacks.Add(1)
-		return e.Fallback.EstimateConj(t, preds)
+		e.Metrics.Fallbacks.Add(1)
+		v := e.Fallback.EstimateConj(t, preds)
+		e.fallbackSpan(obs.OpConj, []string{t.Binding}, err, v, start)
+		return v
 	}
 	return sel
 }
@@ -175,7 +266,7 @@ func (e *Estimator) EstimateConj(t *engine.QueryTable, preds []expr.Pred) float6
 func (e *Estimator) jointVector(t *engine.QueryTable, keyCol string, buckets int) ([]float64, error) {
 	ctxs, ok := e.Infer.BNContexts(t.Name)
 	if !ok {
-		return nil, fmt.Errorf("core: no BN for table %s", t.Name)
+		return nil, &ModelError{Key: "bn:" + t.Name, Outcome: obs.OutcomeMissing, Msg: fmt.Sprintf("core: no BN for table %s", t.Name)}
 	}
 	enc := encoderFor(t)
 	terms := []expr.IETerm{{Sign: 1}}
@@ -218,14 +309,25 @@ func (e *Estimator) jointVector(t *engine.QueryTable, keyCol string, buckets int
 	return out, nil
 }
 
+func bindings(tables []*engine.QueryTable) []string {
+	out := make([]string, len(tables))
+	for i, t := range tables {
+		out[i] = t.Binding
+	}
+	return out
+}
+
 // EstimateJoin implements engine.CardEstimator via FactorJoin inference
 // over BN-conditioned bucket counts.
 func (e *Estimator) EstimateJoin(tables []*engine.QueryTable, joins []engine.JoinCond) float64 {
-	e.calls.Add(1)
+	e.Metrics.Calls.Add(1)
+	start := time.Now()
 	fj := e.Infer.FactorJoin()
 	if fj == nil {
-		e.fallbacks.Add(1)
-		return e.Fallback.EstimateJoin(tables, joins)
+		e.Metrics.Fallbacks.Add(1)
+		v := e.Fallback.EstimateJoin(tables, joins)
+		e.fallbackSpan(obs.OpJoin, bindings(tables), &ModelError{Key: "factorjoin", Outcome: obs.OutcomeMissing, Msg: "core: no FactorJoin model loaded"}, v, start)
+		return v
 	}
 	byBinding := map[string]*engine.QueryTable{}
 	fjTables := make([]factorjoin.QueryTable, len(tables))
@@ -240,12 +342,11 @@ func (e *Estimator) EstimateJoin(tables []*engine.QueryTable, joins []engine.Joi
 	src := func(binding, table, column string, bounds []float64) ([]float64, error) {
 		t := byBinding[binding]
 		key := vecKey{table: t, col: column}
-		e.vecMu.Lock()
-		if vec, ok := e.vecCache[key]; ok {
-			e.vecMu.Unlock()
+		if vec, ok := e.vec.get(key); ok {
+			e.span(obs.Span{Op: obs.OpVector, Tables: []string{binding}, Key: "bn:" + t.Name, Source: "bn", Outcome: obs.OutcomeOK, CacheHit: true})
 			return vec, nil
 		}
-		e.vecMu.Unlock()
+		vecStart := time.Now()
 		vec, err := e.jointVector(t, column, len(bounds)-1)
 		if err != nil {
 			return nil, err
@@ -260,12 +361,8 @@ func (e *Estimator) EstimateJoin(tables []*engine.QueryTable, joins []engine.Joi
 				}
 			}
 		}
-		e.vecMu.Lock()
-		if e.vecCache == nil || len(e.vecCache) > vecCacheLimit {
-			e.vecCache = map[vecKey][]float64{}
-		}
-		e.vecCache[key] = vec
-		e.vecMu.Unlock()
+		e.vec.put(key, vec)
+		e.span(obs.Span{Op: obs.OpVector, Tables: []string{binding}, Key: "bn:" + t.Name, Source: "bn", Outcome: obs.OutcomeOK, Duration: time.Since(vecStart)})
 		return vec, nil
 	}
 	// The inner-join estimate can never exceed the Cartesian product of
@@ -274,12 +371,14 @@ func (e *Estimator) EstimateJoin(tables []*engine.QueryTable, joins []engine.Joi
 	for _, t := range tables {
 		upper *= math.Max(float64(t.Table.NumRows()), 1)
 	}
-	est, err := e.guarded("factorjoin", 1, upper, func() (float64, error) {
+	est, err := e.guarded(obs.OpJoin, bindings(tables), "factorjoin", 1, upper, func() (float64, error) {
 		return fj.Estimate(fjTables, conds, src, e.JoinMode)
 	})
 	if err != nil {
-		e.fallbacks.Add(1)
-		return e.Fallback.EstimateJoin(tables, joins)
+		e.Metrics.Fallbacks.Add(1)
+		v := e.Fallback.EstimateJoin(tables, joins)
+		e.fallbackSpan(obs.OpJoin, bindings(tables), err, v, start)
+		return v
 	}
 	return est
 }
@@ -293,11 +392,28 @@ func groupColumnKey(table string, cols []string) string {
 // sample profile of each table's group keys, multiplied across tables and
 // capped by the estimated result size.
 func (e *Estimator) EstimateGroupNDV(q *engine.Query) float64 {
-	e.calls.Add(1)
+	e.Metrics.Calls.Add(1)
+	start := time.Now()
+	groupTables := func() []string {
+		seen := map[string]bool{}
+		var out []string
+		for _, g := range q.GroupBy {
+			if !seen[g.Tab] {
+				seen[g.Tab] = true
+				out = append(out, g.Tab)
+			}
+		}
+		return out
+	}
+	fallback := func(cause error) float64 {
+		e.Metrics.Fallbacks.Add(1)
+		v := e.Fallback.EstimateGroupNDV(q)
+		e.fallbackSpan(obs.OpGroupNDV, groupTables(), cause, v, start)
+		return v
+	}
 	model := e.Infer.RBX()
 	if model == nil {
-		e.fallbacks.Add(1)
-		return e.Fallback.EstimateGroupNDV(q)
+		return fallback(&ModelError{Key: "rbx", Outcome: obs.OutcomeMissing, Msg: "core: no RBX model loaded"})
 	}
 	perTable := map[string][]string{}
 	var order []string
@@ -313,13 +429,11 @@ func (e *Estimator) EstimateGroupNDV(q *engine.Query) float64 {
 		t := q.TableByBinding(binding)
 		frame := e.Samples[t.Name]
 		if frame == nil || frame.Len() == 0 {
-			e.fallbacks.Add(1)
-			return e.Fallback.EstimateGroupNDV(q)
+			return fallback(fmt.Errorf("core: no sample frame for table %s", t.Name))
 		}
 		key := groupColumnKey(t.Name, cols)
 		if !e.Infer.RBXUsable(key) {
-			e.fallbacks.Add(1)
-			return e.Fallback.EstimateGroupNDV(q)
+			return fallback(&ModelError{Key: "rbx:" + key, Outcome: obs.OutcomeDisabled, Msg: fmt.Sprintf("core: rbx disabled for %s", key)})
 		}
 		filtered := frame
 		if t.Filter != nil {
@@ -335,12 +449,11 @@ func (e *Estimator) EstimateGroupNDV(q *engine.Query) float64 {
 			continue // no sample survivors: contributes nothing measurable
 		}
 		// A column set's NDV cannot exceed the table population.
-		est, err := e.guarded("rbx", 1, math.Max(float64(frame.PopSize()), 1), func() (float64, error) {
+		est, err := e.guarded(obs.OpGroupNDV, []string{binding}, "rbx", 1, math.Max(float64(frame.PopSize()), 1), func() (float64, error) {
 			return model.EstimateNDVForColumn(key, filtered.ProfileOf(cols...)), nil
 		})
 		if err != nil {
-			e.fallbacks.Add(1)
-			return e.Fallback.EstimateGroupNDV(q)
+			return fallback(err)
 		}
 		ndv *= est
 	}
@@ -350,7 +463,12 @@ func (e *Estimator) EstimateGroupNDV(q *engine.Query) float64 {
 	} else {
 		out = e.EstimateJoin(q.Tables, q.Joins)
 	}
-	return math.Min(ndv, math.Max(out, 1))
+	res := math.Min(ndv, math.Max(out, 1))
+	// Summarize: the capping filter/join call above traced its own spans,
+	// but the request's answer is RBX's — record it last so Trace.Source
+	// attributes the NDV to the model that produced it.
+	e.span(obs.Span{Op: obs.OpGroupNDV, Tables: groupTables(), Key: "rbx", Source: "rbx", Outcome: obs.OutcomeOK, Value: res, Duration: time.Since(start)})
+	return res
 }
 
 // countSingle estimates one filtered table without fallback (used by the
@@ -371,7 +489,7 @@ func (e *Estimator) PredictCostMillis(features []float64) (float64, bool) {
 	if model == nil {
 		return 0, false
 	}
-	ms, err := e.guarded("costmodel", 0, math.MaxFloat64, func() (float64, error) {
+	ms, err := e.guarded(obs.OpCost, nil, "costmodel", 0, math.MaxFloat64, func() (float64, error) {
 		return model.PredictMillis(features), nil
 	})
 	if err != nil {

@@ -6,6 +6,7 @@ import (
 	"bytecard/internal/catalog"
 	"bytecard/internal/engine"
 	"bytecard/internal/expr"
+	"bytecard/internal/obs"
 	"bytecard/internal/sqlparse"
 	"bytecard/internal/storage"
 )
@@ -71,31 +72,26 @@ func (e *Estimator) Estimate(fv *FeatureVector) (float64, error) {
 	return est, nil
 }
 
-// strict returns a copy whose fallback fails loudly; the original estimator
-// is left untouched, keeping concurrent query threads safe. The guard is
-// shared so probe traffic sees the same protections (and feeds the same
-// counters and breakers) as production traffic.
+// strict returns a view whose fallback fails loudly; the original
+// estimator is left untouched, keeping concurrent query threads safe. The
+// guard, registry, and vector cache are shared so probe traffic sees the
+// same protections (and feeds the same guard counters and breakers) as
+// production traffic; the request counters are private so probes don't
+// inflate the production call/fallback totals.
 func (e *Estimator) strict() *Estimator {
-	return &Estimator{Infer: e.Infer, Fallback: errorFallback{}, Guard: e.Guard, Samples: e.Samples, JoinMode: e.JoinMode}
+	view := *e
+	view.Fallback = errorFallback{}
+	view.Metrics = obs.NewEstimatorMetrics()
+	return &view
 }
 
 // EstimateNDV returns the COUNT-DISTINCT estimate for the featurized
 // query's first COUNT DISTINCT aggregate (or its GROUP BY keys when no
 // explicit distinct aggregate exists).
 func (e *Estimator) EstimateNDV(fv *FeatureVector) (float64, error) {
-	q := fv.query
-	target := q
-	// Rewrite COUNT(DISTINCT cols) into an equivalent group-NDV request.
-	for _, agg := range q.Aggs {
-		if agg.Kind == engine.AggCountDistinct {
-			clone := *q
-			clone.GroupBy = agg.Cols
-			target = &clone
-			break
-		}
-	}
-	if len(target.GroupBy) == 0 {
-		return 0, fmt.Errorf("core: query has no distinct aggregate or grouping")
+	target, err := ndvTarget(fv.query)
+	if err != nil {
+		return 0, err
 	}
 	if e.Infer.RBX() == nil {
 		return 0, fmt.Errorf("core: no RBX model loaded")
@@ -105,6 +101,49 @@ func (e *Estimator) EstimateNDV(fv *FeatureVector) (float64, error) {
 		return 0, fmt.Errorf("core: NDV estimation fell back (missing sample or model)")
 	}
 	return est, nil
+}
+
+// CountWithTrace is the graceful sibling of Estimate for the Detail APIs:
+// it estimates the featurized query's COUNT cardinality through the same
+// degradation ladder the optimizer uses — model failures fall back to the
+// traditional estimator instead of erroring — while recording every step
+// into tr. The returned value is always usable; tr tells the caller who
+// produced it and what went wrong on the way.
+func (e *Estimator) CountWithTrace(fv *FeatureVector, tr *obs.Trace) float64 {
+	view := e.traced(tr)
+	q := fv.query
+	if len(q.Tables) == 1 {
+		return view.EstimateFilter(q.Tables[0])
+	}
+	return view.EstimateJoin(q.Tables, q.Joins)
+}
+
+// NDVWithTrace is the graceful sibling of EstimateNDV: the query's first
+// COUNT DISTINCT aggregate (or its GROUP BY keys) is estimated with
+// fallback instead of hard failure, recording every step into tr. It
+// errors only when the query has no distinct aggregate or grouping.
+func (e *Estimator) NDVWithTrace(fv *FeatureVector, tr *obs.Trace) (float64, error) {
+	target, err := ndvTarget(fv.query)
+	if err != nil {
+		return 0, err
+	}
+	return e.traced(tr).EstimateGroupNDV(target), nil
+}
+
+// ndvTarget rewrites COUNT(DISTINCT cols) into an equivalent group-NDV
+// request, or returns the query unchanged when it already groups.
+func ndvTarget(q *engine.Query) (*engine.Query, error) {
+	for _, agg := range q.Aggs {
+		if agg.Kind == engine.AggCountDistinct {
+			clone := *q
+			clone.GroupBy = agg.Cols
+			return &clone, nil
+		}
+	}
+	if len(q.GroupBy) == 0 {
+		return nil, fmt.Errorf("core: query has no distinct aggregate or grouping")
+	}
+	return q, nil
 }
 
 // errorFallback marks fallback paths as hard failures for the strict

@@ -1,12 +1,41 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"bytecard/internal/obs"
 )
+
+// ModelError is a classified model-call failure: every error on the
+// guarded estimation path carries the model key it concerns and the
+// obs.Outcome* verdict that produced it, so traces and metrics can
+// attribute failures without string matching.
+type ModelError struct {
+	// Key is the model key ("bn:<table>", "factorjoin", "rbx", "costmodel").
+	Key string
+	// Outcome is the obs outcome constant classifying the failure.
+	Outcome string
+	// Msg is the rendered failure message.
+	Msg string
+}
+
+// Error implements error.
+func (e *ModelError) Error() string { return e.Msg }
+
+// OutcomeOf classifies any error from the guarded estimation path,
+// returning obs.OutcomeError for untyped errors.
+func OutcomeOf(err error) string {
+	var me *ModelError
+	if errors.As(err, &me) {
+		return me.Outcome
+	}
+	return obs.OutcomeError
+}
 
 // FaultHook intercepts guarded model calls. The faultinject package
 // implements it to inject panics, delays, and corrupt outputs for chaos
@@ -92,7 +121,7 @@ func (g *Guard) Do(key string, fn func() (float64, error)) (float64, error) {
 		defer func() {
 			if r := recover(); r != nil {
 				g.panics.Add(1)
-				err = fmt.Errorf("core: model %s panicked: %v", key, r)
+				err = &ModelError{Key: key, Outcome: obs.OutcomePanic, Msg: fmt.Sprintf("core: model %s panicked: %v", key, r)}
 			}
 		}()
 		hook := g.currentHook()
@@ -124,7 +153,7 @@ func (g *Guard) Do(key string, fn func() (float64, error)) (float64, error) {
 		return r.v, r.err
 	case <-timer.C:
 		g.timeouts.Add(1)
-		return 0, fmt.Errorf("core: model %s exceeded latency budget %v", key, g.cfg.LatencyBudget)
+		return 0, &ModelError{Key: key, Outcome: obs.OutcomeTimeout, Msg: fmt.Sprintf("core: model %s exceeded latency budget %v", key, g.cfg.LatencyBudget)}
 	}
 }
 
@@ -136,7 +165,7 @@ func (g *Guard) Do(key string, fn func() (float64, error)) (float64, error) {
 func (g *Guard) Sanitize(key string, v, lo, hi float64) (float64, error) {
 	if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
 		g.invalid.Add(1)
-		return 0, fmt.Errorf("core: model %s produced invalid estimate %v", key, v)
+		return 0, &ModelError{Key: key, Outcome: obs.OutcomeInvalid, Msg: fmt.Sprintf("core: model %s produced invalid estimate %v", key, v)}
 	}
 	if v < lo {
 		g.clamped.Add(1)

@@ -1,0 +1,82 @@
+package core
+
+import (
+	"container/list"
+	"sync"
+
+	"bytecard/internal/obs"
+)
+
+// vecCacheLimit bounds the join-vector cache: the optimizer's dynamic
+// programming re-requests the same (table instance, key column) vector
+// once per enumerated subset, so a few thousand entries cover even wide
+// joins with room for concurrent queries.
+const vecCacheLimit = 8192
+
+// vecCache memoizes BN-conditioned FactorJoin bucket vectors with bounded
+// LRU eviction: when full, the least recently touched entry is dropped —
+// hot vectors of the query being planned stay resident instead of the
+// whole map being discarded. Shared by every view of one Estimator.
+type vecCache struct {
+	mu      sync.Mutex
+	limit   int
+	entries map[vecKey]*list.Element
+	lru     *list.List // of *vecEntry; front = most recent
+	metrics *obs.EstimatorMetrics
+}
+
+type vecEntry struct {
+	key vecKey
+	vec []float64
+}
+
+func newVecCache(limit int, metrics *obs.EstimatorMetrics) *vecCache {
+	if limit <= 0 {
+		limit = vecCacheLimit
+	}
+	return &vecCache{
+		limit:   limit,
+		entries: map[vecKey]*list.Element{},
+		lru:     list.New(),
+		metrics: metrics,
+	}
+}
+
+// get returns the cached vector and marks it recently used.
+func (c *vecCache) get(key vecKey) ([]float64, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	elem, ok := c.entries[key]
+	if !ok {
+		c.metrics.CacheMisses.Add(1)
+		return nil, false
+	}
+	c.lru.MoveToFront(elem)
+	c.metrics.CacheHits.Add(1)
+	return elem.Value.(*vecEntry).vec, true
+}
+
+// put inserts a vector, evicting from the cold end past the limit.
+func (c *vecCache) put(key vecKey, vec []float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if elem, ok := c.entries[key]; ok {
+		elem.Value.(*vecEntry).vec = vec
+		c.lru.MoveToFront(elem)
+		return
+	}
+	c.entries[key] = c.lru.PushFront(&vecEntry{key: key, vec: vec})
+	for len(c.entries) > c.limit {
+		back := c.lru.Back()
+		delete(c.entries, back.Value.(*vecEntry).key)
+		c.lru.Remove(back)
+		c.metrics.CacheEvictions.Add(1)
+	}
+}
+
+// len returns the resident entry count.
+func (c *vecCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

@@ -1,0 +1,60 @@
+package core
+
+import (
+	"testing"
+
+	"bytecard/internal/engine"
+	"bytecard/internal/obs"
+)
+
+func TestVecCacheLRUEviction(t *testing.T) {
+	m := obs.NewEstimatorMetrics()
+	c := newVecCache(2, m)
+	t1, t2, t3 := &engine.QueryTable{}, &engine.QueryTable{}, &engine.QueryTable{}
+	k1 := vecKey{table: t1, col: "a"}
+	k2 := vecKey{table: t2, col: "a"}
+	k3 := vecKey{table: t3, col: "a"}
+
+	c.put(k1, []float64{1})
+	c.put(k2, []float64{2})
+	if _, ok := c.get(k1); !ok { // touch k1: k2 becomes coldest
+		t.Fatal("k1 missing after insert")
+	}
+	c.put(k3, []float64{3}) // evicts k2, not the recently touched k1
+	if c.len() != 2 {
+		t.Errorf("len = %d, want 2", c.len())
+	}
+	if _, ok := c.get(k2); ok {
+		t.Error("coldest entry k2 survived eviction")
+	}
+	if v, ok := c.get(k1); !ok || v[0] != 1 {
+		t.Error("hot entry k1 was evicted")
+	}
+	if _, ok := c.get(k3); !ok {
+		t.Error("newest entry k3 missing")
+	}
+
+	if got := m.CacheEvictions.Load(); got != 1 {
+		t.Errorf("evictions = %d, want 1", got)
+	}
+	// Hits: k1 (x2), k3. Misses: k2 (x1, post-eviction).
+	if got := m.CacheHits.Load(); got != 3 {
+		t.Errorf("hits = %d, want 3", got)
+	}
+	if got := m.CacheMisses.Load(); got != 1 {
+		t.Errorf("misses = %d, want 1", got)
+	}
+}
+
+func TestVecCacheUpdateInPlace(t *testing.T) {
+	c := newVecCache(2, obs.NewEstimatorMetrics())
+	k := vecKey{table: &engine.QueryTable{}, col: "a"}
+	c.put(k, []float64{1})
+	c.put(k, []float64{9})
+	if c.len() != 1 {
+		t.Errorf("len = %d, want 1 (update must not duplicate)", c.len())
+	}
+	if v, _ := c.get(k); v[0] != 9 {
+		t.Errorf("got %v, want updated vector", v)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"bytecard/internal/catalog"
+	"bytecard/internal/obs"
 	"bytecard/internal/sqlparse"
 	"bytecard/internal/storage"
 )
@@ -47,6 +48,10 @@ type Engine struct {
 	ForceReader string
 	// DisableSIP turns off sideways information passing (ablation hook).
 	DisableSIP bool
+	// Obs, when set, accumulates query volume, planning/execution latency,
+	// and the q-error of each plan's final cardinality estimate against
+	// the executed truth.
+	Obs *obs.EngineMetrics
 }
 
 // New creates an engine. Schema may be nil (join-pattern collection is then
@@ -95,7 +100,22 @@ func (e *Engine) RunStmt(stmt *sqlparse.SelectStmt) (*Result, error) {
 		return nil, err
 	}
 	res.Metrics.PlanDuration = planDur
+	if e.Obs != nil {
+		e.Obs.Queries.Add(1)
+		e.Obs.PlanLatency.Observe(float64(planDur.Nanoseconds()))
+		e.Obs.ExecLatency.Observe(float64(res.Metrics.ExecDuration.Nanoseconds()))
+		e.Obs.PlanQError.Observe(obs.QError(res.Metrics.EstFinalRows, float64(res.Metrics.ActualFinalRows)))
+	}
 	return res, nil
+}
+
+// PlanWith optimizes q with est driving every decision instead of the
+// engine's configured estimator — the hook EXPLAIN uses to plan under a
+// tracing view without perturbing concurrent queries.
+func (e *Engine) PlanWith(q *Query, est CardEstimator) (*Plan, error) {
+	view := *e
+	view.Est = est
+	return view.Plan(q)
 }
 
 func joinPattern(lt, lc, rt, rc string) catalog.JoinPattern {

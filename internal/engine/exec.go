@@ -61,6 +61,10 @@ func (e *Engine) Execute(p *Plan) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	m.EstFinalRows = p.EstFinalRows
+	for _, c := range inter.counts {
+		m.ActualFinalRows += c
+	}
 
 	res, err := e.executeAggregation(q, p, states, inter, &m)
 	if err != nil {

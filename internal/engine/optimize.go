@@ -27,6 +27,9 @@ type Plan struct {
 	// JoinOrder lists table indices in left-deep join sequence; the first
 	// entry is the leftmost base table.
 	JoinOrder []int
+	// JoinEstRows holds the estimated cardinality after each join step,
+	// aligned with JoinOrder[1:] (empty for single-table queries).
+	JoinEstRows []float64
 	// EstFinalRows is the estimated cardinality of the joined, filtered
 	// relation.
 	EstFinalRows float64
@@ -248,6 +251,14 @@ func (e *Engine) planJoinOrder(p *Plan) error {
 		return fmt.Errorf("engine: join graph is not connected")
 	}
 	p.JoinOrder = best.order
+	// Record the estimated cardinality of each left-deep prefix (cached in
+	// the DP's card map, so this re-walks without re-estimating) — the
+	// per-node annotations EXPLAIN reports.
+	prefix := uint32(1) << best.order[0]
+	for _, idx := range best.order[1:] {
+		prefix |= 1 << idx
+		p.JoinEstRows = append(p.JoinEstRows, subsetCard(prefix))
+	}
 	p.EstFinalRows = subsetCard(full)
 	return nil
 }

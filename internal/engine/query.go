@@ -118,6 +118,15 @@ type Metrics struct {
 	// ReaderStrategy maps each scanned binding to "single-stage" or
 	// "multi-stage".
 	ReaderStrategy map[string]string
+	// EstFinalRows is the optimizer's cardinality estimate for the
+	// filtered join, copied from the plan so estimate and truth travel
+	// together.
+	EstFinalRows float64
+	// ActualFinalRows is the exact logical cardinality of the filtered
+	// join the executor observed (multiplicity-aware, unaffected by
+	// intermediate compression) — the per-plan ground truth q-error
+	// monitoring compares EstFinalRows against.
+	ActualFinalRows int64
 	// PlanDuration includes all estimator calls made during optimization.
 	PlanDuration time.Duration
 	// ExecDuration is pure execution time.

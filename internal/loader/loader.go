@@ -132,6 +132,31 @@ func (l *Loader) Health() Health {
 	}
 }
 
+// HealthSnapshot is the serializable form of Health (errors rendered as
+// strings) used by System.Metrics.
+type HealthSnapshot struct {
+	LastSuccess         time.Time `json:"last_success"`
+	ConsecutiveFailures int       `json:"consecutive_failures"`
+	LastError           string    `json:"last_error,omitempty"`
+	Installed           int       `json:"installed"`
+}
+
+// Snapshot returns the loader's serializable operational state, including
+// how many artifact names are currently installed.
+func (l *Loader) Snapshot() HealthSnapshot {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	s := HealthSnapshot{
+		LastSuccess:         l.lastSuccess,
+		ConsecutiveFailures: l.failures,
+		Installed:           len(l.installed),
+	}
+	if l.lastErr != nil {
+		s.LastError = l.lastErr.Error()
+	}
+	return s
+}
+
 // nextDelay picks the wait before the next refresh: the configured
 // interval after a success, exponential backoff (base doubling per
 // consecutive failure, capped) after a failure so a broken store is

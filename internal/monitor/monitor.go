@@ -62,6 +62,14 @@ func (m *Monitor) probes() int {
 	return 20
 }
 
+// observeQError feeds one probe q-error into the estimator's shared
+// q-error histogram, making Monitor sweeps visible in System.Metrics.
+func (m *Monitor) observeQError(q float64) {
+	if m.Est != nil && m.Est.Metrics != nil {
+		m.Est.Metrics.QError.Observe(q)
+	}
+}
+
 // TableReport summarizes one COUNT-model check.
 type TableReport struct {
 	Table    string
@@ -173,6 +181,7 @@ func (m *Monitor) CheckTable(table string) (TableReport, error) {
 			break
 		}
 		q := cardinal.QError(est, truth)
+		m.observeQError(q)
 		rep.QErrors = append(rep.QErrors, q)
 		if q > rep.Worst {
 			rep.Worst = q
@@ -182,7 +191,7 @@ func (m *Monitor) CheckTable(table string) (TableReport, error) {
 		rep.Breached = true
 	}
 	if rep.Breached {
-		m.Infer.Disable("bn:" + table)
+		m.Infer.Admin().Disable("bn:" + table)
 		if m.RetrainTable != nil {
 			if err := m.RetrainTable(table); err != nil {
 				return rep, err
@@ -257,6 +266,7 @@ func (m *Monitor) CheckNDV(table, column string) (NDVReport, error) {
 			break
 		}
 		q := cardinal.QError(est, float64(truth))
+		m.observeQError(q)
 		rep.QErrors = append(rep.QErrors, q)
 		if q > rep.Worst {
 			rep.Worst = q
@@ -283,7 +293,7 @@ func (m *Monitor) CheckNDV(table, column string) (NDVReport, error) {
 		rep.Breached = true
 	}
 	if rep.Breached {
-		m.Infer.Disable("rbx:" + key)
+		m.Infer.Admin().Disable("rbx:" + key)
 		if m.FineTuneNDV != nil && len(profiles) > 0 {
 			if err := m.FineTuneNDV(key, profiles, truths); err != nil {
 				return rep, err
@@ -298,14 +308,14 @@ func (m *Monitor) CheckNDV(table, column string) (NDVReport, error) {
 // Model Monitor has validated the new parameters".
 func (m *Monitor) RevalidateNDV(table, column string) (NDVReport, error) {
 	key := table + "." + column
-	m.Infer.Enable("rbx:" + key) // probe with the new parameters
+	m.Infer.Admin().Enable("rbx:" + key) // probe with the new parameters
 	rep, err := m.CheckNDV(table, column)
 	if err != nil {
-		m.Infer.Disable("rbx:" + key)
+		m.Infer.Admin().Disable("rbx:" + key)
 		return rep, err
 	}
 	if rep.Breached {
-		m.Infer.Disable("rbx:" + key)
+		m.Infer.Admin().Disable("rbx:" + key)
 	}
 	return rep, nil
 }

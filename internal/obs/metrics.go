@@ -1,0 +1,96 @@
+package obs
+
+// EstimatorMetrics is the shared counter block of one core.Estimator and
+// every traced/strict view derived from it. Query threads update it with
+// atomic adds; Snapshot serializes it for System.Metrics.
+type EstimatorMetrics struct {
+	// Calls counts estimate requests; Fallbacks counts requests served by
+	// the traditional estimator after a model failure.
+	Calls, Fallbacks Counter
+	// ModelCalls counts guarded model invocations (several per request);
+	// ModelFailures counts the ones the guard or breaker rejected.
+	ModelCalls, ModelFailures Counter
+	// CacheHits/CacheMisses/CacheEvictions cover the join-vector cache.
+	CacheHits, CacheMisses, CacheEvictions Counter
+	// ModelLatency is the guarded model-call latency in nanoseconds.
+	ModelLatency Histogram
+	// QError holds observed q-errors wherever ground truth is available
+	// (Model Monitor probes, executed plans).
+	QError Histogram
+	// Sources counts value-producing estimates by source ("bn",
+	// "factorjoin", "rbx", "costmodel", fallback estimator names).
+	Sources LabeledCounter
+}
+
+// NewEstimatorMetrics returns a zeroed metrics block.
+func NewEstimatorMetrics() *EstimatorMetrics { return &EstimatorMetrics{} }
+
+// EstimatorSnapshot is the serializable digest of EstimatorMetrics.
+type EstimatorSnapshot struct {
+	Calls          int64             `json:"calls"`
+	Fallbacks      int64             `json:"fallbacks"`
+	ModelCalls     int64             `json:"model_calls"`
+	ModelFailures  int64             `json:"model_failures"`
+	CacheHits      int64             `json:"cache_hits"`
+	CacheMisses    int64             `json:"cache_misses"`
+	CacheEvictions int64             `json:"cache_evictions"`
+	ModelLatencyNs HistogramSnapshot `json:"model_latency_ns"`
+	QError         HistogramSnapshot `json:"q_error"`
+	Sources        map[string]int64  `json:"sources"`
+}
+
+// Snapshot digests the metrics block (nil-safe: returns zeroes).
+func (m *EstimatorMetrics) Snapshot() EstimatorSnapshot {
+	if m == nil {
+		return EstimatorSnapshot{Sources: map[string]int64{}}
+	}
+	return EstimatorSnapshot{
+		Calls:          m.Calls.Load(),
+		Fallbacks:      m.Fallbacks.Load(),
+		ModelCalls:     m.ModelCalls.Load(),
+		ModelFailures:  m.ModelFailures.Load(),
+		CacheHits:      m.CacheHits.Load(),
+		CacheMisses:    m.CacheMisses.Load(),
+		CacheEvictions: m.CacheEvictions.Load(),
+		ModelLatencyNs: m.ModelLatency.Snapshot(),
+		QError:         m.QError.Snapshot(),
+		Sources:        m.Sources.Snapshot(),
+	}
+}
+
+// EngineMetrics aggregates query-engine observability: volumes, planning
+// and execution latency, and the q-error of the optimizer's final-plan
+// cardinality against the executed truth.
+type EngineMetrics struct {
+	// Queries counts executed statements.
+	Queries Counter
+	// PlanLatency and ExecLatency are per-query nanosecond histograms.
+	PlanLatency, ExecLatency Histogram
+	// PlanQError compares each plan's estimated final cardinality with the
+	// exact joined cardinality the executor observed.
+	PlanQError Histogram
+}
+
+// NewEngineMetrics returns a zeroed metrics block.
+func NewEngineMetrics() *EngineMetrics { return &EngineMetrics{} }
+
+// EngineSnapshot is the serializable digest of EngineMetrics.
+type EngineSnapshot struct {
+	Queries       int64             `json:"queries"`
+	PlanLatencyNs HistogramSnapshot `json:"plan_latency_ns"`
+	ExecLatencyNs HistogramSnapshot `json:"exec_latency_ns"`
+	PlanQError    HistogramSnapshot `json:"plan_q_error"`
+}
+
+// Snapshot digests the metrics block (nil-safe: returns zeroes).
+func (m *EngineMetrics) Snapshot() EngineSnapshot {
+	if m == nil {
+		return EngineSnapshot{}
+	}
+	return EngineSnapshot{
+		Queries:       m.Queries.Load(),
+		PlanLatencyNs: m.PlanLatency.Snapshot(),
+		ExecLatencyNs: m.ExecLatency.Snapshot(),
+		PlanQError:    m.PlanQError.Snapshot(),
+	}
+}

@@ -1,0 +1,202 @@
+// Package obs is ByteCard's estimation-observability layer: lock-free
+// counters and log-bucketed histograms for steady-state metrics, and
+// per-query Traces recording how each cardinality estimate was produced —
+// which model answered, what the guard and circuit breakers did, and how
+// long inference took. The ModelForge/Monitor loop of the paper only works
+// in production because every estimate is attributable and every q-error
+// measurable; this package is that substrate.
+//
+// Everything here is allocation-light and safe for concurrent use: query
+// threads update counters with single atomic adds, and a nil *Trace is a
+// valid no-op collector so the hot path pays nothing when tracing is off.
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Load returns the current count.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// QError is the standard cardinality-estimation error metric:
+// max(est/true, true/est) with both quantities floored at one row, so its
+// theoretical lower bound is 1. It mirrors cardinal.QError; obs keeps its
+// own copy because the engine (which cardinal depends on) records q-errors
+// too, and the metric definition must not move for an import edge.
+func QError(est, truth float64) float64 {
+	if est < 1 {
+		est = 1
+	}
+	if truth < 1 {
+		truth = 1
+	}
+	if est > truth {
+		return est / truth
+	}
+	return truth / est
+}
+
+// histBuckets is the histogram resolution: bucket 0 holds values in [0, 1],
+// bucket i>0 holds (2^(i-1), 2^i]. 64 buckets cover every finite positive
+// value a latency (nanoseconds) or q-error can take.
+const histBuckets = 64
+
+// Histogram is a concurrent log2-bucketed histogram of positive values.
+// Observe is wait-free on the bucket array; Sum and Max use short CAS
+// loops. The zero value is ready to use.
+type Histogram struct {
+	buckets [histBuckets]atomic.Int64
+	count   atomic.Int64
+	sumBits atomic.Uint64
+	maxBits atomic.Uint64
+}
+
+// bucketIndex maps v to its log2 bucket (values ≤ 1 land in bucket 0).
+func bucketIndex(v float64) int {
+	if v <= 1 || math.IsNaN(v) {
+		return 0
+	}
+	if math.IsInf(v, 1) {
+		return histBuckets - 1
+	}
+	e := math.Ilogb(v) // floor(log2 v), ≥ 0 here
+	idx := e
+	if v > math.Exp2(float64(e)) {
+		idx = e + 1 // interior of (2^e, 2^(e+1)]
+	}
+	if idx >= histBuckets {
+		idx = histBuckets - 1
+	}
+	return idx
+}
+
+// Observe records one value. Negative and NaN observations are counted in
+// bucket 0 rather than dropped, so Count always equals the observation
+// count.
+func (h *Histogram) Observe(v float64) {
+	h.buckets[bucketIndex(v)].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			break
+		}
+	}
+	for {
+		old := h.maxBits.Load()
+		if v <= math.Float64frombits(old) && old != 0 {
+			break
+		}
+		if h.maxBits.CompareAndSwap(old, math.Float64bits(v)) {
+			break
+		}
+	}
+}
+
+// HistogramSnapshot is a serializable point-in-time digest of a Histogram.
+// Quantiles are upper bounds of the log2 bucket containing the rank, i.e.
+// accurate to a factor of two — enough to spot drift, cheap enough for the
+// hot path to feed.
+type HistogramSnapshot struct {
+	Count int64   `json:"count"`
+	Sum   float64 `json:"sum"`
+	Mean  float64 `json:"mean"`
+	Max   float64 `json:"max"`
+	P50   float64 `json:"p50"`
+	P90   float64 `json:"p90"`
+	P99   float64 `json:"p99"`
+}
+
+// bucketBound returns the inclusive upper bound of bucket i.
+func bucketBound(i int) float64 {
+	if i == 0 {
+		return 1
+	}
+	return math.Exp2(float64(i))
+}
+
+// Snapshot digests the histogram. Concurrent Observe calls may tear
+// Count/Sum slightly; the digest is monitoring-grade, not transactional.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Count: h.count.Load(),
+		Sum:   math.Float64frombits(h.sumBits.Load()),
+		Max:   math.Float64frombits(h.maxBits.Load()),
+	}
+	if s.Count == 0 {
+		return s
+	}
+	s.Mean = s.Sum / float64(s.Count)
+	quantile := func(q float64) float64 {
+		rank := int64(math.Ceil(q * float64(s.Count)))
+		if rank < 1 {
+			rank = 1
+		}
+		var cum int64
+		for i := 0; i < histBuckets; i++ {
+			cum += h.buckets[i].Load()
+			if cum >= rank {
+				return bucketBound(i)
+			}
+		}
+		return s.Max
+	}
+	s.P50 = quantile(0.50)
+	s.P90 = quantile(0.90)
+	s.P99 = quantile(0.99)
+	return s
+}
+
+// LabeledCounter is a small dynamic counter family keyed by string label
+// (e.g. estimate source: "bn", "factorjoin", "rbx", "sketch"). It takes a
+// mutex per update; labels are few and updates are per-estimate, not
+// per-row, so contention is negligible.
+type LabeledCounter struct {
+	mu sync.Mutex
+	m  map[string]int64
+}
+
+// Add increments label by n.
+func (c *LabeledCounter) Add(label string, n int64) {
+	c.mu.Lock()
+	if c.m == nil {
+		c.m = map[string]int64{}
+	}
+	c.m[label] += n
+	c.mu.Unlock()
+}
+
+// Snapshot returns a copy of the counts.
+func (c *LabeledCounter) Snapshot() map[string]int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]int64, len(c.m))
+	for k, v := range c.m {
+		out[k] = v
+	}
+	return out
+}
+
+// Labels returns the sorted label set (test and report helper).
+func (c *LabeledCounter) Labels() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, 0, len(c.m))
+	for k := range c.m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,166 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestQError(t *testing.T) {
+	cases := []struct {
+		est, truth, want float64
+	}{
+		{100, 100, 1},
+		{200, 100, 2},
+		{100, 200, 2},
+		{0, 100, 100},  // estimate floored at 1
+		{100, 0, 100},  // truth floored at 1
+		{0.5, 0.25, 1}, // both floored
+	}
+	for _, c := range cases {
+		if got := QError(c.est, c.truth); got != c.want {
+			t.Errorf("QError(%g, %g) = %g, want %g", c.est, c.truth, got, c.want)
+		}
+	}
+}
+
+func TestBucketIndex(t *testing.T) {
+	cases := []struct {
+		v    float64
+		want int
+	}{
+		{0, 0},
+		{-5, 0},
+		{1, 0},
+		{1.5, 1},
+		{2, 1},
+		{2.1, 2},
+		{4, 2},
+		{1024, 10},
+		{1025, 11},
+		{math.NaN(), 0},
+		{math.Inf(1), histBuckets - 1},
+		{math.MaxFloat64, histBuckets - 1},
+	}
+	for _, c := range cases {
+		if got := bucketIndex(c.v); got != c.want {
+			t.Errorf("bucketIndex(%g) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+func TestHistogramSnapshot(t *testing.T) {
+	var h Histogram
+	if s := h.Snapshot(); s.Count != 0 || s.Sum != 0 || s.P99 != 0 {
+		t.Errorf("empty snapshot not zero: %+v", s)
+	}
+	for _, v := range []float64{1, 2, 4, 8} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 4 {
+		t.Errorf("count = %d, want 4", s.Count)
+	}
+	if s.Sum != 15 {
+		t.Errorf("sum = %g, want 15", s.Sum)
+	}
+	if s.Mean != 3.75 {
+		t.Errorf("mean = %g, want 3.75", s.Mean)
+	}
+	if s.Max != 8 {
+		t.Errorf("max = %g, want 8", s.Max)
+	}
+	// Quantiles are bucket upper bounds: rank 2 of 4 lands in bucket 1
+	// (value 2), rank 4 in bucket 3 (value 8).
+	if s.P50 != 2 {
+		t.Errorf("p50 = %g, want 2", s.P50)
+	}
+	if s.P99 != 8 {
+		t.Errorf("p99 = %g, want 8", s.P99)
+	}
+	if _, err := json.Marshal(s); err != nil {
+		t.Errorf("snapshot not serializable: %v", err)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	const workers, each = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				h.Observe(float64(i % 100))
+			}
+		}()
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != workers*each {
+		t.Errorf("count = %d, want %d", s.Count, workers*each)
+	}
+	if s.Max != 99 {
+		t.Errorf("max = %g, want 99", s.Max)
+	}
+}
+
+func TestLabeledCounter(t *testing.T) {
+	var c LabeledCounter
+	c.Add("bn", 2)
+	c.Add("sketch", 1)
+	c.Add("bn", 1)
+	snap := c.Snapshot()
+	if snap["bn"] != 3 || snap["sketch"] != 1 {
+		t.Errorf("snapshot = %v", snap)
+	}
+	labels := c.Labels()
+	if len(labels) != 2 || labels[0] != "bn" || labels[1] != "sketch" {
+		t.Errorf("labels = %v", labels)
+	}
+}
+
+func TestTraceNilSafety(t *testing.T) {
+	var tr *Trace
+	if tr.Active() {
+		t.Error("nil trace reports active")
+	}
+	tr.Add(Span{Op: OpFilter}) // must not panic
+	if tr.Len() != 0 || tr.Spans() != nil || tr.Fallback() || tr.Source() != "" || tr.Outcomes() != nil {
+		t.Error("nil trace leaked state")
+	}
+}
+
+func TestTraceSourceAndOutcomes(t *testing.T) {
+	tr := NewTrace()
+	tr.Add(Span{Op: OpVector, Source: "bn", Outcome: OutcomeOK, CacheHit: true})
+	tr.Add(Span{Op: OpFilter, Source: "bn", Outcome: OutcomePanic, Err: "boom"})
+	tr.Add(Span{Op: OpFilter, Source: "sketch", Outcome: OutcomeOK, Fallback: true, Value: 42})
+	if got := tr.Source(); got != "sketch" {
+		t.Errorf("Source() = %q, want sketch", got)
+	}
+	if !tr.Fallback() {
+		t.Error("Fallback() = false with a fallback span")
+	}
+	out := tr.Outcomes()
+	if len(out) != 1 || out[0] != OutcomePanic {
+		t.Errorf("Outcomes() = %v, want [panic]", out)
+	}
+
+	// Vector spans are interior: they never claim Source even when last.
+	tr2 := NewTrace()
+	tr2.Add(Span{Op: OpJoin, Source: "factorjoin", Outcome: OutcomeClamped, Value: 10})
+	tr2.Add(Span{Op: OpVector, Source: "bn", Outcome: OutcomeOK})
+	if got := tr2.Source(); got != "factorjoin" {
+		t.Errorf("Source() = %q, want factorjoin (clamped counts as success)", got)
+	}
+
+	// Nothing succeeded: no source.
+	tr3 := NewTrace()
+	tr3.Add(Span{Op: OpFilter, Source: "bn", Outcome: OutcomeTimeout})
+	if got := tr3.Source(); got != "" {
+		t.Errorf("Source() = %q, want empty", got)
+	}
+}
