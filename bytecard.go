@@ -59,6 +59,11 @@ type Options struct {
 	// Estimator selects the optimizer's estimator: "bytecard" (default),
 	// "sketch", "sample", or "heuristic".
 	Estimator string
+	// Parallelism is the executor's morsel-driven worker count (scans,
+	// hash-join probes, aggregation). Zero defers to the
+	// BYTECARD_PARALLELISM environment variable, then runtime.GOMAXPROCS;
+	// 1 forces the sequential executor.
+	Parallelism int
 	// Guard tunes the inference guard around every model call (panic
 	// recovery, latency budget, estimate sanitization). The zero value
 	// guards with no latency budget.
@@ -181,6 +186,7 @@ func OpenDataset(ds *datagen.Dataset, opts Options) (*System, error) {
 		return nil, err
 	}
 	sys.Engine = engine.New(ds.DB, ds.Schema, est)
+	sys.Engine.Parallelism = opts.Parallelism
 	sys.Engine.Obs = obs.NewEngineMetrics()
 	sys.Monitor = &monitor.Monitor{
 		Exec:  sys.Engine,
@@ -216,6 +222,20 @@ func (s *System) estimatorByName(name string) (engine.CardEstimator, error) {
 
 // Run executes a SQL query through the optimizer and executors.
 func (s *System) Run(sql string) (*engine.Result, error) { return s.Engine.Run(sql) }
+
+// RunTraced executes a SQL query and returns, alongside the result, the
+// full trace of how it was planned and run: every estimation step the
+// optimizer took (with guard outcomes and model sources) followed by the
+// execution-phase spans — scan, join, and aggregation, each annotated with
+// the morsel-driven worker count it ran with.
+func (s *System) RunTraced(sql string) (*engine.Result, *obs.Trace, error) {
+	tr := obs.NewTrace()
+	res, err := s.Engine.RunTraced(sql, tr)
+	if err != nil {
+		return nil, tr, err
+	}
+	return res, tr, nil
+}
 
 // Explain parses and plans a query without executing it, returning the
 // chosen plan annotated with each node's cardinality estimate, the

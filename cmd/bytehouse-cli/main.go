@@ -22,22 +22,23 @@ import (
 
 func main() {
 	var (
-		dataset   = flag.String("dataset", "toy", "dataset: imdb, stats, aeolus, toy")
-		scale     = flag.Float64("scale", 0.05, "dataset scale factor")
-		seed      = flag.Int64("seed", 1, "generator seed")
-		estimator = flag.String("estimator", "bytecard", "optimizer estimator: bytecard, sketch, sample, heuristic")
+		dataset     = flag.String("dataset", "toy", "dataset: imdb, stats, aeolus, toy")
+		scale       = flag.Float64("scale", 0.05, "dataset scale factor")
+		seed        = flag.Int64("seed", 1, "generator seed")
+		estimator   = flag.String("estimator", "bytecard", "optimizer estimator: bytecard, sketch, sample, heuristic")
+		parallelism = flag.Int("parallelism", 0, "executor worker count (0 = BYTECARD_PARALLELISM env, then GOMAXPROCS; 1 = sequential)")
 	)
 	flag.Parse()
-	if err := run(*dataset, *scale, *seed, *estimator); err != nil {
+	if err := run(*dataset, *scale, *seed, *estimator, *parallelism); err != nil {
 		fmt.Fprintln(os.Stderr, "bytehouse-cli:", err)
 		os.Exit(1)
 	}
 }
 
-func run(dataset string, scale float64, seed int64, estimator string) error {
+func run(dataset string, scale float64, seed int64, estimator string, parallelism int) error {
 	fmt.Printf("opening %s (scale %.3g) and training ByteCard models...\n", dataset, scale)
 	sys, err := bytecard.Open(bytecard.Options{
-		Dataset: dataset, Scale: scale, Seed: seed, Estimator: estimator,
+		Dataset: dataset, Scale: scale, Seed: seed, Estimator: estimator, Parallelism: parallelism,
 		RBX: rbx.TrainConfig{Columns: 200, Epochs: 8, MaxPop: 30000, Seed: seed + 9},
 	})
 	if err != nil {
@@ -125,9 +126,10 @@ func run(dataset string, scale float64, seed int64, estimator string) error {
 				fmt.Printf("... (%d rows total)\n", len(res.Rows))
 			}
 			m := res.Metrics
-			fmt.Printf("-- %d rows; plan %.2fms exec %.2fms; %d blocks read; readers %v; agg resizes %d\n",
+			fmt.Printf("-- %d rows; plan %.2fms exec %.2fms; %d workers; %d blocks read; readers %v; agg resizes %d\n",
 				len(res.Rows), float64(m.PlanDuration.Microseconds())/1000,
-				float64(m.ExecDuration.Microseconds())/1000, m.IO.BlocksRead(), m.ReaderStrategy, m.HashResizes)
+				float64(m.ExecDuration.Microseconds())/1000, m.ParallelWorkers,
+				m.IO.BlocksRead(), m.ReaderStrategy, m.HashResizes)
 		}
 	}
 }

@@ -56,19 +56,28 @@ type gen struct {
 func newGen(seed int64) *gen { return &gen{rng: rand.New(rand.NewSource(seed))} }
 
 // zipf returns a value in [1, maxVal] with Zipf skew s (>1 skews harder).
+// Degenerate parameters degrade instead of panicking: a domain of one value
+// always returns 1, and s <= 1 (where rand.NewZipf returns nil) falls back
+// to a uniform draw over the domain.
 func (g *gen) zipf(s float64, maxVal int64) int64 {
 	if maxVal <= 1 {
 		return 1
+	}
+	if s <= 1 {
+		return g.uniform(1, maxVal)
 	}
 	z := rand.NewZipf(g.rng, s, 1, uint64(maxVal-1))
 	return int64(z.Uint64()) + 1
 }
 
 // zipfSampler returns a reusable sampler (much faster than re-creating the
-// Zipf state per draw).
+// Zipf state per draw), with the same degenerate-parameter guards as zipf.
 func (g *gen) zipfSampler(s float64, maxVal int64) func() int64 {
 	if maxVal <= 1 {
 		return func() int64 { return 1 }
+	}
+	if s <= 1 {
+		return func() int64 { return g.uniform(1, maxVal) }
 	}
 	z := rand.NewZipf(g.rng, s, 1, uint64(maxVal-1))
 	return func() int64 { return int64(z.Uint64()) + 1 }

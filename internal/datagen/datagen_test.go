@@ -271,4 +271,44 @@ func TestZipfSkew(t *testing.T) {
 	}
 }
 
+func TestZipfDegenerateParams(t *testing.T) {
+	g := newGen(7)
+	// Skew s <= 1 makes rand.NewZipf return nil; the guard must fall back
+	// to a uniform draw over the domain instead of panicking on first use.
+	for _, s := range []float64{1.0, 0.5, 0} {
+		for i := 0; i < 200; i++ {
+			if v := g.zipf(s, 100); v < 1 || v > 100 {
+				t.Fatalf("zipf(s=%g) out of range: %d", s, v)
+			}
+		}
+		draw := g.zipfSampler(s, 100)
+		for i := 0; i < 200; i++ {
+			if v := draw(); v < 1 || v > 100 {
+				t.Fatalf("zipfSampler(s=%g) out of range: %d", s, v)
+			}
+		}
+	}
+	// Degenerate domains collapse to the single value 1.
+	for _, maxVal := range []int64{1, 0, -5} {
+		if v := g.zipf(1.5, maxVal); v != 1 {
+			t.Errorf("zipf(max=%d) = %d, want 1", maxVal, v)
+		}
+		if v := g.zipfSampler(1.5, maxVal)(); v != 1 {
+			t.Errorf("zipfSampler(max=%d) = %d, want 1", maxVal, v)
+		}
+	}
+	// s=1 fallback is uniform, not a constant: over 2000 draws of a
+	// 100-value domain, the head must not dominate.
+	head := 0
+	draw := g.zipfSampler(1, 100)
+	for i := 0; i < 2000; i++ {
+		if draw() == 1 {
+			head++
+		}
+	}
+	if head > 200 {
+		t.Errorf("s=1 fallback skews to head: %d/2000 ones", head)
+	}
+}
+
 var _ = types.Int // keep import if assertions change

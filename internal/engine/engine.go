@@ -2,6 +2,10 @@ package engine
 
 import (
 	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
 	"time"
 
 	"bytecard/internal/catalog"
@@ -48,6 +52,11 @@ type Engine struct {
 	ForceReader string
 	// DisableSIP turns off sideways information passing (ablation hook).
 	DisableSIP bool
+	// Parallelism is the executor's worker count for morsel-driven scans,
+	// hash-join probes, and aggregation. Zero takes the BYTECARD_PARALLELISM
+	// environment variable if set, else runtime.GOMAXPROCS(0); 1 forces the
+	// sequential path.
+	Parallelism int
 	// Obs, when set, accumulates query volume, planning/execution latency,
 	// and the q-error of each plan's final cardinality estimate against
 	// the executed truth.
@@ -74,6 +83,29 @@ func (e *Engine) defaultAggCapacity() int {
 	return DefaultAggCapacity
 }
 
+// envParallelism reads BYTECARD_PARALLELISM once — the hook CI uses to
+// force the parallel executor paths under the race detector even on
+// engines that never set Parallelism explicitly.
+var envParallelism = sync.OnceValue(func() int {
+	if s := os.Getenv("BYTECARD_PARALLELISM"); s != "" {
+		if v, err := strconv.Atoi(s); err == nil && v > 0 {
+			return v
+		}
+	}
+	return 0
+})
+
+// workers resolves the executor worker count for one query.
+func (e *Engine) workers() int {
+	if e.Parallelism > 0 {
+		return e.Parallelism
+	}
+	if v := envParallelism(); v > 0 {
+		return v
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
 // Run parses, analyzes, optimizes, and executes sql.
 func (e *Engine) Run(sql string) (*Result, error) {
 	stmt, err := sqlparse.Parse(sql)
@@ -85,17 +117,40 @@ func (e *Engine) Run(sql string) (*Result, error) {
 
 // RunStmt analyzes, optimizes, and executes a parsed statement.
 func (e *Engine) RunStmt(stmt *sqlparse.SelectStmt) (*Result, error) {
+	return e.RunStmtTraced(stmt, nil)
+}
+
+// RunTraced runs sql recording every estimation step of planning and every
+// execution phase (scan, join, aggregate — with worker counts) into tr. A
+// nil tr disables recording.
+func (e *Engine) RunTraced(sql string, tr *obs.Trace) (*Result, error) {
+	stmt, err := sqlparse.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	return e.RunStmtTraced(stmt, tr)
+}
+
+// RunStmtTraced analyzes, optimizes, and executes a parsed statement,
+// recording planning estimates and execution-phase spans into tr (nil
+// disables recording).
+func (e *Engine) RunStmtTraced(stmt *sqlparse.SelectStmt, tr *obs.Trace) (*Result, error) {
 	q, err := e.Analyze(stmt)
 	if err != nil {
 		return nil, err
 	}
 	planStart := time.Now()
-	p, err := e.Plan(q)
+	var p *Plan
+	if tr.Active() {
+		p, err = e.PlanWith(q, TraceEstimator(e.Est, tr))
+	} else {
+		p, err = e.Plan(q)
+	}
 	if err != nil {
 		return nil, err
 	}
 	planDur := time.Since(planStart)
-	res, err := e.Execute(p)
+	res, err := e.ExecuteTraced(p, tr)
 	if err != nil {
 		return nil, err
 	}

@@ -3,22 +3,28 @@ package engine
 import (
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"bytecard/internal/expr"
+	"bytecard/internal/obs"
 	"bytecard/internal/storage"
 	"bytecard/internal/types"
 )
 
 // scanState is the runtime image of one scanned table: the surviving row
 // ids and lazily created block-accounted column readers shared by later
-// operators (late materialization reads land on the same readers, so every
-// block is charged at most once per query).
+// operators (late materialization reads land on the same readers — or on
+// sibling readers sharing their charge sets — so every block is charged at
+// most once per query).
 type scanState struct {
 	t       *QueryTable
 	rows    []int32
 	readers map[string]*storage.Reader
 	io      *storage.IOStats
+	// mu guards readers during parallel phases; sequential code (which
+	// never overlaps a parallel phase) uses reader/value lock-free.
+	mu sync.Mutex
 }
 
 func (s *scanState) reader(col string) *storage.Reader {
@@ -34,15 +40,30 @@ func (s *scanState) reader(col string) *storage.Reader {
 	return r
 }
 
+// sibling returns a worker-private reader sharing the canonical reader's
+// block-charge set. Safe to call from concurrent workers.
+func (s *scanState) sibling(col string) *storage.Reader {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.reader(col).Sibling()
+}
+
 func (s *scanState) value(col string, row int32) types.Datum {
 	return s.reader(col).Value(int(row))
 }
 
 // Execute runs a physical plan.
-func (e *Engine) Execute(p *Plan) (*Result, error) {
+func (e *Engine) Execute(p *Plan) (*Result, error) { return e.ExecuteTraced(p, nil) }
+
+// ExecuteTraced runs a physical plan, recording one span per execution
+// phase (scan, join step, aggregation) into tr; a nil tr disables
+// recording.
+func (e *Engine) ExecuteTraced(p *Plan, tr *obs.Trace) (*Result, error) {
 	start := time.Now()
 	q := p.Query
 	m := Metrics{IO: &storage.IOStats{}, ReaderStrategy: map[string]string{}}
+	ex := &execCtx{workers: e.workers(), tr: tr}
+	m.ParallelWorkers = ex.workers
 
 	// Only the leftmost table is scanned eagerly; later tables are scanned
 	// at their join step so sideways information passing can prune them
@@ -50,14 +71,16 @@ func (e *Engine) Execute(p *Plan) (*Result, error) {
 	// read.
 	states := make([]*scanState, len(q.Tables))
 	first := p.JoinOrder[0]
-	st, err := e.executeScan(q, p.Scans[first], &m)
+	scanStart := time.Now()
+	st, err := e.executeScan(q, p.Scans[first], &m, ex)
 	if err != nil {
 		return nil, err
 	}
 	states[first] = st
 	m.ReaderStrategy[q.Tables[first].Binding] = p.Scans[first].Strategy
+	ex.span(obs.OpExecScan, []string{q.Tables[first].Binding}, ex.workers, int64(len(st.rows)), time.Since(scanStart))
 
-	inter, err := e.executeJoins(q, p, states, &m)
+	inter, err := e.executeJoins(q, p, states, &m, ex)
 	if err != nil {
 		return nil, err
 	}
@@ -66,10 +89,12 @@ func (e *Engine) Execute(p *Plan) (*Result, error) {
 		m.ActualFinalRows += c
 	}
 
-	res, err := e.executeAggregation(q, p, states, inter, &m)
+	aggStart := time.Now()
+	res, err := e.executeAggregation(q, p, states, inter, &m, ex)
 	if err != nil {
 		return nil, err
 	}
+	ex.span(obs.OpExecAgg, nil, ex.workers, int64(len(res.Rows)), time.Since(aggStart))
 	m.ExecDuration = time.Since(start)
 	res.Metrics = m
 	return res, nil
@@ -111,43 +136,59 @@ func neededColumns(q *Query, idx int) []string {
 }
 
 // executeScan applies the table filter with the planned reader strategy.
-func (e *Engine) executeScan(q *Query, sp *ScanPlan, m *Metrics) (*scanState, error) {
+func (e *Engine) executeScan(q *Query, sp *ScanPlan, m *Metrics, ex *execCtx) (*scanState, error) {
 	t := q.Tables[sp.TableIdx]
 	st := &scanState{t: t, readers: map[string]*storage.Reader{}, io: m.IO}
 	n := t.Table.NumRows()
 
 	if sp.Strategy == "multi-stage" {
-		if err := e.multiStageScan(st, sp, n); err != nil {
+		if err := e.multiStageScan(st, sp, n, ex); err != nil {
 			return nil, err
 		}
 	} else {
-		e.singleStageScan(q, st, sp, n)
+		e.singleStageScan(q, st, sp, n, ex)
 	}
 	m.RowsMaterialized += int64(len(st.rows))
 	return st, nil
 }
 
 // singleStageScan loads every block of every touched column up front (early
-// materialization) and evaluates the full filter tree row-at-a-time.
-func (e *Engine) singleStageScan(q *Query, st *scanState, sp *ScanPlan, n int) {
+// materialization) and evaluates the full filter tree row-at-a-time,
+// splitting the row space into block-aligned morsels when the executor
+// runs parallel.
+func (e *Engine) singleStageScan(q *Query, st *scanState, sp *ScanPlan, n int, ex *execCtx) {
 	filter := st.t.Filter
 	// Touch predicate columns plus downstream columns: the one-pass reader
 	// constructs complete tuples immediately.
-	cols := map[string]bool{}
+	seen := map[string]bool{}
+	var cols []string
 	if filter != nil {
 		for _, p := range filter.Leaves() {
-			cols[p.Col] = true
+			if !seen[p.Col] {
+				seen[p.Col] = true
+				cols = append(cols, p.Col)
+			}
 		}
 	}
 	for _, c := range neededColumns(q, sp.TableIdx) {
-		cols[c] = true
-	}
-	for c := range cols {
-		st.reader(c).LoadAll()
+		if !seen[c] {
+			seen[c] = true
+			cols = append(cols, c)
+		}
 	}
 	if filter == nil {
+		for _, c := range cols {
+			st.reader(c).LoadAll()
+		}
 		st.rows = allRows(n)
 		return
+	}
+	if ex.parallelFor(n, morselRows) {
+		st.rows = parallelSingleStage(st, cols, n, ex.workers)
+		return
+	}
+	for _, c := range cols {
+		st.reader(c).LoadAll()
 	}
 	rows := make([]int32, 0, n/4+1)
 	for i := 0; i < n; i++ {
@@ -162,8 +203,9 @@ func (e *Engine) singleStageScan(q *Query, st *scanState, sp *ScanPlan, n int) {
 
 // multiStageScan filters column by column in the planned order, touching
 // later columns only for candidate rows (the staged reader whose I/O wins
-// Figure 6a measures).
-func (e *Engine) multiStageScan(st *scanState, sp *ScanPlan, n int) error {
+// Figure 6a measures). Under parallel execution each worker runs the full
+// column order within its block-aligned morsel.
+func (e *Engine) multiStageScan(st *scanState, sp *ScanPlan, n int, ex *execCtx) error {
 	preds, ok := st.t.Filter.Conjunction()
 	if !ok {
 		return fmt.Errorf("engine: multi-stage reader requires a conjunctive filter")
@@ -176,29 +218,11 @@ func (e *Engine) multiStageScan(st *scanState, sp *ScanPlan, n int) error {
 	for _, c := range constraints {
 		byCol[c.Col] = c
 	}
-	rows := allRows(n)
-	for _, c := range sp.ColOrder {
-		cons, ok := byCol[c]
-		if !ok {
-			continue
-		}
-		if cons.Empty {
-			rows = nil
-			break
-		}
-		r := st.reader(c)
-		kept := rows[:0]
-		for _, row := range rows {
-			if cons.Contains(r.Numeric(int(row))) {
-				kept = append(kept, row)
-			}
-		}
-		rows = kept
-		if len(rows) == 0 {
-			break
-		}
+	if ex.parallelFor(n, morselRows) {
+		st.rows = parallelMultiStage(st, sp.ColOrder, byCol, n, ex.workers)
+		return nil
 	}
-	st.rows = rows
+	st.rows = stageFilter(st.reader, sp.ColOrder, byCol, allRows(n))
 	return nil
 }
 
@@ -227,7 +251,7 @@ type intermediate struct {
 }
 
 // executeJoins folds the scans together in the planned left-deep order.
-func (e *Engine) executeJoins(q *Query, p *Plan, states []*scanState, m *Metrics) (*intermediate, error) {
+func (e *Engine) executeJoins(q *Query, p *Plan, states []*scanState, m *Metrics, ex *execCtx) (*intermediate, error) {
 	first := p.JoinOrder[0]
 	inter := &intermediate{tabs: []int{first}, pos: map[int]int{first: 0}}
 	inter.tuples = make([][]int32, len(states[first].rows))
@@ -269,14 +293,22 @@ func (e *Engine) executeJoins(q *Query, p *Plan, states []*scanState, m *Metrics
 				sip[hashKey(key)] = true
 			}
 		}
-		if err := e.scanForJoin(q, p, states, next, conds, sip, m); err != nil {
+		stepStart := time.Now()
+		if err := e.scanForJoin(q, p, states, next, conds, sip, m, ex); err != nil {
 			return nil, err
 		}
-		out, err := hashJoin(q, inter, states, next, conds, bindingIdx, m)
+		out, err := hashJoin(q, inter, states, next, conds, bindingIdx, m, ex)
 		if err != nil {
 			return nil, err
 		}
 		inter = compress(q, out, states, p.JoinOrder[2+step:])
+		if ex.tr.Active() {
+			var prefix []string
+			for _, ti := range inter.tabs {
+				prefix = append(prefix, q.Tables[ti].Binding)
+			}
+			ex.span(obs.OpExecJoin, prefix, ex.workers, int64(len(inter.tuples)), time.Since(stepStart))
+		}
 	}
 	return inter, nil
 }
@@ -291,13 +323,13 @@ const sipFirstFraction = 0.25
 // the table's predicate columns read for the survivors — so a join order
 // that keeps intermediates small (good estimates) directly reduces block
 // I/O.
-func (e *Engine) scanForJoin(q *Query, p *Plan, states []*scanState, next int, conds []JoinCond, sip map[uint64]bool, m *Metrics) error {
+func (e *Engine) scanForJoin(q *Query, p *Plan, states []*scanState, next int, conds []JoinCond, sip map[uint64]bool, m *Metrics, ex *execCtx) error {
 	sp := p.Scans[next]
 	t := q.Tables[next]
 	n := t.Table.NumRows()
 	sipFirst := sip != nil && float64(len(sip)) < sipFirstFraction*float64(n)
 	if !sipFirst {
-		st, err := e.executeScan(q, sp, m)
+		st, err := e.executeScan(q, sp, m, ex)
 		if err != nil {
 			return err
 		}
@@ -309,19 +341,25 @@ func (e *Engine) scanForJoin(q *Query, p *Plan, states []*scanState, next int, c
 	states[next] = st
 	m.ReaderStrategy[t.Binding] = "sip+" + sp.Strategy
 
-	// Stage 0: key-membership probe over the whole key column(s).
-	keyReaders := make([]*storage.Reader, len(conds))
-	for k, c := range conds {
-		keyReaders[k] = st.reader(c.RightCol)
-	}
-	key := make([]types.Datum, len(conds))
-	candidates := make([]int32, 0, len(sip))
-	for i := 0; i < n; i++ {
-		for k := range conds {
-			key[k] = keyReaders[k].Value(i)
+	// Stage 0: key-membership probe over the whole key column(s), morsel
+	// parallel when the table is large enough.
+	var candidates []int32
+	if ex.parallelFor(n, morselRows) {
+		candidates = parallelSIPProbe(st, conds, sip, n, ex.workers)
+	} else {
+		keyReaders := make([]*storage.Reader, len(conds))
+		for k, c := range conds {
+			keyReaders[k] = st.reader(c.RightCol)
 		}
-		if sip[hashKey(key)] {
-			candidates = append(candidates, int32(i))
+		key := make([]types.Datum, len(conds))
+		candidates = make([]int32, 0, len(sip))
+		for i := 0; i < n; i++ {
+			for k := range conds {
+				key[k] = keyReaders[k].Value(i)
+			}
+			if sip[hashKey(key)] {
+				candidates = append(candidates, int32(i))
+			}
 		}
 	}
 	m.SIPPruned += int64(n - len(candidates))
@@ -347,37 +385,23 @@ func (e *Engine) scanForJoin(q *Query, p *Plan, states []*scanState, next int, c
 		for _, c := range constraints {
 			byCol[c.Col] = c
 		}
-		rows := candidates
-		for _, c := range order {
-			cons, ok := byCol[c]
-			if !ok {
-				continue
-			}
-			if cons.Empty {
-				rows = nil
-				break
-			}
-			r := st.reader(c)
-			kept := rows[:0]
-			for _, row := range rows {
-				if cons.Contains(r.Numeric(int(row))) {
+		if ex.parallelFor(len(candidates), tupleChunk) {
+			st.rows = parallelStageFilterRows(st, order, byCol, candidates, ex.workers)
+		} else {
+			st.rows = stageFilter(st.reader, order, byCol, candidates)
+		}
+	} else {
+		if ex.parallelFor(len(candidates), tupleChunk) {
+			st.rows = parallelEvalFilterRows(st, filter, candidates, ex.workers)
+		} else {
+			kept := candidates[:0]
+			for _, row := range candidates {
+				if filter.Eval(func(_, col string) types.Datum { return st.value(col, row) }) {
 					kept = append(kept, row)
 				}
 			}
-			rows = kept
-			if len(rows) == 0 {
-				break
-			}
+			st.rows = kept
 		}
-		st.rows = rows
-	} else {
-		kept := candidates[:0]
-		for _, row := range candidates {
-			if filter.Eval(func(_, col string) types.Datum { return st.value(col, row) }) {
-				kept = append(kept, row)
-			}
-		}
-		st.rows = kept
 	}
 	m.RowsMaterialized += int64(len(st.rows))
 	return nil
@@ -479,30 +503,43 @@ func compress(q *Query, inter *intermediate, states []*scanState, remaining []in
 	return out
 }
 
+// joinEntry is one build-side row of a hash join; it keeps the key datums
+// for exact matching so hash collisions never join unequal keys.
+type joinEntry struct {
+	key []types.Datum
+	row int32
+}
+
 // hashJoin joins the intermediate with one new table over the given
-// conditions (Left side = intermediate, Right side = new table).
-func hashJoin(q *Query, inter *intermediate, states []*scanState, next int, conds []JoinCond, bindingIdx map[string]int, m *Metrics) (*intermediate, error) {
+// conditions (Left side = intermediate, Right side = new table). The build
+// side is constructed sequentially; the probe runs over tuple chunks in
+// parallel, with per-chunk output partitions concatenated in chunk order —
+// byte-identical to the sequential probe.
+func hashJoin(q *Query, inter *intermediate, states []*scanState, next int, conds []JoinCond, bindingIdx map[string]int, m *Metrics, ex *execCtx) (*intermediate, error) {
 	st := states[next]
 
-	// Build side: the new table's surviving rows (hash build), probe with
-	// intermediate tuples. Entries keep key datums for exact matching.
-	type entry struct {
-		key []types.Datum
-		row int32
-	}
-	build := make(map[uint64][]entry, len(st.rows))
+	build := make(map[uint64][]joinEntry, len(st.rows))
 	for _, row := range st.rows {
 		key := make([]types.Datum, len(conds))
 		for k, c := range conds {
 			key[k] = st.value(c.RightCol, row)
 		}
 		h := hashKey(key)
-		build[h] = append(build[h], entry{key: key, row: row})
+		build[h] = append(build[h], joinEntry{key: key, row: row})
 	}
 
 	out := &intermediate{tabs: append(append([]int(nil), inter.tabs...), next), pos: map[int]int{}}
 	for i, t := range out.tabs {
 		out.pos[t] = i
+	}
+	if ex.parallelFor(len(inter.tuples), tupleChunk) {
+		tuples, counts, ok := parallelProbe(inter, states, build, conds, bindingIdx, ex.workers)
+		if !ok {
+			return nil, fmt.Errorf("engine: join intermediate exceeds %d rows", int64(MaxIntermediateRows))
+		}
+		out.tuples, out.counts = tuples, counts
+		m.RowsMaterialized += int64(len(out.tuples))
+		return out, nil
 	}
 	probeKey := make([]types.Datum, len(conds))
 	for ti, tuple := range inter.tuples {
@@ -537,8 +574,17 @@ func hashKey(key []types.Datum) uint64 {
 	return h
 }
 
+// keysEqual reports whether two key tuples are equal. Ragged lengths and
+// non-comparable kind pairs compare unequal instead of panicking (or
+// silently misjudging when a is a prefix of b).
 func keysEqual(a, b []types.Datum) bool {
+	if len(a) != len(b) {
+		return false
+	}
 	for i := range a {
+		if a[i].K != b[i].K && !(a[i].IsNumeric() && b[i].IsNumeric()) {
+			return false
+		}
 		if !a[i].Equal(b[i]) {
 			return false
 		}
@@ -547,8 +593,10 @@ func keysEqual(a, b []types.Datum) bool {
 }
 
 // executeAggregation folds the joined relation through the aggregation
-// hash table (or a single accumulator when there is no GROUP BY).
-func (e *Engine) executeAggregation(q *Query, p *Plan, states []*scanState, inter *intermediate, m *Metrics) (*Result, error) {
+// hash table (or a single accumulator when there is no GROUP BY). When the
+// executor runs parallel, workers accumulate into per-worker tables sized
+// from the NDV estimate divided by the worker count, then merge.
+func (e *Engine) executeAggregation(q *Query, p *Plan, states []*scanState, inter *intermediate, m *Metrics, ex *execCtx) (*Result, error) {
 	res := &Result{}
 	for _, item := range q.Stmt.Items {
 		res.Columns = append(res.Columns, item.String())
@@ -564,26 +612,38 @@ func (e *Engine) executeAggregation(q *Query, p *Plan, states []*scanState, inte
 	}
 
 	if len(q.GroupBy) == 0 {
-		accs := newAccs(q.Aggs)
-		for ti, tuple := range inter.tuples {
-			updateAccs(accs, q.Aggs, fetch, tuple, inter.counts[ti])
+		m.InitialAggCapacity = 0
+		var accs []aggAcc
+		if ex.parallelFor(len(inter.tuples), tupleChunk) {
+			accs = parallelGlobalAgg(q, states, inter, ex.workers)
+		} else {
+			accs = newAccs(q.Aggs)
+			for ti, tuple := range inter.tuples {
+				updateAccs(accs, q.Aggs, fetch, tuple, inter.counts[ti])
+			}
 		}
 		res.Rows = [][]types.Datum{buildOutputRow(q, nil, accs)}
-		m.InitialAggCapacity = 0
 		return res, nil
 	}
 
-	table := newAggTable(p.AggCapacity)
 	m.InitialAggCapacity = p.AggCapacity
-	key := make([]types.Datum, len(q.GroupBy))
-	for ti, tuple := range inter.tuples {
-		for i, g := range q.GroupBy {
-			key[i] = fetch(g, tuple)
+	var table *aggTable
+	if ex.parallelFor(len(inter.tuples), tupleChunk) {
+		var resizes int64
+		table, resizes = parallelGroupedAgg(q, p, states, inter, ex.workers)
+		m.HashResizes += resizes
+	} else {
+		table = newAggTable(p.AggCapacity)
+		key := make([]types.Datum, len(q.GroupBy))
+		for ti, tuple := range inter.tuples {
+			for i, g := range q.GroupBy {
+				key[i] = fetch(g, tuple)
+			}
+			accs := table.lookup(key, func() []aggAcc { return newAccs(q.Aggs) })
+			updateAccs(accs, q.Aggs, fetch, tuple, inter.counts[ti])
 		}
-		accs := table.lookup(key, func() []aggAcc { return newAccs(q.Aggs) })
-		updateAccs(accs, q.Aggs, fetch, tuple, inter.counts[ti])
+		m.HashResizes += int64(table.resizes)
 	}
-	m.HashResizes += int64(table.resizes)
 
 	for _, slot := range table.slots {
 		if slot.used {
@@ -606,12 +666,15 @@ func buildOutputRow(q *Query, key []types.Datum, accs []aggAcc) []types.Datum {
 	return row
 }
 
+// sortRows orders result rows deterministically. Cells of incomparable
+// kinds (string vs numeric, or distinct nested kinds) order by kind rather
+// than panicking in Datum.Compare, so mixed-kind result sets still sort
+// the same way every run.
 func sortRows(rows [][]types.Datum) {
 	sort.Slice(rows, func(i, j int) bool {
 		a, b := rows[i], rows[j]
 		for k := range a {
-			if a[k].K == types.KindString && b[k].K != types.KindString ||
-				a[k].K != types.KindString && b[k].K == types.KindString {
+			if a[k].K != b[k].K && !(a[k].IsNumeric() && b[k].IsNumeric()) {
 				return a[k].K < b[k].K
 			}
 			if c := a[k].Compare(b[k]); c != 0 {
@@ -622,20 +685,54 @@ func sortRows(rows [][]types.Datum) {
 	})
 }
 
+// distinctSet is an exact COUNT DISTINCT accumulator: keys are grouped by
+// 64-bit hash but the actual datums are chained and compared on collision,
+// so colliding datums never silently undercount the exact answer.
+type distinctSet struct {
+	groups map[uint64][][]types.Datum
+	n      int
+}
+
+func newDistinctSet() *distinctSet {
+	return &distinctSet{groups: map[uint64][][]types.Datum{}}
+}
+
+// add inserts key (copied) under hash h if no equal key is chained there.
+func (s *distinctSet) add(h uint64, key []types.Datum) {
+	for _, k := range s.groups[h] {
+		if keysEqual(k, key) {
+			return
+		}
+	}
+	cp := make([]types.Datum, len(key))
+	copy(cp, key)
+	s.groups[h] = append(s.groups[h], cp)
+	s.n++
+}
+
+// merge folds another set's members into s.
+func (s *distinctSet) merge(o *distinctSet) {
+	for h, chain := range o.groups {
+		for _, k := range chain {
+			s.add(h, k)
+		}
+	}
+}
+
 // aggAcc accumulates one aggregate for one group.
 type aggAcc struct {
 	count    int64
 	sum      float64
 	min, max types.Datum
 	seen     bool
-	distinct map[uint64]struct{}
+	distinct *distinctSet
 }
 
 func newAccs(aggs []AggSpec) []aggAcc {
 	accs := make([]aggAcc, len(aggs))
 	for i, a := range aggs {
 		if a.Kind == AggCountDistinct {
-			accs[i].distinct = make(map[uint64]struct{})
+			accs[i].distinct = newDistinctSet()
 		}
 	}
 	return accs
@@ -648,11 +745,13 @@ func updateAccs(accs []aggAcc, aggs []AggSpec, fetch func(ColRef, []int32) types
 		case AggCountStar:
 			acc.count += mult
 		case AggCountDistinct:
+			key := make([]types.Datum, len(aggs[i].Cols))
 			var h uint64 = 1469598103934665603
-			for _, c := range aggs[i].Cols {
-				h = h*1099511628211 ^ fetch(c, tuple).Hash64()
+			for k, c := range aggs[i].Cols {
+				key[k] = fetch(c, tuple)
+				h = h*1099511628211 ^ key[k].Hash64()
 			}
-			acc.distinct[h] = struct{}{}
+			acc.distinct.add(h, key)
 		case AggSum, AggAvg:
 			v := fetch(aggs[i].Cols[0], tuple)
 			acc.sum += v.AsFloat() * float64(mult)
@@ -678,7 +777,7 @@ func (a *aggAcc) result(kind AggKind) types.Datum {
 	case AggCountStar:
 		return types.Int(a.count)
 	case AggCountDistinct:
-		return types.Int(int64(len(a.distinct)))
+		return types.Int(int64(a.distinct.n))
 	case AggSum:
 		return types.Float(a.sum)
 	case AggAvg:
@@ -735,10 +834,16 @@ func nextPow2(n int) int {
 
 // lookup finds or inserts the group for key, copying the key on insert.
 func (t *aggTable) lookup(key []types.Datum, mk func() []aggAcc) []aggAcc {
+	return t.lookupHash(hashKey(key), key, mk)
+}
+
+// lookupHash is lookup with a caller-supplied hash — the merge phase
+// reuses stored slot hashes, and tests inject colliding hashes to exercise
+// chain behaviour.
+func (t *aggTable) lookupHash(h uint64, key []types.Datum, mk func() []aggAcc) []aggAcc {
 	if float64(t.used+1) > aggLoadFactor*float64(len(t.slots)) {
 		t.grow()
 	}
-	h := hashKey(key)
 	mask := uint64(len(t.slots) - 1)
 	i := h & mask
 	for {
@@ -754,6 +859,50 @@ func (t *aggTable) lookup(key []types.Datum, mk func() []aggAcc) []aggAcc {
 			return s.accs
 		}
 		i = (i + 1) & mask
+	}
+}
+
+// absorb merges another table's groups into t (the parallel aggregation's
+// merge phase), combining accumulators group by group.
+func (t *aggTable) absorb(o *aggTable, aggs []AggSpec) {
+	for i := range o.slots {
+		s := &o.slots[i]
+		if !s.used {
+			continue
+		}
+		accs := t.lookupHash(s.h, s.key, func() []aggAcc { return newAccs(aggs) })
+		mergeAccs(accs, s.accs, aggs)
+	}
+}
+
+// mergeAccs combines src's accumulators into dst (dst may be freshly
+// zeroed, in which case the merge equals a copy).
+func mergeAccs(dst, src []aggAcc, aggs []AggSpec) {
+	for i := range aggs {
+		d, s := &dst[i], &src[i]
+		switch aggs[i].Kind {
+		case AggCountStar:
+			d.count += s.count
+		case AggCountDistinct:
+			d.distinct.merge(s.distinct)
+		case AggSum, AggAvg:
+			d.sum += s.sum
+			d.count += s.count
+		case AggMin, AggMax:
+			if !s.seen {
+				continue
+			}
+			if !d.seen {
+				d.min, d.max, d.seen = s.min, s.max, true
+				continue
+			}
+			if s.min.Less(d.min) {
+				d.min = s.min
+			}
+			if d.max.Less(s.max) {
+				d.max = s.max
+			}
+		}
 	}
 }
 

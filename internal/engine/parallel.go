@@ -1,0 +1,517 @@
+// Morsel-driven parallel execution: each scan's row space is split into
+// block-aligned morsels dispatched to a worker pool, hash-join probes run
+// over tuple chunks with per-chunk output partitions concatenated in chunk
+// order, and aggregation accumulates into per-worker hash tables merged in
+// worker order. Workers read through sibling storage.Readers that share an
+// atomic block-charge set, so IOStats.BlocksRead is identical to the
+// sequential path; chunk-indexed outputs make Result rows byte-identical.
+package engine
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"bytecard/internal/expr"
+	"bytecard/internal/obs"
+	"bytecard/internal/storage"
+	"bytecard/internal/types"
+)
+
+// MorselBlocks is the number of storage blocks per scan morsel. Morsel
+// boundaries are block aligned so that, during a scan, each block belongs
+// to exactly one worker; the shared charge set extends the
+// charge-each-block-once invariant to later phases that revisit blocks.
+const MorselBlocks = 2
+
+// morselRows is the row span of one scan morsel.
+const morselRows = MorselBlocks * storage.BlockSize
+
+// tupleChunk is the unit of parallel work over intermediate tuples (join
+// probe and aggregation input).
+const tupleChunk = 2048
+
+// execCtx carries per-query execution context: the resolved worker count
+// and an optional trace receiving one span per execution phase.
+type execCtx struct {
+	workers int
+	tr      *obs.Trace
+}
+
+// span records one execution phase: which tables it covered, how many
+// workers ran it, and how many rows it produced.
+func (ex *execCtx) span(op string, tables []string, workers int, rows int64, d time.Duration) {
+	if ex == nil || !ex.tr.Active() {
+		return
+	}
+	ex.tr.Add(obs.Span{
+		Op: op, Tables: tables, Source: "engine", Outcome: obs.OutcomeOK,
+		Workers: workers, Value: float64(rows), Duration: d,
+	})
+}
+
+// parallelFor reports whether a phase over n items should run parallel.
+func (ex *execCtx) parallelFor(n, chunk int) bool {
+	return ex != nil && ex.workers > 1 && n > chunk
+}
+
+// runChunks runs fn for every chunk index in [0, chunks) across up to
+// workers goroutines, dispatching chunks dynamically (morsel-driven: an
+// atomic cursor balances uneven chunks). Callers write outputs into
+// chunk-indexed slots, which keeps concatenation deterministic regardless
+// of scheduling.
+func runChunks(workers, chunks int, fn func(worker, chunk int)) {
+	if workers > chunks {
+		workers = chunks
+	}
+	if workers <= 1 {
+		for c := 0; c < chunks; c++ {
+			fn(0, c)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for {
+				c := int(next.Add(1)) - 1
+				if c >= chunks {
+					return
+				}
+				fn(worker, c)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// runStrided statically assigns chunk c to worker c mod workers, each
+// worker visiting its chunks in ascending order. Aggregation uses this
+// instead of dynamic dispatch so each worker's accumulation order — and
+// therefore floating-point partial sums — is reproducible run to run.
+func runStrided(workers, chunks int, fn func(worker, chunk int)) {
+	if workers > chunks {
+		workers = chunks
+	}
+	if workers <= 1 {
+		for c := 0; c < chunks; c++ {
+			fn(0, c)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for c := worker; c < chunks; c += workers {
+				fn(worker, c)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// chunkBounds returns the [lo, hi) item range of chunk c.
+func chunkBounds(n, size, c int) (int, int) {
+	lo := c * size
+	hi := lo + size
+	if hi > n {
+		hi = n
+	}
+	return lo, hi
+}
+
+func numChunks(n, size int) int { return (n + size - 1) / size }
+
+// concatRows concatenates chunk-indexed row lists in chunk order.
+func concatRows(parts [][]int32) []int32 {
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	out := make([]int32, 0, total)
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out
+}
+
+// workerView is one worker's private window onto a scanState: sibling
+// readers (created under the state's lock, used lock-free afterwards) that
+// share the canonical readers' block-charge sets.
+type workerView struct {
+	st      *scanState
+	readers map[string]*storage.Reader
+}
+
+func newWorkerView(st *scanState) *workerView {
+	return &workerView{st: st, readers: map[string]*storage.Reader{}}
+}
+
+func (w *workerView) reader(col string) *storage.Reader {
+	if r, ok := w.readers[col]; ok {
+		return r
+	}
+	r := w.st.sibling(col)
+	w.readers[col] = r
+	return r
+}
+
+func (w *workerView) value(col string, row int32) types.Datum {
+	return w.reader(col).Value(int(row))
+}
+
+// multiView is one worker's window across every scanned table — the probe
+// and aggregation phases read several tables per tuple.
+type multiView struct {
+	states []*scanState
+	views  []*workerView
+}
+
+func newMultiView(states []*scanState) *multiView {
+	return &multiView{states: states, views: make([]*workerView, len(states))}
+}
+
+func (v *multiView) value(tab int, col string, row int32) types.Datum {
+	w := v.views[tab]
+	if w == nil {
+		w = newWorkerView(v.states[tab])
+		v.views[tab] = w
+	}
+	return w.value(col, row)
+}
+
+// stageFilter applies the staged (multi-stage reader) constraint order to
+// rows, filtering in place and touching each column's blocks only where
+// candidates remain. reader supplies the column readers — the canonical
+// scanState readers sequentially, a workerView's siblings in parallel.
+func stageFilter(reader func(string) *storage.Reader, order []string, byCol map[string]expr.Constraint, rows []int32) []int32 {
+	for _, c := range order {
+		cons, ok := byCol[c]
+		if !ok {
+			continue
+		}
+		if cons.Empty {
+			return nil
+		}
+		r := reader(c)
+		kept := rows[:0]
+		for _, row := range rows {
+			if cons.Contains(r.Numeric(int(row))) {
+				kept = append(kept, row)
+			}
+		}
+		rows = kept
+		if len(rows) == 0 {
+			break
+		}
+	}
+	return rows
+}
+
+// parallelSingleStage is singleStageScan's morsel-parallel form: every
+// worker loads the blocks of its morsel for each touched column (the union
+// across morsels equals LoadAll) and evaluates the filter row-at-a-time.
+func parallelSingleStage(st *scanState, cols []string, n, workers int) []int32 {
+	filter := st.t.Filter
+	chunks := numChunks(n, morselRows)
+	parts := make([][]int32, chunks)
+	runChunks(workers, chunks, func(_, c int) {
+		lo, hi := chunkBounds(n, morselRows, c)
+		view := newWorkerView(st)
+		for _, col := range cols {
+			view.reader(col).LoadRange(lo, hi)
+		}
+		rows := make([]int32, 0, (hi-lo)/4+1)
+		for i := lo; i < hi; i++ {
+			ii := int32(i)
+			if filter.Eval(func(_, col string) types.Datum { return view.value(col, ii) }) {
+				rows = append(rows, ii)
+			}
+		}
+		parts[c] = rows
+	})
+	return concatRows(parts)
+}
+
+// parallelMultiStage is multiStageScan's morsel-parallel form: each worker
+// runs the full staged column order within its morsel. Filters are
+// row-local, so the surviving set — and the set of blocks holding
+// survivors, which is what later stages touch — is identical to the
+// sequential pass.
+func parallelMultiStage(st *scanState, order []string, byCol map[string]expr.Constraint, n, workers int) []int32 {
+	chunks := numChunks(n, morselRows)
+	parts := make([][]int32, chunks)
+	runChunks(workers, chunks, func(_, c int) {
+		lo, hi := chunkBounds(n, morselRows, c)
+		rows := make([]int32, hi-lo)
+		for i := range rows {
+			rows[i] = int32(lo + i)
+		}
+		view := newWorkerView(st)
+		parts[c] = stageFilter(view.reader, order, byCol, rows)
+	})
+	return concatRows(parts)
+}
+
+// parallelSIPProbe is the morsel-parallel key-membership stage of a
+// SIP-first scan: workers probe the shared read-only key set over their
+// morsels and emit surviving candidates in row order.
+func parallelSIPProbe(st *scanState, conds []JoinCond, sip map[uint64]bool, n, workers int) []int32 {
+	chunks := numChunks(n, morselRows)
+	parts := make([][]int32, chunks)
+	runChunks(workers, chunks, func(_, c int) {
+		lo, hi := chunkBounds(n, morselRows, c)
+		view := newWorkerView(st)
+		keyReaders := make([]*storage.Reader, len(conds))
+		for k, cond := range conds {
+			keyReaders[k] = view.reader(cond.RightCol)
+		}
+		key := make([]types.Datum, len(conds))
+		var rows []int32
+		for i := lo; i < hi; i++ {
+			for k := range conds {
+				key[k] = keyReaders[k].Value(i)
+			}
+			if sip[hashKey(key)] {
+				rows = append(rows, int32(i))
+			}
+		}
+		parts[c] = rows
+	})
+	return concatRows(parts)
+}
+
+// parallelStageFilterRows runs stageFilter over disjoint chunks of an
+// arbitrary candidate list (the SIP-first scan's later stages; candidates
+// are ascending but not block aligned — exactly-once charging is carried
+// by the shared charge sets).
+func parallelStageFilterRows(st *scanState, order []string, byCol map[string]expr.Constraint, candidates []int32, workers int) []int32 {
+	n := len(candidates)
+	chunks := numChunks(n, tupleChunk)
+	parts := make([][]int32, chunks)
+	runChunks(workers, chunks, func(_, c int) {
+		lo, hi := chunkBounds(n, tupleChunk, c)
+		view := newWorkerView(st)
+		parts[c] = stageFilter(view.reader, order, byCol, candidates[lo:hi])
+	})
+	return concatRows(parts)
+}
+
+// parallelEvalFilterRows evaluates an arbitrary filter tree over disjoint
+// chunks of a candidate list (the SIP-first scan's non-conjunctive tail).
+func parallelEvalFilterRows(st *scanState, filter *expr.Node, candidates []int32, workers int) []int32 {
+	n := len(candidates)
+	chunks := numChunks(n, tupleChunk)
+	parts := make([][]int32, chunks)
+	runChunks(workers, chunks, func(_, c int) {
+		lo, hi := chunkBounds(n, tupleChunk, c)
+		view := newWorkerView(st)
+		kept := candidates[lo:lo]
+		for _, row := range candidates[lo:hi] {
+			if filter.Eval(func(_, col string) types.Datum { return view.value(col, row) }) {
+				kept = append(kept, row)
+			}
+		}
+		parts[c] = kept
+	})
+	return concatRows(parts)
+}
+
+// probePart is one chunk's hash-join output partition.
+type probePart struct {
+	tuples [][]int32
+	counts []int64
+}
+
+// parallelProbe probes the shared read-only build table over chunks of the
+// intermediate's tuples. Per-chunk partitions concatenated in chunk order
+// reproduce exactly the sequential probe's output order (the build side is
+// built sequentially, so per-key match order is identical too).
+func parallelProbe(inter *intermediate, states []*scanState, build map[uint64][]joinEntry, conds []JoinCond, bindingIdx map[string]int, workers int) ([][]int32, []int64, bool) {
+	n := len(inter.tuples)
+	chunks := numChunks(n, tupleChunk)
+	parts := make([]probePart, chunks)
+	var total atomic.Int64
+	var overflow atomic.Bool
+	runChunks(workers, chunks, func(_, c int) {
+		if overflow.Load() {
+			return
+		}
+		lo, hi := chunkBounds(n, tupleChunk, c)
+		view := newMultiView(states)
+		probeKey := make([]types.Datum, len(conds))
+		var part probePart
+		for ti := lo; ti < hi; ti++ {
+			tuple := inter.tuples[ti]
+			for k, cond := range conds {
+				lt := bindingIdx[cond.LeftTab]
+				probeKey[k] = view.value(lt, cond.LeftCol, tuple[inter.pos[lt]])
+			}
+			h := hashKey(probeKey)
+			matched := int64(0)
+			for _, ent := range build[h] {
+				if !keysEqual(ent.key, probeKey) {
+					continue
+				}
+				combined := make([]int32, len(tuple)+1)
+				copy(combined, tuple)
+				combined[len(tuple)] = ent.row
+				part.tuples = append(part.tuples, combined)
+				part.counts = append(part.counts, inter.counts[ti])
+				matched++
+			}
+			if matched > 0 && total.Add(matched) > MaxIntermediateRows {
+				overflow.Store(true)
+				return
+			}
+		}
+		parts[c] = part
+	})
+	if overflow.Load() {
+		return nil, nil, false
+	}
+	outN := 0
+	for i := range parts {
+		outN += len(parts[i].tuples)
+	}
+	tuples := make([][]int32, 0, outN)
+	counts := make([]int64, 0, outN)
+	for i := range parts {
+		tuples = append(tuples, parts[i].tuples...)
+		counts = append(counts, parts[i].counts...)
+	}
+	return tuples, counts, true
+}
+
+// parallelGroupedAgg accumulates the joined relation into per-worker
+// aggregation tables — each presized to the NDV estimate divided by the
+// worker count — then merges them in worker order. The per-table resize
+// counters (own growth plus merge-phase growth) sum into
+// Metrics.HashResizes, keeping the presizing experiment meaningful under
+// parallelism.
+func parallelGroupedAgg(q *Query, p *Plan, states []*scanState, inter *intermediate, workers int) (*aggTable, int64) {
+	n := len(inter.tuples)
+	chunks := numChunks(n, tupleChunk)
+	if workers > chunks {
+		workers = chunks
+	}
+	perWorkerCap := p.AggCapacity / workers
+	bound := bindColumns(q, inter)
+	tables := make([]*aggTable, workers)
+	views := make([]*multiView, workers)
+	keys := make([][]types.Datum, workers)
+	runStrided(workers, chunks, func(w, c int) {
+		if tables[w] == nil {
+			tables[w] = newAggTable(perWorkerCap)
+			views[w] = newMultiView(states)
+			keys[w] = make([]types.Datum, len(q.GroupBy))
+		}
+		table, view, key := tables[w], views[w], keys[w]
+		fetch := func(ref ColRef, tuple []int32) types.Datum {
+			bc := bound[ref]
+			return view.value(bc.tab, bc.col, tuple[bc.pos])
+		}
+		lo, hi := chunkBounds(n, tupleChunk, c)
+		for ti := lo; ti < hi; ti++ {
+			tuple := inter.tuples[ti]
+			for i, g := range q.GroupBy {
+				key[i] = fetch(g, tuple)
+			}
+			accs := table.lookup(key, func() []aggAcc { return newAccs(q.Aggs) })
+			updateAccs(accs, q.Aggs, fetch, tuple, inter.counts[ti])
+		}
+	})
+	var final *aggTable
+	var resizes int64
+	for _, t := range tables {
+		if t == nil {
+			continue
+		}
+		if final == nil {
+			final = t
+			continue
+		}
+		resizes += int64(t.resizes)
+		final.absorb(t, q.Aggs)
+	}
+	if final == nil {
+		final = newAggTable(p.AggCapacity)
+	}
+	return final, resizes + int64(final.resizes)
+}
+
+// parallelGlobalAgg accumulates the no-GROUP-BY aggregates into per-worker
+// accumulator blocks merged in worker order.
+func parallelGlobalAgg(q *Query, states []*scanState, inter *intermediate, workers int) []aggAcc {
+	n := len(inter.tuples)
+	chunks := numChunks(n, tupleChunk)
+	if workers > chunks {
+		workers = chunks
+	}
+	bound := bindColumns(q, inter)
+	blocks := make([][]aggAcc, workers)
+	views := make([]*multiView, workers)
+	runStrided(workers, chunks, func(w, c int) {
+		if blocks[w] == nil {
+			blocks[w] = newAccs(q.Aggs)
+			views[w] = newMultiView(states)
+		}
+		accs, view := blocks[w], views[w]
+		fetch := func(ref ColRef, tuple []int32) types.Datum {
+			bc := bound[ref]
+			return view.value(bc.tab, bc.col, tuple[bc.pos])
+		}
+		lo, hi := chunkBounds(n, tupleChunk, c)
+		for ti := lo; ti < hi; ti++ {
+			updateAccs(accs, q.Aggs, fetch, inter.tuples[ti], inter.counts[ti])
+		}
+	})
+	out := newAccs(q.Aggs)
+	for _, accs := range blocks {
+		if accs != nil {
+			mergeAccs(out, accs, q.Aggs)
+		}
+	}
+	return out
+}
+
+// boundCol is a ColRef resolved against an intermediate: which tuple
+// position and table index to read, so parallel workers skip the per-row
+// binding search.
+type boundCol struct {
+	pos int
+	tab int
+	col string
+}
+
+// bindColumns resolves every group key and aggregate input against the
+// intermediate's tuple layout.
+func bindColumns(q *Query, inter *intermediate) map[ColRef]boundCol {
+	bound := map[ColRef]boundCol{}
+	resolve := func(ref ColRef) {
+		if _, ok := bound[ref]; ok {
+			return
+		}
+		for k, ti := range inter.tabs {
+			if q.Tables[ti].Binding == ref.Tab {
+				bound[ref] = boundCol{pos: k, tab: ti, col: ref.Col}
+				return
+			}
+		}
+		panic("engine: unresolved column " + ref.String())
+	}
+	for _, g := range q.GroupBy {
+		resolve(g)
+	}
+	for _, a := range q.Aggs {
+		for _, c := range a.Cols {
+			resolve(c)
+		}
+	}
+	return bound
+}

@@ -127,6 +127,9 @@ type Metrics struct {
 	// intermediate compression) — the per-plan ground truth q-error
 	// monitoring compares EstFinalRows against.
 	ActualFinalRows int64
+	// ParallelWorkers is the morsel-driven worker count the executor ran
+	// with (1 means the sequential path).
+	ParallelWorkers int
 	// PlanDuration includes all estimator calls made during optimization.
 	PlanDuration time.Duration
 	// ExecDuration is pure execution time.

@@ -3,12 +3,19 @@ package modelforge
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 
 	"bytecard/internal/rbx"
 	"bytecard/internal/sample"
 )
+
+// maxRequestBody caps request payloads. Fine-tune requests carry sample
+// profiles and truth vectors, which stay well under a megabyte; anything
+// larger is a malformed or abusive request, rejected with 413 before the
+// decoder buffers it.
+const maxRequestBody = 8 << 20
 
 // Server exposes the service over HTTP — the standalone-deployment form
 // the paper describes (training must not share a process with query
@@ -43,6 +50,23 @@ func writeError(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, map[string]string{"error": err.Error()})
 }
 
+// decodeBody decodes a JSON request body into v under the maxRequestBody
+// limit, writing the appropriate error status (413 for oversized payloads,
+// 400 for malformed JSON) and reporting whether decoding succeeded.
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, maxRequestBody)
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge, err)
+		} else {
+			writeError(w, http.StatusBadRequest, err)
+		}
+		return false
+	}
+	return true
+}
+
 func (s *Server) handleTrain(w http.ResponseWriter, _ *http.Request) {
 	rep, err := s.svc.TrainAll()
 	if err != nil {
@@ -74,8 +98,7 @@ type IngestSignal struct {
 
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	var sig IngestSignal
-	if err := json.NewDecoder(r.Body).Decode(&sig); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+	if !decodeBody(w, r, &sig) {
 		return
 	}
 	if err := s.svc.NotifyIngest(sig.Table, sig.Rows); err != nil {
@@ -95,8 +118,7 @@ type FineTuneRequest struct {
 
 func (s *Server) handleFineTune(w http.ResponseWriter, r *http.Request) {
 	var req FineTuneRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+	if !decodeBody(w, r, &req) {
 		return
 	}
 	if err := s.svc.FineTuneRBX(req.Column, req.Profiles, req.Truths, req.Config); err != nil {

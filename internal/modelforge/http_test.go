@@ -1,0 +1,67 @@
+package modelforge
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// newHTTPServer wires a server over a tiny forge without training — the
+// handler-robustness tests below never reach the training paths.
+func newHTTPServer(t *testing.T) *Server {
+	t.Helper()
+	svc, _, _ := newForge(t, 0.5)
+	return NewServer(svc)
+}
+
+func TestHTTPRequestValidation(t *testing.T) {
+	srv := newHTTPServer(t)
+	oversized := `{"table":"fact","source":"` + strings.Repeat("x", maxRequestBody+1) + `"}`
+	cases := []struct {
+		name       string
+		method     string
+		path       string
+		body       string
+		wantStatus int
+	}{
+		{"ingest ok", http.MethodPost, "/ingest", `{"table":"fact","rows":10}`, http.StatusOK},
+		{"ingest bad json", http.MethodPost, "/ingest", `{"table":`, http.StatusBadRequest},
+		{"ingest unknown table", http.MethodPost, "/ingest", `{"table":"nope","rows":500}`, http.StatusInternalServerError},
+		{"ingest oversized", http.MethodPost, "/ingest", oversized, http.StatusRequestEntityTooLarge},
+		{"ingest wrong method", http.MethodGet, "/ingest", "", http.StatusMethodNotAllowed},
+		{"finetune bad json", http.MethodPost, "/finetune", `not json`, http.StatusBadRequest},
+		{"finetune oversized", http.MethodPost, "/finetune", oversized, http.StatusRequestEntityTooLarge},
+		{"finetune wrong method", http.MethodDelete, "/finetune", "", http.StatusMethodNotAllowed},
+		{"train wrong method", http.MethodGet, "/train", "", http.StatusMethodNotAllowed},
+		{"models ok", http.MethodGet, "/models", "", http.StatusOK},
+		{"models wrong method", http.MethodPost, "/models", "", http.StatusMethodNotAllowed},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			req := httptest.NewRequest(tc.method, tc.path, strings.NewReader(tc.body))
+			req.Header.Set("Content-Type", "application/json")
+			rec := httptest.NewRecorder()
+			srv.ServeHTTP(rec, req)
+			if rec.Code != tc.wantStatus {
+				t.Errorf("%s %s: status = %d, want %d (body %q)",
+					tc.method, tc.path, rec.Code, tc.wantStatus, rec.Body.String())
+			}
+		})
+	}
+}
+
+// TestHTTPOversizedBodyStopsEarly pins down that the limit applies to what
+// the decoder consumes, not just to fully buffered bodies: a valid JSON
+// prefix under the limit inside a body over the limit still decodes, while
+// a single value spanning past the limit is rejected with 413.
+func TestHTTPOversizedBodyStopsEarly(t *testing.T) {
+	srv := newHTTPServer(t)
+	body := `{"table":"fact","rows":3}` + strings.Repeat(" ", maxRequestBody)
+	req := httptest.NewRequest(http.MethodPost, "/ingest", strings.NewReader(body))
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Errorf("valid prefix under limit: status = %d, want 200 (body %q)", rec.Code, rec.Body.String())
+	}
+}

@@ -18,6 +18,15 @@ const (
 	OpCost     = "cost"     // learned cost-model prediction
 )
 
+// Execution-phase operations a Span can describe (recorded by the query
+// engine's executor rather than an estimator; Workers carries the
+// morsel-driven parallelism the phase ran with).
+const (
+	OpExecScan = "exec_scan" // base-table scan (filter + materialization)
+	OpExecJoin = "exec_join" // one hash-join step (build + probe)
+	OpExecAgg  = "exec_agg"  // final aggregation (accumulate + merge)
+)
+
 // Span outcomes. OutcomeOK and OutcomeClamped are successes; everything
 // else names the guard or breaker verdict that forced the failure.
 const (
@@ -52,6 +61,9 @@ type Span struct {
 	Fallback bool `json:"fallback,omitempty"`
 	// CacheHit marks join-vector cache hits.
 	CacheHit bool `json:"cache_hit,omitempty"`
+	// Workers is the parallelism an execution-phase span ran with (0 for
+	// estimator spans).
+	Workers int `json:"workers,omitempty"`
 	// Value is the produced estimate (selectivity, rows, or NDV depending
 	// on Op); zero for failed spans.
 	Value float64 `json:"value"`
@@ -71,6 +83,9 @@ func (s Span) String() string {
 	}
 	if s.CacheHit {
 		b.WriteString(" cache-hit")
+	}
+	if s.Workers > 0 {
+		fmt.Fprintf(&b, " workers=%d", s.Workers)
 	}
 	fmt.Fprintf(&b, " value=%g dur=%s", s.Value, s.Duration)
 	if s.Err != "" {

@@ -150,19 +150,49 @@ func (c *Column) EncodeDatum(d types.Datum) (float64, bool) {
 // DictSize returns the dictionary length (0 for non-string columns).
 func (c *Column) DictSize() int { return len(c.dict) }
 
+// blockCharges is the cross-reader record of which blocks of one column
+// have been charged to the query's IOStats. Sibling readers (one per
+// worker goroutine) share one blockCharges, so a block read by several
+// workers — or by a scan worker first and a later sequential operator
+// after — is still charged exactly once per query.
+type blockCharges struct {
+	charged []atomic.Bool
+}
+
+// charge marks block b charged, reporting whether this call was the first.
+func (c *blockCharges) charge(b int) bool { return !c.charged[b].Swap(true) }
+
 // Reader provides block-accounted access to one column within one query.
 // The first touch of each block registers a block read in the IOStats; a
-// nil IOStats disables accounting. Reader is not safe for concurrent use —
-// each scan operator owns its readers.
+// nil IOStats disables accounting. A single Reader is not safe for
+// concurrent use — each worker owns its readers — but Sibling readers may
+// be used from different goroutines concurrently: they share the charge
+// state atomically, preserving the charge-each-block-once invariant.
 type Reader struct {
-	col    *Column
-	io     *IOStats
-	loaded []bool
+	col *Column
+	io  *IOStats
+	// loaded is this reader's private fast path: once a block is known
+	// charged, later touches skip the atomic.
+	loaded  []bool
+	charges *blockCharges
 }
 
 // NewReader creates a reader over col accounting into io (which may be nil).
 func (c *Column) NewReader(io *IOStats) *Reader {
-	return &Reader{col: c, io: io, loaded: make([]bool, c.NumBlocks())}
+	return &Reader{
+		col:     c,
+		io:      io,
+		loaded:  make([]bool, c.NumBlocks()),
+		charges: &blockCharges{charged: make([]atomic.Bool, c.NumBlocks())},
+	}
+}
+
+// Sibling returns a new reader over the same column sharing this reader's
+// charge state. The sibling is handed to another goroutine; each sibling is
+// used single-threaded, and the shared atomic charge set guarantees every
+// block is charged to the IOStats at most once across all siblings.
+func (r *Reader) Sibling() *Reader {
+	return &Reader{col: r.col, io: r.io, loaded: make([]bool, r.col.NumBlocks()), charges: r.charges}
 }
 
 // touch registers the block containing row i as read.
@@ -170,7 +200,7 @@ func (r *Reader) touch(i int) {
 	b := BlockOf(i)
 	if !r.loaded[b] {
 		r.loaded[b] = true
-		if r.io != nil {
+		if r.charges.charge(b) && r.io != nil {
 			n := BlockSize
 			if start := b * BlockSize; start+n > r.col.Len() {
 				n = r.col.Len() - start
@@ -196,6 +226,17 @@ func (r *Reader) Value(i int) types.Datum {
 func (r *Reader) LoadAll() {
 	n := r.col.Len()
 	for b := 0; b*BlockSize < n; b++ {
+		r.touch(b * BlockSize)
+	}
+}
+
+// LoadRange touches every block overlapping rows [lo, hi) — the
+// single-stage behaviour restricted to one morsel.
+func (r *Reader) LoadRange(lo, hi int) {
+	if n := r.col.Len(); hi > n {
+		hi = n
+	}
+	for b := BlockOf(lo); b*BlockSize < hi; b++ {
 		r.touch(b * BlockSize)
 	}
 }

@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"sync"
 	"testing"
 
 	"bytecard/internal/types"
@@ -146,6 +147,73 @@ func TestLoadAllCountsEveryBlockOnce(t *testing.T) {
 	want := int64(BlockSize*8 + 8)
 	if io.BytesRead() != want {
 		t.Errorf("BytesRead = %d, want %d", io.BytesRead(), want)
+	}
+}
+
+func TestSiblingSharesBlockCharges(t *testing.T) {
+	tab := buildTestTable(t, BlockSize*3)
+	col := tab.ColByName("id")
+	var io IOStats
+	r := col.NewReader(&io)
+	_ = r.Value(0)
+	sib := r.Sibling()
+	_ = sib.Value(1) // same block already charged by r
+	if io.BlocksRead() != 1 {
+		t.Errorf("BlocksRead = %d, want 1 (sibling must not re-charge)", io.BlocksRead())
+	}
+	_ = sib.Value(BlockSize) // fresh block through the sibling
+	_ = r.Value(BlockSize + 1)
+	if io.BlocksRead() != 2 {
+		t.Errorf("BlocksRead = %d, want 2", io.BlocksRead())
+	}
+	// An independent reader over the same column charges separately.
+	r2 := col.NewReader(&io)
+	_ = r2.Value(0)
+	if io.BlocksRead() != 3 {
+		t.Errorf("BlocksRead = %d, want 3 (independent reader has its own charges)", io.BlocksRead())
+	}
+}
+
+func TestSiblingConcurrentChargesOnce(t *testing.T) {
+	tab := buildTestTable(t, BlockSize*8)
+	col := tab.ColByName("score")
+	var io IOStats
+	root := col.NewReader(&io)
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		r := root.Sibling()
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Overlapping ranges from every worker: half LoadAll, half
+			// row-range loads.
+			if w%2 == 0 {
+				r.LoadAll()
+			} else {
+				r.LoadRange(w*BlockSize/2, col.Len())
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got, want := io.BlocksRead(), int64(col.NumBlocks()); got != want {
+		t.Errorf("BlocksRead = %d, want %d (each block charged exactly once)", got, want)
+	}
+}
+
+func TestLoadRangeTouchesOverlappingBlocks(t *testing.T) {
+	tab := buildTestTable(t, BlockSize*4)
+	col := tab.ColByName("id")
+	var io IOStats
+	r := col.NewReader(&io)
+	r.LoadRange(BlockSize-1, BlockSize+1) // straddles blocks 0 and 1
+	if io.BlocksRead() != 2 {
+		t.Errorf("BlocksRead = %d, want 2", io.BlocksRead())
+	}
+	r.LoadRange(0, 0) // empty range
+	r.LoadRange(5, 3) // inverted range
+	if io.BlocksRead() != 2 {
+		t.Errorf("degenerate ranges must not charge: %d", io.BlocksRead())
 	}
 }
 

@@ -1,0 +1,86 @@
+package bytecard
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"bytecard/internal/datagen"
+	"bytecard/internal/engine"
+)
+
+// Benchmarks for the morsel-driven parallel executor: the same query run
+// at 1 worker and at 4, over the JOB-light-style (imdb) and
+// STATS-CEB-style (stats) generators. On a multi-core machine the
+// 4-worker rows should show the speedup on aggregation-heavy shapes;
+// elapsed wall time is the comparison metric:
+//
+//	go test -bench=BenchmarkParallel -benchtime=5x
+var (
+	parBenchMu    sync.Mutex
+	parBenchCache = map[string]*datagen.Dataset{}
+)
+
+func parBenchDataset(b *testing.B, name string) *datagen.Dataset {
+	b.Helper()
+	parBenchMu.Lock()
+	defer parBenchMu.Unlock()
+	if ds, ok := parBenchCache[name]; ok {
+		return ds
+	}
+	ds, err := datagen.ByName(name, datagen.Config{Scale: 0.5, Seed: 71})
+	if err != nil {
+		b.Fatal(err)
+	}
+	parBenchCache[name] = ds
+	return ds
+}
+
+func benchmarkParallelQuery(b *testing.B, dataset, sql string, workers int) {
+	ds := parBenchDataset(b, dataset)
+	e := engine.New(ds.DB, ds.Schema, engine.HeuristicEstimator{})
+	e.Parallelism = workers
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := e.Run(sql)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(float64(res.Metrics.IO.BlocksRead()), "blocks")
+			b.ReportMetric(float64(res.Metrics.ParallelWorkers), "workers")
+		}
+	}
+}
+
+// Aggregation-heavy shapes: a grouped scan-aggregate and a join feeding a
+// grouped aggregate with COUNT DISTINCT.
+var parallelBenchQueries = map[string]string{
+	"imdb_scan_agg":  "SELECT ci.role_id, COUNT(*), SUM(ci.person_id), MIN(ci.person_id), MAX(ci.person_id) FROM cast_info ci GROUP BY ci.role_id",
+	"imdb_join_agg":  "SELECT t.kind_id, COUNT(*), COUNT(DISTINCT ci.role_id) FROM title t, cast_info ci WHERE ci.movie_id = t.id GROUP BY t.kind_id",
+	"stats_scan_agg": "SELECT v.vote_type, COUNT(*), SUM(v.creation_year) FROM votes v GROUP BY v.vote_type",
+	"stats_join_agg": "SELECT u.creation_year, COUNT(*), COUNT(DISTINCT p.post_type) FROM posts p, users u WHERE p.owner_user_id = u.id GROUP BY u.creation_year",
+}
+
+func benchmarkParallel(b *testing.B, key string, workers int) {
+	dataset := "imdb"
+	if key[:5] == "stats" {
+		dataset = "stats"
+	}
+	benchmarkParallelQuery(b, dataset, parallelBenchQueries[key], workers)
+}
+
+func BenchmarkParallel_IMDBScanAgg_1Worker(b *testing.B)  { benchmarkParallel(b, "imdb_scan_agg", 1) }
+func BenchmarkParallel_IMDBScanAgg_4Workers(b *testing.B) { benchmarkParallel(b, "imdb_scan_agg", 4) }
+func BenchmarkParallel_IMDBJoinAgg_1Worker(b *testing.B)  { benchmarkParallel(b, "imdb_join_agg", 1) }
+func BenchmarkParallel_IMDBJoinAgg_4Workers(b *testing.B) { benchmarkParallel(b, "imdb_join_agg", 4) }
+func BenchmarkParallel_STATSScanAgg_1Worker(b *testing.B) { benchmarkParallel(b, "stats_scan_agg", 1) }
+func BenchmarkParallel_STATSScanAgg_4Workers(b *testing.B) {
+	benchmarkParallel(b, "stats_scan_agg", 4)
+}
+func BenchmarkParallel_STATSJoinAgg_1Worker(b *testing.B) { benchmarkParallel(b, "stats_join_agg", 1) }
+func BenchmarkParallel_STATSJoinAgg_4Workers(b *testing.B) {
+	benchmarkParallel(b, "stats_join_agg", 4)
+}
+
+var _ = fmt.Sprint // keep fmt if metrics reporting changes
