@@ -71,6 +71,11 @@ type Options struct {
 	// Breaker tunes the per-model-key circuit breakers (zero values take
 	// the defaults: 5 consecutive failures open, 30s cooldown).
 	Breaker core.BreakerConfig
+	// TrainWorkers bounds ModelForge's training worker pool (Chow-Liu MI
+	// matrix, FactorJoin build). Zero defers to BYTECARD_TRAIN_WORKERS,
+	// then runtime.GOMAXPROCS. Trained models are byte-identical for every
+	// worker count.
+	TrainWorkers int
 }
 
 func (o *Options) fill() {
@@ -159,10 +164,11 @@ func OpenDataset(ds *datagen.Dataset, opts Options) (*System, error) {
 	sys.Sketch = cardinal.NewSketchEstimator(ds.DB, cardinal.DefaultHistogramBuckets)
 	sys.Sample = cardinal.NewSampleEstimator(ds.DB, cardinal.DefaultSampleRows, opts.Seed+2)
 	sys.Forge = modelforge.New(ds.Name, ds.DB, ds.Schema, sys.Store, modelforge.Config{
-		SampleRows:  opts.SampleRows,
-		BucketCount: opts.BucketCount,
-		RBX:         opts.RBX,
-		Seed:        opts.Seed + 3,
+		SampleRows:   opts.SampleRows,
+		BucketCount:  opts.BucketCount,
+		RBX:          opts.RBX,
+		Seed:         opts.Seed + 3,
+		TrainWorkers: opts.TrainWorkers,
 	})
 	sys.Infer = core.NewInferenceEngine(core.Options{Breaker: opts.Breaker})
 	sys.Loader = loader.New(sys.Store, sys.Infer)
@@ -346,6 +352,9 @@ type Metrics struct {
 	// Engine covers query volume, plan/exec latency, and the q-error of
 	// final-plan estimates against executed truth.
 	Engine obs.EngineSnapshot `json:"engine"`
+	// Training digests ModelForge's per-stage training timings (BN
+	// structure learning, parameter learning, FactorJoin build).
+	Training obs.TrainSnapshot `json:"training"`
 }
 
 // String renders the snapshot as JSON, satisfying expvar.Var.
@@ -365,6 +374,7 @@ func (s *System) Metrics() Metrics {
 		Registry:  s.Infer.Snapshot(),
 		Loader:    s.Loader.Snapshot(),
 		Engine:    s.Engine.Obs.Snapshot(),
+		Training:  s.Forge.Obs().Snapshot(),
 	}
 }
 

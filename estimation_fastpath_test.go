@@ -1,0 +1,197 @@
+package bytecard
+
+import (
+	"sync"
+	"testing"
+
+	"bytecard/internal/engine"
+	"bytecard/internal/sqlparse"
+)
+
+// Estimation fast-path system tests: batched parallel planning must be
+// byte-identical to sequential planning with the real ByteCard estimator,
+// and one shared estimator must serve many concurrent planners without
+// races or cross-talk through the pooled inference scratch.
+
+var (
+	fastpathMu      sync.Mutex
+	fastpathSystems = map[string]*System{}
+)
+
+// fastpathSystem opens (once per dataset) a trained system with the
+// parallel planner enabled.
+func fastpathSystem(t *testing.T, dataset string) *System {
+	t.Helper()
+	fastpathMu.Lock()
+	defer fastpathMu.Unlock()
+	if sys, ok := fastpathSystems[dataset]; ok {
+		return sys
+	}
+	sys, err := Open(Options{Dataset: dataset, Scale: 0.1, Seed: 5, Parallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fastpathSystems[dataset] = sys
+	return sys
+}
+
+var fastpathQueries = map[string][]string{
+	"imdb": {
+		"SELECT COUNT(*) FROM title t, cast_info ci, movie_keyword mk WHERE ci.movie_id = t.id AND mk.movie_id = t.id AND t.production_year >= 1990",
+		"SELECT COUNT(*) FROM title t, cast_info ci, movie_keyword mk, movie_info mi, movie_companies mc, movie_info_idx mii " +
+			"WHERE ci.movie_id = t.id AND mk.movie_id = t.id AND mi.movie_id = t.id AND mc.movie_id = t.id AND mii.movie_id = t.id AND ci.role_id <= 5",
+	},
+	"stats": {
+		"SELECT COUNT(*) FROM posts p, users u WHERE p.owner_user_id = u.id AND u.creation_year >= 2010",
+		"SELECT COUNT(*) FROM posts p, users u, votes v, comments c WHERE p.owner_user_id = u.id AND v.post_id = p.id AND c.post_id = p.id AND p.post_type = 1",
+	},
+}
+
+// noBatchEstimator hides EstimateJoinBatch, forcing sequential planning.
+type noBatchEstimator struct{ engine.CardEstimator }
+
+// TestBatchedPlanningParityRealEstimator plans each query twice through the
+// same ByteCard estimator — once batched (the default: core.Estimator
+// implements BatchCardEstimator) and once with the batch interface hidden —
+// and requires byte-identical JoinOrder, JoinEstRows, and EstFinalRows on
+// the imdb and stats generators.
+func TestBatchedPlanningParityRealEstimator(t *testing.T) {
+	for dataset, queries := range fastpathQueries {
+		sys := fastpathSystem(t, dataset)
+		for _, sql := range queries {
+			stmt, err := sqlparse.Parse(sql)
+			if err != nil {
+				t.Fatal(err)
+			}
+			q, err := sys.Engine.Analyze(stmt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			batched, err := sys.Engine.Plan(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sequential, err := sys.Engine.PlanWith(q, noBatchEstimator{sys.Estimator})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(batched.JoinOrder) != len(sequential.JoinOrder) {
+				t.Fatalf("%s/%s: join order lengths differ", dataset, sql)
+			}
+			for i := range batched.JoinOrder {
+				if batched.JoinOrder[i] != sequential.JoinOrder[i] {
+					t.Fatalf("%s/%s: JoinOrder %v vs %v", dataset, sql, batched.JoinOrder, sequential.JoinOrder)
+				}
+			}
+			for i := range batched.JoinEstRows {
+				if batched.JoinEstRows[i] != sequential.JoinEstRows[i] {
+					t.Fatalf("%s/%s: JoinEstRows[%d] %v vs %v", dataset, sql, i, batched.JoinEstRows[i], sequential.JoinEstRows[i])
+				}
+			}
+			if batched.EstFinalRows != sequential.EstFinalRows {
+				t.Fatalf("%s/%s: EstFinalRows %v vs %v", dataset, sql, batched.EstFinalRows, sequential.EstFinalRows)
+			}
+		}
+	}
+}
+
+// TestConcurrentPlanningSharedEstimator runs Explain and EstimateCount from
+// many goroutines through one shared core.Estimator (pooled BN scratch,
+// shared vector cache, batched DP) under -race, asserting every concurrent
+// answer equals the serially computed reference.
+func TestConcurrentPlanningSharedEstimator(t *testing.T) {
+	sys := fastpathSystem(t, "imdb")
+	queries := fastpathQueries["imdb"]
+	plan := func(sql string) (*engine.Plan, error) {
+		stmt, err := sqlparse.Parse(sql)
+		if err != nil {
+			return nil, err
+		}
+		q, err := sys.Engine.Analyze(stmt)
+		if err != nil {
+			return nil, err
+		}
+		return sys.Engine.Plan(q)
+	}
+	type ref struct {
+		order []int
+		rows  []float64
+		est   float64
+		count float64
+	}
+	refs := make([]ref, len(queries))
+	for i, sql := range queries {
+		p, err := plan(sql)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cnt, err := sys.EstimateCount(sql)
+		if err != nil {
+			t.Fatal(err)
+		}
+		refs[i] = ref{order: p.JoinOrder, rows: p.JoinEstRows, est: p.EstFinalRows, count: cnt}
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 32)
+	fail := func(err error) {
+		select {
+		case errs <- err:
+		default:
+		}
+	}
+	for g := 0; g < 12; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for it := 0; it < 8; it++ {
+				i := (g + it) % len(queries)
+				p, err := plan(queries[i])
+				if err != nil {
+					fail(err)
+					return
+				}
+				if p.EstFinalRows != refs[i].est {
+					t.Errorf("goroutine %d: EstFinalRows %v, want %v", g, p.EstFinalRows, refs[i].est)
+					return
+				}
+				for k := range refs[i].order {
+					if p.JoinOrder[k] != refs[i].order[k] {
+						t.Errorf("goroutine %d: JoinOrder %v, want %v", g, p.JoinOrder, refs[i].order)
+						return
+					}
+				}
+				for k := range refs[i].rows {
+					if p.JoinEstRows[k] != refs[i].rows[k] {
+						t.Errorf("goroutine %d: JoinEstRows %v, want %v", g, p.JoinEstRows, refs[i].rows)
+						return
+					}
+				}
+				// Explain plans under a traced batch-capable view of the
+				// same shared estimator; its summary must agree too.
+				ex, err := sys.Explain(queries[i])
+				if err != nil {
+					fail(err)
+					return
+				}
+				if ex.EstFinalRows != refs[i].est {
+					t.Errorf("goroutine %d: Explain EstFinalRows %v, want %v", g, ex.EstFinalRows, refs[i].est)
+					return
+				}
+				cnt, err := sys.EstimateCount(queries[i])
+				if err != nil {
+					fail(err)
+					return
+				}
+				if cnt != refs[i].count {
+					t.Errorf("goroutine %d: EstimateCount %v, want %v", g, cnt, refs[i].count)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	if err := <-errs; err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,364 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"time"
+
+	"bytecard/internal/bn"
+	"bytecard/internal/cardinal"
+	"bytecard/internal/core"
+	"bytecard/internal/datagen"
+	"bytecard/internal/engine"
+	"bytecard/internal/loader"
+	"bytecard/internal/modelforge"
+	"bytecard/internal/modelstore"
+	"bytecard/internal/rbx"
+	"bytecard/internal/sqlparse"
+)
+
+// The estimation fast-path benchmark suite measures the three optimizations
+// of the estimation hot path against their baseline implementations, which
+// the codebase keeps alive precisely so the comparison stays honest:
+//
+//   - bn_prob: one BN inference through the pooled scratch (Context.Prob)
+//     vs the fresh-allocation reference (Context.ProbNoScratch);
+//   - join_dp_n{3,6,10}: the join-order DP planning an n-table query with
+//     batched estimation fanned across workers vs the sequential per-subset
+//     path (the batch interface hidden);
+//   - train_full: one full ModelForge pipeline with the training worker
+//     pool vs a single worker.
+//
+// EstimationSuite renders the result as an EstimationReport, persisted as
+// BENCH_estimation.json at the repository root so regressions diff in code
+// review.
+
+// EstimationMeasure is one measured configuration.
+type EstimationMeasure struct {
+	Iters       int     `json:"iters"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+}
+
+// EstimationPair is one before/after benchmark: the baseline path and the
+// fast path over identical work.
+type EstimationPair struct {
+	Name   string            `json:"name"`
+	Before EstimationMeasure `json:"before"`
+	After  EstimationMeasure `json:"after"`
+	// Speedup is Before.NsPerOp / After.NsPerOp (>1 means faster).
+	Speedup float64 `json:"speedup"`
+	// AllocRatio is Before.AllocsPerOp / max(After.AllocsPerOp, 1).
+	AllocRatio float64 `json:"alloc_ratio"`
+}
+
+// EstimationReport is the serialized suite result.
+type EstimationReport struct {
+	GeneratedAt string           `json:"generated_at"`
+	Smoke       bool             `json:"smoke"`
+	Scale       float64          `json:"scale"`
+	Parallelism int              `json:"parallelism"`
+	GOMAXPROCS  int              `json:"gomaxprocs"`
+	Benches     []EstimationPair `json:"benches"`
+}
+
+// EstimationConfig controls the suite.
+type EstimationConfig struct {
+	// Smoke shrinks iteration counts and data so the suite finishes in
+	// seconds — CI's compile-and-run gate, not a stable measurement.
+	Smoke bool
+	// Parallelism is the batched planner's worker count (default 4).
+	Parallelism int
+	// Seed drives data generation and training (default 1).
+	Seed int64
+	// Log receives progress lines when non-nil.
+	Log func(format string, args ...any)
+}
+
+func (c *EstimationConfig) fill() {
+	if c.Parallelism <= 0 {
+		c.Parallelism = 4
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+}
+
+func (c *EstimationConfig) logf(format string, args ...any) {
+	if c.Log != nil {
+		c.Log(format, args...)
+	}
+}
+
+// measure times iters calls of fn on the current goroutine, reading
+// allocation deltas from runtime.MemStats. The counters are process-global,
+// so fn must be the only allocation source while measuring (the suite runs
+// single-threaded between setups).
+func measure(iters int, fn func()) EstimationMeasure {
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		fn()
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	n := float64(iters)
+	return EstimationMeasure{
+		Iters:       iters,
+		NsPerOp:     float64(elapsed.Nanoseconds()) / n,
+		AllocsPerOp: float64(after.Mallocs-before.Mallocs) / n,
+		BytesPerOp:  float64(after.TotalAlloc-before.TotalAlloc) / n,
+	}
+}
+
+func pair(name string, before, after EstimationMeasure) EstimationPair {
+	p := EstimationPair{Name: name, Before: before, After: after}
+	if after.NsPerOp > 0 {
+		p.Speedup = before.NsPerOp / after.NsPerOp
+	}
+	denom := after.AllocsPerOp
+	if denom < 1 {
+		denom = 1
+	}
+	p.AllocRatio = before.AllocsPerOp / denom
+	return p
+}
+
+// wideBNModel trains a synthetic 8-column categorical BN — wide enough that
+// per-node allocation dominates the fresh-allocation baseline.
+func wideBNModel(seed int64) (*bn.Model, error) {
+	const nCols, nRows = 8, 4000
+	rng := rand.New(rand.NewSource(seed))
+	cols := make([][]float64, nCols)
+	names := make([]string, nCols)
+	for c := range cols {
+		cols[c] = make([]float64, nRows)
+		names[c] = fmt.Sprintf("c%d", c)
+	}
+	for r := 0; r < nRows; r++ {
+		base := float64(rng.Intn(5))
+		for c := range cols {
+			v := base
+			if rng.Float64() > 0.7 {
+				v = float64(rng.Intn(5))
+			}
+			cols[c][r] = v
+		}
+	}
+	return bn.Train(bn.TrainConfig{Table: "wide", ColNames: names, Sample: cols, Laplace: 0.1})
+}
+
+// benchBNProb measures one BN inference, pooled vs fresh-allocation.
+func benchBNProb(cfg *EstimationConfig) (EstimationPair, error) {
+	m, err := wideBNModel(3)
+	if err != nil {
+		return EstimationPair{}, err
+	}
+	ctx, err := m.NewContext()
+	if err != nil {
+		return EstimationPair{}, err
+	}
+	// Soft evidence on the first column, shaped like a range predicate.
+	weights := make([][]float64, len(m.Cols))
+	ev := make([]float64, m.Cols[0].Bins())
+	for b := range ev {
+		if b%2 == 0 {
+			ev[b] = 1
+		} else {
+			ev[b] = 0.25
+		}
+	}
+	weights[0] = ev
+	iters := 50000
+	if cfg.Smoke {
+		iters = 2000
+	}
+	ctx.Prob(weights) // warm the pool
+	after := measure(iters, func() { ctx.Prob(weights) })
+	before := measure(iters, func() { ctx.ProbNoScratch(weights) })
+	return pair("bn_prob", before, after), nil
+}
+
+// seqEstimator hides EstimateJoinBatch, forcing the sequential DP path.
+type seqEstimator struct{ engine.CardEstimator }
+
+// estimationJoinQueries are the DP macro-bench queries at n=3, 6, and 10
+// tables (n=10 via alias self-joins around the title hub).
+var estimationJoinQueries = []struct {
+	name string
+	sql  string
+}{
+	{"join_dp_n3", "SELECT COUNT(*) FROM title t, cast_info ci, movie_keyword mk WHERE ci.movie_id = t.id AND mk.movie_id = t.id AND t.production_year >= 1990"},
+	{"join_dp_n6", "SELECT COUNT(*) FROM title t, cast_info ci, movie_keyword mk, movie_info mi, movie_companies mc, movie_info_idx mii " +
+		"WHERE ci.movie_id = t.id AND mk.movie_id = t.id AND mi.movie_id = t.id AND mc.movie_id = t.id AND mii.movie_id = t.id"},
+	{"join_dp_n10", "SELECT COUNT(*) FROM title t, cast_info c1, cast_info c2, movie_keyword k1, movie_keyword k2, movie_info i1, movie_info i2, movie_companies m1, movie_companies m2, movie_info_idx x1 " +
+		"WHERE c1.movie_id = t.id AND c2.movie_id = t.id AND k1.movie_id = t.id AND k2.movie_id = t.id AND i1.movie_id = t.id AND i2.movie_id = t.id AND m1.movie_id = t.id AND m2.movie_id = t.id AND x1.movie_id = t.id"},
+}
+
+// estimationSystem wires the minimal trained planning stack: imdb data,
+// ModelForge-trained BN/FactorJoin artifacts, and a core.Estimator over
+// them (with a small RBX so training stays in bench budget).
+func estimationSystem(cfg *EstimationConfig, scale float64) (*datagen.Dataset, *core.Estimator, error) {
+	ds, err := datagen.ByName("imdb", datagen.Config{Scale: scale, Seed: cfg.Seed})
+	if err != nil {
+		return nil, nil, err
+	}
+	dir, err := os.MkdirTemp("", "bytecard-estbench-*")
+	if err != nil {
+		return nil, nil, err
+	}
+	store, err := modelstore.Open(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	forge := modelforge.New("imdb", ds.DB, ds.Schema, store, modelforge.Config{
+		SampleRows: 4000, BucketCount: 64, Seed: cfg.Seed + 3,
+		RBX: rbx.TrainConfig{Columns: 60, Epochs: 3, MaxPop: 8000, Seed: cfg.Seed + 9},
+	})
+	if _, err := forge.TrainAll(); err != nil {
+		return nil, nil, err
+	}
+	infer := core.NewInferenceEngine(core.Options{})
+	if _, err := loader.New(store, infer).RefreshOnce(); err != nil {
+		return nil, nil, err
+	}
+	sketch := cardinal.NewSketchEstimator(ds.DB, cardinal.DefaultHistogramBuckets)
+	est := core.NewEstimator(infer, sketch)
+	loader.LoadSamples(ds.DB, est, 4000, cfg.Seed+4)
+	return ds, est, nil
+}
+
+// benchJoinDP measures join-order planning latency, batched vs sequential,
+// through the real ByteCard estimator.
+func benchJoinDP(cfg *EstimationConfig) ([]EstimationPair, error) {
+	scale := 0.05
+	iters := map[string]int{"join_dp_n3": 300, "join_dp_n6": 60, "join_dp_n10": 15}
+	if cfg.Smoke {
+		scale = 0.02
+		iters = map[string]int{"join_dp_n3": 10, "join_dp_n6": 3, "join_dp_n10": 1}
+	}
+	ds, est, err := estimationSystem(cfg, scale)
+	if err != nil {
+		return nil, err
+	}
+	batched := engine.New(ds.DB, ds.Schema, est)
+	batched.Parallelism = cfg.Parallelism
+	sequential := engine.New(ds.DB, ds.Schema, seqEstimator{est})
+	sequential.Parallelism = cfg.Parallelism
+
+	var out []EstimationPair
+	for _, q := range estimationJoinQueries {
+		stmt, err := sqlparse.Parse(q.sql)
+		if err != nil {
+			return nil, err
+		}
+		qb, err := batched.Analyze(stmt)
+		if err != nil {
+			return nil, err
+		}
+		qs, err := sequential.Analyze(stmt)
+		if err != nil {
+			return nil, err
+		}
+		// Warm the shared join-vector cache so both paths measure the DP,
+		// not first-touch BN inference.
+		if _, err := batched.Plan(qb); err != nil {
+			return nil, err
+		}
+		if _, err := sequential.Plan(qs); err != nil {
+			return nil, err
+		}
+		n := iters[q.name]
+		after := measure(n, func() { _, _ = batched.Plan(qb) })
+		before := measure(n, func() { _, _ = sequential.Plan(qs) })
+		out = append(out, pair(q.name, before, after))
+		cfg.logf("[estimation] %s: seq %.0fns/op, batched %.0fns/op", q.name, before.NsPerOp, after.NsPerOp)
+	}
+	return out, nil
+}
+
+// benchTrain measures one full ModelForge pipeline with a single training
+// worker vs the full pool.
+func benchTrain(cfg *EstimationConfig) (EstimationPair, error) {
+	scale := 2.0
+	if cfg.Smoke {
+		scale = 1.0
+	}
+	run := func(workers int) (EstimationMeasure, error) {
+		ds := datagen.Toy(datagen.Config{Scale: scale, Seed: cfg.Seed})
+		dir, err := os.MkdirTemp("", "bytecard-trainbench-*")
+		if err != nil {
+			return EstimationMeasure{}, err
+		}
+		store, err := modelstore.Open(dir)
+		if err != nil {
+			return EstimationMeasure{}, err
+		}
+		forge := modelforge.New("toy", ds.DB, ds.Schema, store, modelforge.Config{
+			SampleRows: 4000, BucketCount: 64, Seed: cfg.Seed + 3, TrainWorkers: workers,
+			RBX: rbx.TrainConfig{Columns: 60, Epochs: 3, MaxPop: 8000, Seed: cfg.Seed + 9},
+		})
+		var trainErr error
+		m := measure(1, func() { _, trainErr = forge.TrainAll() })
+		return m, trainErr
+	}
+	before, err := run(1)
+	if err != nil {
+		return EstimationPair{}, err
+	}
+	after, err := run(runtime.GOMAXPROCS(0))
+	if err != nil {
+		return EstimationPair{}, err
+	}
+	return pair("train_full", before, after), nil
+}
+
+// EstimationSuite runs the full fast-path suite.
+func EstimationSuite(cfg EstimationConfig) (*EstimationReport, error) {
+	cfg.fill()
+	rep := &EstimationReport{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		Smoke:       cfg.Smoke,
+		Scale:       0.05,
+		Parallelism: cfg.Parallelism,
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+	}
+	if cfg.Smoke {
+		rep.Scale = 0.02
+	}
+	cfg.logf("[estimation] bn_prob")
+	bnPair, err := benchBNProb(&cfg)
+	if err != nil {
+		return nil, err
+	}
+	rep.Benches = append(rep.Benches, bnPair)
+	cfg.logf("[estimation] join DP (training imdb models)")
+	dpPairs, err := benchJoinDP(&cfg)
+	if err != nil {
+		return nil, err
+	}
+	rep.Benches = append(rep.Benches, dpPairs...)
+	cfg.logf("[estimation] train_full")
+	trainPair, err := benchTrain(&cfg)
+	if err != nil {
+		return nil, err
+	}
+	rep.Benches = append(rep.Benches, trainPair)
+	return rep, nil
+}
+
+// WriteJSON persists the report (indented, trailing newline) for diff-able
+// baselines.
+func (r *EstimationReport) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -169,8 +169,14 @@ type Model struct {
 	// CPT[i] is nil for the root; otherwise row-major
 	// P(x_i = b | x_parent = a) at [a*Bins(i)+b].
 	CPT [][]float64
-	// TrainSeconds records the training wall time.
+	// TrainSeconds records the total training wall time.
 	TrainSeconds float64
+	// StructureSeconds records the Chow-Liu stage (MI matrix + spanning
+	// tree) within TrainSeconds; ParamSeconds records parameter learning
+	// (ML counts plus EM sweeps). Both are additive gob fields: models
+	// serialized before they existed decode with zeros.
+	StructureSeconds float64
+	ParamSeconds     float64
 }
 
 // ColIndex returns the index of the named column, or -1.

@@ -1,0 +1,8 @@
+//go:build race
+
+package bn
+
+// raceEnabled reports whether the race detector is active. sync.Pool
+// deliberately drops a fraction of Puts under the race detector, so
+// allocation-count assertions on pooled paths only hold without it.
+const raceEnabled = true

@@ -6,6 +6,8 @@ import (
 	"math"
 	"sort"
 	"time"
+
+	"bytecard/internal/par"
 )
 
 // TrainConfig drives Train. Sample holds the training rows column-major:
@@ -34,6 +36,12 @@ type TrainConfig struct {
 	// ForcedBinNDV overrides the per-bin distinct counts of a
 	// forced-bounds column with externally computed (exact) values.
 	ForcedBinNDV map[string][]float64
+	// Workers bounds structure-learning parallelism (the O(cols²) pairwise
+	// MI matrix). Zero resolves via BYTECARD_TRAIN_WORKERS, then
+	// GOMAXPROCS. The learned model is identical at any worker count: each
+	// MI cell is an independent computation and the spanning tree, root
+	// choice, and parameter learning stay serial.
+	Workers int
 }
 
 // Train learns structure (Chow-Liu) and parameters (ML counts, or EM when
@@ -91,10 +99,14 @@ func Train(cfg TrainConfig) (*Model, error) {
 		}
 	}
 
-	m.Parent = chowLiu(m, bins)
+	structStart := time.Now()
+	m.Parent = chowLiu(m, bins, par.TrainWorkers(cfg.Workers))
+	m.StructureSeconds = time.Since(structStart).Seconds()
+	paramStart := time.Now()
 	if err := learnParameters(m, bins, cfg, hasMissing); err != nil {
 		return nil, err
 	}
+	m.ParamSeconds = time.Since(paramStart).Seconds()
 	m.TrainSeconds = time.Since(start).Seconds()
 	return m, m.Validate()
 }
@@ -221,7 +233,10 @@ func binNDVs(values []float64, miss []bool, bounds []float64, popRows, sampleRow
 // chowLiu learns the maximum-spanning tree over pairwise mutual
 // information and returns the parent array (root has parent -1, chosen as
 // the node with the largest total MI — the "root identification" step).
-func chowLiu(m *Model, bins [][]int) []int {
+// The MI matrix — the O(cols²·rows) bulk of structure learning — fans out
+// across workers; each cell is written by exactly one goroutine and read
+// only after the pool drains, so the result is worker-count independent.
+func chowLiu(m *Model, bins [][]int, workers int) []int {
 	n := len(m.Cols)
 	if n == 1 {
 		return []int{-1}
@@ -230,12 +245,18 @@ func chowLiu(m *Model, bins [][]int) []int {
 	for i := range mi {
 		mi[i] = make([]float64, n)
 	}
+	type pairIdx struct{ i, j int }
+	pairs := make([]pairIdx, 0, n*(n-1)/2)
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
-			v := mutualInformation(bins[i], bins[j], m.Cols[i].Bins(), m.Cols[j].Bins())
-			mi[i][j], mi[j][i] = v, v
+			pairs = append(pairs, pairIdx{i, j})
 		}
 	}
+	par.Do(len(pairs), workers, func(k int) {
+		p := pairs[k]
+		v := mutualInformation(bins[p.i], bins[p.j], m.Cols[p.i].Bins(), m.Cols[p.j].Bins())
+		mi[p.i][p.j], mi[p.j][p.i] = v, v
+	})
 	// Prim's algorithm for the maximum spanning tree.
 	inTree := make([]bool, n)
 	bestEdge := make([]int, n)
@@ -399,36 +420,44 @@ func learnParameters(m *Model, bins [][]int, cfg TrainConfig, hasMissing bool) e
 				edgeE[i] = make([]float64, len(edgeCnt[i]))
 			}
 		}
+		// One weight buffer per column, re-filled per row, and one pooled
+		// scratch for the whole sweep: the E-step reads sc.belief/sc.pair
+		// directly between marginals calls instead of allocating fresh
+		// tables per incomplete row.
 		weights := make([][]float64, len(m.Cols))
+		for c := range m.Cols {
+			weights[c] = make([]float64, m.Cols[c].Bins())
+		}
+		sc := ctx.getScratch()
 		for _, r := range incomplete {
 			for c := range m.Cols {
-				nb := m.Cols[c].Bins()
-				w := make([]float64, nb)
+				w := weights[c]
 				if bins[c][r] >= 0 {
+					clearFloats(w)
 					w[bins[c][r]] = 1
 				} else {
 					for k := range w {
 						w[k] = 1
 					}
 				}
-				weights[c] = w
 			}
-			pe, belief, pair := ctx.Marginals(weights)
+			pe := ctx.marginals(sc, weights)
 			if pe <= 0 {
 				continue
 			}
-			for b, v := range belief[root] {
+			for b, v := range sc.belief[root] {
 				rootE[b] += v / pe
 			}
 			for i := range m.Cols {
-				if i == root || pair[i] == nil {
+				if i == root || sc.pair[i] == nil {
 					continue
 				}
-				for k, v := range pair[i] {
+				for k, v := range sc.pair[i] {
 					edgeE[i][k] += v / pe
 				}
 			}
 		}
+		ctx.putScratch(sc)
 		// Recompute complete-row hard counts and merge expectations.
 		for i := range rootCnt {
 			rootCnt[i] = 0

@@ -10,6 +10,7 @@ import (
 	"bytecard/internal/expr"
 	"bytecard/internal/factorjoin"
 	"bytecard/internal/obs"
+	"bytecard/internal/par"
 	"bytecard/internal/sample"
 	"bytecard/internal/types"
 )
@@ -161,6 +162,10 @@ func (e *Estimator) guarded(op string, tables []string, key string, lo, hi float
 	e.span(obs.Span{Op: op, Tables: tables, Key: key, Source: sourceOfKey(key), Outcome: outcome, Value: v, Duration: dur})
 	return v, nil
 }
+
+// The planner batches its DP ranks through ByteCard (and its traced
+// views — WithTrace returns the same concrete type).
+var _ engine.BatchCardEstimator = (*Estimator)(nil)
 
 // Name implements engine.CardEstimator.
 func (e *Estimator) Name() string { return "bytecard" }
@@ -317,18 +322,12 @@ func bindings(tables []*engine.QueryTable) []string {
 	return out
 }
 
-// EstimateJoin implements engine.CardEstimator via FactorJoin inference
-// over BN-conditioned bucket counts.
-func (e *Estimator) EstimateJoin(tables []*engine.QueryTable, joins []engine.JoinCond) float64 {
-	e.Metrics.Calls.Add(1)
-	start := time.Now()
-	fj := e.Infer.FactorJoin()
-	if fj == nil {
-		e.Metrics.Fallbacks.Add(1)
-		v := e.Fallback.EstimateJoin(tables, joins)
-		e.fallbackSpan(obs.OpJoin, bindings(tables), &ModelError{Key: "factorjoin", Outcome: obs.OutcomeMissing, Msg: "core: no FactorJoin model loaded"}, v, start)
-		return v
-	}
+// joinModelCall builds the FactorJoin invocation for one table subset: the
+// closure the guard runs and the sanitizer's upper bound (the Cartesian
+// product of the joined relations — an inner join can never exceed it).
+// The closure copies nothing from tables/joins lazily, so the caller's
+// slices may be reused once it has been built.
+func (e *Estimator) joinModelCall(fj *factorjoin.Model, tables []*engine.QueryTable, joins []engine.JoinCond) (fn func() (float64, error), upper float64) {
 	byBinding := map[string]*engine.QueryTable{}
 	fjTables := make([]factorjoin.QueryTable, len(tables))
 	for i, t := range tables {
@@ -365,15 +364,29 @@ func (e *Estimator) EstimateJoin(tables []*engine.QueryTable, joins []engine.Joi
 		e.span(obs.Span{Op: obs.OpVector, Tables: []string{binding}, Key: "bn:" + t.Name, Source: "bn", Outcome: obs.OutcomeOK, Duration: time.Since(vecStart)})
 		return vec, nil
 	}
-	// The inner-join estimate can never exceed the Cartesian product of
-	// the joined relations; that product bounds the sanitizer.
-	upper := 1.0
+	upper = 1.0
 	for _, t := range tables {
 		upper *= math.Max(float64(t.Table.NumRows()), 1)
 	}
-	est, err := e.guarded(obs.OpJoin, bindings(tables), "factorjoin", 1, upper, func() (float64, error) {
+	return func() (float64, error) {
 		return fj.Estimate(fjTables, conds, src, e.JoinMode)
-	})
+	}, upper
+}
+
+// EstimateJoin implements engine.CardEstimator via FactorJoin inference
+// over BN-conditioned bucket counts.
+func (e *Estimator) EstimateJoin(tables []*engine.QueryTable, joins []engine.JoinCond) float64 {
+	e.Metrics.Calls.Add(1)
+	start := time.Now()
+	fj := e.Infer.FactorJoin()
+	if fj == nil {
+		e.Metrics.Fallbacks.Add(1)
+		v := e.Fallback.EstimateJoin(tables, joins)
+		e.fallbackSpan(obs.OpJoin, bindings(tables), &ModelError{Key: "factorjoin", Outcome: obs.OutcomeMissing, Msg: "core: no FactorJoin model loaded"}, v, start)
+		return v
+	}
+	fn, upper := e.joinModelCall(fj, tables, joins)
+	est, err := e.guarded(obs.OpJoin, bindings(tables), "factorjoin", 1, upper, fn)
 	if err != nil {
 		e.Metrics.Fallbacks.Add(1)
 		v := e.Fallback.EstimateJoin(tables, joins)
@@ -381,6 +394,116 @@ func (e *Estimator) EstimateJoin(tables []*engine.QueryTable, joins []engine.Joi
 		return v
 	}
 	return est
+}
+
+// EstimateJoinBatch implements engine.BatchCardEstimator: one DP rank of
+// join subsets estimated under a single breaker admission and a single
+// trace span (with per-item Sources), the model calls fanned across at
+// most parallelism workers. Each item runs the same guard rungs as a
+// sequential EstimateJoin — panic recovery, latency budget, sanitization
+// into [1, cartesian-product] — and items that fail take the traditional
+// estimator's value, so the batch result is element-wise identical to
+// sequential calls. Fallback calls and breaker accounting run serially
+// after the fan-out: engine.CardEstimator implementations are not promised
+// to be concurrency-safe.
+func (e *Estimator) EstimateJoinBatch(items []engine.JoinBatchItem, parallelism int) []float64 {
+	out := make([]float64, len(items))
+	if len(items) == 0 {
+		return out
+	}
+	start := time.Now()
+	e.Metrics.Calls.Add(int64(len(items)))
+	e.Metrics.ModelCalls.Add(int64(len(items)))
+	sources := make([]string, len(items))
+	batchSpan := func(outcome, errMsg string) {
+		if e.trace == nil {
+			return
+		}
+		e.trace.Add(obs.Span{
+			Op:       obs.OpJoinBatch,
+			Key:      "factorjoin",
+			Source:   "factorjoin",
+			Outcome:  outcome,
+			Workers:  parallelism,
+			Sources:  sources,
+			Value:    float64(len(items)),
+			Err:      errMsg,
+			Duration: time.Since(start),
+		})
+	}
+	fallbackAll := func(cause *ModelError) []float64 {
+		e.Metrics.ModelFailures.Add(int64(len(items)))
+		e.Metrics.Fallbacks.Add(int64(len(items)))
+		for k, it := range items {
+			out[k] = e.Fallback.EstimateJoin(it.Tables, it.Conds)
+			sources[k] = e.Fallback.Name()
+			e.Metrics.Sources.Add(e.Fallback.Name(), 1)
+		}
+		batchSpan(cause.Outcome, cause.Msg)
+		return out
+	}
+	fj := e.Infer.FactorJoin()
+	if fj == nil {
+		return fallbackAll(&ModelError{Key: "factorjoin", Outcome: obs.OutcomeMissing, Msg: "core: no FactorJoin model loaded"})
+	}
+	if !e.Infer.Allow("factorjoin") {
+		outcome := obs.OutcomeBreakerOpen
+		if e.Infer.Disabled("factorjoin") {
+			outcome = obs.OutcomeDisabled
+		}
+		return fallbackAll(&ModelError{Key: "factorjoin", Outcome: outcome, Msg: "core: factorjoin unavailable (breaker open or disabled)"})
+	}
+	errs := make([]error, len(items))
+	clamped := make([]bool, len(items))
+	par.Do(len(items), parallelism, func(k int) {
+		fn, upper := e.joinModelCall(fj, items[k].Tables, items[k].Conds)
+		raw, err := e.Guard.Do("factorjoin", fn)
+		if err != nil {
+			errs[k] = err
+			return
+		}
+		v, err := e.Guard.Sanitize("factorjoin", raw, 1, upper)
+		if err != nil {
+			errs[k] = err
+			return
+		}
+		clamped[k] = v != raw
+		out[k] = v
+	})
+	// Serial epilogue: breaker accounting, per-item fallbacks, metrics.
+	outcome := obs.OutcomeOK
+	var failures, fallbacks int64
+	for k := range items {
+		if errs[k] != nil {
+			e.Infer.RecordFailure("factorjoin")
+			failures++
+			fallbacks++
+			out[k] = e.Fallback.EstimateJoin(items[k].Tables, items[k].Conds)
+			sources[k] = e.Fallback.Name()
+			e.Metrics.Sources.Add(e.Fallback.Name(), 1)
+			continue
+		}
+		e.Infer.RecordSuccess("factorjoin")
+		sources[k] = "factorjoin"
+		e.Metrics.Sources.Add("factorjoin", 1)
+		if clamped[k] {
+			outcome = obs.OutcomeClamped
+		}
+	}
+	e.Metrics.ModelFailures.Add(failures)
+	e.Metrics.Fallbacks.Add(fallbacks)
+	e.Metrics.ModelLatency.Observe(float64(time.Since(start).Nanoseconds()))
+	var errMsg string
+	if failures > 0 {
+		for _, err := range errs {
+			if err != nil {
+				errMsg = err.Error()
+				break
+			}
+		}
+	}
+	batchSpan(outcome, errMsg)
+	return out
 }
 
 // groupColumnKey names a group-key set for calibration lookup.

@@ -3,7 +3,6 @@ package engine
 import (
 	"fmt"
 	"math"
-	"math/bits"
 	"sort"
 
 	"bytecard/internal/expr"
@@ -151,6 +150,17 @@ func (e *Engine) orderPredColumns(t *QueryTable, preds []expr.Pred, cols []strin
 // planJoinOrder runs left-deep dynamic programming over connected table
 // subsets, costing each plan by the sum of intermediate cardinalities
 // (C_out) from the estimator.
+//
+// The DP walks the reachable frontier rank by rank (subsets of k tables,
+// then k+1) instead of materializing and sorting all 2^n−1 masks, so a
+// 2-table join touches 3 subsets, not 4095. Each rank's newly reachable
+// subsets are estimated before any dp update: when the estimator implements
+// BatchCardEstimator they go out as one batch (fanned across
+// Engine.Parallelism workers by the estimator), otherwise as sequential
+// EstimateJoin calls over reused tabs/conds scratch. Because the card memo
+// is fully populated before the rank's cost comparisons run — and those
+// comparisons always process base masks in ascending numeric order — the
+// batched and sequential paths produce byte-identical plans.
 func (e *Engine) planJoinOrder(p *Plan) error {
 	q := p.Query
 	n := len(q.Tables)
@@ -173,31 +183,69 @@ func (e *Engine) planJoinOrder(p *Plan) error {
 		connected[a] |= 1 << b
 		connected[b] |= 1 << a
 	}
+	// extensions returns the tables joined to subset m but outside it.
+	extensions := func(m uint32) uint32 {
+		var reach uint32
+		for j := 0; j < n; j++ {
+			if m&(1<<j) != 0 {
+				reach |= connected[j]
+			}
+		}
+		return reach &^ m
+	}
 
 	card := make(map[uint32]float64) // estimated rows of each subset
 	for i := range q.Tables {
 		card[1<<i] = p.Scans[i].EstRows
 	}
-	subsetCard := func(mask uint32) float64 {
-		if c, ok := card[mask]; ok {
-			return c
+	sanitize := func(c float64) float64 {
+		if c < 1 || math.IsNaN(c) {
+			return 1
 		}
-		var tabs []*QueryTable
+		return c
+	}
+	// fillSubset appends the subset's tables and internal join conditions.
+	fillSubset := func(mask uint32, tabs []*QueryTable, conds []JoinCond) ([]*QueryTable, []JoinCond) {
 		for i := 0; i < n; i++ {
 			if mask&(1<<i) != 0 {
 				tabs = append(tabs, q.Tables[i])
 			}
 		}
-		var conds []JoinCond
 		for _, j := range q.Joins {
 			if mask&(1<<bindingIdx[j.LeftTab]) != 0 && mask&(1<<bindingIdx[j.RightTab]) != 0 {
 				conds = append(conds, j)
 			}
 		}
-		c := e.Est.EstimateJoin(tabs, conds)
-		if c < 1 || math.IsNaN(c) {
-			c = 1
+		return tabs, conds
+	}
+	batchEst, batching := e.Est.(BatchCardEstimator)
+	// Sequential scratch, reused across estimates (the CardEstimator
+	// contract forbids retaining the slices).
+	tabs := make([]*QueryTable, 0, n)
+	conds := make([]JoinCond, 0, len(q.Joins))
+	// estimateAll fills card for every listed mask (all absent from card).
+	estimateAll := func(masks []uint32) {
+		if batching && len(masks) > 1 {
+			items := make([]JoinBatchItem, len(masks))
+			for k, mask := range masks {
+				items[k].Tables, items[k].Conds = fillSubset(mask, nil, nil)
+			}
+			for k, c := range batchEst.EstimateJoinBatch(items, e.workers()) {
+				card[masks[k]] = sanitize(c)
+			}
+			return
 		}
+		for _, mask := range masks {
+			tabs, conds = fillSubset(mask, tabs[:0], conds[:0])
+			card[mask] = sanitize(e.Est.EstimateJoin(tabs, conds))
+		}
+	}
+	subsetCard := func(mask uint32) float64 {
+		if c, ok := card[mask]; ok {
+			return c
+		}
+		tabs, conds = fillSubset(mask, tabs[:0], conds[:0])
+		c := sanitize(e.Est.EstimateJoin(tabs, conds))
 		card[mask] = c
 		return c
 	}
@@ -207,44 +255,50 @@ func (e *Engine) planJoinOrder(p *Plan) error {
 		order []int
 	}
 	dp := map[uint32]dpEntry{}
+	frontier := make([]uint32, 0, n) // rank-k dp keys, ascending
 	for i := 0; i < n; i++ {
 		dp[1<<i] = dpEntry{cost: 0, order: []int{i}}
+		frontier = append(frontier, 1<<i)
 	}
 	full := uint32(1<<n) - 1
-	// Enumerate subsets by population count so extensions see their bases.
-	var masks []uint32
-	for m := uint32(1); m <= full; m++ {
-		masks = append(masks, m)
-	}
-	sort.Slice(masks, func(i, j int) bool { return bits.OnesCount32(masks[i]) < bits.OnesCount32(masks[j]) })
-	for _, m := range masks {
-		base, ok := dp[m]
-		if !ok {
-			continue
-		}
-		// Extend with any table connected to the subset.
-		for i := 0; i < n; i++ {
-			bit := uint32(1 << i)
-			if m&bit != 0 {
-				continue
-			}
-			joinedTo := false
-			for j := 0; j < n; j++ {
-				if m&(1<<j) != 0 && connected[j]&bit != 0 {
-					joinedTo = true
-					break
+	for rank := 1; rank < n && len(frontier) > 0; rank++ {
+		// Discover the next rank's reachable connected subsets and
+		// estimate the whole frontier before any cost comparison.
+		seen := map[uint32]bool{}
+		next := make([]uint32, 0, len(frontier))
+		for _, m := range frontier {
+			ext := extensions(m)
+			for i := 0; i < n; i++ {
+				if ext&(1<<i) == 0 {
+					continue
+				}
+				nm := m | 1<<i
+				if !seen[nm] {
+					seen[nm] = true
+					next = append(next, nm)
 				}
 			}
-			if !joinedTo {
-				continue
-			}
-			next := m | bit
-			cost := base.cost + subsetCard(next)
-			if cur, ok := dp[next]; !ok || cost < cur.cost {
-				order := append(append([]int(nil), base.order...), i)
-				dp[next] = dpEntry{cost: cost, order: order}
+		}
+		sort.Slice(next, func(a, b int) bool { return next[a] < next[b] })
+		estimateAll(next)
+		// Cost updates in deterministic ascending base-mask order; strict
+		// < keeps the first (lowest-mask) winner on cost ties.
+		for _, m := range frontier {
+			base := dp[m]
+			ext := extensions(m)
+			for i := 0; i < n; i++ {
+				if ext&(1<<i) == 0 {
+					continue
+				}
+				nm := m | 1<<i
+				cost := base.cost + card[nm]
+				if cur, ok := dp[nm]; !ok || cost < cur.cost {
+					order := append(append([]int(nil), base.order...), i)
+					dp[nm] = dpEntry{cost: cost, order: order}
+				}
 			}
 		}
+		frontier = next
 	}
 	best, ok := dp[full]
 	if !ok {

@@ -1,0 +1,184 @@
+package engine
+
+import (
+	"hash/fnv"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"bytecard/internal/datagen"
+	"bytecard/internal/expr"
+	"bytecard/internal/sqlparse"
+)
+
+// hashCardEstimator answers every join-size request with a deterministic
+// pseudo-random value derived from the subset's sorted bindings, so any
+// enumeration-order or batching bug shows up as a changed plan.
+type hashCardEstimator struct {
+	joinCalls  atomic.Int64
+	batchCalls atomic.Int64
+}
+
+func (h *hashCardEstimator) Name() string                       { return "hash" }
+func (h *hashCardEstimator) EstimateFilter(*QueryTable) float64 { return 1000 }
+func (h *hashCardEstimator) EstimateConj(*QueryTable, []expr.Pred) float64 {
+	return 0.5
+}
+func (h *hashCardEstimator) EstimateGroupNDV(*Query) float64 { return 10 }
+
+func (h *hashCardEstimator) estimate(tables []*QueryTable) float64 {
+	names := make([]string, len(tables))
+	for i, t := range tables {
+		names[i] = t.Binding
+	}
+	sort.Strings(names)
+	f := fnv.New64a()
+	f.Write([]byte(strings.Join(names, ",")))
+	return float64(1 + f.Sum64()%1_000_000)
+}
+
+func (h *hashCardEstimator) EstimateJoin(tables []*QueryTable, joins []JoinCond) float64 {
+	h.joinCalls.Add(1)
+	return h.estimate(tables)
+}
+
+// batchHashEstimator adds a concurrent EstimateJoinBatch over the same
+// per-subset function.
+type batchHashEstimator struct{ hashCardEstimator }
+
+func (h *batchHashEstimator) EstimateJoinBatch(items []JoinBatchItem, parallelism int) []float64 {
+	h.batchCalls.Add(1)
+	out := make([]float64, len(items))
+	var wg sync.WaitGroup
+	var cursor atomic.Int64
+	if parallelism > len(items) {
+		parallelism = len(items)
+	}
+	if parallelism < 1 {
+		parallelism = 1
+	}
+	for w := 0; w < parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				k := int(cursor.Add(1)) - 1
+				if k >= len(items) {
+					return
+				}
+				out[k] = h.estimate(items[k].Tables)
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// noBatch hides an estimator's EstimateJoinBatch method, forcing the
+// planner down the sequential path.
+type noBatch struct{ CardEstimator }
+
+func planJoinQuery(t *testing.T, e *Engine, sql string) *Plan {
+	t.Helper()
+	stmt, err := sqlparse.Parse(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := e.Analyze(stmt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := e.Plan(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+var imdbJoinQueries = []string{
+	"SELECT COUNT(*) FROM title t, cast_info ci WHERE ci.movie_id = t.id",
+	"SELECT COUNT(*) FROM title t, cast_info ci, movie_keyword mk WHERE ci.movie_id = t.id AND mk.movie_id = t.id",
+	"SELECT COUNT(*) FROM title t, cast_info ci, movie_keyword mk, movie_info mi WHERE ci.movie_id = t.id AND mk.movie_id = t.id AND mi.movie_id = t.id AND t.production_year >= 1990",
+	"SELECT COUNT(*) FROM title t, cast_info ci, movie_keyword mk, movie_info mi, movie_companies mc, movie_info_idx mii " +
+		"WHERE ci.movie_id = t.id AND mk.movie_id = t.id AND mi.movie_id = t.id AND mc.movie_id = t.id AND mii.movie_id = t.id",
+	// n=10 via alias self-joins: every fact table twice around title.
+	"SELECT COUNT(*) FROM title t, cast_info c1, cast_info c2, movie_keyword k1, movie_keyword k2, movie_info i1, movie_info i2, movie_companies m1, movie_companies m2, movie_info_idx x1 " +
+		"WHERE c1.movie_id = t.id AND c2.movie_id = t.id AND k1.movie_id = t.id AND k2.movie_id = t.id AND i1.movie_id = t.id AND i2.movie_id = t.id AND m1.movie_id = t.id AND m2.movie_id = t.id AND x1.movie_id = t.id",
+}
+
+// TestBatchedPlanningMatchesSequential is the ISSUE's parity gate: the
+// batched parallel DP must produce byte-identical JoinOrder, JoinEstRows,
+// and EstFinalRows to the sequential path.
+func TestBatchedPlanningMatchesSequential(t *testing.T) {
+	ds, err := datagen.ByName("imdb", datagen.Config{Scale: 0.05, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sql := range imdbJoinQueries {
+		batched := &batchHashEstimator{}
+		eb := New(ds.DB, ds.Schema, batched)
+		eb.Parallelism = 4
+		pb := planJoinQuery(t, eb, sql)
+
+		sequential := &hashCardEstimator{}
+		es := New(ds.DB, ds.Schema, noBatch{sequential})
+		es.Parallelism = 4
+		ps := planJoinQuery(t, es, sql)
+
+		if len(pb.JoinOrder) > 2 && batched.batchCalls.Load() == 0 {
+			t.Errorf("%s: batch estimator never invoked", sql)
+		}
+		if sequential.joinCalls.Load() == 0 {
+			t.Errorf("%s: sequential estimator never invoked", sql)
+		}
+		if len(pb.JoinOrder) != len(ps.JoinOrder) {
+			t.Fatalf("%s: order lengths differ: %v vs %v", sql, pb.JoinOrder, ps.JoinOrder)
+		}
+		for i := range pb.JoinOrder {
+			if pb.JoinOrder[i] != ps.JoinOrder[i] {
+				t.Fatalf("%s: JoinOrder differs: %v vs %v", sql, pb.JoinOrder, ps.JoinOrder)
+			}
+		}
+		if len(pb.JoinEstRows) != len(ps.JoinEstRows) {
+			t.Fatalf("%s: JoinEstRows lengths differ", sql)
+		}
+		for i := range pb.JoinEstRows {
+			if pb.JoinEstRows[i] != ps.JoinEstRows[i] {
+				t.Fatalf("%s: JoinEstRows[%d] = %v vs %v", sql, i, pb.JoinEstRows[i], ps.JoinEstRows[i])
+			}
+		}
+		if pb.EstFinalRows != ps.EstFinalRows {
+			t.Fatalf("%s: EstFinalRows %v vs %v", sql, pb.EstFinalRows, ps.EstFinalRows)
+		}
+	}
+}
+
+// TestJoinDPEstimateCount guards the subset-enumeration satellite: the DP
+// must only estimate reachable connected subsets — for a 2-table join
+// exactly one EstimateJoin call, never anything near the 2^n frontier.
+func TestJoinDPEstimateCount(t *testing.T) {
+	ds, err := datagen.ByName("imdb", datagen.Config{Scale: 0.05, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		sql      string
+		maxCalls int64
+	}{
+		// 2 tables: one subset (the pair) to estimate.
+		{imdbJoinQueries[0], 1},
+		// Star with 6 tables: every connected subset contains the hub, so
+		// there are 2^5−1 = 31 multi-table connected subsets.
+		{imdbJoinQueries[3], 31},
+	}
+	for _, tc := range cases {
+		est := &hashCardEstimator{}
+		e := New(ds.DB, ds.Schema, noBatch{est})
+		planJoinQuery(t, e, tc.sql)
+		if got := est.joinCalls.Load(); got > tc.maxCalls {
+			t.Errorf("%s: %d EstimateJoin calls, want <= %d", tc.sql, got, tc.maxCalls)
+		}
+	}
+}

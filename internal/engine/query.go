@@ -172,8 +172,35 @@ type CardEstimator interface {
 	// EstimateJoin returns the estimated row count of joining the given
 	// tables (with their filters) under the given conditions. tables has
 	// at least two entries and the conditions connect them.
+	// Implementations must not retain the tables/joins slices past the
+	// call — the planner reuses the backing arrays between requests.
 	EstimateJoin(tables []*QueryTable, joins []JoinCond) float64
 	// EstimateGroupNDV returns the estimated number of distinct group
 	// keys of the query (the aggregation hash-table sizing input).
 	EstimateGroupNDV(q *Query) float64
+}
+
+// JoinBatchItem is one join-size request within a batch: a connected table
+// subset with the join conditions internal to it (the same arguments one
+// EstimateJoin call would receive).
+type JoinBatchItem struct {
+	Tables []*QueryTable
+	Conds  []JoinCond
+}
+
+// BatchCardEstimator is optionally implemented by estimators that can
+// answer many join-size requests in one call. The planner's join-order DP
+// hands over a whole frontier rank at once, letting the estimator amortize
+// per-call guard/trace overhead into one span and fan the independent items
+// across workers. Results align with items and every entry must be filled —
+// per-item failures take the same fallback value EstimateJoin would return.
+// Item results must not depend on batch composition or worker count: the
+// planner requires batched planning to be byte-identical to the sequential
+// path. The planner itself calls EstimateJoinBatch serially; whatever
+// concurrency the implementation uses internally is its own to make safe.
+type BatchCardEstimator interface {
+	CardEstimator
+	// EstimateJoinBatch estimates every item, using at most parallelism
+	// concurrent workers, and returns one estimate per item.
+	EstimateJoinBatch(items []JoinBatchItem, parallelism int) []float64
 }

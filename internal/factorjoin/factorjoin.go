@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"bytecard/internal/catalog"
+	"bytecard/internal/par"
 	"bytecard/internal/storage"
 )
 
@@ -90,55 +91,109 @@ func orderedPair(a, b string) (string, string) {
 }
 
 // Build constructs join buckets and per-key statistics for every join class
-// over the database.
+// over the database, single-threaded. See BuildWorkers for the parallel
+// variant; both produce byte-identical models.
 func Build(db *storage.Database, classes []catalog.JoinClass, bucketCount int) (*Model, error) {
+	return BuildWorkers(db, classes, bucketCount, 1)
+}
+
+// classWork is one join class's independent build unit: its resolved member
+// columns going in, its bucket layout and per-member stats coming out.
+type classWork struct {
+	name    string
+	refs    []catalog.ColumnRef
+	cols    []*storage.Column
+	buckets *Buckets
+	stats   []*KeyStats
+}
+
+// pairWork is one multi-key table's (colA, colB) joint-matrix build unit.
+type pairWork struct {
+	table   string
+	ca, cb  string
+	ba, bb  *Buckets
+	colA    *storage.Column
+	colB    *storage.Column
+	numRows int
+	joint   []float64
+}
+
+// BuildWorkers constructs the model fanning the independent build units —
+// one per join class (value union, bucket bounds, per-member key stats) and
+// one per multi-key table column pair (joint bucket matrix) — across at
+// most workers goroutines. Each unit writes only its own slot and all map
+// merges run serially in deterministic order, so the resulting model is
+// byte-identical for every worker count.
+func BuildWorkers(db *storage.Database, classes []catalog.JoinClass, bucketCount, workers int) (*Model, error) {
 	start := time.Now()
 	if bucketCount <= 1 {
 		bucketCount = DefaultBucketCount
+	}
+	if workers < 1 {
+		workers = 1
 	}
 	m := &Model{
 		BucketsByClass: map[string]*Buckets{},
 		Keys:           map[string]*KeyStats{},
 		PairJoint:      map[string][]float64{},
 	}
-	keysByTable := map[string][]*KeyStats{}
+	// Resolve member columns serially so reference errors surface in class
+	// declaration order regardless of scheduling.
+	var work []*classWork
 	for _, class := range classes {
 		if len(class.Members) == 0 {
 			continue
 		}
-		name := class.Members[0].String()
-		// Union multiset of key values across member columns.
-		var values []float64
-		type member struct {
-			ref catalog.ColumnRef
-			col *storage.Column
-		}
-		var members []member
+		cw := &classWork{name: class.Members[0].String()}
 		for _, ref := range class.Members {
 			t := db.Table(ref.Table)
 			if t == nil {
-				return nil, fmt.Errorf("factorjoin: class %s references unknown table %s", name, ref.Table)
+				return nil, fmt.Errorf("factorjoin: class %s references unknown table %s", cw.name, ref.Table)
 			}
 			col := t.ColByName(ref.Column)
 			if col == nil {
-				return nil, fmt.Errorf("factorjoin: class %s references unknown column %s", name, ref)
+				return nil, fmt.Errorf("factorjoin: class %s references unknown column %s", cw.name, ref)
 			}
-			members = append(members, member{ref: ref, col: col})
+			cw.refs = append(cw.refs, ref)
+			cw.cols = append(cw.cols, col)
+		}
+		work = append(work, cw)
+	}
+	par.Do(len(work), workers, func(i int) {
+		cw := work[i]
+		// Union multiset of key values across member columns.
+		var values []float64
+		for _, col := range cw.cols {
 			values = append(values, col.NumericAll()...)
 		}
 		if len(values) == 0 {
+			return
+		}
+		cw.buckets = buildBuckets(cw.name, values, bucketCount)
+		cw.stats = make([]*KeyStats, len(cw.cols))
+		for j := range cw.cols {
+			cw.stats[j] = buildKeyStats(cw.refs[j], cw.cols[j], cw.buckets)
+		}
+	})
+	keysByTable := map[string][]*KeyStats{}
+	var tableOrder []string
+	for _, cw := range work {
+		if cw.buckets == nil {
 			continue
 		}
-		buckets := buildBuckets(name, values, bucketCount)
-		m.BucketsByClass[name] = buckets
-		for _, mem := range members {
-			ks := buildKeyStats(mem.ref, mem.col, buckets)
-			m.Keys[keyName(mem.ref.Table, mem.ref.Column)] = ks
-			keysByTable[mem.ref.Table] = append(keysByTable[mem.ref.Table], ks)
+		m.BucketsByClass[cw.name] = cw.buckets
+		for j, ref := range cw.refs {
+			m.Keys[keyName(ref.Table, ref.Column)] = cw.stats[j]
+			if _, ok := keysByTable[ref.Table]; !ok {
+				tableOrder = append(tableOrder, ref.Table)
+			}
+			keysByTable[ref.Table] = append(keysByTable[ref.Table], cw.stats[j])
 		}
 	}
 	// Pairwise joint bucket matrices for multi-key tables.
-	for table, keys := range keysByTable {
+	var pairs []*pairWork
+	for _, table := range tableOrder {
+		keys := keysByTable[table]
 		if len(keys) < 2 {
 			continue
 		}
@@ -151,19 +206,28 @@ func Build(db *storage.Database, classes []catalog.JoinClass, bucketCount int) (
 					a, b = b, a
 					ca, cb = cb, ca
 				}
-				ba := m.BucketsByClass[a.Class]
-				bb := m.BucketsByClass[b.Class]
-				joint := make([]float64, ba.Count()*bb.Count())
-				colA, colB := t.ColByName(ca), t.ColByName(cb)
-				for r := 0; r < t.NumRows(); r++ {
-					ia, ib := ba.BucketOf(colA.Numeric(r)), bb.BucketOf(colB.Numeric(r))
-					if ia >= 0 && ib >= 0 {
-						joint[ia*bb.Count()+ib]++
-					}
-				}
-				m.PairJoint[pairName(table, ca, cb)] = joint
+				pairs = append(pairs, &pairWork{
+					table: table, ca: ca, cb: cb,
+					ba: m.BucketsByClass[a.Class], bb: m.BucketsByClass[b.Class],
+					colA: t.ColByName(ca), colB: t.ColByName(cb), numRows: t.NumRows(),
+				})
 			}
 		}
+	}
+	par.Do(len(pairs), workers, func(i int) {
+		pw := pairs[i]
+		joint := make([]float64, pw.ba.Count()*pw.bb.Count())
+		nb := pw.bb.Count()
+		for r := 0; r < pw.numRows; r++ {
+			ia, ib := pw.ba.BucketOf(pw.colA.Numeric(r)), pw.bb.BucketOf(pw.colB.Numeric(r))
+			if ia >= 0 && ib >= 0 {
+				joint[ia*nb+ib]++
+			}
+		}
+		pw.joint = joint
+	})
+	for _, pw := range pairs {
+		m.PairJoint[pairName(pw.table, pw.ca, pw.cb)] = pw.joint
 	}
 	m.BuildSeconds = time.Since(start).Seconds()
 	return m, nil

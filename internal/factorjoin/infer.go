@@ -100,7 +100,22 @@ func (m *Model) buildGraph(tables []QueryTable, conds []Cond) ([]*qvar, []*qfact
 		parent[x] = r
 		return r
 	}
+	// refs lists the joined columns in first-encountered condition order.
+	// Iterating the parent map instead would randomize variable and factor
+	// ordering call to call — and with it the float accumulation order of
+	// the final combination, making repeated estimates differ in their last
+	// bits. Planning requires bit-identical repeatability.
+	var refs []colRef
+	seenRef := map[colRef]bool{}
+	addRef := func(r colRef) {
+		if !seenRef[r] {
+			seenRef[r] = true
+			refs = append(refs, r)
+		}
+	}
 	for _, c := range conds {
+		addRef(colRef{c.LBind, c.LCol})
+		addRef(colRef{c.RBind, c.RCol})
 		a, b := find(colRef{c.LBind, c.LCol}), find(colRef{c.RBind, c.RCol})
 		if a != b {
 			parent[a] = b
@@ -116,7 +131,7 @@ func (m *Model) buildGraph(tables []QueryTable, conds []Cond) ([]*qvar, []*qfact
 		factors = append(factors, f)
 	}
 	edges := 0
-	for ref := range parent {
+	for _, ref := range refs {
 		root := find(ref)
 		v, ok := varOf[root]
 		if !ok {

@@ -1,0 +1,42 @@
+package factorjoin
+
+import (
+	"reflect"
+	"testing"
+
+	"bytecard/internal/datagen"
+)
+
+// TestBuildWorkersDeterministic is the parallel-training parity gate: the
+// FactorJoin model built with a worker pool must be identical to the
+// single-threaded build, for every worker count. (Comparison is structural:
+// gob serializes maps in random iteration order, so equal models need not
+// share bytes.)
+func TestBuildWorkersDeterministic(t *testing.T) {
+	for _, dataset := range []string{"toy", "imdb"} {
+		scale := 2.0
+		if dataset == "imdb" {
+			scale = 0.05
+		}
+		ds, err := datagen.ByName(dataset, datagen.Config{Scale: scale, Seed: 31})
+		if err != nil {
+			t.Fatal(err)
+		}
+		serial, err := Build(ds.DB, ds.Schema.JoinClasses(), 50)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{2, 4, 8} {
+			m, err := BuildWorkers(ds.DB, ds.Schema.JoinClasses(), 50, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// BuildSeconds is wall time and legitimately differs; everything
+			// else must match bit for bit.
+			m.BuildSeconds = serial.BuildSeconds
+			if !reflect.DeepEqual(m, serial) {
+				t.Errorf("%s: workers=%d model differs from serial build", dataset, workers)
+			}
+		}
+	}
+}

@@ -20,6 +20,8 @@ import (
 	"bytecard/internal/core"
 	"bytecard/internal/costmodel"
 	"bytecard/internal/modelstore"
+	"bytecard/internal/obs"
+	"bytecard/internal/par"
 	"bytecard/internal/preproc"
 	"bytecard/internal/rbx"
 	"bytecard/internal/sample"
@@ -43,6 +45,11 @@ type Config struct {
 	RBX rbx.TrainConfig
 	// Seed drives sampling determinism.
 	Seed int64
+	// TrainWorkers bounds the worker pool parallelizing BN structure
+	// learning and the FactorJoin build. Zero resolves through
+	// BYTECARD_TRAIN_WORKERS, then GOMAXPROCS. Trained artifacts are
+	// byte-identical for every worker count.
+	TrainWorkers int
 	// Now is the clock (tests inject a fake).
 	Now func() time.Time
 }
@@ -79,6 +86,10 @@ type ModelReport struct {
 	Table        string
 	SizeBytes    int64
 	TrainSeconds float64
+	// StructureSeconds and ParamSeconds break a BN's TrainSeconds into its
+	// stages (zero for non-BN artifacts).
+	StructureSeconds float64
+	ParamSeconds     float64
 }
 
 // Report summarizes one TrainAll run.
@@ -99,6 +110,8 @@ type Service struct {
 	pre     *preproc.Result
 	// Retrained counts per-table retrains triggered by ingest signals.
 	retrained map[string]int
+	// obs records per-stage training timings (always non-nil).
+	obs *obs.TrainMetrics
 }
 
 // New creates a service bound to one dataset's database, catalog, and
@@ -113,7 +126,30 @@ func New(dataset string, db *storage.Database, schema *catalog.Schema, store *mo
 		cfg:       cfg,
 		pending:   map[string]int64{},
 		retrained: map[string]int{},
+		obs:       obs.NewTrainMetrics(),
 	}
+}
+
+// Obs exposes the service's training metrics for system-wide snapshots.
+func (s *Service) Obs() *obs.TrainMetrics { return s.obs }
+
+// workers resolves the effective training worker count.
+func (s *Service) workers() int { return par.TrainWorkers(s.cfg.TrainWorkers) }
+
+// runPreprocLocked runs the Model Preprocessor (including the FactorJoin
+// bucket build) and records its stage timing.
+func (s *Service) runPreprocLocked() (*preproc.Result, error) {
+	pre, err := preproc.Run(s.db, s.schema, preproc.Config{
+		BucketCount: s.cfg.BucketCount,
+		Workers:     s.workers(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	if pre.Buckets != nil {
+		s.obs.FactorJoinSeconds.Observe(pre.Buckets.BuildSeconds)
+	}
+	return pre, nil
 }
 
 // TrainAll runs the full pipeline: preprocess, build join buckets, train a
@@ -124,8 +160,9 @@ func (s *Service) TrainAll() (*Report, error) {
 	defer s.mu.Unlock()
 	start := time.Now()
 	rep := &Report{}
+	s.obs.Runs.Add(1)
 
-	pre, err := preproc.Run(s.db, s.schema, preproc.Config{BucketCount: s.cfg.BucketCount})
+	pre, err := s.runPreprocLocked()
 	if err != nil {
 		return nil, err
 	}
@@ -186,7 +223,7 @@ func (s *Service) TrainTable(table string) ([]ModelReport, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.pre == nil {
-		pre, err := preproc.Run(s.db, s.schema, preproc.Config{BucketCount: s.cfg.BucketCount})
+		pre, err := s.runPreprocLocked()
 		if err != nil {
 			return nil, err
 		}
@@ -293,7 +330,7 @@ func (s *Service) trainOne(table string, t *storage.Table, cols []string, forced
 			data[ci][ri] = c.Numeric(r)
 		}
 	}
-	return bn.Train(bn.TrainConfig{
+	model, err := bn.Train(bn.TrainConfig{
 		Table:        table,
 		ColNames:     cols,
 		Sample:       data,
@@ -301,7 +338,15 @@ func (s *Service) trainOne(table string, t *storage.Table, cols []string, forced
 		MaxBins:      s.cfg.MaxBins,
 		ForcedBounds: forced,
 		ForcedBinNDV: forcedNDV,
+		Workers:      s.workers(),
 	})
+	if err != nil {
+		return nil, err
+	}
+	s.obs.TablesTrained.Add(1)
+	s.obs.StructureSeconds.Observe(model.StructureSeconds)
+	s.obs.ParamSeconds.Observe(model.ParamSeconds)
+	return model, nil
 }
 
 func (s *Service) putBN(table string, shard int, model *bn.Model) ([]ModelReport, error) {
@@ -322,6 +367,7 @@ func (s *Service) putBN(table string, shard int, model *bn.Model) ([]ModelReport
 	return []ModelReport{{
 		Name: name, Kind: core.KindBN, Table: table,
 		SizeBytes: int64(len(data)), TrainSeconds: model.TrainSeconds,
+		StructureSeconds: model.StructureSeconds, ParamSeconds: model.ParamSeconds,
 	}}, nil
 }
 

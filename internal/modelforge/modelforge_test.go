@@ -2,13 +2,16 @@ package modelforge
 
 import (
 	"net/http/httptest"
+	"reflect"
 	"testing"
 	"time"
 
+	"bytecard/internal/bn"
 	"bytecard/internal/core"
 	"bytecard/internal/costmodel"
 	"bytecard/internal/datagen"
 	enginePkg "bytecard/internal/engine"
+	"bytecard/internal/factorjoin"
 	"bytecard/internal/modelstore"
 	"bytecard/internal/rbx"
 	"bytecard/internal/sample"
@@ -263,5 +266,114 @@ func TestTrainCostModelTooFewTraces(t *testing.T) {
 	svc, _, _ := newForge(t, 1)
 	if _, err := svc.TrainCostModel(nil, costmodel.TrainConfig{}); err == nil {
 		t.Error("too few traces must fail")
+	}
+}
+
+// TestTrainWorkersDeterministicArtifacts trains the same dataset with a
+// single worker and with a pool, requiring identical trained models — the
+// guarantee that lets BYTECARD_TRAIN_WORKERS be a pure speed knob.
+// Comparison is structural (decoded models, wall-time fields normalized):
+// gob serializes maps in random iteration order, so equal models need not
+// share bytes.
+func TestTrainWorkersDeterministicArtifacts(t *testing.T) {
+	now := time.Date(2026, 1, 2, 3, 4, 5, 0, time.UTC)
+	artifacts := func(workers int) map[string][]byte {
+		ds := datagen.Toy(datagen.Config{Scale: 1, Seed: 51})
+		store, err := modelstore.Open(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		svc := New("toy", ds.DB, ds.Schema, store, Config{
+			SampleRows: 1000, BucketCount: 16, RBX: tinyRBX(), Seed: 1,
+			TrainWorkers: workers,
+			Now:          func() time.Time { return now },
+		})
+		if _, err := svc.TrainAll(); err != nil {
+			t.Fatal(err)
+		}
+		manifests, err := store.List()
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := map[string][]byte{}
+		for _, m := range manifests {
+			art, err := store.Get(m.Name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out[m.Name] = art.Data
+		}
+		return out
+	}
+	serial := artifacts(1)
+	pooled := artifacts(4)
+	if len(serial) != len(pooled) {
+		t.Fatalf("artifact counts differ: %d vs %d", len(serial), len(pooled))
+	}
+	for name, want := range serial {
+		got, ok := pooled[name]
+		if !ok {
+			t.Fatalf("artifact %s missing from pooled run", name)
+		}
+		switch name {
+		case "toy/factorjoin":
+			a, err := factorjoin.Decode(want)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := factorjoin.Decode(got)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b.BuildSeconds = a.BuildSeconds
+			if !reflect.DeepEqual(a, b) {
+				t.Errorf("artifact %s differs between worker counts", name)
+			}
+		case "toy/bn/dim", "toy/bn/fact":
+			a, err := bn.Decode(want)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := bn.Decode(got)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b.TrainSeconds = a.TrainSeconds
+			b.StructureSeconds = a.StructureSeconds
+			b.ParamSeconds = a.ParamSeconds
+			if !reflect.DeepEqual(a, b) {
+				t.Errorf("artifact %s differs between worker counts", name)
+			}
+		default:
+			// rbx/base does not depend on the table data or worker count;
+			// its bytes embed wall-clock training time, so presence is
+			// enough here.
+		}
+	}
+}
+
+// TestTrainMetricsRecorded checks the per-stage training timings surface
+// through the service's obs block after a full pipeline.
+func TestTrainMetricsRecorded(t *testing.T) {
+	svc, _, _ := newForge(t, 1)
+	if _, err := svc.TrainAll(); err != nil {
+		t.Fatal(err)
+	}
+	snap := svc.Obs().Snapshot()
+	if snap.Runs != 1 {
+		t.Errorf("Runs = %d, want 1", snap.Runs)
+	}
+	if snap.TablesTrained != 2 {
+		t.Errorf("TablesTrained = %d, want 2", snap.TablesTrained)
+	}
+	if snap.StructureSeconds.Count != 2 || snap.ParamSeconds.Count != 2 {
+		t.Errorf("stage histogram counts = %d/%d, want 2/2",
+			snap.StructureSeconds.Count, snap.ParamSeconds.Count)
+	}
+	if snap.FactorJoinSeconds.Count != 1 {
+		t.Errorf("FactorJoinSeconds count = %d, want 1", snap.FactorJoinSeconds.Count)
+	}
+	if snap.StructureSeconds.Sum <= 0 || snap.ParamSeconds.Sum < 0 {
+		t.Errorf("stage timings not recorded: %+v", snap)
 	}
 }

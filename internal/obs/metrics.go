@@ -58,6 +58,51 @@ func (m *EstimatorMetrics) Snapshot() EstimatorSnapshot {
 	}
 }
 
+// TrainMetrics aggregates ModelForge training observability: how many
+// pipelines and per-table trainings ran, and where each training's wall
+// time went stage by stage — BN structure learning (the pairwise-MI matrix
+// plus the Chow-Liu spanning tree), BN parameter learning (CPT counting
+// plus the EM sweeps), and the FactorJoin bucket build. Per-stage timings
+// are what make training regressions attributable: a slow retrain shows up
+// as one histogram moving, not just a bigger total.
+type TrainMetrics struct {
+	// Runs counts full TrainAll pipelines; TablesTrained counts BN models
+	// trained (one per table, or per shard where sharded), including
+	// ingest-triggered retrains.
+	Runs, TablesTrained Counter
+	// StructureSeconds and ParamSeconds are per-BN stage wall times.
+	StructureSeconds, ParamSeconds Histogram
+	// FactorJoinSeconds is the join-bucket build wall time per preprocessor
+	// run.
+	FactorJoinSeconds Histogram
+}
+
+// NewTrainMetrics returns a zeroed metrics block.
+func NewTrainMetrics() *TrainMetrics { return &TrainMetrics{} }
+
+// TrainSnapshot is the serializable digest of TrainMetrics.
+type TrainSnapshot struct {
+	Runs              int64             `json:"runs"`
+	TablesTrained     int64             `json:"tables_trained"`
+	StructureSeconds  HistogramSnapshot `json:"structure_seconds"`
+	ParamSeconds      HistogramSnapshot `json:"param_seconds"`
+	FactorJoinSeconds HistogramSnapshot `json:"factorjoin_seconds"`
+}
+
+// Snapshot digests the metrics block (nil-safe: returns zeroes).
+func (m *TrainMetrics) Snapshot() TrainSnapshot {
+	if m == nil {
+		return TrainSnapshot{}
+	}
+	return TrainSnapshot{
+		Runs:              m.Runs.Load(),
+		TablesTrained:     m.TablesTrained.Load(),
+		StructureSeconds:  m.StructureSeconds.Snapshot(),
+		ParamSeconds:      m.ParamSeconds.Snapshot(),
+		FactorJoinSeconds: m.FactorJoinSeconds.Snapshot(),
+	}
+}
+
 // EngineMetrics aggregates query-engine observability: volumes, planning
 // and execution latency, and the q-error of the optimizer's final-plan
 // cardinality against the executed truth.

@@ -10,12 +10,13 @@ import (
 
 // Estimator operations a Span can describe.
 const (
-	OpFilter   = "filter"   // single-table filtered cardinality
-	OpConj     = "conj"     // conjunction selectivity (column ordering)
-	OpJoin     = "join"     // join-size estimation over a table subset
-	OpGroupNDV = "groupndv" // group-key NDV estimation
-	OpVector   = "vec"      // FactorJoin bucket-vector fetch (BN joint)
-	OpCost     = "cost"     // learned cost-model prediction
+	OpFilter    = "filter"     // single-table filtered cardinality
+	OpConj      = "conj"       // conjunction selectivity (column ordering)
+	OpJoin      = "join"       // join-size estimation over a table subset
+	OpJoinBatch = "join_batch" // one DP rank of join subsets in a batch
+	OpGroupNDV  = "groupndv"   // group-key NDV estimation
+	OpVector    = "vec"        // FactorJoin bucket-vector fetch (BN joint)
+	OpCost      = "cost"       // learned cost-model prediction
 )
 
 // Execution-phase operations a Span can describe (recorded by the query
@@ -61,9 +62,13 @@ type Span struct {
 	Fallback bool `json:"fallback,omitempty"`
 	// CacheHit marks join-vector cache hits.
 	CacheHit bool `json:"cache_hit,omitempty"`
-	// Workers is the parallelism an execution-phase span ran with (0 for
-	// estimator spans).
+	// Workers is the parallelism an execution-phase or batch span ran with
+	// (0 for single-call estimator spans).
 	Workers int `json:"workers,omitempty"`
+	// Sources lists the per-item answer source of a batch span (aligned
+	// with the batch's items), replacing the per-call Source attribution a
+	// sequential span would carry.
+	Sources []string `json:"sources,omitempty"`
 	// Value is the produced estimate (selectivity, rows, or NDV depending
 	// on Op); zero for failed spans.
 	Value float64 `json:"value"`
@@ -86,6 +91,9 @@ func (s Span) String() string {
 	}
 	if s.Workers > 0 {
 		fmt.Fprintf(&b, " workers=%d", s.Workers)
+	}
+	if len(s.Sources) > 0 {
+		fmt.Fprintf(&b, " sources=[%s]", strings.Join(s.Sources, ","))
 	}
 	fmt.Fprintf(&b, " value=%g dur=%s", s.Value, s.Duration)
 	if s.Err != "" {

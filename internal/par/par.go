@@ -1,0 +1,70 @@
+// Package par provides the bounded worker pool used by model training
+// (Chow-Liu MI matrix, FactorJoin build). Training parallelism is resolved
+// separately from the executor's BYTECARD_PARALLELISM: training runs in
+// ModelForge's background refresh, not on the query critical path, so it
+// gets its own knob (BYTECARD_TRAIN_WORKERS).
+package par
+
+import (
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// Do runs fn(i) for every i in [0, n) across at most workers goroutines,
+// each pulling the next index from a shared atomic cursor, and blocks until
+// all calls return. With workers <= 1 or n <= 1 it degenerates to a plain
+// serial loop (no goroutines). fn must be safe to call concurrently for
+// distinct indices; Do establishes a happens-before edge from every fn call
+// to its return, so callers may read results without further locking.
+func Do(n, workers int, fn func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// envTrainWorkers reads BYTECARD_TRAIN_WORKERS once; 0 means unset/invalid.
+var envTrainWorkers = sync.OnceValue(func() int {
+	if s := os.Getenv("BYTECARD_TRAIN_WORKERS"); s != "" {
+		if v, err := strconv.Atoi(s); err == nil && v > 0 {
+			return v
+		}
+	}
+	return 0
+})
+
+// TrainWorkers resolves the training worker count: an explicit positive
+// request wins, then BYTECARD_TRAIN_WORKERS, then GOMAXPROCS.
+func TrainWorkers(requested int) int {
+	if requested > 0 {
+		return requested
+	}
+	if v := envTrainWorkers(); v > 0 {
+		return v
+	}
+	return runtime.GOMAXPROCS(0)
+}

@@ -1,0 +1,52 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// TestDoCoversEveryIndexOnce checks each index is visited exactly once for
+// serial, bounded, and oversubscribed worker counts.
+func TestDoCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 4, 100} {
+		const n = 237
+		var hits [n]atomic.Int32
+		Do(n, workers, func(i int) { hits[i].Add(1) })
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestDoEmpty(t *testing.T) {
+	called := false
+	Do(0, 4, func(int) { called = true })
+	if called {
+		t.Error("fn called for n=0")
+	}
+}
+
+// TestDoHappensBefore writes results from workers and reads them without
+// locking after Do returns — the documented happens-before contract. Run
+// under -race this is a real synchronization check, not just a sum check.
+func TestDoHappensBefore(t *testing.T) {
+	const n = 1000
+	out := make([]int, n)
+	Do(n, 8, func(i int) { out[i] = i * i })
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestTrainWorkersExplicitWins(t *testing.T) {
+	if got := TrainWorkers(3); got != 3 {
+		t.Errorf("TrainWorkers(3) = %d", got)
+	}
+	if got := TrainWorkers(0); got < 1 {
+		t.Errorf("TrainWorkers(0) = %d, want >= 1", got)
+	}
+}

@@ -31,6 +31,9 @@ type Result struct {
 type Config struct {
 	// BucketCount sizes FactorJoin's join buckets (default 200).
 	BucketCount int
+	// Workers bounds the FactorJoin build's worker pool (default 1). The
+	// built model is byte-identical for every worker count.
+	Workers int
 }
 
 // Run profiles every table, fills the model_preprocessor_info system
@@ -70,7 +73,7 @@ func Run(db *storage.Database, schema *catalog.Schema, cfg Config) (*Result, err
 	// Join-bucket construction from the collected join patterns.
 	classes := schema.JoinClasses()
 	if len(classes) > 0 {
-		buckets, err := factorjoin.Build(db, classes, cfg.BucketCount)
+		buckets, err := factorjoin.BuildWorkers(db, classes, cfg.BucketCount, cfg.Workers)
 		if err != nil {
 			return nil, fmt.Errorf("preproc: join-bucket construction: %w", err)
 		}
