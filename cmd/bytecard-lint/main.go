@@ -1,0 +1,23 @@
+// Command bytecard-lint is ByteCard's static-analysis multichecker: five
+// project-specific analyzers enforcing the determinism, guard-discipline,
+// pool-hygiene, and clamping conventions the estimation stack depends on.
+//
+// Standalone:
+//
+//	go run ./cmd/bytecard-lint ./...
+//
+// As a go vet tool (shares vet's per-package caching):
+//
+//	go build -o /tmp/bytecard-lint ./cmd/bytecard-lint
+//	go vet -vettool=/tmp/bytecard-lint ./...
+//
+// Findings are suppressed per site with //bytecard:<key>-ok <reason>
+// annotations (keys: clamp, directcall, pool, rand, unordered); the reason is
+// mandatory.
+package main
+
+import "bytecard/internal/lint"
+
+func main() {
+	lint.Main(lint.All()...)
+}

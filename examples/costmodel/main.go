@@ -72,6 +72,7 @@ func main() {
 	var modelErr, baseErr float64
 	for _, tr := range test {
 		y := math.Log1p(tr.Millis)
+		//bytecard:directcall-ok offline evaluation measures the raw model; no query depends on the output
 		p := math.Log1p(model.PredictMillis(tr.Features))
 		modelErr += (p - y) * (p - y)
 		baseErr += (meanLog - y) * (meanLog - y)
@@ -89,7 +90,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	predicted := model.PredictPlan(plan)
+	predicted := model.PredictPlan(plan) //bytecard:directcall-ok demo compares the raw prediction against the measured runtime
 	res, err := sys.Engine.Execute(plan)
 	if err != nil {
 		log.Fatal(err)

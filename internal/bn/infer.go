@@ -196,10 +196,8 @@ func (c *Context) upward(sc *scratch, weights [][]float64) {
 // The returned tables are freshly checked-out scratch the caller owns; the
 // hot paths inside this package reuse pooled scratch via marginals instead.
 func (c *Context) Marginals(weights [][]float64) (float64, [][]float64, [][]float64) {
-	sc := c.getScratch()
+	sc := c.getScratch() //bytecard:pool-ok belief/pair escape to the caller, which owns them; GC reclaims the scratch with the result
 	pe := c.marginals(sc, weights)
-	// belief/pair escape to the caller, so this scratch is not returned to
-	// the pool; its backing array is reclaimed by GC with the result.
 	return pe, sc.belief, sc.pair
 }
 

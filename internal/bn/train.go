@@ -159,8 +159,8 @@ func buildColumnModel(name string, values []float64, miss []bool, cfg TrainConfi
 	}
 	sort.Float64s(distinct)
 	var observed float64
-	for _, c := range counts {
-		observed += float64(c)
+	for _, v := range distinct {
+		observed += float64(counts[v])
 	}
 	target := observed / float64(cfg.MaxBins)
 	bounds := []float64{distinct[0]}
@@ -213,7 +213,7 @@ func binNDVs(values []float64, miss []bool, bounds []float64, popRows, sampleRow
 	}
 	out := make([]float64, nBins)
 	for i, counts := range perBin {
-		var f1, rest float64
+		var f1, rest int
 		for _, c := range counts {
 			if c == 1 {
 				f1++
@@ -221,7 +221,7 @@ func binNDVs(values []float64, miss []bool, bounds []float64, popRows, sampleRow
 				rest++
 			}
 		}
-		est := scale*f1 + rest
+		est := scale*float64(f1) + float64(rest)
 		if est < 1 {
 			est = 1
 		}

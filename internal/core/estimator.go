@@ -141,7 +141,9 @@ func (e *Estimator) guarded(op string, tables []string, key string, lo, hi float
 		return 0, err
 	}
 	raw, err := e.Guard.Do(key, fn)
-	v := raw
+	// v only ever holds sanitized values (the raw model output is passed to
+	// Sanitize and discarded), so every return below is in [lo, hi].
+	var v float64
 	outcome := obs.OutcomeOK
 	if err == nil {
 		v, err = e.Guard.Sanitize(key, raw, lo, hi)
@@ -594,14 +596,27 @@ func (e *Estimator) EstimateGroupNDV(q *engine.Query) float64 {
 	return res
 }
 
+// clampEst bounds an estimate to [lo, hi] before it leaves the estimator —
+// the arithmetic-after-the-ladder counterpart of Guard.Sanitize, and the
+// clamp helper the estclamp analyzer recognizes. NaN collapses to lo.
+func clampEst(v, lo, hi float64) float64 {
+	if math.IsNaN(v) {
+		return lo
+	}
+	return math.Min(hi, math.Max(lo, v))
+}
+
 // countSingle estimates one filtered table without fallback (used by the
-// featurization Estimate API, which surfaces errors to its caller).
+// featurization Estimate API, which surfaces errors to its caller). The
+// selectivity is already sanitized into [0, 1], so the clamp is a no-op
+// today; it guarantees the product stays in-range if that invariant moves.
 func (e *Estimator) countSingle(t *engine.QueryTable) (float64, error) {
 	sel, err := e.filterSelectivity(t)
 	if err != nil {
 		return 0, err
 	}
-	return sel * float64(t.Table.NumRows()), nil
+	rows := float64(t.Table.NumRows())
+	return clampEst(sel*rows, 0, rows), nil
 }
 
 // PredictCostMillis runs the learned cost model under the guard and

@@ -106,6 +106,7 @@ func (e *Engine) analyzeWhere(q *Query, cond *sqlparse.Cond) error {
 		}
 		perTable[tab] = append(perTable[tab], node)
 	}
+	//bytecard:unordered-ok each binding's filter is assigned exactly once; bindings are disjoint and nodes keep parse order
 	for tab, nodes := range perTable {
 		q.TableByBinding(tab).Filter = expr.And(nodes...)
 	}

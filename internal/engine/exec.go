@@ -446,6 +446,7 @@ func liveColumns(q *Query, inter *intermediate, remaining []int) map[int][]strin
 		}
 	}
 	out := map[int][]string{}
+	//bytecard:unordered-ok keyed transform: each out[i] is built from its own cols set and sorted before use
 	for i, cols := range live {
 		for c := range cols {
 			out[i] = append(out[i], c)
@@ -712,6 +713,7 @@ func (s *distinctSet) add(h uint64, key []types.Datum) {
 
 // merge folds another set's members into s.
 func (s *distinctSet) merge(o *distinctSet) {
+	//bytecard:unordered-ok groups are keyed by hash; each hash chain merges independently and set semantics ignore insertion order
 	for h, chain := range o.groups {
 		for _, k := range chain {
 			s.add(h, k)

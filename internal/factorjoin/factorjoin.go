@@ -279,6 +279,7 @@ func buildKeyStats(ref catalog.ColumnRef, col *storage.Column, buckets *Buckets)
 	}
 	for b := range freq {
 		ks.NDV[b] = float64(len(freq[b]))
+		//bytecard:unordered-ok max over a bucket's value frequencies is commutative
 		for _, f := range freq[b] {
 			if f > ks.MaxF[b] {
 				ks.MaxF[b] = f
@@ -338,10 +339,59 @@ func (m *Model) SizeBytes() int64 {
 	return total
 }
 
-// Encode serializes the model with gob.
+// sortedKeys returns m's keys in ascending order — every map the model owns
+// is walked through this so serialization and validation are deterministic.
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// wireModel is the model's deterministic serialization shape: gob encodes
+// maps in iteration order, which Go randomizes, so the maps are flattened
+// into key-sorted slices first. Two builds of the same model therefore
+// produce byte-identical artifacts, which keeps modelstore checksums and
+// A/B regression diffs stable.
+type wireModel struct {
+	Classes      []wireClass
+	Keys         []wireKey
+	PairJoints   []wirePair
+	BuildSeconds float64
+}
+
+type wireClass struct {
+	Name    string
+	Buckets *Buckets
+}
+
+type wireKey struct {
+	Name  string
+	Stats *KeyStats
+}
+
+type wirePair struct {
+	Name  string
+	Joint []float64
+}
+
+// Encode serializes the model with gob over the key-sorted wire format;
+// equal models encode to equal bytes.
 func (m *Model) Encode() ([]byte, error) {
+	w := wireModel{BuildSeconds: m.BuildSeconds}
+	for _, name := range sortedKeys(m.BucketsByClass) {
+		w.Classes = append(w.Classes, wireClass{Name: name, Buckets: m.BucketsByClass[name]})
+	}
+	for _, name := range sortedKeys(m.Keys) {
+		w.Keys = append(w.Keys, wireKey{Name: name, Stats: m.Keys[name]})
+	}
+	for _, name := range sortedKeys(m.PairJoint) {
+		w.PairJoints = append(w.PairJoints, wirePair{Name: name, Joint: m.PairJoint[name]})
+	}
 	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(m); err != nil {
+	if err := gob.NewEncoder(&buf).Encode(&w); err != nil {
 		return nil, err
 	}
 	return buf.Bytes(), nil
@@ -349,9 +399,24 @@ func (m *Model) Encode() ([]byte, error) {
 
 // Decode deserializes and validates a model.
 func Decode(data []byte) (*Model, error) {
-	var m Model
-	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&m); err != nil {
+	var w wireModel
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
 		return nil, err
+	}
+	m := Model{
+		BucketsByClass: make(map[string]*Buckets, len(w.Classes)),
+		Keys:           make(map[string]*KeyStats, len(w.Keys)),
+		PairJoint:      make(map[string][]float64, len(w.PairJoints)),
+		BuildSeconds:   w.BuildSeconds,
+	}
+	for _, c := range w.Classes {
+		m.BucketsByClass[c.Name] = c.Buckets
+	}
+	for _, k := range w.Keys {
+		m.Keys[k.Name] = k.Stats
+	}
+	for _, p := range w.PairJoints {
+		m.PairJoint[p.Name] = p.Joint
 	}
 	if err := m.Validate(); err != nil {
 		return nil, err
@@ -360,11 +425,14 @@ func Decode(data []byte) (*Model, error) {
 }
 
 // Validate checks structural consistency (the Model Validator health hook).
+// Maps are walked in key order so a multi-problem model always reports the
+// same first error.
 func (m *Model) Validate() error {
 	if len(m.BucketsByClass) == 0 {
 		return errors.New("factorjoin: model has no join classes")
 	}
-	for name, b := range m.BucketsByClass {
+	for _, name := range sortedKeys(m.BucketsByClass) {
+		b := m.BucketsByClass[name]
 		if len(b.Bounds) < 2 {
 			return fmt.Errorf("factorjoin: class %s has %d bounds", name, len(b.Bounds))
 		}
@@ -372,7 +440,8 @@ func (m *Model) Validate() error {
 			return fmt.Errorf("factorjoin: class %s bounds unsorted", name)
 		}
 	}
-	for name, k := range m.Keys {
+	for _, name := range sortedKeys(m.Keys) {
+		k := m.Keys[name]
 		b, ok := m.BucketsByClass[k.Class]
 		if !ok {
 			return fmt.Errorf("factorjoin: key %s references unknown class %s", name, k.Class)

@@ -1,6 +1,7 @@
 package factorjoin
 
 import (
+	"bytes"
 	"reflect"
 	"testing"
 
@@ -9,9 +10,10 @@ import (
 
 // TestBuildWorkersDeterministic is the parallel-training parity gate: the
 // FactorJoin model built with a worker pool must be identical to the
-// single-threaded build, for every worker count. (Comparison is structural:
-// gob serializes maps in random iteration order, so equal models need not
-// share bytes.)
+// single-threaded build, for every worker count — structurally AND on the
+// wire. Encode flattens the model's maps into key-sorted slices, so equal
+// models must now serialize to equal bytes (the property modelstore
+// checksums rely on).
 func TestBuildWorkersDeterministic(t *testing.T) {
 	for _, dataset := range []string{"toy", "imdb"} {
 		scale := 2.0
@@ -26,6 +28,10 @@ func TestBuildWorkersDeterministic(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
+		serialBytes, err := serial.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
 		for _, workers := range []int{2, 4, 8} {
 			m, err := BuildWorkers(ds.DB, ds.Schema.JoinClasses(), 50, workers)
 			if err != nil {
@@ -37,6 +43,51 @@ func TestBuildWorkersDeterministic(t *testing.T) {
 			if !reflect.DeepEqual(m, serial) {
 				t.Errorf("%s: workers=%d model differs from serial build", dataset, workers)
 			}
+			got, err := m.Encode()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, serialBytes) {
+				t.Errorf("%s: workers=%d encoding differs from serial build's bytes", dataset, workers)
+			}
 		}
+	}
+}
+
+// TestEncodeDeterministic re-encodes one model repeatedly and through a
+// decode round-trip: every serialization of equal models must be
+// byte-identical.
+func TestEncodeDeterministic(t *testing.T) {
+	ds, err := datagen.ByName("toy", datagen.Config{Scale: 2.0, Seed: 31})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Build(ds.DB, ds.Schema.JoinClasses(), 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := m.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		again, err := m.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(first, again) {
+			t.Fatalf("encoding %d differs from the first", i)
+		}
+	}
+	rt, err := Decode(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rtBytes, err := rt.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first, rtBytes) {
+		t.Fatal("decode → encode round-trip changed the bytes")
 	}
 }

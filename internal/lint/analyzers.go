@@ -1,0 +1,6 @@
+package lint
+
+// All returns the full project analyzer suite in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{EstClamp, GuardCall, MapIter, PoolHygiene, RandSource}
+}

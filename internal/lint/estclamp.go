@@ -1,0 +1,229 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// EstClamp flags float estimates that reach the engine without passing
+// through a guard clamp.
+//
+// core.Estimator is the boundary between learned models and the query
+// planner: every float64 it hands to the engine must be finite and inside the
+// [lo, hi] bounds of the quantity being estimated, or join ordering silently
+// degrades on a NaN/Inf/negative cardinality. The guarded() ladder and
+// Guard.Sanitize enforce that for model outputs, but arithmetic performed
+// *after* the ladder (selectivity × rowcount, products over join conditions)
+// can reintroduce out-of-range values. The analyzer checks every Estimator
+// method whose first result is float64 and requires each returned expression
+// to have clamped provenance: produced by guarded()/Sanitize/a clamp* helper/
+// math.Max/math.Min, delegated to another Estimator method or the fallback
+// estimator, or a literal. Raw arithmetic must be wrapped (clampEst) or
+// annotated with //bytecard:clamp-ok <reason>.
+var EstClamp = &Analyzer{
+	Name: "estclamp",
+	Doc: "flag unclamped float estimates returned by core.Estimator\n\n" +
+		"Estimates returned to the engine must flow through guarded()/Sanitize\n" +
+		"or an explicit clamp helper so NaN/Inf/negative values can never reach\n" +
+		"the planner. Wrap raw arithmetic in clampEst(v, lo, hi) or annotate\n" +
+		"with //bytecard:clamp-ok <reason>.",
+	Run: runEstClamp,
+}
+
+func runEstClamp(pass *Pass) error {
+	if pass.Pkg.Name() != "core" {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || pass.InTestFile(fd.Pos()) {
+				continue
+			}
+			if !isEstimatorFloatMethod(pass.TypesInfo, fd) {
+				continue
+			}
+			checkEstimatorMethod(pass, fd)
+		}
+	}
+	return nil
+}
+
+// isEstimatorFloatMethod reports whether fd is a method on Estimator whose
+// first result is float64 — the shape through which estimates leave core.
+func isEstimatorFloatMethod(info *types.Info, fd *ast.FuncDecl) bool {
+	fn, ok := info.Defs[fd.Name].(*types.Func)
+	if !ok || recvTypeName(fn) != "Estimator" {
+		return false
+	}
+	sig := fn.Type().(*types.Signature)
+	if sig.Results().Len() == 0 {
+		return false
+	}
+	b, ok := sig.Results().At(0).Type().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Float64
+}
+
+// checkEstimatorMethod verifies clamped provenance of the first result of
+// every return in fd's own body (returns inside closures feed the guarded
+// ladder and are sanitized there).
+func checkEstimatorMethod(pass *Pass, fd *ast.FuncDecl) {
+	prov := collectProvenance(pass, fd)
+	for _, ret := range funcBodyReturns(fd.Body) {
+		if len(ret.Results) == 0 {
+			continue // bare return with named results: out of scope
+		}
+		res := ret.Results[0]
+		if prov.allowed(res, map[types.Object]bool{}) {
+			continue
+		}
+		if pass.MissingReason("clamp", ret.Pos()) {
+			pass.Reportf(ret.Pos(), "estclamp: //bytecard:clamp-ok annotation needs a reason explaining why the estimate cannot leave [lo, hi]")
+			continue
+		}
+		if pass.Suppressed("clamp", ret.Pos()) {
+			continue
+		}
+		pass.Reportf(ret.Pos(), "estclamp: estimate returned to the engine without a guard clamp; wrap it in clampEst(v, lo, hi) (or guarded()/Sanitize/math.Max bounds) or annotate with //bytecard:clamp-ok <reason>")
+	}
+}
+
+// provenance resolves whether an expression's value is already clamped.
+type provenance struct {
+	pass *Pass
+	// defs maps each local variable to every expression assigned to it.
+	defs map[types.Object][]ast.Expr
+	// closures maps local function variables to their literals.
+	closures map[types.Object]*ast.FuncLit
+}
+
+// collectProvenance indexes fd's local assignments so variable returns can be
+// traced back to their defining expressions.
+func collectProvenance(pass *Pass, fd *ast.FuncDecl) *provenance {
+	p := &provenance{pass: pass, defs: map[types.Object][]ast.Expr{}, closures: map[types.Object]*ast.FuncLit{}}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := ast.Unparen(lhs).(*ast.Ident)
+			if !ok || id.Name == "_" {
+				continue
+			}
+			obj := pass.TypesInfo.Defs[id]
+			if obj == nil {
+				obj = pass.TypesInfo.Uses[id]
+			}
+			if obj == nil {
+				continue
+			}
+			var rhs ast.Expr
+			if len(as.Rhs) == len(as.Lhs) {
+				rhs = as.Rhs[i]
+			} else if len(as.Rhs) == 1 && i == 0 {
+				rhs = as.Rhs[0] // v, err := call()
+			} else {
+				continue
+			}
+			if lit, ok := ast.Unparen(rhs).(*ast.FuncLit); ok {
+				p.closures[obj] = lit
+				continue
+			}
+			p.defs[obj] = append(p.defs[obj], rhs)
+		}
+		return true
+	})
+	return p
+}
+
+// allowed reports whether e has clamped provenance. visiting breaks cycles
+// between mutually-assigned variables.
+func (p *provenance) allowed(e ast.Expr, visiting map[types.Object]bool) bool {
+	info := p.pass.TypesInfo
+	switch e := ast.Unparen(e).(type) {
+	case *ast.BasicLit:
+		return e.Kind == token.INT || e.Kind == token.FLOAT
+	case *ast.UnaryExpr:
+		// Negated literals (e.g. the -1 error sentinel) are deliberate.
+		if _, ok := ast.Unparen(e.X).(*ast.BasicLit); ok {
+			return true
+		}
+		return false
+	case *ast.Ident:
+		obj := info.Uses[e]
+		if obj == nil {
+			return false
+		}
+		if _, isConst := obj.(*types.Const); isConst {
+			return true
+		}
+		exprs, ok := p.defs[obj]
+		if !ok || visiting[obj] {
+			return false
+		}
+		visiting[obj] = true
+		defer delete(visiting, obj)
+		for _, def := range exprs {
+			if !p.allowed(def, visiting) {
+				return false
+			}
+		}
+		return true
+	case *ast.CallExpr:
+		return p.allowedCall(e, visiting)
+	}
+	return false
+}
+
+// allowedCall reports whether a call produces a clamped value.
+func (p *provenance) allowedCall(call *ast.CallExpr, visiting map[types.Object]bool) bool {
+	info := p.pass.TypesInfo
+	// float64(n) over an integer is an exact count, already in range.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		return isIntegerExpr(info, call.Args[0])
+	}
+	// A call through a local closure variable: clamped iff every return of
+	// the closure body is.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if lit, ok := p.closures[info.Uses[id]]; ok {
+			for _, ret := range funcBodyReturns(lit.Body) {
+				if len(ret.Results) == 0 || !p.allowed(ret.Results[0], visiting) {
+					return false
+				}
+			}
+			return true
+		}
+	}
+	fn := calleeFunc(info, call)
+	if fn == nil {
+		return false
+	}
+	path, recv := pkgPathOf(fn), recvTypeName(fn)
+	switch {
+	case path == "math" && (fn.Name() == "Max" || fn.Name() == "Min"):
+		// Explicit bound application — the caller chose lo/hi.
+		return true
+	case recv == "Estimator":
+		// Delegation to another Estimator method; that method is checked on
+		// its own.
+		return true
+	case recv == "Guard" && fn.Name() == "Sanitize":
+		return true
+	case recv == "CardEstimator" || recv == "NDVEstimator":
+		// The engine's own fallback estimators produce engine-safe numbers by
+		// construction.
+		return true
+	case fn.Pkg() == p.pass.Pkg && recv == "" && hasClampName(fn.Name()):
+		// Project convention: package-level clamp* helpers in core are the
+		// blessed clamp primitives.
+		return true
+	}
+	return false
+}
+
+// hasClampName reports the clamp-helper naming convention.
+func hasClampName(name string) bool {
+	return len(name) >= 5 && name[:5] == "clamp"
+}

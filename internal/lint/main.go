@@ -1,0 +1,124 @@
+package lint
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// Main is the multichecker entry point shared by cmd/bytecard-lint. It
+// speaks both driver protocols:
+//
+//   - `go vet -vettool=bytecard-lint ./...` — cmd/go performs the -V=full
+//     and -flags handshakes, then invokes the tool once per package with a
+//     JSON .cfg file (runVetConfig).
+//   - `bytecard-lint [flags] [packages]` — standalone mode loads packages
+//     itself via `go list -export` and analyzes them all in-process.
+//
+// Analyzer name flags select a subset (vet semantics): naming any analyzer
+// runs only the named ones; -name=false excludes from the default full set.
+func Main(analyzers ...*Analyzer) {
+	fs, enabled := newFlagParsing(analyzers)
+	fs.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: bytecard-lint [-flags] [-V=full] [analyzer flags] [package pattern...]\n")
+		fmt.Fprintf(os.Stderr, "       (or via go vet -vettool=$(which bytecard-lint) ./...)\n\nRegistered analyzers:\n\n")
+		for _, a := range analyzers {
+			fmt.Fprintf(os.Stderr, "    %-12s %s\n", a.Name, docLine(a))
+		}
+		fmt.Fprintln(os.Stderr, "\nFlags:")
+		fs.PrintDefaults()
+	}
+	versionFlag := fs.String("V", "", "print version and exit (go vet protocol; only -V=full is supported)")
+	flagsFlag := fs.Bool("flags", false, "print analyzer flags in JSON (go vet protocol)")
+	dirFlag := fs.String("C", ".", "change to `dir` before loading packages (standalone mode)")
+	fs.Parse(os.Args[1:])
+
+	if *versionFlag != "" {
+		if *versionFlag != "full" {
+			fatalf("unsupported flag value: -V=%s", *versionFlag)
+		}
+		printVersion()
+	}
+	if *flagsFlag {
+		printFlags(analyzers)
+	}
+
+	selected := selectAnalyzers(fs, analyzers, enabled)
+	args := fs.Args()
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		runVetConfig(args[0], selected)
+		return
+	}
+	os.Exit(runStandalone(*dirFlag, args, selected))
+}
+
+// newFlagParsing builds the multichecker flag set: one boolean enable flag
+// per analyzer, plus the protocol flags registered by Main.
+func newFlagParsing(analyzers []*Analyzer) (*flag.FlagSet, map[string]*bool) {
+	fs := flag.NewFlagSet("bytecard-lint", flag.ExitOnError)
+	enabled := map[string]*bool{}
+	for _, a := range analyzers {
+		enabled[a.Name] = fs.Bool(a.Name, false, "enable only the "+a.Name+" analysis: "+docLine(a))
+	}
+	return fs, enabled
+}
+
+// docLine returns the first line of an analyzer's documentation.
+func docLine(a *Analyzer) string {
+	doc := a.Doc
+	if i := strings.IndexByte(doc, '\n'); i >= 0 {
+		doc = doc[:i]
+	}
+	return doc
+}
+
+// selectAnalyzers applies vet's flag semantics to the full analyzer set.
+func selectAnalyzers(fs *flag.FlagSet, analyzers []*Analyzer, enabled map[string]*bool) []*Analyzer {
+	set := map[string]bool{}
+	anyTrue := false
+	fs.Visit(func(f *flag.Flag) {
+		if _, ok := enabled[f.Name]; ok {
+			set[f.Name] = f.Value.String() == "true"
+			anyTrue = anyTrue || set[f.Name]
+		}
+	})
+	var out []*Analyzer
+	for _, a := range analyzers {
+		explicit, wasSet := set[a.Name]
+		switch {
+		case anyTrue && (!wasSet || !explicit):
+			continue
+		case wasSet && !explicit:
+			continue
+		}
+		out = append(out, a)
+	}
+	return out
+}
+
+// runStandalone loads, checks, and analyzes the given package patterns,
+// printing findings to stderr. Returns the process exit code.
+func runStandalone(dir string, patterns []string, analyzers []*Analyzer) int {
+	loader, err := LoadPackages(dir, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	exit := 0
+	for _, pkgPath := range loader.Packages() {
+		results, err := loader.Run(pkgPath, analyzers)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			exit = 1
+			continue
+		}
+		for _, res := range results {
+			for _, d := range res.Diags {
+				fmt.Fprintf(os.Stderr, "%s: %s\n", loader.Fset.Position(d.Pos), d.Message)
+				exit = 1
+			}
+		}
+	}
+	return exit
+}

@@ -1,0 +1,375 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// PoolHygiene flags sync.Pool.Get results that can leave a function without a
+// matching Put on every return path.
+//
+// The BN scratch-buffer pool (and any future pool) only amortizes allocation
+// if gotten values reliably come back: a return path that skips Put silently
+// degrades the pool to a per-call allocator, which shows up as GC pressure
+// under estimation load, not as a test failure. The analyzer tracks three
+// release shapes — a direct Pool.Put, a call to a putter wrapper (a function
+// in the same package that forwards a parameter to Pool.Put), and a deferred
+// form of either — and two transfer shapes that end responsibility: returning
+// the pooled value itself (getter wrappers), and handing the value to a
+// function literal it cannot see through. Anything else that reaches a return
+// statement while a gotten value is live is reported at the Get site.
+// Deliberate leaks (values whose interior pointers escape) carry
+// //bytecard:pool-ok <reason>.
+var PoolHygiene = &Analyzer{
+	Name: "poolhygiene",
+	Doc: "flag sync.Pool.Get without Put on every return path\n\n" +
+		"A missed Put turns the pool into a per-call allocator. Release the\n" +
+		"value (directly, via a putter wrapper, or deferred) before every\n" +
+		"return, return it to transfer ownership, or annotate the Get with\n" +
+		"//bytecard:pool-ok <reason>.",
+	Run: runPoolHygiene,
+}
+
+func runPoolHygiene(pass *Pass) error {
+	getters, putters := classifyPoolWrappers(pass)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || pass.InTestFile(fd.Pos()) {
+				continue
+			}
+			w := &poolWalker{pass: pass, getters: getters, putters: putters}
+			w.walkStmts(fd.Body.List)
+			w.atExit()
+		}
+	}
+	return nil
+}
+
+// isPoolMethod reports whether call invokes (*sync.Pool).name.
+func isPoolMethod(info *types.Info, call *ast.CallExpr, name string) bool {
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Name() != name || pkgPathOf(fn) != "sync" {
+		return false
+	}
+	return recvTypeName(fn) == "Pool"
+}
+
+// classifyPoolWrappers finds the package's getter wrappers (functions that
+// return a Pool.Get result directly) and putter wrappers (functions that
+// forward a parameter to Pool.Put), so call sites through them are tracked
+// like the underlying pool operations.
+func classifyPoolWrappers(pass *Pass) (getters, putters map[*types.Func]bool) {
+	getters = map[*types.Func]bool{}
+	putters = map[*types.Func]bool{}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			params := map[types.Object]bool{}
+			if fd.Type.Params != nil {
+				for _, field := range fd.Type.Params.List {
+					for _, name := range field.Names {
+						if def := pass.TypesInfo.Defs[name]; def != nil {
+							params[def] = true
+						}
+					}
+				}
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if isPoolMethod(pass.TypesInfo, call, "Put") && len(call.Args) == 1 {
+					if id, ok := ast.Unparen(call.Args[0]).(*ast.Ident); ok && params[pass.TypesInfo.Uses[id]] {
+						putters[obj] = true
+					}
+				}
+				return true
+			})
+			for _, ret := range funcBodyReturns(fd.Body) {
+				for _, res := range ret.Results {
+					if call, ok := stripToCall(res); ok && isPoolMethod(pass.TypesInfo, call, "Get") {
+						getters[obj] = true
+					}
+				}
+			}
+		}
+	}
+	return getters, putters
+}
+
+// stripToCall unwraps parens and type assertions down to a call expression.
+func stripToCall(e ast.Expr) (*ast.CallExpr, bool) {
+	for {
+		switch t := e.(type) {
+		case *ast.ParenExpr:
+			e = t.X
+		case *ast.TypeAssertExpr:
+			e = t.X
+		case *ast.CallExpr:
+			return t, true
+		default:
+			return nil, false
+		}
+	}
+}
+
+// acquisition tracks one live pooled value inside a function body.
+type acquisition struct {
+	pos      token.Pos
+	obj      types.Object // local variable holding the value
+	released bool         // Put (or transfer) observed before the current point
+	deferred bool         // a deferred Put covers every later return
+	reported bool
+}
+
+// poolWalker performs a positional (source-order) walk of one function body.
+// It is deliberately flow-insensitive across branches: a Put inside an if
+// counts as a release for everything after it. That trades a little soundness
+// for zero false positives on the codebase's linear get→use→put shape.
+type poolWalker struct {
+	pass    *Pass
+	getters map[*types.Func]bool
+	putters map[*types.Func]bool
+	live    []*acquisition
+}
+
+// isAcquire reports whether e acquires a pooled value (Pool.Get or a getter
+// wrapper call, possibly behind parens/type assertion).
+func (w *poolWalker) isAcquire(e ast.Expr) bool {
+	call, ok := stripToCall(e)
+	if !ok {
+		return false
+	}
+	if isPoolMethod(w.pass.TypesInfo, call, "Get") {
+		return true
+	}
+	fn := calleeFunc(w.pass.TypesInfo, call)
+	return fn != nil && w.getters[fn]
+}
+
+// releaseTarget returns the object released by a Put / putter call, if any.
+func (w *poolWalker) releaseTarget(call *ast.CallExpr) types.Object {
+	isPut := isPoolMethod(w.pass.TypesInfo, call, "Put")
+	if !isPut {
+		fn := calleeFunc(w.pass.TypesInfo, call)
+		if fn == nil || !w.putters[fn] {
+			return nil
+		}
+	}
+	for _, arg := range call.Args {
+		if id, ok := ast.Unparen(arg).(*ast.Ident); ok {
+			if obj := w.pass.TypesInfo.Uses[id]; obj != nil {
+				return obj
+			}
+		}
+	}
+	return nil
+}
+
+func (w *poolWalker) find(obj types.Object) *acquisition {
+	if obj == nil {
+		return nil
+	}
+	for _, a := range w.live {
+		if a.obj == obj {
+			return a
+		}
+	}
+	return nil
+}
+
+func (w *poolWalker) markReleased(obj types.Object) {
+	if a := w.find(obj); a != nil {
+		a.released = true
+	}
+}
+
+func (w *poolWalker) walkStmts(list []ast.Stmt) {
+	for _, s := range list {
+		w.walkStmt(s)
+	}
+}
+
+func (w *poolWalker) walkStmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		for i, rhs := range s.Rhs {
+			if !w.isAcquire(rhs) {
+				continue
+			}
+			var lhs ast.Expr
+			if len(s.Lhs) == len(s.Rhs) {
+				lhs = s.Lhs[i]
+			} else if len(s.Lhs) > 0 {
+				lhs = s.Lhs[0]
+			}
+			id, ok := ast.Unparen(lhs).(*ast.Ident)
+			if !ok || id.Name == "_" {
+				w.report(rhs.Pos(), "poolhygiene: sync.Pool.Get result is not bound to a local variable; its Put cannot be verified")
+				continue
+			}
+			obj := w.pass.TypesInfo.Defs[id]
+			if obj == nil {
+				obj = w.pass.TypesInfo.Uses[id]
+			}
+			w.live = append(w.live, &acquisition{pos: rhs.Pos(), obj: obj})
+		}
+		w.scanFuncLits(s)
+	case *ast.ExprStmt:
+		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok {
+			if obj := w.releaseTarget(call); obj != nil {
+				w.markReleased(obj)
+				return
+			}
+		}
+		w.scanFuncLits(s)
+	case *ast.DeferStmt:
+		if obj := w.releaseTarget(s.Call); obj != nil {
+			if a := w.find(obj); a != nil {
+				a.deferred = true
+			}
+			return
+		}
+		// defer func() { ... putScratch(sc) ... }(): scan the literal body
+		// for releases of tracked values.
+		if lit, ok := ast.Unparen(s.Call.Fun).(*ast.FuncLit); ok {
+			ast.Inspect(lit.Body, func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok {
+					if obj := w.releaseTarget(call); obj != nil {
+						if a := w.find(obj); a != nil {
+							a.deferred = true
+						}
+					}
+				}
+				return true
+			})
+		}
+	case *ast.ReturnStmt:
+		w.atReturn(s)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init)
+		}
+		w.walkStmts(s.Body.List)
+		if s.Else != nil {
+			w.walkStmt(s.Else)
+		}
+	case *ast.BlockStmt:
+		w.walkStmts(s.List)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init)
+		}
+		w.walkStmts(s.Body.List)
+	case *ast.RangeStmt:
+		w.walkStmts(s.Body.List)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init)
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.walkStmts(cc.Body)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.walkStmts(cc.Body)
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				w.walkStmts(cc.Body)
+			}
+		}
+	case *ast.LabeledStmt:
+		w.walkStmt(s.Stmt)
+	case *ast.GoStmt:
+		w.scanFuncLits(s)
+	default:
+		w.scanFuncLits(s)
+	}
+}
+
+// scanFuncLits handles two jobs for any statement: analyze nested function
+// literals as independent bodies, and treat a tracked value captured by a
+// literal as transferred (the walker cannot see when the closure runs).
+func (w *poolWalker) scanFuncLits(s ast.Stmt) {
+	ast.Inspect(s, func(n ast.Node) bool {
+		lit, ok := n.(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		inner := &poolWalker{pass: w.pass, getters: w.getters, putters: w.putters}
+		inner.walkStmts(lit.Body.List)
+		inner.atExit()
+		ast.Inspect(lit.Body, func(m ast.Node) bool {
+			if id, ok := m.(*ast.Ident); ok {
+				if a := w.find(w.pass.TypesInfo.Uses[id]); a != nil {
+					a.released = true // ownership escapes into the closure
+				}
+			}
+			return true
+		})
+		return false
+	})
+}
+
+// atReturn reports live acquisitions at a return statement. Returning the
+// pooled value itself transfers ownership to the caller (the getter-wrapper
+// pattern) and ends tracking.
+func (w *poolWalker) atReturn(ret *ast.ReturnStmt) {
+	// A closure in the results may carry the release with it (the caller
+	// invokes it later); scanFuncLits marks its captures as transferred.
+	w.scanFuncLits(ret)
+	for _, res := range ret.Results {
+		if id, ok := ast.Unparen(res).(*ast.Ident); ok {
+			w.markReleased(w.pass.TypesInfo.Uses[id])
+		}
+	}
+	for _, a := range w.live {
+		if a.released || a.deferred || a.reported {
+			continue
+		}
+		a.reported = true
+		w.reportAt(a)
+	}
+}
+
+// atExit treats falling off the end of the body like a return.
+func (w *poolWalker) atExit() {
+	for _, a := range w.live {
+		if a.released || a.deferred || a.reported {
+			continue
+		}
+		a.reported = true
+		w.reportAt(a)
+	}
+}
+
+func (w *poolWalker) reportAt(a *acquisition) {
+	w.report(a.pos, "poolhygiene: sync.Pool value may escape without a matching Put on some return path; release it before every return, return it to transfer ownership, or annotate with //bytecard:pool-ok <reason>")
+}
+
+func (w *poolWalker) report(pos token.Pos, msg string) {
+	if w.pass.MissingReason("pool", pos) {
+		w.pass.Reportf(pos, "poolhygiene: //bytecard:pool-ok annotation needs a reason explaining why the value is not returned to the pool")
+		return
+	}
+	if w.pass.Suppressed("pool", pos) {
+		return
+	}
+	w.pass.Reportf(pos, "%s", msg)
+}

@@ -1,0 +1,71 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// RandSource flags top-level math/rand functions in non-test code.
+//
+// Package-level rand.Intn / rand.Float64 / rand.Shuffle draw from the global
+// source, which Go seeds randomly at process start: two runs of the same
+// training job produce different models, and the determinism guarantees of
+// modelforge and the monitor's synthetic probes evaporate. Production code
+// must thread an explicit *rand.Rand built with rand.New(rand.NewSource(seed))
+// so every stochastic path is replayable from its logged seed. Constructor
+// functions (New, NewSource, NewZipf, NewPCG, NewChaCha8) are allowed — they
+// are exactly how seeded generators are made. Rare legitimate uses of ambient
+// randomness (e.g. jitter where replay is meaningless) carry
+// //bytecard:rand-ok <reason>.
+var RandSource = &Analyzer{
+	Name: "randsource",
+	Doc: "flag global math/rand functions in non-test code\n\n" +
+		"The global source is seeded randomly at startup, breaking replayable\n" +
+		"training and probing. Use a seeded *rand.Rand, or annotate with\n" +
+		"//bytecard:rand-ok <reason>.",
+	Run: runRandSource,
+}
+
+// randConstructors are the math/rand{,/v2} package-level functions that do
+// NOT touch global state; every other package-level function there does.
+var randConstructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true,
+	"NewChaCha8": true,
+}
+
+func runRandSource(pass *Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass.TypesInfo, call)
+			if fn == nil {
+				return true
+			}
+			path := pkgPathOf(fn)
+			if path != "math/rand" && path != "math/rand/v2" {
+				return true
+			}
+			if recvTypeName(fn) != "" || randConstructors[fn.Name()] {
+				return true
+			}
+			if pass.InTestFile(call.Pos()) {
+				return true
+			}
+			if pass.MissingReason("rand", call.Pos()) {
+				pass.Reportf(call.Pos(), "randsource: //bytecard:rand-ok annotation needs a reason explaining why unseeded randomness is acceptable")
+				return true
+			}
+			if pass.Suppressed("rand", call.Pos()) {
+				return true
+			}
+			pass.Reportf(call.Pos(), "randsource: rand.%s uses the process-global source, seeded randomly at startup; use a seeded *rand.Rand (rand.New(rand.NewSource(seed))) or annotate with //bytecard:rand-ok <reason>", fn.Name())
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,83 @@
+// Package core mirrors the real core package's shape: estclamp only runs in
+// a package named core, over methods of a type named Estimator whose first
+// result is float64.
+package core
+
+import "math"
+
+// Guard stands in for core.Guard; Sanitize is a recognized clamp source.
+type Guard struct{}
+
+func (g *Guard) Sanitize(key string, v, lo, hi float64) (float64, error) {
+	return math.Min(hi, math.Max(lo, v)), nil
+}
+
+// Estimator stands in for core.Estimator.
+type Estimator struct {
+	Guard *Guard
+}
+
+// clampEst is the package clamp helper the analyzer recognizes by the clamp*
+// naming convention.
+func clampEst(v, lo, hi float64) float64 {
+	return math.Min(hi, math.Max(lo, v))
+}
+
+// Raw returns bare arithmetic: nothing bounds the product.
+func (e *Estimator) Raw(sel, rows float64) float64 {
+	return sel * rows // want `without a guard clamp`
+}
+
+// ViaVar launders the arithmetic through a local; provenance still traces it.
+func (e *Estimator) ViaVar(sel, rows float64) float64 {
+	v := sel * rows
+	return v // want `without a guard clamp`
+}
+
+// Clamped uses the package clamp helper.
+func (e *Estimator) Clamped(sel, rows float64) float64 {
+	return clampEst(sel*rows, 0, rows)
+}
+
+// Bounded applies explicit math.Max / math.Min bounds.
+func (e *Estimator) Bounded(sel, rows float64) float64 {
+	return math.Max(1, math.Min(sel*rows, rows))
+}
+
+// Sanitized flows through Guard.Sanitize.
+func (e *Estimator) Sanitized(sel, rows float64) float64 {
+	v, err := e.Guard.Sanitize("k", sel*rows, 0, rows)
+	if err != nil {
+		return 0
+	}
+	return v
+}
+
+// Delegates returns another Estimator method's result, which is checked at
+// its own definition.
+func (e *Estimator) Delegates(sel, rows float64) float64 {
+	return e.Clamped(sel, rows)
+}
+
+// ViaClosure returns through a local closure whose returns are all clamped.
+func (e *Estimator) ViaClosure(sel, rows float64) float64 {
+	f := func() float64 { return clampEst(sel*rows, 0, rows) }
+	return f()
+}
+
+// Annotated documents why the raw expression cannot leave range.
+func (e *Estimator) Annotated(sel, rows float64) float64 {
+	//bytecard:clamp-ok fixture: both factors are sanitized upstream and rows bounds the product
+	return sel * rows
+}
+
+// NoReason carries the annotation without a justification.
+func (e *Estimator) NoReason(sel, rows float64) float64 {
+	//bytecard:clamp-ok
+	return sel * rows // want `annotation needs a reason`
+}
+
+// helper is not an Estimator method, so its raw return is out of scope.
+func helper(sel, rows float64) float64 {
+	return sel * rows
+}

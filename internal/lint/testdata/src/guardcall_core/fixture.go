@@ -1,0 +1,9 @@
+// Package core is an allowed caller: it hosts the guarded ladder, so its raw
+// entry-point calls are the mechanism, not a violation.
+package core
+
+import "bytecard/internal/bn"
+
+func Ladder(c *bn.Context, w [][]float64) float64 {
+	return c.Prob(w)
+}

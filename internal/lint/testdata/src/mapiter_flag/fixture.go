@@ -1,0 +1,83 @@
+// Package bn is a mapiter fixture: its name puts it on the
+// determinism-critical list, so every map range below is policed.
+package bn
+
+import "sort"
+
+func sink(string) {}
+
+// SortedCollect is the blessed collect-then-sort idiom: append-accumulation
+// is order-insensitive and passes without annotation.
+func SortedCollect(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// IntCount accumulates integers, which commutes exactly.
+func IntCount(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// KeyedCopy writes each key independently.
+func KeyedCopy(dst, src map[string]int) {
+	for k := range src {
+		dst[k] = src[k]
+	}
+}
+
+// KeyedDelete removes the visited key, which is order-independent.
+func KeyedDelete(m map[string]int) {
+	for k := range m {
+		if m[k] == 0 {
+			delete(m, k)
+			continue
+		}
+		m[k]--
+	}
+}
+
+// FloatSum is order-sensitive: float rounding depends on summation order.
+func FloatSum(m map[string]float64) float64 {
+	var s float64
+	for _, v := range m { // want `map iteration order is nondeterministic`
+		s += v
+	}
+	return s
+}
+
+// Calls may observe intermediate state, so the loop is not provably
+// order-insensitive.
+func Calls(m map[string]string) {
+	for k := range m { // want `map iteration order is nondeterministic`
+		sink(k)
+	}
+}
+
+// Annotated documents why order cannot matter and is suppressed.
+func Annotated(m map[string]float64) float64 {
+	var s float64
+	//bytecard:unordered-ok fixture: downstream consumer tolerates ulp-level drift
+	for _, v := range m {
+		s += v
+	}
+	return s
+}
+
+// NoReason carries an annotation without a justification, which is itself a
+// finding.
+func NoReason(m map[string]float64) float64 {
+	var s float64
+	//bytecard:unordered-ok
+	for _, v := range m { // want `annotation needs a reason`
+		s += v
+	}
+	return s
+}

@@ -1,0 +1,11 @@
+// Package util is NOT on the determinism-critical list, so mapiter ignores
+// even clearly order-sensitive loops here.
+package util
+
+func FloatSum(m map[string]float64) float64 {
+	var s float64
+	for _, v := range m {
+		s += v
+	}
+	return s
+}

@@ -1,0 +1,86 @@
+// Package pool exercises poolhygiene: every sync.Pool.Get must be matched by
+// a Put (direct, wrapped, or deferred) on every return path, transferred to
+// the caller, or annotated.
+package pool
+
+import "sync"
+
+type scratch struct{ buf []float64 }
+
+var p = sync.Pool{New: func() any { return new(scratch) }}
+
+func use(s *scratch) float64 { return float64(len(s.buf)) }
+
+// get is a getter wrapper (returns Pool.Get directly); put is a putter
+// wrapper (forwards its parameter to Pool.Put). Both are tracked like the
+// underlying pool operations.
+func get() *scratch  { return p.Get().(*scratch) }
+func put(s *scratch) { p.Put(s) }
+
+// Linear is the canonical get → use → put shape.
+func Linear() float64 {
+	s := p.Get().(*scratch)
+	v := use(s)
+	p.Put(s)
+	return v
+}
+
+// Deferred releases on every path via defer.
+func Deferred() float64 {
+	s := p.Get().(*scratch)
+	defer p.Put(s)
+	return use(s)
+}
+
+// ViaWrappers acquires and releases through the package wrappers.
+func ViaWrappers() float64 {
+	s := get()
+	defer put(s)
+	return use(s)
+}
+
+// Transfer returns the pooled value itself: ownership moves to the caller
+// (this is exactly what a getter wrapper does).
+func Transfer() *scratch {
+	s := get()
+	s.buf = s.buf[:0]
+	return s
+}
+
+// ClosureRelease hands the release to the caller as a cleanup function.
+func ClosureRelease() (*scratch, func()) {
+	s := get()
+	return s, func() { put(s) }
+}
+
+// EarlyReturnLeak misses the Put on the early path.
+func EarlyReturnLeak(cond bool) float64 {
+	s := p.Get().(*scratch) // want `may escape without a matching Put`
+	if cond {
+		return 0
+	}
+	v := use(s)
+	p.Put(s)
+	return v
+}
+
+// WrapperLeak leaks through the getter wrapper: interior state escapes and
+// the scratch never goes back.
+func WrapperLeak() []float64 {
+	s := get() // want `may escape without a matching Put`
+	return s.buf
+}
+
+// Annotated documents a deliberate leak (interior pointers escape with the
+// result, as bn.Marginals does).
+func Annotated() []float64 {
+	s := get() //bytecard:pool-ok fixture: buf escapes with the result; GC reclaims the scratch
+	return s.buf
+}
+
+// NoReason carries the annotation without a justification.
+func NoReason() []float64 {
+	//bytecard:pool-ok
+	s := get() // want `annotation needs a reason`
+	return s.buf
+}

@@ -1,0 +1,31 @@
+// Package jitter exercises randsource: global math/rand functions are
+// flagged, seeded generators and constructors are not.
+package jitter
+
+import "math/rand"
+
+func Bad() int {
+	return rand.Intn(10) // want `uses the process-global source`
+}
+
+func BadShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `uses the process-global source`
+}
+
+// Good threads a seeded generator; methods on *rand.Rand are fine, and the
+// New/NewSource constructors are exactly how such generators are made.
+func Good(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10)
+}
+
+// Annotated ambient randomness documents why replay is meaningless.
+func Annotated() float64 {
+	return rand.Float64() //bytecard:rand-ok fixture: backoff jitter is never replayed
+}
+
+// NoReason has the annotation but no justification.
+func NoReason() float64 {
+	//bytecard:rand-ok
+	return rand.Float64() // want `annotation needs a reason`
+}

@@ -12,6 +12,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sort"
 
 	"bytecard/internal/cardinal"
 	"bytecard/internal/core"
@@ -208,7 +209,11 @@ func (m *Monitor) CheckTable(table string) (TableReport, error) {
 func (m *Monitor) CheckAll() ([]TableReport, error) {
 	var out []TableReport
 	var errs []error
-	for _, table := range m.Exec.DB.TableNames() {
+	// Sweep in name order, not insertion order, so reports (and the joined
+	// error) are stable across runs regardless of how the catalog was built.
+	tables := m.Exec.DB.TableNames()
+	sort.Strings(tables)
+	for _, table := range tables {
 		rep, err := m.CheckTable(table)
 		if err != nil {
 			rep.Table = table

@@ -9,6 +9,7 @@ import (
 	"hash/fnv"
 	"math"
 	"strconv"
+	"strings"
 )
 
 // Kind identifies the database type of a column.
@@ -244,7 +245,9 @@ func (d Datum) String() string {
 	case KindFloat64:
 		return strconv.FormatFloat(d.F, 'g', -1, 64)
 	case KindString:
-		return "'" + d.S + "'"
+		// Escape embedded quotes SQL-style so the literal re-parses
+		// (the round-trip guarantee sqlparse.SelectStmt.String documents).
+		return "'" + strings.ReplaceAll(d.S, "'", "''") + "'"
 	default:
 		return fmt.Sprintf("<%s>", d.K)
 	}

@@ -146,6 +146,9 @@ func TestDatumString(t *testing.T) {
 	if Str("hi").String() != "'hi'" {
 		t.Errorf("Str(hi).String() = %q", Str("hi").String())
 	}
+	if Str("O'Brien").String() != "'O''Brien'" {
+		t.Errorf("Str(O'Brien).String() = %q; embedded quotes must escape SQL-style", Str("O'Brien").String())
+	}
 }
 
 // Property: Compare is antisymmetric and Equal is reflexive for ints.
