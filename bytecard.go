@@ -45,6 +45,9 @@ type Options struct {
 	// StoreDir persists model artifacts between runs; empty uses a
 	// temporary directory.
 	StoreDir string
+	// KeepGenerations bounds how many artifact generations the store
+	// retains per model key for corruption fallback (default 3).
+	KeepGenerations int
 	// SkipTraining opens the system without training models: estimates
 	// fall back to the traditional sketch estimator until models are
 	// trained and loaded (RefreshModels).
@@ -157,7 +160,7 @@ func OpenDataset(ds *datagen.Dataset, opts Options) (*System, error) {
 		}
 	}
 	var err error
-	sys.Store, err = modelstore.Open(dir)
+	sys.Store, err = modelstore.Open(dir, modelstore.WithKeepGenerations(opts.KeepGenerations))
 	if err != nil {
 		return nil, err
 	}
@@ -347,8 +350,12 @@ type Metrics struct {
 	// Registry is the inference engine snapshot, including disabled keys
 	// and circuit-breaker states.
 	Registry core.Stats `json:"registry"`
-	// Loader reports the model-refresh loop's state.
+	// Loader reports the model-refresh loop's state, including the backing
+	// store's corruption/fallback health.
 	Loader loader.HealthSnapshot `json:"loader"`
+	// Store counts the model store's persistence activity: puts, gets, and
+	// the corruption incidents it detected and absorbed.
+	Store obs.StoreSnapshot `json:"store"`
 	// Engine covers query volume, plan/exec latency, and the q-error of
 	// final-plan estimates against executed truth.
 	Engine obs.EngineSnapshot `json:"engine"`
@@ -373,6 +380,7 @@ func (s *System) Metrics() Metrics {
 		Guard:     s.Estimator.Guard.Stats(),
 		Registry:  s.Infer.Snapshot(),
 		Loader:    s.Loader.Snapshot(),
+		Store:     s.Store.Obs().Snapshot(),
 		Engine:    s.Engine.Obs.Snapshot(),
 		Training:  s.Forge.Obs().Snapshot(),
 	}

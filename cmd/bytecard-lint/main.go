@@ -1,6 +1,7 @@
-// Command bytecard-lint is ByteCard's static-analysis multichecker: five
+// Command bytecard-lint is ByteCard's static-analysis multichecker: six
 // project-specific analyzers enforcing the determinism, guard-discipline,
-// pool-hygiene, and clamping conventions the estimation stack depends on.
+// pool-hygiene, clamping, and crash-safe-write conventions the estimation
+// stack depends on.
 //
 // Standalone:
 //
@@ -12,8 +13,8 @@
 //	go vet -vettool=/tmp/bytecard-lint ./...
 //
 // Findings are suppressed per site with //bytecard:<key>-ok <reason>
-// annotations (keys: clamp, directcall, pool, rand, unordered); the reason is
-// mandatory.
+// annotations (keys: atomicwrite, clamp, directcall, pool, rand, unordered);
+// the reason is mandatory.
 package main
 
 import "bytecard/internal/lint"

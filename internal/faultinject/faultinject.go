@@ -4,8 +4,12 @@
 // artificial inference delays against matching model keys, each drawn from
 // a seeded generator so a failing run replays exactly. The package also
 // builds corrupt artifact payloads (truncation, byte garbling) for
-// exercising the Model Loader's skip-and-continue contract. Production
-// code never links an Injector; the hook stays nil.
+// exercising the Model Loader's skip-and-continue contract, and provides
+// StoreHook — deterministic crash points for the model store's write path:
+// named barriers that abort the process-under-test (an emulated crash) or
+// fail with an injected error, so a chaos sweep can prove the store
+// recovers to a consistent generation from a crash at every barrier.
+// Production code never links an Injector or StoreHook; the hooks stay nil.
 package faultinject
 
 import (
@@ -17,6 +21,7 @@ import (
 	"time"
 
 	"bytecard/internal/core"
+	"bytecard/internal/modelstore"
 )
 
 // Kind is a fault class.
@@ -149,6 +154,89 @@ func (in *Injector) Transform(key string, v float64) float64 {
 		}
 	}
 	return v
+}
+
+// crashPanic is the sentinel payload of an emulated process crash fired at
+// a store write barrier. It is unexported so only IsCrash can classify it.
+type crashPanic struct{ point string }
+
+// IsCrash reports whether a recovered panic value is an emulated crash
+// fired by a StoreHook, returning the barrier it fired at.
+func IsCrash(r any) (string, bool) {
+	c, ok := r.(crashPanic)
+	if !ok {
+		return "", false
+	}
+	return c.point, true
+}
+
+// StoreHook is a deterministic modelstore.WriteHook: it records every write
+// barrier traversed (so a chaos sweep can enumerate them from a clean run)
+// and can arm exactly one crash (panic that unwinds like a process abort —
+// no further writes happen) or one injected failure (the barrier returns an
+// error, as a full disk or flaky volume would) at a named point.
+type StoreHook struct {
+	mu      sync.Mutex
+	visited []string
+	crashAt string
+	failAt  string
+	failErr error
+}
+
+var _ modelstore.WriteHook = (*StoreHook)(nil)
+
+// NewStoreHook creates an unarmed hook that only records barriers.
+func NewStoreHook() *StoreHook { return &StoreHook{} }
+
+// At implements modelstore.WriteHook.
+func (h *StoreHook) At(point string) error {
+	h.mu.Lock()
+	h.visited = append(h.visited, point)
+	crash := h.crashAt == point
+	var fail error
+	if h.failAt == point {
+		fail = h.failErr
+	}
+	h.mu.Unlock()
+	if crash {
+		panic(crashPanic{point: point})
+	}
+	return fail
+}
+
+// ArmCrash makes the next traversal of point panic like a process crash.
+func (h *StoreHook) ArmCrash(point string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.crashAt = point
+}
+
+// ArmFail makes every traversal of point return err (injected I/O failure).
+func (h *StoreHook) ArmFail(point string, err error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.failAt, h.failErr = point, err
+}
+
+// DisarmStore clears armed crash and failure points (recording continues).
+func (h *StoreHook) DisarmStore() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.crashAt, h.failAt, h.failErr = "", "", nil
+}
+
+// Visited returns the barriers traversed so far, in order.
+func (h *StoreHook) Visited() []string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return append([]string(nil), h.visited...)
+}
+
+// ResetVisited clears the recorded barrier trace.
+func (h *StoreHook) ResetVisited() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.visited = nil
 }
 
 // Truncate returns the leading fraction of an artifact payload — what a

@@ -1,0 +1,88 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// AtomicWrite forbids raw file-creating writes in the model store.
+//
+// The store's crash-safety contract rests on one protocol: every byte that
+// reaches the store directory goes through write-temp → fsync → rename →
+// fsync-dir, with the manifest rename as the single publish point. A raw
+// os.WriteFile or os.Create in that package can tear on crash, publish a
+// half-written artifact, or skip the fsync that makes the rename durable —
+// and the damage only shows up as silent corruption much later. All writes
+// must flow through the blessed atomicWrite helper; everything else in a
+// package named modelstore is flagged. Sites with a genuine reason to
+// bypass the protocol (none are known) would carry
+// //bytecard:atomicwrite-ok <reason>.
+var AtomicWrite = &Analyzer{
+	Name: "atomicwrite",
+	Doc: "forbid raw file creation in the model store\n\n" +
+		"os.WriteFile / os.Create / os.OpenFile outside the blessed\n" +
+		"atomicWrite helper bypasses the temp-fsync-rename protocol that\n" +
+		"makes the store crash-safe. Route the write through atomicWrite,\n" +
+		"or annotate with //bytecard:atomicwrite-ok <reason>.",
+	Run: runAtomicWrite,
+}
+
+// atomicWritePackages lists package *names* under the atomic-write contract
+// (name matching covers the testdata fixtures, same as mapiter).
+var atomicWritePackages = map[string]bool{
+	"modelstore": true,
+}
+
+// rawWriteFuncs are the os entry points that create or truncate files.
+// os.Open and os.ReadFile are read-only and stay allowed; os.Rename and
+// file.Sync are the protocol's own building blocks.
+var rawWriteFuncs = map[string]bool{
+	"WriteFile": true,
+	"Create":    true,
+	"OpenFile":  true,
+}
+
+// atomicWriteBlessed are the functions allowed to touch the raw entry
+// points: the protocol implementation itself.
+var atomicWriteBlessed = map[string]bool{
+	"atomicWrite": true,
+}
+
+func runAtomicWrite(pass *Pass) error {
+	if !atomicWritePackages[pass.Pkg.Name()] {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if atomicWriteBlessed[fd.Name.Name] {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := calleeFunc(pass.TypesInfo, call)
+				if fn == nil || pkgPathOf(fn) != "os" || !rawWriteFuncs[fn.Name()] {
+					return true
+				}
+				if pass.InTestFile(call.Pos()) {
+					return true
+				}
+				if pass.MissingReason("atomicwrite", call.Pos()) {
+					pass.Reportf(call.Pos(), "atomicwrite: //bytecard:atomicwrite-ok annotation needs a reason explaining why bypassing the crash-safe write protocol is acceptable")
+					return true
+				}
+				if pass.Suppressed("atomicwrite", call.Pos()) {
+					return true
+				}
+				pass.Reportf(call.Pos(), "atomicwrite: os.%s bypasses the crash-safe write protocol (temp-fsync-rename); route the write through atomicWrite or annotate with //bytecard:atomicwrite-ok <reason>", fn.Name())
+				return true
+			})
+		}
+	}
+	return nil
+}

@@ -109,6 +109,7 @@ func TestAnalyzerFixtures(t *testing.T) {
 		fixtures []string
 	}{
 		{MapIter, []string{"mapiter_flag", "mapiter_other"}},
+		{AtomicWrite, []string{"atomicwrite_flag", "atomicwrite_other"}},
 		{GuardCall, []string{"guardcall_flag", "guardcall_core"}},
 		{RandSource, []string{"randsource_flag"}},
 		{PoolHygiene, []string{"poolhygiene_flag"}},
@@ -273,7 +274,7 @@ func TestSelectAnalyzers(t *testing.T) {
 	if got := run("-mapiter", "-randsource"); got != "mapiter,randsource" {
 		t.Errorf("two positive flags: got %q", got)
 	}
-	if got := run("-mapiter=false"); got != "estclamp,guardcall,poolhygiene,randsource" {
+	if got := run("-mapiter=false"); got != "atomicwrite,estclamp,guardcall,poolhygiene,randsource" {
 		t.Errorf("-mapiter=false: got %q", got)
 	}
 }

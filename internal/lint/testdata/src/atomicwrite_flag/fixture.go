@@ -1,0 +1,76 @@
+// Package modelstore (fixture) exercises atomicwrite: raw file-creating os
+// calls are flagged everywhere except inside the blessed atomicWrite helper.
+package modelstore
+
+import "os"
+
+func BadWriteFile(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644) // want `bypasses the crash-safe write protocol`
+}
+
+func BadCreate(path string) error {
+	f, err := os.Create(path) // want `bypasses the crash-safe write protocol`
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+type store struct{}
+
+func (s *store) badMethod(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE, 0o644) // want `bypasses the crash-safe write protocol`
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// atomicWrite is the blessed protocol implementation: the raw entry point
+// is allowed here, and only here.
+func atomicWrite(path string, data []byte) error {
+	f, err := os.OpenFile(path+".tmp", os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(path+".tmp", path)
+}
+
+// goodReads stay allowed: the contract covers creation, not consumption.
+func goodReads(path string) ([]byte, error) {
+	if f, err := os.Open(path); err == nil {
+		f.Close()
+	}
+	return os.ReadFile(path)
+}
+
+// goodUsesHelper routes its write through the protocol.
+func goodUsesHelper(path string, data []byte) error {
+	return atomicWrite(path, data)
+}
+
+// Annotated documents a deliberate bypass.
+func Annotated(path string) error {
+	return os.WriteFile(path, nil, 0o644) //bytecard:atomicwrite-ok fixture: scratch file outside the store directory
+}
+
+// NoReason has the annotation but no justification.
+func NoReason(path string) error {
+	//bytecard:atomicwrite-ok
+	return os.WriteFile(path, nil, 0o644) // want `annotation needs a reason`
+}

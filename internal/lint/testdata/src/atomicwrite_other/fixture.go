@@ -1,0 +1,17 @@
+// Package other (fixture) proves atomicwrite scopes to the store: raw
+// writes in packages outside the crash-safety contract are not flagged.
+package other
+
+import "os"
+
+func PlainWrite(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644)
+}
+
+func PlainCreate(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}

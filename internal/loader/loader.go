@@ -139,10 +139,15 @@ type HealthSnapshot struct {
 	ConsecutiveFailures int       `json:"consecutive_failures"`
 	LastError           string    `json:"last_error,omitempty"`
 	Installed           int       `json:"installed"`
+	// Store surfaces the model store's crash-safety state: quarantined
+	// generations, detected corruption, and any artifact currently served
+	// from a last-known-good fallback.
+	Store modelstore.HealthSnapshot `json:"store"`
 }
 
 // Snapshot returns the loader's serializable operational state, including
-// how many artifact names are currently installed.
+// how many artifact names are currently installed and the backing store's
+// corruption/fallback health.
 func (l *Loader) Snapshot() HealthSnapshot {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -150,6 +155,7 @@ func (l *Loader) Snapshot() HealthSnapshot {
 		LastSuccess:         l.lastSuccess,
 		ConsecutiveFailures: l.failures,
 		Installed:           len(l.installed),
+		Store:               l.Store.Health(),
 	}
 	if l.lastErr != nil {
 		s.LastError = l.lastErr.Error()

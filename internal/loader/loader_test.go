@@ -219,8 +219,9 @@ func TestRunRetriesWithBackoff(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// A broken manifest makes every List (hence RefreshOnce) fail.
-	if err := os.WriteFile(filepath.Join(dir, "broken.json"), []byte("{not json"), 0o644); err != nil {
+	// A broken manifest no longer fails List (the store quarantines it),
+	// so break the store harder: remove the directory out from under it.
+	if err := os.RemoveAll(dir); err != nil {
 		t.Fatal(err)
 	}
 	l := New(store, core.NewInferenceEngine(core.Options{}))
@@ -248,7 +249,7 @@ func TestRunRetriesWithBackoff(t *testing.T) {
 		}
 	}
 	// Heal the store: the loop recovers on the next backed-off retry.
-	if err := os.Remove(filepath.Join(dir, "broken.json")); err != nil {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
 		t.Fatal(err)
 	}
 	for l.Health().ConsecutiveFailures != 0 {
@@ -330,12 +331,23 @@ func TestRefreshOnceUnreadableStore(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Corrupt a manifest so List fails.
+	// A corrupted manifest is quarantined, not fatal: the refresh sweeps
+	// past it and the incident shows in the health snapshot.
 	if err := os.WriteFile(dir+"/broken.json", []byte("{not json"), 0o644); err != nil {
 		t.Fatal(err)
 	}
 	l := New(store, core.NewInferenceEngine(core.Options{}))
+	if _, err := l.RefreshOnce(); err != nil {
+		t.Errorf("quarantined manifest must not fail the refresh: %v", err)
+	}
+	if h := l.Snapshot(); h.Store.BadManifests != 1 {
+		t.Errorf("store health = %+v, want one bad manifest", h.Store)
+	}
+	// An unreadable store directory is still a hard failure.
+	if err := os.RemoveAll(dir); err != nil {
+		t.Fatal(err)
+	}
 	if _, err := l.RefreshOnce(); err == nil {
-		t.Error("corrupted manifest must surface an error")
+		t.Error("missing store directory must surface an error")
 	}
 }

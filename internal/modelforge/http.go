@@ -2,11 +2,18 @@ package modelforge
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"math/rand"
 	"net/http"
+	"strconv"
+	"sync"
+	"time"
 
+	"bytecard/internal/modelstore"
 	"bytecard/internal/rbx"
 	"bytecard/internal/sample"
 )
@@ -20,7 +27,8 @@ const maxRequestBody = 8 << 20
 // Server exposes the service over HTTP — the standalone-deployment form
 // the paper describes (training must not share a process with query
 // execution in production; in-process use remains available for tests and
-// single-binary setups).
+// single-binary setups). Wrap it with NewHardened for timeouts, load
+// shedding, and graceful shutdown.
 type Server struct {
 	svc *Service
 	mux *http.ServeMux
@@ -50,6 +58,18 @@ func writeError(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, map[string]string{"error": err.Error()})
 }
 
+// writeServiceError maps a service failure to a status: deadline and
+// cancellation failures become 503 + Retry-After (the request may succeed
+// once the server is less loaded); everything else is a 500.
+func writeServiceError(w http.ResponseWriter, err error) {
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	writeError(w, http.StatusInternalServerError, err)
+}
+
 // decodeBody decodes a JSON request body into v under the maxRequestBody
 // limit, writing the appropriate error status (413 for oversized payloads,
 // 400 for malformed JSON) and reporting whether decoding succeeded.
@@ -67,18 +87,22 @@ func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
 	return true
 }
 
-func (s *Server) handleTrain(w http.ResponseWriter, _ *http.Request) {
-	rep, err := s.svc.TrainAll()
+func (s *Server) handleTrain(w http.ResponseWriter, r *http.Request) {
+	rep, err := s.svc.TrainAllContext(r.Context())
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, err)
+		writeServiceError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, rep)
 }
 
 func (s *Server) handleTrainTable(w http.ResponseWriter, r *http.Request) {
-	reports, err := s.svc.TrainTable(r.PathValue("table"))
+	reports, err := s.svc.TrainTableContext(r.Context(), r.PathValue("table"))
 	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+			writeServiceError(w, err)
+			return
+		}
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
@@ -101,8 +125,8 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(w, r, &sig) {
 		return
 	}
-	if err := s.svc.NotifyIngest(sig.Table, sig.Rows); err != nil {
-		writeError(w, http.StatusInternalServerError, err)
+	if err := s.svc.NotifyIngestContext(r.Context(), sig.Table, sig.Rows); err != nil {
+		writeServiceError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
@@ -121,8 +145,8 @@ func (s *Server) handleFineTune(w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(w, r, &req) {
 		return
 	}
-	if err := s.svc.FineTuneRBX(req.Column, req.Profiles, req.Truths, req.Config); err != nil {
-		writeError(w, http.StatusInternalServerError, err)
+	if err := s.svc.FineTuneRBXContext(r.Context(), req.Column, req.Profiles, req.Truths, req.Config); err != nil {
+		writeServiceError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
@@ -137,33 +161,176 @@ func (s *Server) handleModels(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, manifests)
 }
 
-// Client calls a remote ModelForge server.
+// DefaultClientTimeout bounds every client round-trip so a stuck server
+// cannot hang the caller indefinitely.
+const DefaultClientTimeout = 30 * time.Second
+
+// HTTPError is a typed non-2xx reply from a ModelForge server.
+type HTTPError struct {
+	// Status is the HTTP status code.
+	Status int
+	// Path is the request path.
+	Path string
+	// Message is the server's error body (when parseable).
+	Message string
+	// RetryAfter is the server's backoff hint (zero when absent).
+	RetryAfter time.Duration
+}
+
+func (e *HTTPError) Error() string {
+	return fmt.Sprintf("modelforge: %s: HTTP %d (%s)", e.Path, e.Status, e.Message)
+}
+
+// Retryable reports whether the status indicates a transient condition —
+// load shedding (429), a draining or overloaded server (503), or a gateway
+// hiccup (502/504) — worth retrying on an idempotent call.
+func (e *HTTPError) Retryable() bool {
+	switch e.Status {
+	case http.StatusTooManyRequests, http.StatusBadGateway,
+		http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		return true
+	}
+	return false
+}
+
+// IsRetryable reports whether an error from a Client call is transient:
+// a retryable HTTPError or a transport-level failure (connection refused,
+// timeout). Malformed-request and server-logic errors are not retryable.
+func IsRetryable(err error) bool {
+	if err == nil {
+		return false
+	}
+	var he *HTTPError
+	if errors.As(err, &he) {
+		return he.Retryable()
+	}
+	// Anything that never produced an HTTP status is a transport failure.
+	return true
+}
+
+// RetryPolicy is the client's jittered exponential backoff for idempotent
+// calls. The zero value takes the defaults.
+type RetryPolicy struct {
+	// MaxAttempts is the total try count including the first (default 3;
+	// negative disables retries).
+	MaxAttempts int
+	// BaseDelay seeds the exponential backoff (default 100ms); the delay
+	// doubles per retry up to MaxDelay (default 2s), with half the span
+	// jittered to decorrelate retry storms.
+	BaseDelay, MaxDelay time.Duration
+	// Seed drives the jitter deterministically (default 1) so failing runs
+	// replay exactly.
+	Seed int64
+}
+
+func (p RetryPolicy) attempts() int {
+	if p.MaxAttempts < 0 {
+		return 1
+	}
+	if p.MaxAttempts == 0 {
+		return 3
+	}
+	return p.MaxAttempts
+}
+
+func (p RetryPolicy) base() time.Duration {
+	if p.BaseDelay <= 0 {
+		return 100 * time.Millisecond
+	}
+	return p.BaseDelay
+}
+
+func (p RetryPolicy) max() time.Duration {
+	if p.MaxDelay <= 0 {
+		return 2 * time.Second
+	}
+	return p.MaxDelay
+}
+
+// Client calls a remote ModelForge server with bounded timeouts and, on
+// idempotent calls, jittered exponential-backoff retries.
 type Client struct {
 	BaseURL string
-	HTTP    *http.Client
+	// HTTP is the transport; NewClient installs one with
+	// DefaultClientTimeout, and callers may override it (a nil HTTP uses a
+	// shared default-timeout client rather than hanging forever).
+	HTTP *http.Client
+	// Retry tunes the backoff on idempotent calls (TrainAll, Models).
+	Retry RetryPolicy
+
+	mu  sync.Mutex
+	rng *rand.Rand
 }
 
-// NewClient creates a client with the default transport.
+// defaultHTTPClient serves Clients constructed as bare literals.
+var defaultHTTPClient = &http.Client{Timeout: DefaultClientTimeout}
+
+// NewClient creates a client with a default-timeout transport and the
+// default retry policy.
 func NewClient(baseURL string) *Client {
-	return &Client{BaseURL: baseURL, HTTP: http.DefaultClient}
+	return &Client{BaseURL: baseURL, HTTP: &http.Client{Timeout: DefaultClientTimeout}}
 }
 
-func (c *Client) post(path string, body, out any) error {
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return defaultHTTPClient
+}
+
+// backoff returns the jittered delay before retry number n (0-based).
+func (c *Client) backoff(n int, hint time.Duration) time.Duration {
+	d := c.Retry.base() << uint(n)
+	if m := c.Retry.max(); d > m {
+		d = m
+	}
+	c.mu.Lock()
+	if c.rng == nil {
+		seed := c.Retry.Seed
+		if seed == 0 {
+			seed = 1
+		}
+		c.rng = rand.New(rand.NewSource(seed))
+	}
+	jittered := d/2 + time.Duration(c.rng.Int63n(int64(d/2)+1))
+	c.mu.Unlock()
+	if hint > jittered {
+		return hint // the server's Retry-After outranks our own schedule
+	}
+	return jittered
+}
+
+// once performs a single round-trip, returning a typed *HTTPError for
+// non-200 replies.
+func (c *Client) once(method, path string, body, out any) error {
 	var buf bytes.Buffer
 	if body != nil {
 		if err := json.NewEncoder(&buf).Encode(body); err != nil {
 			return err
 		}
 	}
-	resp, err := c.HTTP.Post(c.BaseURL+path, "application/json", &buf)
+	req, err := http.NewRequest(method, c.BaseURL+path, &buf)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.httpClient().Do(req)
 	if err != nil {
 		return err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
+		he := &HTTPError{Status: resp.StatusCode, Path: path}
 		var e map[string]string
-		_ = json.NewDecoder(resp.Body).Decode(&e)
-		return fmt.Errorf("modelforge: %s: %s (%s)", path, resp.Status, e["error"])
+		if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&e); err == nil {
+			he.Message = e["error"]
+		}
+		if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
+			he.RetryAfter = time.Duration(secs) * time.Second
+		}
+		return he
 	}
 	if out != nil {
 		return json.NewDecoder(resp.Body).Decode(out)
@@ -171,21 +338,63 @@ func (c *Client) post(path string, body, out any) error {
 	return nil
 }
 
-// TrainAll triggers full training remotely.
+// do performs the call, retrying transient failures when idempotent.
+func (c *Client) do(method, path string, body, out any, idempotent bool) error {
+	attempts := 1
+	if idempotent {
+		attempts = c.Retry.attempts()
+	}
+	var err error
+	for n := 0; n < attempts; n++ {
+		if err = c.once(method, path, body, out); err == nil || !IsRetryable(err) {
+			return err
+		}
+		if n == attempts-1 {
+			break
+		}
+		var hint time.Duration
+		var he *HTTPError
+		if errors.As(err, &he) {
+			hint = he.RetryAfter
+		}
+		time.Sleep(c.backoff(n, hint))
+	}
+	return err
+}
+
+// TrainAll triggers full training remotely. Training the same dataset
+// twice converges to the same artifacts, so the call is retried on
+// transient failures.
 func (c *Client) TrainAll() (*Report, error) {
 	var rep Report
-	if err := c.post("/train", nil, &rep); err != nil {
+	if err := c.do(http.MethodPost, "/train", nil, &rep, true); err != nil {
 		return nil, err
 	}
 	return &rep, nil
 }
 
-// Ingest sends a Data Ingestor signal.
+// Ingest sends a Data Ingestor signal. Ingest accumulates row counts, so
+// it is not idempotent and is never retried automatically.
 func (c *Client) Ingest(sig IngestSignal) error {
-	return c.post("/ingest", sig, nil)
+	return c.do(http.MethodPost, "/ingest", sig, nil, false)
 }
 
-// FineTune requests RBX calibration for a column.
+// FineTune requests RBX calibration for a column (not idempotent: each run
+// fine-tunes from the then-current base model).
 func (c *Client) FineTune(req FineTuneRequest) error {
-	return c.post("/finetune", req, nil)
+	return c.do(http.MethodPost, "/finetune", req, nil, false)
+}
+
+// Models lists the store's manifests (idempotent, retried).
+func (c *Client) Models() ([]modelstore.Manifest, error) {
+	var out []modelstore.Manifest
+	if err := c.do(http.MethodGet, "/models", nil, &out, true); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Ready probes /readyz once (no retries — health checks poll).
+func (c *Client) Ready() bool {
+	return c.once(http.MethodGet, "/readyz", nil, nil) == nil
 }

@@ -9,6 +9,7 @@
 package modelforge
 
 import (
+	"context"
 	"fmt"
 	"hash/fnv"
 	"math/rand"
@@ -152,16 +153,37 @@ func (s *Service) runPreprocLocked() (*preproc.Result, error) {
 	return pre, nil
 }
 
+// aborted reports a cancelled or expired training context as a wrapped
+// error — the checkpoint every long-running stage tests between units of
+// work, so a hardened server's per-request deadline (or a dropped client)
+// stops training at the next table/shard boundary instead of running on.
+func aborted(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("modelforge: training aborted: %w", err)
+	}
+	return nil
+}
+
 // TrainAll runs the full pipeline: preprocess, build join buckets, train a
 // BN per table (per shard where sharded), ensure the base RBX model
 // exists, and store every artifact.
 func (s *Service) TrainAll() (*Report, error) {
+	return s.TrainAllContext(context.Background())
+}
+
+// TrainAllContext is TrainAll honoring a deadline/cancellation: the context
+// is checked between tables (and shards), so an aborted run stops promptly
+// and leaves only complete, committed artifacts behind.
+func (s *Service) TrainAllContext(ctx context.Context) (*Report, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	start := time.Now()
 	rep := &Report{}
 	s.obs.Runs.Add(1)
 
+	if err := aborted(ctx); err != nil {
+		return nil, err
+	}
 	pre, err := s.runPreprocLocked()
 	if err != nil {
 		return nil, err
@@ -186,13 +208,16 @@ func (s *Service) TrainAll() (*Report, error) {
 	}
 
 	for _, table := range s.db.TableNames() {
-		reports, err := s.trainTableLocked(table)
+		reports, err := s.trainTableLocked(ctx, table)
 		if err != nil {
 			return nil, err
 		}
 		rep.Models = append(rep.Models, reports...)
 	}
 
+	if err := aborted(ctx); err != nil {
+		return nil, err
+	}
 	rbxReports, err := s.ensureRBXLocked()
 	if err != nil {
 		return nil, err
@@ -220,6 +245,11 @@ func (s *Service) TrainTableAt(table string, at time.Time) ([]ModelReport, error
 
 // TrainTable retrains one table's model(s) — the routine-training task.
 func (s *Service) TrainTable(table string) ([]ModelReport, error) {
+	return s.TrainTableContext(context.Background(), table)
+}
+
+// TrainTableContext is TrainTable honoring a deadline/cancellation.
+func (s *Service) TrainTableContext(ctx context.Context, table string) ([]ModelReport, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.pre == nil {
@@ -229,10 +259,13 @@ func (s *Service) TrainTable(table string) ([]ModelReport, error) {
 		}
 		s.pre = pre
 	}
-	return s.trainTableLocked(table)
+	return s.trainTableLocked(ctx, table)
 }
 
-func (s *Service) trainTableLocked(table string) ([]ModelReport, error) {
+func (s *Service) trainTableLocked(ctx context.Context, table string) ([]ModelReport, error) {
+	if err := aborted(ctx); err != nil {
+		return nil, err
+	}
 	t := s.db.Table(table)
 	if t == nil {
 		return nil, fmt.Errorf("modelforge: unknown table %q", table)
@@ -255,7 +288,7 @@ func (s *Service) trainTableLocked(table string) ([]ModelReport, error) {
 	}
 	meta := s.schema.Table(table)
 	if meta != nil && meta.ShardKey != "" {
-		return s.trainShardedLocked(table, t, meta, cols, forced, forcedNDV)
+		return s.trainShardedLocked(ctx, table, t, meta, cols, forced, forcedNDV)
 	}
 	model, err := s.trainOne(table, t, cols, forced, forcedNDV, func(int) bool { return true }, t.NumRows())
 	if err != nil {
@@ -267,7 +300,7 @@ func (s *Service) trainTableLocked(table string) ([]ModelReport, error) {
 // trainShardedLocked trains one model per shard of the shard key's hash
 // space — the paper's shard-specialized training for tables whose
 // distribution varies across shards.
-func (s *Service) trainShardedLocked(table string, t *storage.Table, meta *catalog.TableMeta, cols []string, forced, forcedNDV map[string][]float64) ([]ModelReport, error) {
+func (s *Service) trainShardedLocked(ctx context.Context, table string, t *storage.Table, meta *catalog.TableMeta, cols []string, forced, forcedNDV map[string][]float64) ([]ModelReport, error) {
 	keyCol := t.ColByName(meta.ShardKey)
 	if keyCol == nil {
 		return nil, fmt.Errorf("modelforge: shard key %s missing from %s", meta.ShardKey, table)
@@ -287,6 +320,9 @@ func (s *Service) trainShardedLocked(table string, t *storage.Table, meta *catal
 	for shard := 0; shard < s.cfg.Shards; shard++ {
 		if counts[shard] == 0 {
 			continue
+		}
+		if err := aborted(ctx); err != nil {
+			return nil, err
 		}
 		model, err := s.trainOne(table, t, cols, forced, forcedNDV, func(row int) bool { return shardOf(row) == shard }, counts[shard])
 		if err != nil {
@@ -426,6 +462,12 @@ func (s *Service) TrainCostModel(traces []costmodel.Trace, cfg costmodel.TrainCo
 // NotifyIngest is the Data Ingestor signal: once enough rows accumulate
 // for a table, the service retrains its model(s) from fresh samples.
 func (s *Service) NotifyIngest(table string, rows int64) error {
+	return s.NotifyIngestContext(context.Background(), table, rows)
+}
+
+// NotifyIngestContext is NotifyIngest honoring a deadline/cancellation on
+// the retrain it may trigger.
+func (s *Service) NotifyIngestContext(ctx context.Context, table string, rows int64) error {
 	s.mu.Lock()
 	s.pending[table] += rows
 	due := s.pending[table] >= s.cfg.RetrainRows
@@ -436,7 +478,7 @@ func (s *Service) NotifyIngest(table string, rows int64) error {
 	if !due {
 		return nil
 	}
-	if _, err := s.TrainTable(table); err != nil {
+	if _, err := s.TrainTableContext(ctx, table); err != nil {
 		return err
 	}
 	s.mu.Lock()
@@ -456,8 +498,16 @@ func (s *Service) RetrainCount(table string) int {
 // base model is fine-tuned on observed profiles plus synthetic high-NDV
 // augmentation and stored back with a fresh timestamp.
 func (s *Service) FineTuneRBX(column string, profiles []sample.Profile, truths []float64, cfg rbx.FineTuneConfig) error {
+	return s.FineTuneRBXContext(context.Background(), column, profiles, truths, cfg)
+}
+
+// FineTuneRBXContext is FineTuneRBX honoring a deadline/cancellation.
+func (s *Service) FineTuneRBXContext(ctx context.Context, column string, profiles []sample.Profile, truths []float64, cfg rbx.FineTuneConfig) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if err := aborted(ctx); err != nil {
+		return err
+	}
 	art, err := s.store.Get(RBXBaseName)
 	if err != nil {
 		return fmt.Errorf("modelforge: base RBX missing: %w", err)

@@ -1,0 +1,213 @@
+package modelforge
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"bytecard/internal/obs"
+)
+
+// ServeConfig tunes the hardened HTTP tier around the ModelForge API: the
+// socket-level timeouts, the per-request deadline propagated into training,
+// and the admission-control limits that make the server shed load instead
+// of queuing unboundedly.
+type ServeConfig struct {
+	// ReadTimeout bounds reading a request (headers and body); default 30s.
+	ReadTimeout time.Duration
+	// WriteTimeout bounds writing a response; training replies are slow, so
+	// the default is generous (15m).
+	WriteTimeout time.Duration
+	// IdleTimeout bounds keep-alive idleness; default 2m.
+	IdleTimeout time.Duration
+	// RequestTimeout is the per-request context deadline propagated into
+	// train/ingest/fine-tune (default 10m; negative disables).
+	RequestTimeout time.Duration
+	// MaxInFlight bounds concurrently served requests; excess requests are
+	// shed with 429 + Retry-After instead of queuing (default 8).
+	MaxInFlight int
+	// RetryAfter is the hint sent with 429/503 replies (default 1s).
+	RetryAfter time.Duration
+}
+
+func (c *ServeConfig) fill() {
+	if c.ReadTimeout <= 0 {
+		c.ReadTimeout = 30 * time.Second
+	}
+	if c.WriteTimeout <= 0 {
+		c.WriteTimeout = 15 * time.Minute
+	}
+	if c.IdleTimeout <= 0 {
+		c.IdleTimeout = 2 * time.Minute
+	}
+	if c.RequestTimeout == 0 {
+		c.RequestTimeout = 10 * time.Minute
+	}
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 8
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+}
+
+// ServeMetrics counts the hardened tier's interventions.
+type ServeMetrics struct {
+	// Requests counts admitted requests; Shed counts 429 rejections.
+	Requests, Shed obs.Counter
+	// Panics counts handler panics converted to 500s.
+	Panics obs.Counter
+	// NotReady counts requests refused while starting up or draining.
+	NotReady obs.Counter
+}
+
+// Hardened wraps the ModelForge HTTP API (or any handler) with the
+// serving-resilience layer: a bounded in-flight semaphore that sheds excess
+// load with 429 + Retry-After, panic-recovery middleware, per-request
+// context deadlines, /healthz and /readyz endpoints, and graceful shutdown
+// that flips readiness before draining in-flight requests.
+type Hardened struct {
+	cfg      ServeConfig
+	mux      *http.ServeMux
+	srv      *http.Server
+	ready    atomic.Bool
+	inflight chan struct{}
+	metrics  ServeMetrics
+}
+
+// NewHardened wraps a service's HTTP API with the resilience layer. The
+// server starts not-ready; Serve/ListenAndServe flip readiness once the
+// listener is accepting, and Shutdown flips it back before draining.
+func NewHardened(svc *Service, cfg ServeConfig) *Hardened {
+	return HardenHandler(NewServer(svc), cfg)
+}
+
+// HardenHandler wraps an arbitrary handler with the same resilience layer
+// (tests harden stub handlers to probe shed/drain behavior in isolation).
+func HardenHandler(inner http.Handler, cfg ServeConfig) *Hardened {
+	cfg.fill()
+	h := &Hardened{cfg: cfg, inflight: make(chan struct{}, cfg.MaxInFlight)}
+	h.mux = http.NewServeMux()
+	h.mux.HandleFunc("GET /healthz", h.handleHealthz)
+	h.mux.HandleFunc("GET /readyz", h.handleReadyz)
+	h.mux.Handle("/", h.middleware(inner))
+	h.srv = &http.Server{
+		Handler:      h,
+		ReadTimeout:  cfg.ReadTimeout,
+		WriteTimeout: cfg.WriteTimeout,
+		IdleTimeout:  cfg.IdleTimeout,
+	}
+	return h
+}
+
+// ServeHTTP implements http.Handler: health endpoints bypass admission
+// control (a saturated server must still answer its probes).
+func (h *Hardened) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	h.mux.ServeHTTP(w, r)
+}
+
+// Metrics exposes the tier's intervention counters.
+func (h *Hardened) Metrics() *ServeMetrics { return &h.metrics }
+
+// Ready reports whether the server is accepting work.
+func (h *Hardened) Ready() bool { return h.ready.Load() }
+
+// SetReady flips readiness by hand — used by startup sequences that want
+// to finish store recovery or warmup before taking traffic.
+func (h *Hardened) SetReady(ready bool) { h.ready.Store(ready) }
+
+func (h *Hardened) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (h *Hardened) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	if h.ready.Load() {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+		return
+	}
+	h.setRetryAfter(w)
+	writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "not ready"})
+}
+
+func (h *Hardened) setRetryAfter(w http.ResponseWriter) {
+	secs := int(h.cfg.RetryAfter / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+}
+
+// middleware is the per-request resilience chain: panic recovery outermost,
+// then the readiness gate, then bounded admission (shed with 429), then the
+// context deadline handed to the service methods.
+func (h *Hardened) middleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				h.metrics.Panics.Add(1)
+				writeError(w, http.StatusInternalServerError,
+					fmt.Errorf("modelforge: handler panic: %v", rec))
+			}
+		}()
+		if !h.ready.Load() {
+			h.metrics.NotReady.Add(1)
+			h.setRetryAfter(w)
+			writeError(w, http.StatusServiceUnavailable,
+				errors.New("modelforge: not ready (starting up or draining)"))
+			return
+		}
+		select {
+		case h.inflight <- struct{}{}:
+			defer func() { <-h.inflight }()
+		default:
+			h.metrics.Shed.Add(1)
+			h.setRetryAfter(w)
+			writeError(w, http.StatusTooManyRequests,
+				fmt.Errorf("modelforge: at capacity (%d requests in flight)", h.cfg.MaxInFlight))
+			return
+		}
+		h.metrics.Requests.Add(1)
+		ctx := r.Context()
+		if h.cfg.RequestTimeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, h.cfg.RequestTimeout)
+			defer cancel()
+		}
+		next.ServeHTTP(w, r.WithContext(ctx))
+	})
+}
+
+// Serve accepts connections on l until Shutdown, flipping readiness on.
+// It returns nil on graceful shutdown.
+func (h *Hardened) Serve(l net.Listener) error {
+	h.ready.Store(true)
+	err := h.srv.Serve(l)
+	if errors.Is(err, http.ErrServerClosed) {
+		return nil
+	}
+	return err
+}
+
+// ListenAndServe binds addr and serves until Shutdown.
+func (h *Hardened) ListenAndServe(addr string) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return h.Serve(l)
+}
+
+// Shutdown drains gracefully: readiness flips off first (so load balancers
+// and /readyz probes stop routing new work), then in-flight requests are
+// allowed to finish within ctx's budget before the listener closes for
+// good. Requests still running when ctx expires are abandoned by the
+// underlying http.Server.
+func (h *Hardened) Shutdown(ctx context.Context) error {
+	h.ready.Store(false)
+	return h.srv.Shutdown(ctx)
+}

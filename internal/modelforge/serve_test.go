@@ -1,0 +1,454 @@
+package modelforge
+
+import (
+	"context"
+	"errors"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+// blockingHandler parks every request until release is closed, reporting
+// arrivals on started.
+type blockingHandler struct {
+	started chan struct{}
+	release chan struct{}
+}
+
+func (b *blockingHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	b.started <- struct{}{}
+	select {
+	case <-b.release:
+		writeJSON(w, http.StatusOK, map[string]string{"status": "done"})
+	case <-r.Context().Done():
+		writeServiceError(w, r.Context().Err())
+	}
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestHardenedShedsOverload pins the acceptance criterion: with MaxInFlight
+// requests already being served, the next request is shed immediately with
+// 429 + Retry-After instead of queuing, and the health endpoints keep
+// answering from a saturated server.
+func TestHardenedShedsOverload(t *testing.T) {
+	stub := &blockingHandler{started: make(chan struct{}, 4), release: make(chan struct{})}
+	h := HardenHandler(stub, ServeConfig{MaxInFlight: 2, RetryAfter: 3 * time.Second})
+	h.SetReady(true)
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	var wg sync.WaitGroup
+	codes := make(chan int, 2)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Get(ts.URL + "/train-stub")
+			if err != nil {
+				codes <- -1
+				return
+			}
+			resp.Body.Close()
+			codes <- resp.StatusCode
+		}()
+	}
+	<-stub.started
+	<-stub.started
+
+	// The semaphore is full: the third request must be shed, not queued.
+	resp, err := http.Get(ts.URL + "/train-stub")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("saturated server: status = %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") != "3" {
+		t.Errorf("Retry-After = %q, want %q", resp.Header.Get("Retry-After"), "3")
+	}
+	// Health probes bypass admission control.
+	hz, err := http.Get(ts.URL + "/healthz")
+	if err != nil || hz.StatusCode != http.StatusOK {
+		t.Fatalf("healthz while saturated: %v, %v", hz, err)
+	}
+	hz.Body.Close()
+
+	close(stub.release)
+	wg.Wait()
+	close(codes)
+	for code := range codes {
+		if code != http.StatusOK {
+			t.Errorf("admitted request finished with %d, want 200", code)
+		}
+	}
+	if got := h.Metrics().Shed.Load(); got != 1 {
+		t.Errorf("shed counter = %d, want 1", got)
+	}
+	if got := h.Metrics().Requests.Load(); got != 2 {
+		t.Errorf("requests counter = %d, want 2", got)
+	}
+}
+
+// TestHardenedGracefulDrain pins the shutdown ordering: readiness flips off
+// (so /readyz reports 503 to load balancers) while the in-flight request is
+// still draining, and that request then completes 200 before Shutdown
+// returns.
+func TestHardenedGracefulDrain(t *testing.T) {
+	stub := &blockingHandler{started: make(chan struct{}, 1), release: make(chan struct{})}
+	h := HardenHandler(stub, ServeConfig{MaxInFlight: 2})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- h.Serve(l) }()
+	waitFor(t, "server ready", h.Ready)
+
+	reqDone := make(chan int, 1)
+	go func() {
+		resp, err := http.Get("http://" + l.Addr().String() + "/work")
+		if err != nil {
+			reqDone <- -1
+			return
+		}
+		resp.Body.Close()
+		reqDone <- resp.StatusCode
+	}()
+	<-stub.started
+
+	shutErr := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		shutErr <- h.Shutdown(ctx)
+	}()
+	waitFor(t, "readiness to flip off", func() bool { return !h.Ready() })
+
+	// Readiness is off while the request is still in flight: an existing
+	// connection probing /readyz sees 503 + Retry-After before the drain
+	// completes.
+	select {
+	case code := <-reqDone:
+		t.Fatalf("request completed (%d) before readiness flipped", code)
+	default:
+	}
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/readyz", nil))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("readyz during drain = %d, want 503", rec.Code)
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Error("readyz during drain missing Retry-After")
+	}
+
+	close(stub.release)
+	if code := <-reqDone; code != http.StatusOK {
+		t.Errorf("draining request finished with %d, want 200", code)
+	}
+	if err := <-shutErr; err != nil {
+		t.Errorf("shutdown: %v", err)
+	}
+	if err := <-serveErr; err != nil {
+		t.Errorf("serve returned %v after graceful shutdown, want nil", err)
+	}
+}
+
+// TestHardenedPanicRecovery pins that a panicking handler becomes a 500,
+// is counted, and leaves the server serving.
+func TestHardenedPanicRecovery(t *testing.T) {
+	h := HardenHandler(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/boom" {
+			panic("handler bug")
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	}), ServeConfig{})
+	h.SetReady(true)
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/boom", nil))
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("panic: status = %d, want 500", rec.Code)
+	}
+	if got := h.Metrics().Panics.Load(); got != 1 {
+		t.Errorf("panics counter = %d, want 1", got)
+	}
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/fine", nil))
+	if rec.Code != http.StatusOK {
+		t.Errorf("request after panic: status = %d, want 200", rec.Code)
+	}
+}
+
+// TestHardenedNotReady pins the readiness gate: before Serve (or after
+// Shutdown) work is refused with 503 + Retry-After while /healthz stays 200.
+func TestHardenedNotReady(t *testing.T) {
+	h := HardenHandler(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	}), ServeConfig{})
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/train", nil))
+	if rec.Code != http.StatusServiceUnavailable || rec.Header().Get("Retry-After") == "" {
+		t.Fatalf("not-ready request: status = %d, Retry-After = %q; want 503 with hint",
+			rec.Code, rec.Header().Get("Retry-After"))
+	}
+	if got := h.Metrics().NotReady.Load(); got != 1 {
+		t.Errorf("not-ready counter = %d, want 1", got)
+	}
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if rec.Code != http.StatusOK {
+		t.Errorf("healthz while not ready = %d, want 200", rec.Code)
+	}
+	h.SetReady(true)
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/train", nil))
+	if rec.Code != http.StatusOK {
+		t.Errorf("ready request: status = %d, want 200", rec.Code)
+	}
+}
+
+// TestHardenedRequestDeadline pins deadline propagation: the per-request
+// context expires inside the handler and surfaces as 503 + Retry-After
+// (transient — the caller should back off and retry).
+func TestHardenedRequestDeadline(t *testing.T) {
+	stub := &blockingHandler{started: make(chan struct{}, 1), release: make(chan struct{})}
+	defer close(stub.release)
+	h := HardenHandler(stub, ServeConfig{RequestTimeout: 20 * time.Millisecond})
+	h.SetReady(true)
+	done := make(chan *httptest.ResponseRecorder, 1)
+	go func() {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/train", nil))
+		done <- rec
+	}()
+	<-stub.started
+	rec := <-done
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("deadline-exceeded request: status = %d, want 503 (body %q)", rec.Code, rec.Body.String())
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Error("deadline-exceeded reply missing Retry-After")
+	}
+}
+
+// TestServiceAbortsOnCanceledContext pins that training observes its
+// context between units of work: an already-canceled context aborts before
+// any model trains.
+func TestServiceAbortsOnCanceledContext(t *testing.T) {
+	svc, store, _ := newForge(t, 0.5)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := svc.TrainAllContext(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("train with canceled ctx: %v, want context.Canceled", err)
+	}
+	if list, _ := store.List(); len(list) != 0 {
+		t.Errorf("canceled training still persisted %d artifacts", len(list))
+	}
+	if _, err := svc.TrainTableContext(ctx, "fact"); !errors.Is(err, context.Canceled) {
+		t.Fatalf("train table with canceled ctx: %v", err)
+	}
+	// Below the retrain threshold ingest only records the signal — no work
+	// to cancel; at the threshold the triggered retrain observes the ctx.
+	if err := svc.NotifyIngestContext(ctx, "fact", 1); err != nil {
+		t.Fatalf("sub-threshold ingest with canceled ctx: %v", err)
+	}
+	if err := svc.NotifyIngestContext(ctx, "fact", 200); !errors.Is(err, context.Canceled) {
+		t.Fatalf("retrain-triggering ingest with canceled ctx: %v", err)
+	}
+}
+
+// flakyServer fails the first n requests per path with the given status,
+// then delegates to ok.
+type flakyServer struct {
+	mu       sync.Mutex
+	failures int
+	status   int
+	hits     map[string]int
+	ok       http.Handler
+}
+
+func (f *flakyServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	f.mu.Lock()
+	f.hits[r.URL.Path]++
+	n := f.hits[r.URL.Path]
+	f.mu.Unlock()
+	if n <= f.failures {
+		w.Header().Set("Retry-After", "0") // ignored: only positive hints count
+		writeError(w, f.status, errors.New("transient"))
+		return
+	}
+	f.ok.ServeHTTP(w, r)
+}
+
+func (f *flakyServer) count(path string) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.hits[path]
+}
+
+func newFlaky(failures, status int, ok http.Handler) *flakyServer {
+	return &flakyServer{failures: failures, status: status, hits: map[string]int{}, ok: ok}
+}
+
+func fastRetry() RetryPolicy {
+	return RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond, Seed: 42}
+}
+
+// TestClientRetriesIdempotent pins the client's backoff: an idempotent call
+// (Models) retries through shed replies and succeeds, while a non-idempotent
+// call (Ingest) surfaces the first transient error untouched.
+func TestClientRetriesIdempotent(t *testing.T) {
+	okHandler := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, []any{})
+	})
+	flaky := newFlaky(2, http.StatusTooManyRequests, okHandler)
+	ts := httptest.NewServer(flaky)
+	defer ts.Close()
+
+	c := NewClient(ts.URL)
+	c.Retry = fastRetry()
+	if _, err := c.Models(); err != nil {
+		t.Fatalf("models through 2 shed replies: %v", err)
+	}
+	if got := flaky.count("/models"); got != 3 {
+		t.Errorf("models attempts = %d, want 3", got)
+	}
+
+	if err := c.Ingest(IngestSignal{Table: "t", Rows: 1}); err == nil {
+		t.Fatal("ingest against shedding server must fail without retry")
+	} else if !IsRetryable(err) {
+		t.Errorf("shed ingest error not classified retryable: %v", err)
+	}
+	if got := flaky.count("/ingest"); got != 1 {
+		t.Errorf("ingest attempts = %d, want 1 (not idempotent)", got)
+	}
+}
+
+// TestClientRetryExhaustion pins that retries stop at MaxAttempts and the
+// final typed error carries status, path, and server message.
+func TestClientRetryExhaustion(t *testing.T) {
+	flaky := newFlaky(1000, http.StatusServiceUnavailable, nil)
+	ts := httptest.NewServer(flaky)
+	defer ts.Close()
+
+	c := NewClient(ts.URL)
+	c.Retry = fastRetry()
+	_, err := c.TrainAll()
+	if err == nil {
+		t.Fatal("train against permanently shedding server must fail")
+	}
+	var he *HTTPError
+	if !errors.As(err, &he) {
+		t.Fatalf("error type = %T, want *HTTPError", err)
+	}
+	if he.Status != http.StatusServiceUnavailable || he.Path != "/train" || he.Message != "transient" {
+		t.Errorf("typed error = %+v", he)
+	}
+	if !he.Retryable() {
+		t.Error("503 must classify retryable")
+	}
+	if got := flaky.count("/train"); got != 3 {
+		t.Errorf("train attempts = %d, want MaxAttempts", got)
+	}
+}
+
+// TestClientDoesNotRetryPermanentErrors pins the classification boundary:
+// 4xx logic errors are surfaced on the first attempt.
+func TestClientDoesNotRetryPermanentErrors(t *testing.T) {
+	flaky := newFlaky(1000, http.StatusBadRequest, nil)
+	ts := httptest.NewServer(flaky)
+	defer ts.Close()
+
+	c := NewClient(ts.URL)
+	c.Retry = fastRetry()
+	_, err := c.TrainAll()
+	var he *HTTPError
+	if !errors.As(err, &he) || he.Retryable() || IsRetryable(err) {
+		t.Fatalf("400 error = %v, must not classify retryable", err)
+	}
+	if got := flaky.count("/train"); got != 1 {
+		t.Errorf("train attempts = %d, want 1", got)
+	}
+	if IsRetryable(nil) {
+		t.Error("nil error must not be retryable")
+	}
+}
+
+// TestClientHonorsRetryAfter pins that a server hint larger than the
+// jittered schedule stretches the backoff.
+func TestClientHonorsRetryAfter(t *testing.T) {
+	c := NewClient("http://unused")
+	c.Retry = RetryPolicy{BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond, Seed: 7}
+	if d := c.backoff(0, 3*time.Second); d != 3*time.Second {
+		t.Errorf("backoff with 3s hint = %v, want the hint", d)
+	}
+	if d := c.backoff(0, 0); d <= 0 || d > 2*time.Millisecond {
+		t.Errorf("backoff without hint = %v, want jittered (0, 2ms]", d)
+	}
+}
+
+// TestClientDefaultTimeout pins satellite 1: NewClient must not ride on
+// http.DefaultClient (unbounded), and the transport stays overridable.
+func TestClientDefaultTimeout(t *testing.T) {
+	c := NewClient("http://x")
+	if c.HTTP == http.DefaultClient {
+		t.Fatal("client uses http.DefaultClient")
+	}
+	if c.HTTP.Timeout != DefaultClientTimeout {
+		t.Errorf("default timeout = %v, want %v", c.HTTP.Timeout, DefaultClientTimeout)
+	}
+	custom := &http.Client{Timeout: time.Second}
+	c.HTTP = custom
+	if c.httpClient() != custom {
+		t.Error("HTTP override ignored")
+	}
+	if (&Client{}).httpClient().Timeout != DefaultClientTimeout {
+		t.Error("zero-value client must fall back to a bounded transport")
+	}
+}
+
+// TestHardenedEndToEnd exercises the full stack: a hardened real service
+// behind a real listener serves /train and /models through the client with
+// retries enabled.
+func TestHardenedEndToEnd(t *testing.T) {
+	svc, _, _ := newForge(t, 0.5)
+	h := NewHardened(svc, ServeConfig{MaxInFlight: 4})
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+	h.SetReady(true)
+
+	c := NewClient(ts.URL)
+	c.Retry = fastRetry()
+	rep, err := c.TrainAll()
+	if err != nil {
+		t.Fatalf("train: %v", err)
+	}
+	if rep == nil || len(rep.Models) == 0 {
+		t.Fatalf("train report empty: %+v", rep)
+	}
+	models, err := c.Models()
+	if err != nil || len(models) == 0 {
+		t.Fatalf("models = %v, %v", models, err)
+	}
+	if models[0].SHA256 == "" {
+		t.Errorf("served manifest missing checksum: %+v", models[0])
+	}
+	if !c.Ready() {
+		t.Error("ready probe against serving stack = false")
+	}
+}

@@ -1,0 +1,99 @@
+package modelstore
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// WriteHook intercepts named barriers in the store's write path. It exists
+// for crash-point chaos testing only (faultinject.StoreHook): production
+// stores keep the hook nil. At is called with a stable point name between
+// every pair of durable steps; returning an error aborts the operation with
+// that error (injected write failure), and panicking emulates a process
+// crash at exactly that barrier.
+type WriteHook interface {
+	At(point string) error
+}
+
+// at fires the store's write hook at a named barrier (nil-safe).
+func (s *Store) at(point string) error {
+	if s.hook == nil {
+		return nil
+	}
+	return s.hook.At(point)
+}
+
+// tmpSuffix marks in-flight temp files; Open sweeps leftovers from crashes.
+const tmpSuffix = ".tmp"
+
+// atomicWrite is the blessed persistence primitive: every byte the store
+// publishes goes through write-temp → fsync → atomic-rename → fsync-dir, so
+// a reader never observes a torn file and a crash at any point leaves
+// either the old content or the new content, never a mix. label prefixes
+// the crash-point names ("put:data", "put:manifest", "quarantine:manifest").
+func (s *Store) atomicWrite(name string, data []byte, label string) error {
+	path := filepath.Join(s.dir, name)
+	tmp := path + tmpSuffix
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("modelstore: %w", err)
+	}
+	// Close is idempotent; the defer covers hook panics (emulated crashes)
+	// so the sweep does not leak descriptors.
+	defer f.Close()
+	if _, err := f.Write(data); err != nil {
+		return fmt.Errorf("modelstore: %w", err)
+	}
+	if err := s.at(label + ":temp-written"); err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		return fmt.Errorf("modelstore: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("modelstore: %w", err)
+	}
+	if err := s.at(label + ":temp-synced"); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("modelstore: %w", err)
+	}
+	if err := s.at(label + ":renamed"); err != nil {
+		return err
+	}
+	if err := syncDir(s.dir); err != nil {
+		return err
+	}
+	return s.at(label + ":committed")
+}
+
+// syncDir fsyncs a directory so a completed rename survives power loss.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("modelstore: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("modelstore: sync %s: %w", dir, err)
+	}
+	return nil
+}
+
+// sweepTempFiles removes in-flight temp files a crashed writer left behind.
+// They were never published (publication is the rename), so deleting them
+// cannot lose committed data.
+func sweepTempFiles(dir string) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), tmpSuffix) {
+			_ = os.Remove(filepath.Join(dir, e.Name()))
+		}
+	}
+}

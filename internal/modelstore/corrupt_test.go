@@ -1,0 +1,207 @@
+package modelstore
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"bytecard/internal/core"
+)
+
+// corruptOnDisk overwrites a generation's payload file in place, bypassing
+// the store (bit rot / torn upload emulation).
+func corruptOnDisk(t *testing.T, dir, file string, data []byte) {
+	t.Helper()
+	if err := os.WriteFile(filepath.Join(dir, file), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func mustPut(t *testing.T, s *Store, name, payload string, ts time.Time) {
+	t.Helper()
+	if err := s.Put(core.Artifact{Name: name, Kind: core.KindRBX, Shard: -1, Timestamp: ts, Data: []byte(payload)}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGetFallsBackToLastKnownGood(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := time.Now().Truncate(time.Second)
+	mustPut(t, s, "m", "old-good", now)
+	mustPut(t, s, "m", "new-bad", now.Add(time.Hour))
+	corruptOnDisk(t, dir, genFile("m", 2), []byte("garbled!"))
+
+	got, err := s.Get("m")
+	if err != nil {
+		t.Fatalf("get with corrupt newest gen: %v", err)
+	}
+	if string(got.Data) != "old-good" {
+		t.Fatalf("get = %q, want last-known-good", got.Data)
+	}
+	if !got.Timestamp.Equal(now) {
+		t.Errorf("fallback timestamp = %v, want the old generation's %v", got.Timestamp, now)
+	}
+	snap := s.Obs().Snapshot()
+	if snap.Corruptions != 1 || snap.Quarantines != 1 || snap.Fallbacks != 1 {
+		t.Errorf("obs = %+v, want one corruption/quarantine/fallback", snap)
+	}
+	h := s.Health()
+	if len(h.Degraded) != 1 || h.Degraded[0] != "m" {
+		t.Errorf("health degraded = %v, want [m]", h.Degraded)
+	}
+	// The bad generation is moved aside, not deleted.
+	if _, err := os.Stat(filepath.Join(dir, quarantineDir, genFile("m", 2))); err != nil {
+		t.Errorf("quarantined file missing: %v", err)
+	}
+	// The manifest self-healed: a second Get serves the survivor without
+	// re-detecting corruption.
+	if _, err := s.Get("m"); err != nil {
+		t.Fatal(err)
+	}
+	if snap := s.Obs().Snapshot(); snap.Corruptions != 1 {
+		t.Errorf("second get re-detected corruption: %+v", snap)
+	}
+	// A fresh Put clears the degraded mark.
+	mustPut(t, s, "m", "repaired", now.Add(2*time.Hour))
+	if h := s.Health(); len(h.Degraded) != 0 {
+		t.Errorf("health degraded after repair = %v, want none", h.Degraded)
+	}
+}
+
+func TestGetTruncationDetected(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := Open(dir)
+	now := time.Now()
+	mustPut(t, s, "m", "version-one", now)
+	mustPut(t, s, "m", "version-two-longer", now.Add(time.Hour))
+	full, err := os.ReadFile(filepath.Join(dir, genFile("m", 2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	corruptOnDisk(t, dir, genFile("m", 2), full[:len(full)/2])
+	got, err := s.Get("m")
+	if err != nil || string(got.Data) != "version-one" {
+		t.Fatalf("truncated newest gen: get = %q, %v; want version-one", got.Data, err)
+	}
+}
+
+func TestGetAllGenerationsCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := Open(dir)
+	now := time.Now()
+	mustPut(t, s, "m", "v1", now)
+	mustPut(t, s, "m", "v2", now.Add(time.Hour))
+	corruptOnDisk(t, dir, genFile("m", 1), []byte("xx"))
+	corruptOnDisk(t, dir, genFile("m", 2), []byte("yy"))
+	if _, err := s.Get("m"); err == nil {
+		t.Fatal("get with every generation corrupt must error")
+	} else if !strings.Contains(err.Error(), "no generation passed verification") {
+		t.Fatalf("error = %v", err)
+	}
+	// The key reads as absent (manifest quarantined) and is repairable.
+	if _, err := s.Get("m"); !os.IsNotExist(unwrapAll(err)) {
+		t.Fatalf("after full corruption, get = %v, want not-exist", err)
+	}
+	mustPut(t, s, "m", "fresh", now.Add(2*time.Hour))
+	if got, err := s.Get("m"); err != nil || string(got.Data) != "fresh" {
+		t.Fatalf("repair put: get = %q, %v", got.Data, err)
+	}
+}
+
+// unwrapAll walks to the innermost error for os.IsNotExist classification.
+func unwrapAll(err error) error {
+	for {
+		u, ok := err.(interface{ Unwrap() error })
+		if !ok || u.Unwrap() == nil {
+			return err
+		}
+		err = u.Unwrap()
+	}
+}
+
+func TestGenerationRetention(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, WithKeepGenerations(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := time.Now()
+	for i, payload := range []string{"v1", "v2", "v3", "v4"} {
+		mustPut(t, s, "m", payload, now.Add(time.Duration(i)*time.Hour))
+	}
+	// Only the two newest generation files remain.
+	for gen, want := range map[int]bool{1: false, 2: false, 3: true, 4: true} {
+		_, err := os.Stat(filepath.Join(dir, genFile("m", gen)))
+		if exists := err == nil; exists != want {
+			t.Errorf("gen %d file exists = %v, want %v", gen, exists, want)
+		}
+	}
+	got, err := s.Get("m")
+	if err != nil || string(got.Data) != "v4" {
+		t.Fatalf("get = %q, %v", got.Data, err)
+	}
+}
+
+func TestListQuarantinesBadManifest(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := Open(dir)
+	now := time.Now()
+	mustPut(t, s, "good", "g", now)
+	if err := os.WriteFile(filepath.Join(dir, "rotten.json"), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	list, err := s.List()
+	if err != nil {
+		t.Fatalf("list with a rotten manifest must keep sweeping: %v", err)
+	}
+	if len(list) != 1 || list[0].Name != "good" {
+		t.Errorf("list = %+v", list)
+	}
+	if snap := s.Obs().Snapshot(); snap.BadManifests != 1 {
+		t.Errorf("bad manifest not counted: %+v", snap)
+	}
+	if _, err := os.Stat(filepath.Join(dir, quarantineDir, "rotten.json")); err != nil {
+		t.Errorf("rotten manifest not quarantined: %v", err)
+	}
+}
+
+// TestLegacyManifestReadable pins the migration path: a v1 manifest (single
+// file, no generations, no checksum) written by the pre-generational store
+// still loads, and the next Put upgrades it in place.
+func TestLegacyManifestReadable(t *testing.T) {
+	dir := t.TempDir()
+	now := time.Now().Truncate(time.Second).UTC()
+	if err := os.WriteFile(filepath.Join(dir, "legacy_m.bin"), []byte("legacy-data"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	manifest := `{"name":"legacy/m","kind":"rbx","shard":-1,"timestamp":"` +
+		now.Format(time.RFC3339) + `","size_bytes":11,"file":"legacy_m.bin"}`
+	if err := os.WriteFile(filepath.Join(dir, "legacy_m.json"), []byte(manifest), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Get("legacy/m")
+	if err != nil || string(got.Data) != "legacy-data" {
+		t.Fatalf("legacy get = %q, %v", got.Data, err)
+	}
+	mustPut(t, s, "legacy/m", "upgraded", now.Add(time.Hour))
+	got, err = s.Get("legacy/m")
+	if err != nil || string(got.Data) != "upgraded" {
+		t.Fatalf("post-upgrade get = %q, %v", got.Data, err)
+	}
+	// And the legacy payload remains the fallback generation.
+	corruptOnDisk(t, dir, genFile("legacy_m", 2), []byte("bad"))
+	got, err = s.Get("legacy/m")
+	if err != nil || string(got.Data) != "legacy-data" {
+		t.Fatalf("fallback to legacy gen = %q, %v", got.Data, err)
+	}
+}

@@ -1,0 +1,191 @@
+package modelstore_test
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"slices"
+	"testing"
+	"time"
+
+	"bytecard/internal/core"
+	"bytecard/internal/faultinject"
+	"bytecard/internal/modelstore"
+)
+
+const crashArtifact = "ds/bn/title"
+
+func putVersion(t *testing.T, s *modelstore.Store, payload string, ts time.Time) {
+	t.Helper()
+	err := s.Put(core.Artifact{
+		Name: crashArtifact, Kind: core.KindBN, Table: "title", Shard: -1,
+		Timestamp: ts, Data: []byte(payload),
+	})
+	if err != nil {
+		t.Fatalf("put %q: %v", payload, err)
+	}
+}
+
+// discoverCrashPoints runs one clean Put against a recording hook and
+// returns the write barriers in traversal order — the sweep enumerates the
+// write protocol instead of hardcoding it.
+func discoverCrashPoints(t *testing.T) []string {
+	t.Helper()
+	s, err := modelstore.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	hook := faultinject.NewStoreHook()
+	s.SetHook(hook)
+	putVersion(t, s, "v1", time.Now())
+	points := hook.Visited()
+	if len(points) < 8 {
+		t.Fatalf("expected a barrier between every durable step, recorded only %v", points)
+	}
+	return points
+}
+
+// crashingPut runs one Put that is armed to crash, returning the barrier
+// the emulated crash fired at ("" if the put completed).
+func crashingPut(t *testing.T, s *modelstore.Store, payload string, ts time.Time) (fired string) {
+	t.Helper()
+	defer func() {
+		if r := recover(); r != nil {
+			point, ok := faultinject.IsCrash(r)
+			if !ok {
+				panic(r) // a real bug, not the emulated crash
+			}
+			fired = point
+		}
+	}()
+	putVersion(t, s, payload, ts)
+	return ""
+}
+
+// TestCrashPointSweep is the chaos harness: for every barrier in the store
+// write path, a Put of v2 over a committed v1 crashes at exactly that
+// barrier; reopening the store must then serve a consistent artifact —
+// byte-identical v1 or byte-identical v2, selected by whether the crash
+// happened before or after the manifest rename (the single publish point) —
+// and the store must remain fully writable afterwards.
+func TestCrashPointSweep(t *testing.T) {
+	points := discoverCrashPoints(t)
+	publishIdx := slices.Index(points, "put:manifest:renamed")
+	if publishIdx < 0 {
+		t.Fatalf("write protocol lost its publish barrier: %v", points)
+	}
+	base := time.Now().Truncate(time.Second)
+	for i, point := range points {
+		t.Run(point, func(t *testing.T) {
+			dir := t.TempDir()
+			s, err := modelstore.Open(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			putVersion(t, s, "v1", base)
+			hook := faultinject.NewStoreHook()
+			hook.ArmCrash(point)
+			s.SetHook(hook)
+			if fired := crashingPut(t, s, "v2", base.Add(time.Hour)); fired != point {
+				t.Fatalf("crash fired at %q, armed %q", fired, point)
+			}
+
+			// "Reboot": a fresh store over the same directory, no hook.
+			s2, err := modelstore.Open(dir)
+			if err != nil {
+				t.Fatalf("reopen after crash at %s: %v", point, err)
+			}
+			got, err := s2.Get(crashArtifact)
+			if err != nil {
+				t.Fatalf("get after crash at %s: %v", point, err)
+			}
+			want := "v1"
+			if i >= publishIdx {
+				want = "v2" // the manifest rename had completed: v2 is published
+			}
+			if string(got.Data) != want {
+				t.Errorf("crash at %s: recovered %q, want %q", point, got.Data, want)
+			}
+			if list, err := s2.List(); err != nil || len(list) != 1 {
+				t.Errorf("crash at %s: list = %v, %v", point, list, err)
+			}
+			if h := s2.Health(); h.Corruptions != 0 {
+				t.Errorf("crash at %s: recovery flagged corruption: %+v", point, h)
+			}
+
+			// The store must stay writable: a clean v3 supersedes whatever
+			// survived the crash.
+			putVersion(t, s2, "v3", base.Add(2*time.Hour))
+			got, err = s2.Get(crashArtifact)
+			if err != nil || string(got.Data) != "v3" {
+				t.Errorf("crash at %s: post-recovery put = %q, %v", point, got.Data, err)
+			}
+		})
+	}
+}
+
+// TestPutFailureLeavesOldGeneration is the regression test for the old
+// two-file write: when the manifest write (the second file) fails, the
+// store must keep serving the previous version — the manifest commit is the
+// single publish point, so a failed Put is a no-op, not an inconsistency.
+func TestPutFailureLeavesOldGeneration(t *testing.T) {
+	for _, point := range []string{"put:data:temp-written", "put:manifest:temp-written"} {
+		t.Run(point, func(t *testing.T) {
+			s, err := modelstore.Open(t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			now := time.Now().Truncate(time.Second)
+			putVersion(t, s, "v1", now)
+			hook := faultinject.NewStoreHook()
+			injected := errors.New("injected: disk full")
+			hook.ArmFail(point, injected)
+			s.SetHook(hook)
+			err = s.Put(core.Artifact{
+				Name: crashArtifact, Kind: core.KindBN, Table: "title", Shard: -1,
+				Timestamp: now.Add(time.Hour), Data: []byte("v2"),
+			})
+			if !errors.Is(err, injected) {
+				t.Fatalf("put error = %v, want injected failure", err)
+			}
+			got, err := s.Get(crashArtifact)
+			if err != nil || string(got.Data) != "v1" {
+				t.Fatalf("after failed put: get = %q, %v; want v1", got.Data, err)
+			}
+			if !got.Timestamp.Equal(now) {
+				t.Errorf("after failed put: timestamp %v, want %v", got.Timestamp, now)
+			}
+			// Healing the fault restores writability.
+			hook.DisarmStore()
+			putVersion(t, s, "v2", now.Add(2*time.Hour))
+			if got, _ := s.Get(crashArtifact); string(got.Data) != "v2" {
+				t.Errorf("after heal: get = %q, want v2", got.Data)
+			}
+		})
+	}
+}
+
+// TestOpenSweepsTempFiles pins that leftover temp files from a crashed
+// writer are removed on open and never shadow committed data.
+func TestOpenSweepsTempFiles(t *testing.T) {
+	dir := t.TempDir()
+	s, err := modelstore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	putVersion(t, s, "v1", time.Now())
+	stray := filepath.Join(dir, "ds_bn_title.json.tmp")
+	if err := os.WriteFile(stray, []byte("torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := modelstore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(stray); !os.IsNotExist(err) {
+		t.Errorf("temp file survived reopen: %v", err)
+	}
+	if got, err := s2.Get(crashArtifact); err != nil || string(got.Data) != "v1" {
+		t.Errorf("get after temp sweep = %q, %v", got.Data, err)
+	}
+}

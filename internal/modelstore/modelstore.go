@@ -2,23 +2,65 @@
 // store the paper's ModelForge service writes trained models into and the
 // Model Loader reads them from: artifacts with JSON manifests, timestamp
 // ordering, and age-based purging of training residue.
+//
+// Persistence is crash-safe: every file is published with write-temp →
+// fsync → atomic-rename → fsync-dir, each artifact keeps its last few
+// generations with a SHA-256 checksum recorded in a versioned manifest, and
+// the manifest commit is the single atomic publish point. On read the store
+// verifies the checksum, quarantines corrupt generations, and falls back to
+// the last-known-good one — a bad write or bit rot degrades to stale
+// models, visible in Health() and obs counters, never to a torn artifact.
 package modelstore
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
 
 	"bytecard/internal/core"
+	"bytecard/internal/obs"
 )
 
-// Manifest describes one stored artifact.
+// manifestVersion is the current manifest schema. Version 0/1 manifests
+// (the pre-generational single-file layout) are still readable.
+const manifestVersion = 2
+
+// DefaultKeepGenerations is how many generations of each artifact the store
+// retains (the newest plus fallback history).
+const DefaultKeepGenerations = 3
+
+// quarantineDir is the subdirectory corrupt files are moved into. Nothing
+// under it is ever served; it exists for post-mortems.
+const quarantineDir = "quarantine"
+
+// Generation is one retained version of an artifact's payload.
+type Generation struct {
+	// Gen is the monotonically increasing generation number.
+	Gen int `json:"gen"`
+	// File is the payload file name within the store directory.
+	File string `json:"file"`
+	// SizeBytes is the exact payload length (truncation detector).
+	SizeBytes int64 `json:"size_bytes"`
+	// SHA256 is the hex checksum of the payload (bit-rot detector); empty
+	// on generations migrated from pre-checksum manifests.
+	SHA256 string `json:"sha256,omitempty"`
+	// Timestamp is the artifact timestamp this generation was stored with.
+	Timestamp time.Time `json:"timestamp"`
+}
+
+// Manifest describes one stored artifact. The top-level File/SizeBytes/
+// SHA256 mirror the newest generation for compatibility with pre-v2
+// readers; Generations carries the fallback history, newest first.
 type Manifest struct {
+	Version   int            `json:"version"`
 	Name      string         `json:"name"`
 	Kind      core.ModelKind `json:"kind"`
 	Table     string         `json:"table,omitempty"`
@@ -26,21 +68,103 @@ type Manifest struct {
 	Timestamp time.Time      `json:"timestamp"`
 	SizeBytes int64          `json:"size_bytes"`
 	File      string         `json:"file"`
+	SHA256    string         `json:"sha256,omitempty"`
+	// Generations lists retained payload versions, newest first.
+	Generations []Generation `json:"generations,omitempty"`
+}
+
+// generations returns the manifest's history, synthesizing a single
+// checksum-less generation for legacy (pre-v2) manifests.
+func (m *Manifest) generations() []Generation {
+	if len(m.Generations) > 0 {
+		return m.Generations
+	}
+	return []Generation{{Gen: 1, File: m.File, SizeBytes: m.SizeBytes, SHA256: m.SHA256, Timestamp: m.Timestamp}}
 }
 
 // Store is a single-directory artifact store. It is safe for concurrent
 // use within one process.
 type Store struct {
-	mu  sync.Mutex
-	dir string
+	mu   sync.Mutex
+	dir  string
+	keep int
+	hook WriteHook
+	// degraded tracks artifact names currently served by a non-newest
+	// generation (the newest was quarantined); cleared by the next Put.
+	degraded map[string]bool
+	metrics  *obs.StoreMetrics
 }
 
-// Open creates (if needed) and opens a store directory.
-func Open(dir string) (*Store, error) {
+// Option configures Open.
+type Option func(*Store)
+
+// WithKeepGenerations sets how many generations of each artifact to retain
+// (minimum 1; default DefaultKeepGenerations).
+func WithKeepGenerations(n int) Option {
+	return func(s *Store) {
+		if n >= 1 {
+			s.keep = n
+		}
+	}
+}
+
+// Open creates (if needed) and opens a store directory, sweeping temp files
+// a crashed writer may have left.
+func Open(dir string, opts ...Option) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("modelstore: %w", err)
 	}
-	return &Store{dir: dir}, nil
+	sweepTempFiles(dir)
+	s := &Store{
+		dir:      dir,
+		keep:     DefaultKeepGenerations,
+		degraded: map[string]bool{},
+		metrics:  obs.NewStoreMetrics(),
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	return s, nil
+}
+
+// SetHook installs (or, with nil, removes) the write-path fault hook —
+// chaos testing only.
+func (s *Store) SetHook(h WriteHook) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.hook = h
+}
+
+// Obs exposes the store's durability counters.
+func (s *Store) Obs() *obs.StoreMetrics { return s.metrics }
+
+// HealthSnapshot is the store's serializable operational state.
+type HealthSnapshot struct {
+	// Degraded lists artifact names currently served by an older
+	// generation because a newer one was quarantined (sorted).
+	Degraded []string `json:"degraded,omitempty"`
+	// Quarantines / Corruptions / BadManifests mirror the obs counters.
+	Quarantines  int64 `json:"quarantines"`
+	Corruptions  int64 `json:"corruptions"`
+	BadManifests int64 `json:"bad_manifests"`
+}
+
+// Health reports whether the store is serving stale (fallback) models and
+// how much corruption it has absorbed.
+func (s *Store) Health() HealthSnapshot {
+	s.mu.Lock()
+	degraded := make([]string, 0, len(s.degraded))
+	for name := range s.degraded {
+		degraded = append(degraded, name)
+	}
+	s.mu.Unlock()
+	sort.Strings(degraded)
+	return HealthSnapshot{
+		Degraded:     degraded,
+		Quarantines:  s.metrics.Quarantines.Load(),
+		Corruptions:  s.metrics.Corruptions.Load(),
+		BadManifests: s.metrics.BadManifests.Load(),
+	}
 }
 
 // fileSafe converts an artifact name to a file stem.
@@ -49,38 +173,135 @@ func fileSafe(name string) string {
 	return r.Replace(name)
 }
 
-// Put stores an artifact, replacing any previous version of the same name.
+// checksum is the store's payload checksum (hex SHA-256).
+func checksum(data []byte) string {
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}
+
+// genFile names a generation's payload file.
+func genFile(stem string, gen int) string {
+	return fmt.Sprintf("%s.g%d.bin", stem, gen)
+}
+
+// readManifestLocked loads and parses one stem's manifest. A missing
+// manifest returns (nil, nil); an unparseable one is quarantined and
+// reported as absent, so a fresh Put can repair the key.
+func (s *Store) readManifestLocked(stem string) (*Manifest, error) {
+	path := filepath.Join(s.dir, stem+".json")
+	blob, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("modelstore: %w", err)
+	}
+	var m Manifest
+	if err := json.Unmarshal(blob, &m); err != nil {
+		s.metrics.BadManifests.Add(1)
+		s.quarantineFileLocked(stem + ".json")
+		return nil, nil
+	}
+	return &m, nil
+}
+
+// writeManifestLocked atomically publishes a manifest — the single commit
+// point of every Put.
+func (s *Store) writeManifestLocked(stem string, m *Manifest, label string) error {
+	blob, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	return s.atomicWrite(stem+".json", blob, label)
+}
+
+// quarantineFileLocked moves a corrupt file into the quarantine directory
+// (best-effort: a failed move falls back to deletion so the bad bytes can
+// never be served again).
+func (s *Store) quarantineFileLocked(name string) {
+	qdir := filepath.Join(s.dir, quarantineDir)
+	if err := os.MkdirAll(qdir, 0o755); err != nil {
+		_ = os.Remove(filepath.Join(s.dir, name))
+		return
+	}
+	if err := os.Rename(filepath.Join(s.dir, name), filepath.Join(qdir, name)); err != nil {
+		_ = os.Remove(filepath.Join(s.dir, name))
+	}
+}
+
+// Put stores a new generation of an artifact and prunes history beyond the
+// retention limit. The write protocol is: payload file (temp → fsync →
+// rename → dir fsync), then manifest commit through the same primitive —
+// the manifest rename is the single atomic publish point; a crash anywhere
+// before it leaves the previous generation served, a crash anywhere after
+// it leaves the new generation served.
 func (s *Store) Put(a core.Artifact) error {
 	if err := a.Validate(); err != nil {
 		return err
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if err := s.at("put:begin"); err != nil {
+		return err
+	}
 	stem := fileSafe(a.Name)
-	dataFile := stem + ".bin"
-	if err := os.WriteFile(filepath.Join(s.dir, dataFile), a.Data, 0o644); err != nil {
-		return fmt.Errorf("modelstore: %w", err)
-	}
-	m := Manifest{
-		Name:      a.Name,
-		Kind:      a.Kind,
-		Table:     a.Table,
-		Shard:     a.Shard,
-		Timestamp: a.Timestamp,
-		SizeBytes: int64(len(a.Data)),
-		File:      dataFile,
-	}
-	blob, err := json.MarshalIndent(m, "", "  ")
+	prev, err := s.readManifestLocked(stem)
 	if err != nil {
 		return err
 	}
-	if err := os.WriteFile(filepath.Join(s.dir, stem+".json"), blob, 0o644); err != nil {
-		return fmt.Errorf("modelstore: %w", err)
+	nextGen := 1
+	var history []Generation
+	if prev != nil {
+		history = prev.generations()
+		nextGen = history[0].Gen + 1
 	}
+	dataFile := genFile(stem, nextGen)
+	if err := s.atomicWrite(dataFile, a.Data, "put:data"); err != nil {
+		return err
+	}
+	gens := append([]Generation{{
+		Gen:       nextGen,
+		File:      dataFile,
+		SizeBytes: int64(len(a.Data)),
+		SHA256:    checksum(a.Data),
+		Timestamp: a.Timestamp,
+	}}, history...)
+	pruned := []Generation(nil)
+	if len(gens) > s.keep {
+		pruned = gens[s.keep:]
+		gens = gens[:s.keep]
+	}
+	m := &Manifest{
+		Version:     manifestVersion,
+		Name:        a.Name,
+		Kind:        a.Kind,
+		Table:       a.Table,
+		Shard:       a.Shard,
+		Timestamp:   a.Timestamp,
+		SizeBytes:   gens[0].SizeBytes,
+		File:        gens[0].File,
+		SHA256:      gens[0].SHA256,
+		Generations: gens,
+	}
+	if err := s.writeManifestLocked(stem, m, "put:manifest"); err != nil {
+		return err
+	}
+	// The new generation is durably published; retention cleanup after the
+	// commit point can crash harmlessly (orphan files are reclaimed by the
+	// next Put's overwrite or by Purge).
+	for _, g := range pruned {
+		_ = os.Remove(filepath.Join(s.dir, g.File))
+	}
+	if err := s.at("put:pruned"); err != nil {
+		return err
+	}
+	delete(s.degraded, a.Name)
+	s.metrics.Puts.Add(1)
 	return nil
 }
 
-// List returns all manifests sorted by name.
+// List returns all manifests sorted by name. Unparseable manifests are
+// quarantined and skipped (counted in obs) rather than failing the sweep.
 func (s *Store) List() ([]Manifest, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -99,7 +320,9 @@ func (s *Store) List() ([]Manifest, error) {
 		}
 		var m Manifest
 		if err := json.Unmarshal(blob, &m); err != nil {
-			return nil, fmt.Errorf("modelstore: manifest %s: %w", e.Name(), err)
+			s.metrics.BadManifests.Add(1)
+			s.quarantineFileLocked(e.Name())
+			continue
 		}
 		out = append(out, m)
 	}
@@ -107,35 +330,128 @@ func (s *Store) List() ([]Manifest, error) {
 	return out, nil
 }
 
-// Get loads one artifact by name.
+// verifyGen reads and verifies one generation's payload against its
+// recorded size and checksum, reporting why it failed.
+func (s *Store) verifyGen(g Generation) ([]byte, error) {
+	data, err := os.ReadFile(filepath.Join(s.dir, g.File))
+	if err != nil {
+		return nil, fmt.Errorf("unreadable payload: %w", err)
+	}
+	if int64(len(data)) != g.SizeBytes {
+		return nil, fmt.Errorf("truncated payload: %d bytes, manifest records %d", len(data), g.SizeBytes)
+	}
+	if g.SHA256 != "" && checksum(data) != g.SHA256 {
+		return nil, fmt.Errorf("checksum mismatch")
+	}
+	return data, nil
+}
+
+// Get loads one artifact by name, serving the newest generation that
+// verifies. Corrupt generations (truncated, garbled, unreadable) are
+// quarantined and dropped from the manifest; if an older generation
+// survives, it is served as last-known-good and the artifact is marked
+// degraded in Health().
 func (s *Store) Get(name string) (core.Artifact, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	stem := fileSafe(name)
-	blob, err := os.ReadFile(filepath.Join(s.dir, stem+".json"))
-	if err != nil {
-		return core.Artifact{}, fmt.Errorf("modelstore: artifact %q: %w", name, err)
-	}
-	var m Manifest
-	if err := json.Unmarshal(blob, &m); err != nil {
-		return core.Artifact{}, err
-	}
-	data, err := os.ReadFile(filepath.Join(s.dir, m.File))
+	m, err := s.readManifestLocked(stem)
 	if err != nil {
 		return core.Artifact{}, err
 	}
+	if m == nil {
+		return core.Artifact{}, fmt.Errorf("modelstore: artifact %q: %w", name, os.ErrNotExist)
+	}
+	gens := m.generations()
+	var good []Generation
+	var data []byte
+	var firstErr error
+	serveIdx := -1
+	for i, g := range gens {
+		payload, err := s.verifyGen(g)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("modelstore: artifact %q gen %d: %w", name, g.Gen, err)
+			}
+			s.metrics.Corruptions.Add(1)
+			s.metrics.Quarantines.Add(1)
+			s.quarantineFileLocked(g.File)
+			continue
+		}
+		serveIdx = i
+		data = payload
+		// Older generations behind the serving one are kept unverified;
+		// they are only checked if a later read has to fall back to them.
+		good = append(good, gens[i:]...)
+		break
+	}
+	quarantined := len(gens) - len(good)
+	if quarantined > 0 {
+		// Drop the quarantined generations from the durable manifest so the
+		// store self-heals (and never retries known-bad files). With no
+		// surviving generation the manifest itself is quarantined: the key
+		// reads as absent until the next Put repairs it.
+		if len(good) == 0 {
+			s.quarantineFileLocked(stem + ".json")
+		} else {
+			m2 := *m
+			m2.Version = manifestVersion
+			m2.Generations = good
+			m2.File = good[0].File
+			m2.SizeBytes = good[0].SizeBytes
+			m2.SHA256 = good[0].SHA256
+			m2.Timestamp = good[0].Timestamp
+			if err := s.writeManifestLocked(stem, &m2, "quarantine:manifest"); err != nil {
+				return core.Artifact{}, err
+			}
+		}
+	}
+	if data == nil {
+		return core.Artifact{}, fmt.Errorf("modelstore: artifact %q: no generation passed verification: %w", name, firstErr)
+	}
+	serving := good[0]
+	if serveIdx > 0 {
+		// A newer generation existed but was corrupt: we are serving stale.
+		s.metrics.Fallbacks.Add(1)
+		s.degraded[name] = true
+	}
+	s.metrics.Gets.Add(1)
 	return core.Artifact{
 		Name:      m.Name,
 		Kind:      m.Kind,
 		Table:     m.Table,
 		Shard:     m.Shard,
-		Timestamp: m.Timestamp,
+		Timestamp: serving.Timestamp,
 		Data:      data,
 	}, nil
 }
 
+// stemGenFiles returns the on-disk generation files belonging to one stem
+// (used by Purge to reclaim orphans left by crashed writers).
+func (s *Store) stemGenFiles(stem string) []string {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil
+	}
+	var out []string
+	prefix := stem + ".g"
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, ".bin") {
+			continue
+		}
+		if _, err := strconv.Atoi(strings.TrimSuffix(strings.TrimPrefix(name, prefix), ".bin")); err != nil {
+			continue
+		}
+		out = append(out, name)
+	}
+	return out
+}
+
 // Purge removes artifacts older than the cutoff, returning how many were
-// deleted (the paper's automatic training-data cleanup).
+// deleted (the paper's automatic training-data cleanup). The manifest is
+// removed first — unpublishing the artifact — so a crash mid-purge leaves
+// only orphan payload files, never a manifest pointing at deleted data.
 func (s *Store) Purge(olderThan time.Time) (int, error) {
 	manifests, err := s.List()
 	if err != nil {
@@ -150,9 +466,12 @@ func (s *Store) Purge(olderThan time.Time) (int, error) {
 			if err := os.Remove(filepath.Join(s.dir, stem+".json")); err != nil {
 				return removed, err
 			}
-			if err := os.Remove(filepath.Join(s.dir, m.File)); err != nil && !os.IsNotExist(err) {
-				return removed, err
+			for _, f := range s.stemGenFiles(stem) {
+				if err := os.Remove(filepath.Join(s.dir, f)); err != nil && !os.IsNotExist(err) {
+					return removed, err
+				}
 			}
+			delete(s.degraded, m.Name)
 			removed++
 		}
 	}

@@ -103,6 +103,56 @@ func (m *TrainMetrics) Snapshot() TrainSnapshot {
 	}
 }
 
+// StoreMetrics aggregates model-store durability observability: how often
+// artifacts were written and read, and every corruption event the store's
+// checksum layer caught. A store that is quarantining generations and
+// serving last-known-good fallbacks still works — but it is running on
+// stale models, and these counters are how the Monitor sees that.
+type StoreMetrics struct {
+	// Puts counts committed artifact writes; Gets counts artifact reads.
+	Puts, Gets Counter
+	// Corruptions counts generations that failed verification on read
+	// (checksum mismatch, truncation, or an unreadable payload file).
+	Corruptions Counter
+	// Quarantines counts generations moved aside after failing
+	// verification (one corruption may quarantine several generations).
+	Quarantines Counter
+	// Fallbacks counts Gets served by an older generation because a newer
+	// one was quarantined — the store running on stale models.
+	Fallbacks Counter
+	// BadManifests counts manifests that could not be parsed and were
+	// quarantined during a directory scan.
+	BadManifests Counter
+}
+
+// NewStoreMetrics returns a zeroed metrics block.
+func NewStoreMetrics() *StoreMetrics { return &StoreMetrics{} }
+
+// StoreSnapshot is the serializable digest of StoreMetrics.
+type StoreSnapshot struct {
+	Puts         int64 `json:"puts"`
+	Gets         int64 `json:"gets"`
+	Corruptions  int64 `json:"corruptions"`
+	Quarantines  int64 `json:"quarantines"`
+	Fallbacks    int64 `json:"fallbacks"`
+	BadManifests int64 `json:"bad_manifests"`
+}
+
+// Snapshot digests the metrics block (nil-safe: returns zeroes).
+func (m *StoreMetrics) Snapshot() StoreSnapshot {
+	if m == nil {
+		return StoreSnapshot{}
+	}
+	return StoreSnapshot{
+		Puts:         m.Puts.Load(),
+		Gets:         m.Gets.Load(),
+		Corruptions:  m.Corruptions.Load(),
+		Quarantines:  m.Quarantines.Load(),
+		Fallbacks:    m.Fallbacks.Load(),
+		BadManifests: m.BadManifests.Load(),
+	}
+}
+
 // EngineMetrics aggregates query-engine observability: volumes, planning
 // and execution latency, and the q-error of the optimizer's final-plan
 // cardinality against the executed truth.
