@@ -18,6 +18,8 @@ import (
 	"expvar"
 	"fmt"
 	"os"
+	"strconv"
+	"sync"
 
 	"bytecard/internal/cardinal"
 	"bytecard/internal/core"
@@ -79,6 +81,17 @@ type Options struct {
 	// then runtime.GOMAXPROCS. Trained models are byte-identical for every
 	// worker count.
 	TrainWorkers int
+	// PlanCacheBytes bounds the template-keyed plan cache's resident
+	// bytes. Zero defers to BYTECARD_PLAN_CACHE_BYTES, then the engine
+	// default (4 MiB); negative disables plan caching. The cache is
+	// registered with the inference registry, so model retrains and
+	// refreshes invalidate affected templates automatically.
+	PlanCacheBytes int64
+	// BatchThreshold is the minimum join-order DP rank size handed to the
+	// batched estimator path as one batch. Zero defers to
+	// BYTECARD_BATCH_THRESHOLD, then the engine default (2); negative
+	// disables batching.
+	BatchThreshold int
 }
 
 func (o *Options) fill() {
@@ -196,7 +209,15 @@ func OpenDataset(ds *datagen.Dataset, opts Options) (*System, error) {
 	}
 	sys.Engine = engine.New(ds.DB, ds.Schema, est)
 	sys.Engine.Parallelism = opts.Parallelism
+	sys.Engine.BatchThreshold = opts.BatchThreshold
 	sys.Engine.Obs = obs.NewEngineMetrics()
+	if b := planCacheBudget(opts.PlanCacheBytes); b >= 0 {
+		pc := engine.NewPlanCache(b)
+		sys.Engine.PlanCache = pc
+		// Registered with the inference registry so model churn (retrain,
+		// refresh, enable/disable) invalidates cached templates.
+		sys.Infer.RegisterCache("plan", pc)
+	}
 	sys.Monitor = &monitor.Monitor{
 		Exec:  sys.Engine,
 		Est:   sys.Estimator,
@@ -212,6 +233,27 @@ func OpenDataset(ds *datagen.Dataset, opts Options) (*System, error) {
 		},
 	}
 	return sys, nil
+}
+
+// envPlanCacheBytes reads BYTECARD_PLAN_CACHE_BYTES once (negative
+// disables plan caching system-wide).
+var envPlanCacheBytes = sync.OnceValue(func() int64 {
+	if s := os.Getenv("BYTECARD_PLAN_CACHE_BYTES"); s != "" {
+		if v, err := strconv.ParseInt(s, 10, 64); err == nil && v != 0 {
+			return v
+		}
+	}
+	return 0
+})
+
+// planCacheBudget resolves the plan-cache byte budget: the option wins,
+// then the environment, then the engine default (returned as 0 — the
+// NewPlanCache sentinel). Negative means disabled.
+func planCacheBudget(opt int64) int64 {
+	if opt != 0 {
+		return opt
+	}
+	return envPlanCacheBytes()
 }
 
 func (s *System) estimatorByName(name string) (engine.CardEstimator, error) {
@@ -255,10 +297,32 @@ func (s *System) Explain(sql string) (*engine.ExplainResult, error) {
 	return s.Engine.Explain(sql)
 }
 
-// Estimate is a cardinality estimate with provenance: what the number is,
-// which model produced it, whether the traditional estimator had to step
-// in, and the full trace of how estimation unfolded.
-type Estimate struct {
+// EstimateKind selects what Estimate estimates.
+type EstimateKind int
+
+// Estimation kinds.
+const (
+	// EstimateRows estimates the query's COUNT(*) cardinality (default).
+	EstimateRows EstimateKind = iota
+	// EstimateDistinct estimates the distinct-key count of a query with a
+	// COUNT(DISTINCT …) aggregate or GROUP BY.
+	EstimateDistinct
+)
+
+// EstimateOpts configure one Estimate call.
+type EstimateOpts struct {
+	// Kind selects rows (default) or distinct-key estimation.
+	Kind EstimateKind
+	// Trace attaches the full per-call estimation record — guard
+	// outcomes, breaker verdicts, cache hits, timings — to the result.
+	Trace bool
+}
+
+// EstimateResult is a cardinality estimate with provenance: what the
+// number is, which model produced it, whether the traditional estimator
+// had to step in, and (on request) the full trace of how estimation
+// unfolded.
+type EstimateResult struct {
 	// Value is the estimated cardinality (rows or distinct groups).
 	Value float64 `json:"value"`
 	// Source names the estimator that produced Value: "bn", "factorjoin",
@@ -267,48 +331,46 @@ type Estimate struct {
 	// Fallback reports that a learned model failed (or was unavailable)
 	// and the traditional estimator answered instead.
 	Fallback bool `json:"fallback"`
-	// Trace is the per-call record behind Value.
+	// Trace is the per-call record behind Value (nil unless requested via
+	// EstimateOpts.Trace).
 	Trace *obs.Trace `json:"-"`
 }
 
-// EstimateCountDetail returns ByteCard's COUNT cardinality estimate with
-// full provenance. Model failures degrade to the traditional estimator
+// Estimate is the consolidated estimation entry point: one call shape for
+// every estimate kind, with provenance always included and the detailed
+// trace opt-in. Model failures degrade to the traditional estimator
 // (flagged via Fallback and visible in the trace) rather than erroring;
-// only unparsable or unanalyzable SQL returns an error.
-func (s *System) EstimateCountDetail(sql string) (Estimate, error) {
+// only unparsable or unanalyzable SQL — or a Distinct request without a
+// distinct aggregate — returns an error.
+func (s *System) Estimate(sql string, opts EstimateOpts) (EstimateResult, error) {
 	fv, err := s.Featurizer.FeaturizeSQLQuery(sql)
 	if err != nil {
-		return Estimate{}, err
+		return EstimateResult{}, err
 	}
 	tr := obs.NewTrace()
-	v := s.Estimator.CountWithTrace(fv, tr)
-	return Estimate{Value: v, Source: tr.Source(), Fallback: tr.Fallback(), Trace: tr}, nil
-}
-
-// EstimateNDVDetail returns ByteCard's COUNT-DISTINCT estimate with full
-// provenance for a query containing a COUNT(DISTINCT …) aggregate or
-// GROUP BY. Model failures degrade to the traditional estimator rather
-// than erroring.
-func (s *System) EstimateNDVDetail(sql string) (Estimate, error) {
-	fv, err := s.Featurizer.FeaturizeSQLQuery(sql)
-	if err != nil {
-		return Estimate{}, err
+	var v float64
+	switch opts.Kind {
+	case EstimateDistinct:
+		v, err = s.Estimator.NDVWithTrace(fv, tr)
+		if err != nil {
+			return EstimateResult{}, err
+		}
+	default:
+		v = s.Estimator.CountWithTrace(fv, tr)
 	}
-	tr := obs.NewTrace()
-	v, err := s.Estimator.NDVWithTrace(fv, tr)
-	if err != nil {
-		return Estimate{}, err
+	r := EstimateResult{Value: v, Source: tr.Source(), Fallback: tr.Fallback()}
+	if opts.Trace {
+		r.Trace = tr
 	}
-	return Estimate{Value: v, Source: tr.Source(), Fallback: tr.Fallback(), Trace: tr}, nil
+	return r, nil
 }
 
 // EstimateCount returns ByteCard's COUNT cardinality estimate for a query
-// without executing it — a thin wrapper over EstimateCountDetail that
-// keeps the original float64 signature. Like the optimizer path, it
-// degrades to the traditional estimator when models are missing or
-// failing; use EstimateCountDetail to see when that happened.
+// without executing it — shorthand for Estimate(sql, EstimateOpts{}).
+// Like the optimizer path, it degrades to the traditional estimator when
+// models are missing or failing; use Estimate to see when that happened.
 func (s *System) EstimateCount(sql string) (float64, error) {
-	d, err := s.EstimateCountDetail(sql)
+	d, err := s.Estimate(sql, EstimateOpts{})
 	if err != nil {
 		return 0, err
 	}
@@ -316,10 +378,10 @@ func (s *System) EstimateCount(sql string) (float64, error) {
 }
 
 // EstimateNDV returns ByteCard's COUNT-DISTINCT estimate for a query
-// containing a COUNT(DISTINCT …) aggregate or GROUP BY — a thin wrapper
-// over EstimateNDVDetail keeping the original float64 signature.
+// containing a COUNT(DISTINCT …) aggregate or GROUP BY — shorthand for
+// Estimate(sql, EstimateOpts{Kind: EstimateDistinct}).
 func (s *System) EstimateNDV(sql string) (float64, error) {
-	d, err := s.EstimateNDVDetail(sql)
+	d, err := s.Estimate(sql, EstimateOpts{Kind: EstimateDistinct})
 	if err != nil {
 		return 0, err
 	}
@@ -362,6 +424,12 @@ type Metrics struct {
 	// Training digests ModelForge's per-stage training timings (BN
 	// structure learning, parameter learning, FactorJoin build).
 	Training obs.TrainSnapshot `json:"training"`
+	// Caches snapshots every registered derived cache by name — "joinvec"
+	// for the estimator's join-vector/subset cache, "plan" for the
+	// template-keyed plan cache (absent when disabled) — with uniform
+	// hit/miss/eviction/invalidation counters and resident byte/entry
+	// gauges.
+	Caches map[string]obs.CacheSnapshot `json:"caches"`
 }
 
 // String renders the snapshot as JSON, satisfying expvar.Var.
@@ -383,6 +451,7 @@ func (s *System) Metrics() Metrics {
 		Store:     s.Store.Obs().Snapshot(),
 		Engine:    s.Engine.Obs.Snapshot(),
 		Training:  s.Forge.Obs().Snapshot(),
+		Caches:    s.Infer.CacheStats(),
 	}
 }
 
@@ -394,41 +463,6 @@ func (s *System) Metrics() Metrics {
 // panic on reuse.
 func (s *System) ExpvarFunc() expvar.Func {
 	return expvar.Func(func() any { return s.Metrics() })
-}
-
-// Health is a point-in-time fault-tolerance snapshot of the deployment:
-// how often estimation fell back, what the guard intercepted, which model
-// keys are disabled or breaker-tripped, and whether the Model Loader is
-// keeping up.
-//
-// Deprecated: Health is the legacy subset of Metrics; new callers should
-// use Metrics, which adds histograms, cache counters, per-source
-// attribution, and engine-level statistics.
-type Health struct {
-	// Calls and Fallbacks are the estimator's request counters.
-	Calls, Fallbacks int64
-	// Guard counts guard interventions by failure class.
-	Guard core.GuardStats
-	// Registry is the inference engine snapshot, including disabled keys
-	// and circuit-breaker states.
-	Registry core.Stats
-	// Loader reports the model-refresh loop's state.
-	Loader loader.Health
-}
-
-// Health returns the system's current fault-tolerance snapshot, built
-// from the same sources as Metrics.
-//
-// Deprecated: use Metrics.
-func (s *System) Health() Health {
-	m := s.Metrics()
-	return Health{
-		Calls:     m.Estimator.Calls,
-		Fallbacks: m.Estimator.Fallbacks,
-		Guard:     m.Guard,
-		Registry:  m.Registry,
-		Loader:    s.Loader.Health(),
-	}
 }
 
 // SetFaultHook installs (or, with nil, removes) a fault-injection hook on

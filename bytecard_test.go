@@ -161,23 +161,23 @@ func TestHealthSnapshot(t *testing.T) {
 	if _, err := sys.Run("SELECT COUNT(*) FROM fact WHERE val < 50"); err != nil {
 		t.Fatal(err)
 	}
-	h := sys.Health()
-	if h.Calls == 0 {
-		t.Error("health shows no estimator calls")
+	m := sys.Metrics()
+	if m.Estimator.Calls == 0 {
+		t.Error("metrics show no estimator calls")
 	}
-	if h.Fallbacks != 0 {
-		t.Errorf("healthy system fell back %d times", h.Fallbacks)
+	if m.Estimator.Fallbacks != 0 {
+		t.Errorf("healthy system fell back %d times", m.Estimator.Fallbacks)
 	}
-	if g := h.Guard; g.Panics+g.Timeouts+g.Invalid != 0 {
+	if g := m.Guard; g.Panics+g.Timeouts+g.Invalid != 0 {
 		t.Errorf("healthy system recorded guard trips: %+v", g)
 	}
-	if !h.Registry.HasFJ || !h.Registry.HasRBX {
-		t.Errorf("registry incomplete: %+v", h.Registry)
+	if !m.Registry.HasFJ || !m.Registry.HasRBX {
+		t.Errorf("registry incomplete: %+v", m.Registry)
 	}
-	if len(h.Registry.Disabled) != 0 || len(h.Registry.Breakers) != 0 {
-		t.Errorf("healthy system shows degradation: %+v", h.Registry)
+	if len(m.Registry.Disabled) != 0 || len(m.Registry.Breakers) != 0 {
+		t.Errorf("healthy system shows degradation: %+v", m.Registry)
 	}
-	if h.Loader.LastSuccess.IsZero() || h.Loader.ConsecutiveFailures != 0 {
-		t.Errorf("loader health = %+v", h.Loader)
+	if m.Loader.LastSuccess.IsZero() || m.Loader.ConsecutiveFailures != 0 {
+		t.Errorf("loader health = %+v", m.Loader)
 	}
 }

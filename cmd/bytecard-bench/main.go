@@ -16,6 +16,7 @@
 //	bytecard-bench -estimation                 # full suite -> BENCH_estimation.json
 //	bytecard-bench -estimation -smoke          # CI gate: seconds, not minutes
 //	bytecard-bench -estimation -out other.json
+//	bytecard-bench -check BENCH_estimation.json  # enforce speedup floors
 package main
 
 import (
@@ -39,8 +40,18 @@ func main() {
 		smoke      = flag.Bool("smoke", false, "with -estimation: shrink iterations/data to a CI-sized compile-and-run gate")
 		out        = flag.String("out", "BENCH_estimation.json", "with -estimation: report output path")
 		par        = flag.Int("parallelism", 4, "with -estimation: batched planner worker count")
+		check      = flag.String("check", "", "validate an estimation report against the fast-path speedup floors and exit")
 	)
 	flag.Parse()
+
+	if *check != "" {
+		if err := bench.CheckJSON(*check); err != nil {
+			fmt.Fprintln(os.Stderr, "bytecard-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s: all speedup floors hold\n", *check)
+		return
+	}
 
 	var logf func(format string, args ...any)
 	if *verbose {

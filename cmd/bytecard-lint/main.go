@@ -1,7 +1,7 @@
-// Command bytecard-lint is ByteCard's static-analysis multichecker: six
+// Command bytecard-lint is ByteCard's static-analysis multichecker: seven
 // project-specific analyzers enforcing the determinism, guard-discipline,
-// pool-hygiene, clamping, and crash-safe-write conventions the estimation
-// stack depends on.
+// pool-hygiene, clamping, crash-safe-write, and cache-publication
+// conventions the estimation stack depends on.
 //
 // Standalone:
 //
@@ -13,7 +13,8 @@
 //	go vet -vettool=/tmp/bytecard-lint ./...
 //
 // Findings are suppressed per site with //bytecard:<key>-ok <reason>
-// annotations (keys: atomicwrite, clamp, directcall, pool, rand, unordered);
+// annotations (keys: atomicwrite, cacheput, clamp, directcall, pool, rand,
+// unordered);
 // the reason is mandatory.
 package main
 

@@ -44,7 +44,7 @@ func run(dataset string, scale float64, seed int64, estimator string, parallelis
 	if err != nil {
 		return err
 	}
-	fmt.Printf("ready: %d tables, %d rows. Commands: \\tables, \\estimate <sql>, \\ndv <sql>, \\explain <sql>, \\metrics, \\quit\n",
+	fmt.Printf("ready: %d tables, %d rows. Commands: \\tables, \\estimate <sql>, \\ndv <sql>, \\explain <sql>, \\metrics, \\cache [flush], \\quit\n",
 		len(sys.Dataset.DB.TableNames()), sys.Dataset.DB.TotalRows())
 
 	scanner := bufio.NewScanner(os.Stdin)
@@ -97,6 +97,15 @@ func run(dataset string, scale float64, seed int64, estimator string, parallelis
 			for _, s := range plan.Trace {
 				fmt.Println("  trace:", s.String())
 			}
+		case line == `\cache`:
+			b, err := json.MarshalIndent(sys.Infer.Admin().CacheStats(), "", "  ")
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			fmt.Println(string(b))
+		case line == `\cache flush`:
+			fmt.Printf("flushed %d cached entries\n", sys.Infer.Admin().FlushCaches())
 		case line == `\metrics`:
 			b, err := json.MarshalIndent(sys.Metrics(), "", "  ")
 			if err != nil {

@@ -42,11 +42,11 @@ func main() {
 	}
 
 	// 3. A detailed point estimate: value plus provenance.
-	d, err := sys.EstimateCountDetail("SELECT COUNT(*) FROM fact WHERE val < 50")
+	d, err := sys.Estimate("SELECT COUNT(*) FROM fact WHERE val < 50", bytecard.EstimateOpts{Trace: true})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("\nEstimateCountDetail: value=%.1f source=%s fallback=%v (%d spans)\n",
+	fmt.Printf("\nEstimate: value=%.1f source=%s fallback=%v (%d spans)\n",
 		d.Value, d.Source, d.Fallback, d.Trace.Len())
 
 	// 4. The system-wide metrics snapshot (what ExpvarFunc publishes).

@@ -6,6 +6,8 @@ import (
 	"math/rand"
 	"os"
 	"runtime"
+	"sort"
+	"strings"
 	"time"
 
 	"bytecard/internal/bn"
@@ -29,8 +31,11 @@ import (
 //   - join_dp_n{3,6,10}: the join-order DP planning an n-table query with
 //     batched estimation fanned across workers vs the sequential per-subset
 //     path (the batch interface hidden);
+//   - plan_cache_hit: the same n=6 planning served as a warm template-cache
+//     hit vs the full fresh DP;
 //   - train_full: one full ModelForge pipeline with the training worker
-//     pool vs a single worker.
+//     pool vs a single worker (min of three interleaved runs, so allocator
+//     and page-cache noise does not decide the ratio).
 //
 // EstimationSuite renders the result as an EstimationReport, persisted as
 // BENCH_estimation.json at the repository root so regressions diff in code
@@ -280,7 +285,54 @@ func benchJoinDP(cfg *EstimationConfig) ([]EstimationPair, error) {
 		out = append(out, pair(q.name, before, after))
 		cfg.logf("[estimation] %s: seq %.0fns/op, batched %.0fns/op", q.name, before.NsPerOp, after.NsPerOp)
 	}
+
+	cachePair, err := benchPlanCacheHit(cfg, ds, est)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, cachePair)
 	return out, nil
+}
+
+// benchPlanCacheHit measures the n=6 query planned fresh (no plan cache,
+// batched estimation — the best uncached path) vs served as a warm
+// template-cache hit (normalize, decision lookup, replay).
+func benchPlanCacheHit(cfg *EstimationConfig, ds *datagen.Dataset, est *core.Estimator) (EstimationPair, error) {
+	sql := estimationJoinQueries[1].sql // join_dp_n6
+	fresh := engine.New(ds.DB, ds.Schema, est)
+	fresh.Parallelism = cfg.Parallelism
+	cached := engine.New(ds.DB, ds.Schema, est)
+	cached.Parallelism = cfg.Parallelism
+	cached.PlanCache = engine.NewPlanCache(0)
+
+	stmt, err := sqlparse.Parse(sql)
+	if err != nil {
+		return EstimationPair{}, err
+	}
+	qf, err := fresh.Analyze(stmt)
+	if err != nil {
+		return EstimationPair{}, err
+	}
+	qc, err := cached.Analyze(stmt)
+	if err != nil {
+		return EstimationPair{}, err
+	}
+	// Warm the join-vector cache on the fresh path and publish the template
+	// on the cached one, so both measurements are steady-state.
+	if _, err := fresh.Plan(qf); err != nil {
+		return EstimationPair{}, err
+	}
+	if _, err := cached.Plan(qc); err != nil {
+		return EstimationPair{}, err
+	}
+	freshIters, hitIters := 60, 20000
+	if cfg.Smoke {
+		freshIters, hitIters = 3, 500
+	}
+	after := measure(hitIters, func() { _, _ = cached.Plan(qc) })
+	before := measure(freshIters, func() { _, _ = fresh.Plan(qf) })
+	cfg.logf("[estimation] plan_cache_hit: fresh %.0fns/op, hit %.0fns/op", before.NsPerOp, after.NsPerOp)
+	return pair("plan_cache_hit", before, after), nil
 }
 
 // benchTrain measures one full ModelForge pipeline with a single training
@@ -308,15 +360,92 @@ func benchTrain(cfg *EstimationConfig) (EstimationPair, error) {
 		m := measure(1, func() { _, trainErr = forge.TrainAll() })
 		return m, trainErr
 	}
-	before, err := run(1)
-	if err != nil {
-		return EstimationPair{}, err
+	// With the effective-parallelism gate, a pool on a single-CPU runtime
+	// resolves to exactly the single-worker configuration — same code path,
+	// same artifacts. Measuring the two "sides" separately would only
+	// measure run-to-run noise between identical runs (and on one long op
+	// per side, 2% noise flips the ratio). Measure once, report the tie.
+	if runtime.GOMAXPROCS(0) <= 1 {
+		m, err := run(1)
+		if err != nil {
+			return EstimationPair{}, err
+		}
+		return pair("train_full", m, m), nil
 	}
-	after, err := run(runtime.GOMAXPROCS(0))
-	if err != nil {
-		return EstimationPair{}, err
+	// Min of three interleaved runs per side: training is one long op, so a
+	// single GC pause or cold page cache on either side would decide the
+	// ratio. Interleaving keeps ambient drift symmetric; min discards it.
+	runs := 3
+	if cfg.Smoke {
+		runs = 1
+	}
+	var before, after EstimationMeasure
+	for i := 0; i < runs; i++ {
+		b, err := run(1)
+		if err != nil {
+			return EstimationPair{}, err
+		}
+		a, err := run(runtime.GOMAXPROCS(0))
+		if err != nil {
+			return EstimationPair{}, err
+		}
+		if i == 0 || b.NsPerOp < before.NsPerOp {
+			before = b
+		}
+		if i == 0 || a.NsPerOp < after.NsPerOp {
+			after = a
+		}
 	}
 	return pair("train_full", before, after), nil
+}
+
+// SpeedupFloors are the per-bench speedup ratios a committed baseline must
+// clear: the fast path must never lose to the code it replaced, the n=3 DP
+// keeps its headline margin, and a template-cache hit must be far cheaper
+// than the DP it elides. CheckJSON enforces these in CI over the committed
+// BENCH_estimation.json.
+var SpeedupFloors = map[string]float64{
+	"join_dp_n3":     1.2,
+	"join_dp_n6":     1.0,
+	"join_dp_n10":    1.0,
+	"train_full":     1.0,
+	"plan_cache_hit": 5.0,
+}
+
+// CheckJSON loads a persisted estimation report and validates every
+// floored bench is present and clears its speedup floor. Smoke reports are
+// rejected: smoke iteration counts are a compile gate, not a measurement.
+func CheckJSON(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var rep EstimationReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if rep.Smoke {
+		return fmt.Errorf("%s is a smoke report; thresholds only apply to full runs", path)
+	}
+	got := map[string]float64{}
+	for _, b := range rep.Benches {
+		got[b.Name] = b.Speedup
+	}
+	var failures []string
+	for name, floor := range SpeedupFloors {
+		speedup, ok := got[name]
+		switch {
+		case !ok:
+			failures = append(failures, fmt.Sprintf("%s: missing from report", name))
+		case speedup < floor:
+			failures = append(failures, fmt.Sprintf("%s: speedup %.2f below floor %.2f", name, speedup, floor))
+		}
+	}
+	if len(failures) > 0 {
+		sort.Strings(failures)
+		return fmt.Errorf("estimation baseline regressions:\n  %s", strings.Join(failures, "\n  "))
+	}
+	return nil
 }
 
 // EstimationSuite runs the full fast-path suite.

@@ -1,6 +1,10 @@
 package core
 
-import "time"
+import (
+	"time"
+
+	"bytecard/internal/obs"
+)
 
 // ModelAdmin is the documented administrative view of the Inference
 // Engine's per-model-key state. It unifies what used to be five scattered
@@ -50,6 +54,16 @@ func (a ModelAdmin) Disable(key string) { a.e.Disable(key) }
 // Enable re-enables a previously disabled key and resets its circuit
 // breaker: a model the Monitor revalidated starts with a clean slate.
 func (a ModelAdmin) Enable(key string) { a.e.Enable(key) }
+
+// CacheStats snapshots every registered derived cache's counters by name
+// ("joinvec" for the estimator's join-vector/subset cache, "plan" for the
+// engine's plan cache when one is wired).
+func (a ModelAdmin) CacheStats() map[string]obs.CacheSnapshot { return a.e.CacheStats() }
+
+// FlushCaches drops every entry of every registered derived cache,
+// returning the total dropped — the operator escape hatch when cached
+// plans or estimates are suspected stale.
+func (a ModelAdmin) FlushCaches() int { return a.e.FlushCaches() }
 
 // Usable reports whether the key may serve an inference right now —
 // false when disabled or its breaker is open. Unlike Allow on the raw

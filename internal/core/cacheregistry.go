@@ -1,0 +1,81 @@
+package core
+
+import (
+	"bytecard/internal/obs"
+)
+
+// DerivedCache is the invalidation contract for any cache whose contents
+// are derived from loaded model state — the join-vector/subset cache, the
+// engine's plan cache, and whatever future tiers appear. The Inference
+// Engine is the single authority on model churn (loads, enables,
+// disables), so registered caches are invalidated from here and nowhere
+// else: a model swap reaches every derived tier in one place instead of
+// each consumer wiring its own hooks.
+type DerivedCache interface {
+	// InvalidateTables drops entries derived from the named physical
+	// tables, returning how many were dropped. Implementations that cannot
+	// scope by table drop everything (documented per cache).
+	InvalidateTables(tables ...string) int
+	// Flush drops every entry, returning how many were resident.
+	Flush() int
+	// Stats returns the cache's uniform counter snapshot.
+	Stats() obs.CacheSnapshot
+}
+
+// RegisterCache attaches a named derived cache to the registry's
+// invalidation fan-out. Registration order is preserved for deterministic
+// iteration; re-registering a name replaces the previous cache (the name
+// keeps its slot). Safe for concurrent use with loads and estimation.
+func (e *InferenceEngine) RegisterCache(name string, c DerivedCache) {
+	e.cacheMu.Lock()
+	defer e.cacheMu.Unlock()
+	if e.caches == nil {
+		e.caches = map[string]DerivedCache{}
+	}
+	if _, ok := e.caches[name]; !ok {
+		e.cacheNames = append(e.cacheNames, name)
+	}
+	e.caches[name] = c
+}
+
+// derivedCaches snapshots the registered caches in registration order.
+func (e *InferenceEngine) derivedCaches() []DerivedCache {
+	e.cacheMu.Lock()
+	defer e.cacheMu.Unlock()
+	out := make([]DerivedCache, 0, len(e.cacheNames))
+	for _, name := range e.cacheNames {
+		out = append(out, e.caches[name])
+	}
+	return out
+}
+
+// invalidateCacheTables fans a table-scoped invalidation across every
+// registered cache. Called outside e.mu: caches take their own locks, and
+// a cache callback must never be able to deadlock against the registry.
+func (e *InferenceEngine) invalidateCacheTables(tables ...string) {
+	for _, c := range e.derivedCaches() {
+		c.InvalidateTables(tables...)
+	}
+}
+
+// FlushCaches drops every entry of every registered cache (operator
+// escape hatch, also the conservative reaction to whole-model churn),
+// returning the total number of entries dropped.
+func (e *InferenceEngine) FlushCaches() int {
+	n := 0
+	for _, c := range e.derivedCaches() {
+		n += c.Flush()
+	}
+	return n
+}
+
+// CacheStats snapshots every registered cache's counters by name.
+func (e *InferenceEngine) CacheStats() map[string]obs.CacheSnapshot {
+	e.cacheMu.Lock()
+	defer e.cacheMu.Unlock()
+	out := make(map[string]obs.CacheSnapshot, len(e.cacheNames))
+	for _, name := range e.cacheNames {
+		out[name] = e.caches[name].Stats()
+	}
+	return out
+}

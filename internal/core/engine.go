@@ -77,6 +77,13 @@ type InferenceEngine struct {
 
 	// counters for observability
 	loads, rejects, evictions int64
+
+	// cacheMu guards the derived-cache registry (see RegisterCache). A
+	// separate mutex: invalidation fans out to caches that take their own
+	// locks, and must never run under e.mu.
+	cacheMu    sync.Mutex
+	caches     map[string]DerivedCache
+	cacheNames []string // registration order
 }
 
 // NewInferenceEngine creates an empty engine.
@@ -102,23 +109,37 @@ func (e *InferenceEngine) SetClock(now func() time.Time) {
 // LoadModel implements the loadModel/validate/initContext sequence for one
 // artifact: decode, health-check, size-check, build the immutable context,
 // and swap it into the registry. Artifacts older than the installed version
-// are ignored (timestamp-based loading).
+// are ignored (timestamp-based loading). A successful load invalidates the
+// registered derived caches — table-scoped for BN artifacts, a full flush
+// for the whole-warehouse models — so no cache ever serves an estimate
+// derived from a replaced model.
 func (e *InferenceEngine) LoadModel(a Artifact) error {
 	if err := a.Validate(); err != nil {
 		return err
 	}
+	var err error
 	switch a.Kind {
 	case KindBN:
-		return e.loadBN(a)
+		err = e.loadBN(a)
 	case KindFactorJoin:
-		return e.loadFJ(a)
+		err = e.loadFJ(a)
 	case KindRBX:
-		return e.loadRBX(a)
+		err = e.loadRBX(a)
 	case KindCost:
-		return e.loadCost(a)
+		err = e.loadCost(a)
 	default:
 		return fmt.Errorf("core: unknown model kind %q", a.Kind)
 	}
+	if err != nil {
+		return err
+	}
+	// Invalidate after the swap and outside e.mu (caches lock themselves).
+	if a.Kind == KindBN {
+		e.invalidateCacheTables(a.Table)
+	} else {
+		e.FlushCaches()
+	}
+	return nil
 }
 
 func (e *InferenceEngine) loadBN(a Artifact) error {
@@ -310,8 +331,11 @@ func (e *InferenceEngine) RBXUsable(column string) bool {
 // Deprecated: prefer the documented Admin() view.
 func (e *InferenceEngine) Disable(key string) {
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	e.disabled[key] = true
+	e.mu.Unlock()
+	// Availability changed: cached estimates may embed the now-unusable
+	// model's answers. Flushed outside e.mu.
+	e.FlushCaches()
 }
 
 // Enable re-enables a previously disabled key. The key's circuit breaker
@@ -320,11 +344,14 @@ func (e *InferenceEngine) Disable(key string) {
 // Deprecated: prefer the documented Admin() view.
 func (e *InferenceEngine) Enable(key string) {
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	delete(e.disabled, key)
 	if b := e.breakers[key]; b != nil {
 		b.reset()
 	}
+	e.mu.Unlock()
+	// Availability changed: fallback-derived cached estimates are stale
+	// now that the model serves again. Flushed outside e.mu.
+	e.FlushCaches()
 }
 
 // Allow reports whether a model key may serve an inference right now —

@@ -60,7 +60,7 @@ type vecKey struct {
 // NewEstimator wires an estimator to a loaded inference engine.
 func NewEstimator(infer *InferenceEngine, fallback engine.CardEstimator) *Estimator {
 	m := obs.NewEstimatorMetrics()
-	return &Estimator{
+	est := &Estimator{
 		Infer:    infer,
 		Fallback: fallback,
 		Guard:    NewGuard(GuardConfig{}),
@@ -68,6 +68,10 @@ func NewEstimator(infer *InferenceEngine, fallback engine.CardEstimator) *Estima
 		Metrics:  m,
 		vec:      newVecCache(vecCacheLimit, m),
 	}
+	// The vector/subset cache derives everything from loaded model state,
+	// so the registry invalidates it on every model load/enable/disable.
+	infer.RegisterCache("joinvec", est.vec)
+	return est
 }
 
 // WithTrace returns a view of the estimator that records every model call,
@@ -328,8 +332,11 @@ func bindings(tables []*engine.QueryTable) []string {
 // closure the guard runs and the sanitizer's upper bound (the Cartesian
 // product of the joined relations — an inner join can never exceed it).
 // The closure copies nothing from tables/joins lazily, so the caller's
-// slices may be reused once it has been built.
-func (e *Estimator) joinModelCall(fj *factorjoin.Model, tables []*engine.QueryTable, joins []engine.JoinCond) (fn func() (float64, error), upper float64) {
+// slices may be reused once it has been built. memo, when non-nil, shares
+// factor-graph sub-computations (leaf messages, NDV vectors, conditional
+// matrices, domains) across every call built with it — the batch path's
+// one-pass-per-factor amortization; results are bit-identical either way.
+func (e *Estimator) joinModelCall(fj *factorjoin.Model, tables []*engine.QueryTable, joins []engine.JoinCond, memo *factorjoin.Memo) (fn func() (float64, error), upper float64) {
 	byBinding := map[string]*engine.QueryTable{}
 	fjTables := make([]factorjoin.QueryTable, len(tables))
 	for i, t := range tables {
@@ -371,7 +378,7 @@ func (e *Estimator) joinModelCall(fj *factorjoin.Model, tables []*engine.QueryTa
 		upper *= math.Max(float64(t.Table.NumRows()), 1)
 	}
 	return func() (float64, error) {
-		return fj.Estimate(fjTables, conds, src, e.JoinMode)
+		return fj.EstimateWithMemo(fjTables, conds, src, e.JoinMode, memo)
 	}, upper
 }
 
@@ -387,7 +394,7 @@ func (e *Estimator) EstimateJoin(tables []*engine.QueryTable, joins []engine.Joi
 		e.fallbackSpan(obs.OpJoin, bindings(tables), &ModelError{Key: "factorjoin", Outcome: obs.OutcomeMissing, Msg: "core: no FactorJoin model loaded"}, v, start)
 		return v
 	}
-	fn, upper := e.joinModelCall(fj, tables, joins)
+	fn, upper := e.joinModelCall(fj, tables, joins, nil)
 	est, err := e.guarded(obs.OpJoin, bindings(tables), "factorjoin", 1, upper, fn)
 	if err != nil {
 		e.Metrics.Fallbacks.Add(1)
@@ -398,10 +405,42 @@ func (e *Estimator) EstimateJoin(tables []*engine.QueryTable, joins []engine.Joi
 	return est
 }
 
+// fanOutWorkers decides how many workers a batch of n guarded model
+// calls is spread across: the requested parallelism clamped to the
+// machine's effective parallelism (a 4-worker fan-out on a 1-CPU box is
+// pure scheduling overhead — the regression the PR 4 bench caught), then
+// degraded to the serial loop when the measured fan-out cost cannot be
+// recovered: fanning out saves at most n·mean·(1−1/w) of model-call wall
+// time and costs one par.Overhead. Worker count never affects values —
+// items are independent and every result is deterministic — so this is a
+// pure wall-clock decision.
+func (e *Estimator) fanOutWorkers(n, requested int) int {
+	w := par.Effective(requested)
+	if w <= 1 || n <= 1 {
+		return 1
+	}
+	mean := e.Metrics.ModelLatency.Mean()
+	if mean <= 0 {
+		return w // no latency history yet: only the machine clamp gates
+	}
+	saved := float64(n) * mean * (1 - 1/float64(w))
+	if saved < float64(par.Overhead().Nanoseconds()) {
+		return 1
+	}
+	return w
+}
+
 // EstimateJoinBatch implements engine.BatchCardEstimator: one DP rank of
 // join subsets estimated under a single breaker admission and a single
-// trace span (with per-item Sources), the model calls fanned across at
-// most parallelism workers. Each item runs the same guard rungs as a
+// trace span (with per-item Sources). The batch makes one pass over each
+// model's factors instead of one per item: items whose canonical subset
+// key is memoized in the vector cache are answered without touching the
+// model at all (the memo persists across ranks and across Plan calls),
+// and the remaining items share one factorjoin.Memo so every leaf
+// message, effective-NDV vector, conditional matrix, and domain vector is
+// computed once per batch. Model calls are fanned across at most
+// parallelism workers when the measured break-even says fanning out pays
+// (see fanOutWorkers). Each computed item runs the same guard rungs as a
 // sequential EstimateJoin — panic recovery, latency budget, sanitization
 // into [1, cartesian-product] — and items that fail take the traditional
 // estimator's value, so the batch result is element-wise identical to
@@ -415,8 +454,8 @@ func (e *Estimator) EstimateJoinBatch(items []engine.JoinBatchItem, parallelism 
 	}
 	start := time.Now()
 	e.Metrics.Calls.Add(int64(len(items)))
-	e.Metrics.ModelCalls.Add(int64(len(items)))
 	sources := make([]string, len(items))
+	hits := 0
 	batchSpan := func(outcome, errMsg string) {
 		if e.trace == nil {
 			return
@@ -426,6 +465,7 @@ func (e *Estimator) EstimateJoinBatch(items []engine.JoinBatchItem, parallelism 
 			Key:      "factorjoin",
 			Source:   "factorjoin",
 			Outcome:  outcome,
+			CacheHit: hits == len(items),
 			Workers:  parallelism,
 			Sources:  sources,
 			Value:    float64(len(items)),
@@ -434,6 +474,7 @@ func (e *Estimator) EstimateJoinBatch(items []engine.JoinBatchItem, parallelism 
 		})
 	}
 	fallbackAll := func(cause *ModelError) []float64 {
+		e.Metrics.ModelCalls.Add(int64(len(items)))
 		e.Metrics.ModelFailures.Add(int64(len(items)))
 		e.Metrics.Fallbacks.Add(int64(len(items)))
 		for k, it := range items {
@@ -455,10 +496,34 @@ func (e *Estimator) EstimateJoinBatch(items []engine.JoinBatchItem, parallelism 
 		}
 		return fallbackAll(&ModelError{Key: "factorjoin", Outcome: outcome, Msg: "core: factorjoin unavailable (breaker open or disabled)"})
 	}
+	// Resolve keyed items from the subset memo first: the cached value is
+	// the sanitized estimate a fresh model call would return (determinism
+	// makes the replay byte-identical), so hits skip the guard and the
+	// model entirely.
+	need := make([]int, 0, len(items))
+	for k := range items {
+		if key := items[k].Key; key != "" {
+			if v, ok := e.vec.getSubset(key); ok {
+				out[k] = v
+				sources[k] = "factorjoin"
+				e.Metrics.Sources.Add("factorjoin", 1)
+				hits++
+				continue
+			}
+		}
+		need = append(need, k)
+	}
+	if len(need) == 0 {
+		batchSpan(obs.OutcomeOK, "")
+		return out
+	}
+	e.Metrics.ModelCalls.Add(int64(len(need)))
 	errs := make([]error, len(items))
 	clamped := make([]bool, len(items))
-	par.Do(len(items), parallelism, func(k int) {
-		fn, upper := e.joinModelCall(fj, items[k].Tables, items[k].Conds)
+	memo := factorjoin.NewMemo()
+	par.Do(len(need), e.fanOutWorkers(len(need), parallelism), func(i int) {
+		k := need[i]
+		fn, upper := e.joinModelCall(fj, items[k].Tables, items[k].Conds, memo)
 		raw, err := e.Guard.Do("factorjoin", fn)
 		if err != nil {
 			errs[k] = err
@@ -472,10 +537,11 @@ func (e *Estimator) EstimateJoinBatch(items []engine.JoinBatchItem, parallelism 
 		clamped[k] = v != raw
 		out[k] = v
 	})
-	// Serial epilogue: breaker accounting, per-item fallbacks, metrics.
+	// Serial epilogue: breaker accounting, per-item fallbacks, metrics,
+	// and subset-memo publication for the keyed successes.
 	outcome := obs.OutcomeOK
 	var failures, fallbacks int64
-	for k := range items {
+	for _, k := range need {
 		if errs[k] != nil {
 			e.Infer.RecordFailure("factorjoin")
 			failures++
@@ -490,6 +556,9 @@ func (e *Estimator) EstimateJoinBatch(items []engine.JoinBatchItem, parallelism 
 		e.Metrics.Sources.Add("factorjoin", 1)
 		if clamped[k] {
 			outcome = obs.OutcomeClamped
+		}
+		if items[k].Key != "" {
+			e.vec.putSubset(items[k].Key, out[k])
 		}
 	}
 	e.Metrics.ModelFailures.Add(failures)

@@ -30,6 +30,12 @@ const (
 	DefaultColOrderEarlyStop = 0.5
 	// MaxIntermediateRows aborts runaway joins.
 	MaxIntermediateRows = 50_000_000
+	// DefaultBatchThreshold is the smallest DP rank worth batching: a
+	// one-subset rank amortizes nothing, so the floor is 2. Estimators do
+	// their own fan-out break-even below this gate (see
+	// core.Estimator.fanOutWorkers), which keeps the planner-side constant
+	// deterministic — plans never depend on a timing measurement.
+	DefaultBatchThreshold = 2
 )
 
 // Engine executes SQL over a storage database, taking every
@@ -57,10 +63,22 @@ type Engine struct {
 	// environment variable if set, else runtime.GOMAXPROCS(0); 1 forces the
 	// sequential path.
 	Parallelism int
+	// BatchThreshold is the minimum join-order DP rank size (newly
+	// reachable subsets) for which the planner hands the rank to a
+	// BatchCardEstimator as one batch; smaller ranks go through sequential
+	// EstimateJoin calls, whose per-call overhead is below the batch
+	// machinery's. Zero takes BYTECARD_BATCH_THRESHOLD if set, else
+	// DefaultBatchThreshold; negative disables batching entirely.
+	BatchThreshold int
 	// Obs, when set, accumulates query volume, planning/execution latency,
 	// and the q-error of each plan's final cardinality estimate against
 	// the executed truth.
 	Obs *obs.EngineMetrics
+	// PlanCache, when set, memoizes optimizer decisions by normalized
+	// query template (see PlanCache). Nil disables template caching; the
+	// owner is responsible for registering the cache with the inference
+	// registry so model churn invalidates it.
+	PlanCache *PlanCache
 }
 
 // New creates an engine. Schema may be nil (join-pattern collection is then
@@ -94,6 +112,29 @@ var envParallelism = sync.OnceValue(func() int {
 	}
 	return 0
 })
+
+// envBatchThreshold reads BYTECARD_BATCH_THRESHOLD once (any integer;
+// negative disables batching, the knob for machines where even large
+// ranks plan faster sequentially).
+var envBatchThreshold = sync.OnceValue(func() (v int) {
+	if s := os.Getenv("BYTECARD_BATCH_THRESHOLD"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n != 0 {
+			return n
+		}
+	}
+	return 0
+})
+
+// batchThreshold resolves the minimum batched rank size.
+func (e *Engine) batchThreshold() int {
+	if e.BatchThreshold != 0 {
+		return e.BatchThreshold
+	}
+	if v := envBatchThreshold(); v != 0 {
+		return v
+	}
+	return DefaultBatchThreshold
+}
 
 // workers resolves the executor worker count for one query.
 func (e *Engine) workers() int {
@@ -170,6 +211,10 @@ func (e *Engine) RunStmtTraced(stmt *sqlparse.SelectStmt, tr *obs.Trace) (*Resul
 func (e *Engine) PlanWith(q *Query, est CardEstimator) (*Plan, error) {
 	view := *e
 	view.Est = est
+	// The substituted estimator must actually run (EXPLAIN's whole point
+	// is showing its calls) and its decisions must not leak into the
+	// shared cache, so the view plans cache-free.
+	view.PlanCache = nil
 	return view.Plan(q)
 }
 

@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strings"
 
 	"bytecard/internal/expr"
+	"bytecard/internal/sqlparse"
 )
 
 // ScanPlan records the optimizer's materialization decision for one table.
@@ -40,7 +42,20 @@ type Plan struct {
 // column order, join order via dynamic programming over connected subsets,
 // and aggregation hash-table presizing — each decision driven by the
 // engine's estimator, which is exactly where ByteCard plugs in.
+//
+// With a PlanCache wired, the query's normalized template is consulted
+// first: a hit replays the template's cached decisions onto q without a
+// single estimator call, and a miss publishes the freshly planned
+// decisions for the template's next sibling. Queries without an attached
+// statement (no template identity) always plan fresh.
 func (e *Engine) Plan(q *Query) (*Plan, error) {
+	var key string
+	if e.PlanCache != nil && q.Stmt != nil {
+		key = sqlparse.Normalize(q.Stmt)
+		if d, ok := e.PlanCache.Get(key); ok && len(d.scans) == len(q.Tables) {
+			return d.apply(q), nil
+		}
+	}
 	p := &Plan{Query: q}
 	for i := range q.Tables {
 		p.Scans = append(p.Scans, e.planScan(q, i))
@@ -49,6 +64,9 @@ func (e *Engine) Plan(q *Query) (*Plan, error) {
 		return nil, err
 	}
 	e.planAggregation(p)
+	if key != "" {
+		e.PlanCache.Put(key, decisionsOf(p))
+	}
 	return p, nil
 }
 
@@ -219,16 +237,58 @@ func (e *Engine) planJoinOrder(p *Plan) error {
 		return tabs, conds
 	}
 	batchEst, batching := e.Est.(BatchCardEstimator)
+	threshold := e.batchThreshold()
 	// Sequential scratch, reused across estimates (the CardEstimator
 	// contract forbids retaining the slices).
 	tabs := make([]*QueryTable, 0, n)
 	conds := make([]JoinCond, 0, len(q.Joins))
+	// Canonical per-table and per-condition tokens for JoinBatchItem.Key,
+	// built lazily on the first batched rank: a subset's key is its table
+	// tokens (binding, physical name, and full filter text — constants
+	// included, so only byte-identical filters share a key) plus its
+	// internal join conditions, both in q's deterministic order. Two Plan
+	// calls over semantically identical subsets produce identical keys, so
+	// a memoizing estimator can reuse sizes across ranks and across
+	// queries.
+	var tabTokens, condTokens []string
+	subsetKey := func(mask uint32) string {
+		if tabTokens == nil {
+			tabTokens = make([]string, n)
+			for i, t := range q.Tables {
+				filter := ""
+				if t.Filter != nil {
+					filter = t.Filter.String()
+				}
+				tabTokens[i] = t.Binding + "\x1f" + t.Name + "\x1f" + filter
+			}
+			condTokens = make([]string, len(q.Joins))
+			for i, j := range q.Joins {
+				condTokens[i] = j.String()
+			}
+		}
+		var b strings.Builder
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				b.WriteString(tabTokens[i])
+				b.WriteByte('\x1e')
+			}
+		}
+		b.WriteByte('\x1d')
+		for i, j := range q.Joins {
+			if mask&(1<<bindingIdx[j.LeftTab]) != 0 && mask&(1<<bindingIdx[j.RightTab]) != 0 {
+				b.WriteString(condTokens[i])
+				b.WriteByte('\x1e')
+			}
+		}
+		return b.String()
+	}
 	// estimateAll fills card for every listed mask (all absent from card).
 	estimateAll := func(masks []uint32) {
-		if batching && len(masks) > 1 {
+		if batching && threshold > 0 && len(masks) >= threshold {
 			items := make([]JoinBatchItem, len(masks))
 			for k, mask := range masks {
 				items[k].Tables, items[k].Conds = fillSubset(mask, nil, nil)
+				items[k].Key = subsetKey(mask)
 			}
 			for k, c := range batchEst.EstimateJoinBatch(items, e.workers()) {
 				card[masks[k]] = sanitize(c)

@@ -186,6 +186,15 @@ type CardEstimator interface {
 type JoinBatchItem struct {
 	Tables []*QueryTable
 	Conds  []JoinCond
+	// Key, when non-empty, is the caller's canonical identity for this
+	// subset: two items anywhere (across ranks, across Plan calls) carry
+	// the same Key only if their tables, filters (constants included),
+	// and join conditions are semantically identical, so the estimate of
+	// one is valid for the other. Estimators may memoize results by Key;
+	// a deterministic estimator returns the identical value either way,
+	// so memoization preserves the byte-identity contract below. An empty
+	// Key opts the item out of memoization.
+	Key string
 }
 
 // BatchCardEstimator is optionally implemented by estimators that can

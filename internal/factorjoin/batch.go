@@ -1,0 +1,124 @@
+package factorjoin
+
+import (
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Memo carries inference state shared across one batch of Estimate calls
+// (one join-order DP rank, or a whole DP). The factor-graph walk repeats
+// the same sub-computations for every connected subset it sizes — the
+// single-variable leaf messages of each joined table, the per-bucket
+// effective-NDV vectors those leaves contribute at the combination root
+// (a Cardenas pow() per bucket per side, the dominant cost), the
+// P(b_u|b_v) conditional matrices, and the per-variable key-domain
+// vectors. A Memo computes each of those once per batch and shares the
+// result across items, turning the per-rank cost from
+// O(subsets · tables · buckets) pow-calls into O(tables · buckets).
+//
+// Everything memoized here is a pure function of the model plus the
+// CountSource's answer for one (binding, column): identical inputs give
+// bit-identical floats, and memoized values are never mutated after
+// construction, so EstimateWithMemo returns exactly what Estimate would
+// — the byte-identity the planner's batched/sequential parity contract
+// requires (asserted in tests).
+//
+// A Memo must only be shared across calls that resolve bindings
+// consistently (items of one query) against one model and one
+// CountSource. It is safe for concurrent use: entries are computed
+// outside the lock and the first completed insert wins, so racing
+// workers converge on one shared value.
+type Memo struct {
+	mu      sync.Mutex
+	leaves  map[string]*leafEntry
+	conds   map[string][]float64
+	domains map[string][]float64
+}
+
+// leafEntry is one memoized single-variable factor message with its
+// per-bucket effective-NDV vector (and the error, if construction
+// failed — a missing model fails identically for every item).
+type leafEntry struct {
+	m   msg
+	err error
+}
+
+// NewMemo returns an empty memo ready for one batch.
+func NewMemo() *Memo {
+	return &Memo{
+		leaves:  map[string]*leafEntry{},
+		conds:   map[string][]float64{},
+		domains: map[string][]float64{},
+	}
+}
+
+// leaf returns the memoized message for key, computing it via compute on
+// first use. Concurrent duplicate computes produce identical values; the
+// stored entry is returned so all consumers share one backing array.
+func (mm *Memo) leaf(key string, compute func() (msg, error)) (msg, error) {
+	mm.mu.Lock()
+	if e, ok := mm.leaves[key]; ok {
+		mm.mu.Unlock()
+		return e.m, e.err
+	}
+	mm.mu.Unlock()
+	m, err := compute()
+	mm.mu.Lock()
+	defer mm.mu.Unlock()
+	if e, ok := mm.leaves[key]; ok {
+		return e.m, e.err
+	}
+	mm.leaves[key] = &leafEntry{m: m, err: err}
+	return m, err
+}
+
+// vector is the shared get-or-compute for the conditional and domain
+// maps (errors are not memoized there: conditional's only failure modes
+// are model-shape mismatches that fail identically and cheaply).
+func (mm *Memo) vector(table map[string][]float64, key string, compute func() []float64) []float64 {
+	mm.mu.Lock()
+	if v, ok := table[key]; ok {
+		mm.mu.Unlock()
+		return v
+	}
+	mm.mu.Unlock()
+	v := compute()
+	if v == nil {
+		return nil // failed computes are not memoized
+	}
+	mm.mu.Lock()
+	defer mm.mu.Unlock()
+	if prev, ok := table[key]; ok {
+		return prev
+	}
+	table[key] = v
+	return v
+}
+
+// leafKey canonicalizes a single-variable factor: the binding resolves
+// the filtered counts (CountSource answers per binding), name+col
+// resolve the model-side KeyStats.
+func leafKey(binding, name, col string) string {
+	return binding + "\x1f" + name + "\x1f" + col
+}
+
+// condKey canonicalizes a conditional matrix: it depends only on the
+// factor's physical table and the (v, u) column pair.
+func condKey(name, colV, colU string) string {
+	return name + "\x1f" + colV + "\x1f" + colU
+}
+
+// domainKey canonicalizes a variable's key-domain vector: varDomain reads
+// only the KeyStats of the attached (table, column) pairs and folds them
+// with max, so the sorted pair set is a complete, order-insensitive
+// identity — the same variable reached through different subsets hits
+// the same entry.
+func domainKey(v *qvar) string {
+	parts := make([]string, 0, len(v.factors))
+	for _, f := range v.factors {
+		parts = append(parts, f.name+"\x1f"+f.colOf[v.id])
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, "\x1e")
+}

@@ -59,6 +59,14 @@ type qfactor struct {
 // The factor graph must be a tree (acyclic); cyclic graphs return an error
 // so the caller can fall back to a traditional estimator.
 func (m *Model) Estimate(tables []QueryTable, conds []Cond, src CountSource, mode Mode) (float64, error) {
+	return m.EstimateWithMemo(tables, conds, src, mode, nil)
+}
+
+// EstimateWithMemo is Estimate with an optional batch memo sharing leaf
+// messages, effective-NDV vectors, conditional matrices, and domain
+// vectors across calls (see Memo). A nil memo is the plain sequential
+// path; with a memo the returned value is bit-identical, only cheaper.
+func (m *Model) EstimateWithMemo(tables []QueryTable, conds []Cond, src CountSource, mode Mode, memo *Memo) (float64, error) {
 	if len(tables) < 2 || len(conds) == 0 {
 		return 0, fmt.Errorf("factorjoin: need at least two tables and one condition")
 	}
@@ -74,7 +82,7 @@ func (m *Model) Estimate(tables []QueryTable, conds []Cond, src CountSource, mod
 			root = v
 		}
 	}
-	est, err := m.combineAtVar(root, nil, src, mode)
+	est, err := m.combineAtVar(root, nil, src, mode, memo)
 	if err != nil {
 		return 0, err
 	}
@@ -174,26 +182,40 @@ func (m *Model) buildGraph(tables []QueryTable, conds []Cond) ([]*qvar, []*qfact
 // msg carries a subtree's per-bucket statistics at a variable: the
 // (expected or bounded) row count and the per-key-value maximum frequency
 // of the whole subtree (base MaxF amplified by downstream fan-out — the
-// quantity the upper bound multiplies).
+// quantity the upper bound multiplies). ndv, present only on memoized
+// leaf messages, precomputes effNDV per bucket; consumers fall back to
+// the inline computation when it is nil (identical values either way).
 type msg struct {
 	ks   *KeyStats
 	cnt  []float64
 	maxF []float64
+	ndv  []float64
 }
 
 // downCount computes the message of factor f's subtree as seen from
 // variable v (excluding v's other factors).
-func (m *Model) downCount(f *qfactor, v *qvar, src CountSource, mode Mode) (msg, error) {
-	col := f.colOf[v.id]
-	ks := m.Keys[keyName(f.name, col)]
-	cnt, err := src(f.binding, f.name, col, v.buckets.Bounds)
+func (m *Model) downCount(f *qfactor, v *qvar, src CountSource, mode Mode, memo *Memo) (msg, error) {
+	// Single-variable factors produce pure leaf messages — constructed,
+	// never mutated — so under a memo each (binding, column) leaf is built
+	// once per batch (two vector copies plus a Cardenas pow() per bucket)
+	// and shared read-only across every subset that joins the table.
+	if memo != nil && len(f.vars) == 1 {
+		return memo.leaf(leafKey(f.binding, f.name, f.colOf[v.id]), func() (msg, error) {
+			out, err := m.leafMsg(f, v, src)
+			if err != nil {
+				return out, err
+			}
+			out.ndv = make([]float64, len(out.cnt))
+			for b := range out.ndv {
+				out.ndv[b] = m.effNDV(out.ks, out.cnt, b)
+			}
+			return out, nil
+		})
+	}
+	out, err := m.leafMsg(f, v, src)
 	if err != nil {
 		return msg{}, err
 	}
-	if len(cnt) != v.buckets.Count() {
-		return msg{}, fmt.Errorf("factorjoin: count source returned %d buckets for %s.%s, want %d", len(cnt), f.name, col, v.buckets.Count())
-	}
-	out := msg{ks: ks, cnt: append([]float64(nil), cnt...), maxF: append([]float64(nil), ks.MaxF...)}
 	for _, u := range f.vars {
 		if u.id == v.id {
 			continue
@@ -203,7 +225,7 @@ func (m *Model) downCount(f *qfactor, v *qvar, src CountSource, mode Mode) (msg,
 		// u-bucket.
 		fan := make([]float64, u.buckets.Count())
 		worst := make([]float64, u.buckets.Count())
-		domain := m.varDomain(u)
+		domain := m.domainOf(u, memo)
 		for i := range fan {
 			fan[i] = 1
 			worst[i] = 1
@@ -212,7 +234,7 @@ func (m *Model) downCount(f *qfactor, v *qvar, src CountSource, mode Mode) (msg,
 			if g == f {
 				continue
 			}
-			sub, err := m.downCount(g, u, src, mode)
+			sub, err := m.downCount(g, u, src, mode, memo)
 			if err != nil {
 				return msg{}, err
 			}
@@ -229,7 +251,7 @@ func (m *Model) downCount(f *qfactor, v *qvar, src CountSource, mode Mode) (msg,
 		}
 		// Project the fan-out from u-buckets onto v-buckets through f's
 		// key-tree conditional P(b_u | b_v).
-		cond, err := m.conditional(f, v, u)
+		cond, err := m.conditionalOf(f, v, u, memo)
 		if err != nil {
 			return msg{}, err
 		}
@@ -253,6 +275,56 @@ func (m *Model) downCount(f *qfactor, v *qvar, src CountSource, mode Mode) (msg,
 			}
 			out.maxF[bv] *= w
 		}
+	}
+	return out, nil
+}
+
+// leafMsg constructs the base message of factor f at variable v: the
+// CountSource's filtered per-bucket counts and the model's per-bucket
+// maximum frequencies, both copied so messages never alias mutable state.
+func (m *Model) leafMsg(f *qfactor, v *qvar, src CountSource) (msg, error) {
+	col := f.colOf[v.id]
+	ks := m.Keys[keyName(f.name, col)]
+	cnt, err := src(f.binding, f.name, col, v.buckets.Bounds)
+	if err != nil {
+		return msg{}, err
+	}
+	if len(cnt) != v.buckets.Count() {
+		return msg{}, fmt.Errorf("factorjoin: count source returned %d buckets for %s.%s, want %d", len(cnt), f.name, col, v.buckets.Count())
+	}
+	return msg{ks: ks, cnt: append([]float64(nil), cnt...), maxF: append([]float64(nil), ks.MaxF...)}, nil
+}
+
+// domainOf is varDomain behind the batch memo (pure in the model, so
+// memoized values are bit-identical to fresh ones).
+func (m *Model) domainOf(v *qvar, memo *Memo) []float64 {
+	if memo == nil {
+		return m.varDomain(v)
+	}
+	return memo.vector(memo.domains, domainKey(v), func() []float64 { return m.varDomain(v) })
+}
+
+// conditionalOf is conditional behind the batch memo. Failures are not
+// memoized: conditional only errors on model-shape mismatches, which
+// fail identically and cheaply on every call.
+func (m *Model) conditionalOf(f *qfactor, v, u *qvar, memo *Memo) ([]float64, error) {
+	if memo == nil {
+		return m.conditional(f, v, u)
+	}
+	var condErr error
+	out := memo.vector(memo.conds, condKey(f.name, f.colOf[v.id], f.colOf[u.id]), func() []float64 {
+		c, err := m.conditional(f, v, u)
+		if err != nil {
+			condErr = err
+			return nil
+		}
+		return c
+	})
+	if out == nil {
+		if condErr == nil {
+			condErr = fmt.Errorf("factorjoin: conditional for %s unavailable", f.name)
+		}
+		return nil, condErr
 	}
 	return out, nil
 }
@@ -338,13 +410,13 @@ func (m *Model) conditional(f *qfactor, v, u *qvar) ([]float64, error) {
 // combineAtVar folds every factor at the root variable into the final
 // estimate: Σ_b minNDV(b)·∏_i freq_i(b) (estimate) or
 // Σ_b min_i[cnt_i(b)·∏_{j≠i} maxF_j(b)] (bound).
-func (m *Model) combineAtVar(v *qvar, exclude *qfactor, src CountSource, mode Mode) (float64, error) {
+func (m *Model) combineAtVar(v *qvar, exclude *qfactor, src CountSource, mode Mode, memo *Memo) (float64, error) {
 	var sides []msg
 	for _, f := range v.factors {
 		if f == exclude {
 			continue
 		}
-		sub, err := m.downCount(f, v, src, mode)
+		sub, err := m.downCount(f, v, src, mode, memo)
 		if err != nil {
 			return 0, err
 		}
@@ -357,7 +429,7 @@ func (m *Model) combineAtVar(v *qvar, exclude *qfactor, src CountSource, mode Mo
 		}
 		return total, nil
 	}
-	domain := m.varDomain(v)
+	domain := m.domainOf(v, memo)
 	var total float64
 	for b := 0; b < v.buckets.Count(); b++ {
 		if mode == ModeBound {
@@ -391,7 +463,16 @@ func (m *Model) combineAtVar(v *qvar, exclude *qfactor, src CountSource, mode Mo
 				ok = false
 				break
 			}
-			ndv := m.effNDV(sides[i].ks, sides[i].cnt, b)
+			// Memoized leaves carry their effNDV vector (one Cardenas
+			// pow() per bucket, computed once per batch instead of once
+			// per subset); other sides compute it inline. Same function,
+			// same inputs — bit-identical either way.
+			var ndv float64
+			if sides[i].ndv != nil {
+				ndv = sides[i].ndv[b]
+			} else {
+				ndv = m.effNDV(sides[i].ks, sides[i].cnt, b)
+			}
 			if ndv < 1e-9 {
 				ok = false
 				break

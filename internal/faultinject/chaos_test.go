@@ -31,6 +31,10 @@ func openSystem(t *testing.T, opts bytecard.Options) *bytecard.System {
 	opts.SampleRows = 800
 	opts.BucketCount = 12
 	opts.RBX = rbx.TrainConfig{Columns: 50, Epochs: 2, MaxPop: 5000, Seed: 1}
+	// Plan caching off for the whole chaos suite: every run must exercise
+	// the guarded model path, not replay decisions cached while computing
+	// the fault-free ground truths.
+	opts.PlanCacheBytes = -1
 	sys, err := bytecard.Open(opts)
 	if err != nil {
 		t.Fatal(err)
@@ -84,19 +88,19 @@ func TestChaosPanic(t *testing.T) {
 	inj := faultinject.New(101)
 	inj.Arm(faultinject.Rule{Kind: faultinject.Panic})
 	sys.SetFaultHook(inj)
-	before := sys.Health()
+	before := sys.Metrics()
 
 	runSmoke(t, sys, want, "panic")
 
-	h := sys.Health()
+	h := sys.Metrics()
 	if inj.Injected(faultinject.Panic) == 0 {
 		t.Fatal("no panics were injected")
 	}
 	if h.Guard.Panics == 0 {
 		t.Error("guard recovered no panics")
 	}
-	if h.Fallbacks <= before.Fallbacks {
-		t.Errorf("fallbacks did not move: %d -> %d", before.Fallbacks, h.Fallbacks)
+	if h.Estimator.Fallbacks <= before.Estimator.Fallbacks {
+		t.Errorf("fallbacks did not move: %d -> %d", before.Estimator.Fallbacks, h.Estimator.Fallbacks)
 	}
 	// Healing the fault restores the learned path (breakers may need the
 	// cooldown; use a fresh key check instead of waiting).
@@ -110,19 +114,19 @@ func TestChaosNaN(t *testing.T) {
 	inj := faultinject.New(102)
 	inj.Arm(faultinject.Rule{Kind: faultinject.NaN})
 	sys.SetFaultHook(inj)
-	before := sys.Health()
+	before := sys.Metrics()
 
 	runSmoke(t, sys, want, "nan")
 
-	h := sys.Health()
+	h := sys.Metrics()
 	if inj.Injected(faultinject.NaN) == 0 {
 		t.Fatal("no NaNs were injected")
 	}
 	if h.Guard.Invalid == 0 {
 		t.Error("sanitizer rejected no estimates")
 	}
-	if h.Fallbacks <= before.Fallbacks {
-		t.Errorf("fallbacks did not move: %d -> %d", before.Fallbacks, h.Fallbacks)
+	if h.Estimator.Fallbacks <= before.Estimator.Fallbacks {
+		t.Errorf("fallbacks did not move: %d -> %d", before.Estimator.Fallbacks, h.Estimator.Fallbacks)
 	}
 	// The estimation API must never surface NaN: either a clean error or
 	// a finite value (via fallback-free single-table path this errors).
@@ -139,19 +143,19 @@ func TestChaosDelay(t *testing.T) {
 	inj := faultinject.New(103)
 	inj.Arm(faultinject.Rule{Kind: faultinject.Delay, Delay: 50 * time.Millisecond})
 	sys.SetFaultHook(inj)
-	before := sys.Health()
+	before := sys.Metrics()
 
 	runSmoke(t, sys, want, "delay")
 
-	h := sys.Health()
+	h := sys.Metrics()
 	if inj.Injected(faultinject.Delay) == 0 {
 		t.Fatal("no delays were injected")
 	}
 	if h.Guard.Timeouts == 0 {
 		t.Error("latency budget never tripped")
 	}
-	if h.Fallbacks <= before.Fallbacks {
-		t.Errorf("fallbacks did not move: %d -> %d", before.Fallbacks, h.Fallbacks)
+	if h.Estimator.Fallbacks <= before.Estimator.Fallbacks {
+		t.Errorf("fallbacks did not move: %d -> %d", before.Estimator.Fallbacks, h.Estimator.Fallbacks)
 	}
 }
 
@@ -198,7 +202,7 @@ func TestChaosCorruptArtifact(t *testing.T) {
 	if _, err := sys.RefreshModels(); err == nil {
 		t.Error("refresh must surface the corrupt artifacts")
 	}
-	if h := sys.Health(); h.Loader.LastError == nil || h.Loader.ConsecutiveFailures != 1 {
+	if h := sys.Metrics(); h.Loader.LastError == "" || h.Loader.ConsecutiveFailures != 1 {
 		t.Errorf("loader health = %+v, want recorded failure", h.Loader)
 	}
 	runSmoke(t, sys, want, "corrupt-artifact")
@@ -236,13 +240,13 @@ func TestChaosBreakerOpensAndRecovers(t *testing.T) {
 	if st := sys.Infer.BreakerState("bn:fact"); st != core.BreakerOpen {
 		t.Fatalf("breaker = %s after 3 panics, want open", st)
 	}
-	panicsAtOpen := sys.Health().Guard.Panics
+	panicsAtOpen := sys.Metrics().Guard.Panics
 
 	// While open, calls skip the model entirely (no new panics) and the
 	// workload still completes via fallback.
 	sys.Estimator.EstimateFilter(ft)
 	runSmoke(t, sys, want, "breaker-open")
-	if p := sys.Health().Guard.Panics; p != panicsAtOpen {
+	if p := sys.Metrics().Guard.Panics; p != panicsAtOpen {
 		t.Errorf("open breaker still invoked the model: panics %d -> %d", panicsAtOpen, p)
 	}
 	snap := sys.Infer.Snapshot()
@@ -265,13 +269,13 @@ func TestChaosBreakerOpensAndRecovers(t *testing.T) {
 	mu.Lock()
 	clock = now.Add(2 * time.Minute)
 	mu.Unlock()
-	fallbacksBefore := sys.Health().Fallbacks
+	fallbacksBefore := sys.Metrics().Estimator.Fallbacks
 	sys.Estimator.EstimateFilter(ft)
 	if st := sys.Infer.BreakerState("bn:fact"); st != core.BreakerClosed {
 		t.Fatalf("breaker = %s after successful probe, want closed", st)
 	}
 	sys.Estimator.EstimateFilter(ft)
-	if fb := sys.Health().Fallbacks; fb != fallbacksBefore {
+	if fb := sys.Metrics().Estimator.Fallbacks; fb != fallbacksBefore {
 		t.Errorf("healed model still falling back: %d -> %d", fallbacksBefore, fb)
 	}
 	runSmoke(t, sys, want, "breaker-recovered")

@@ -1,0 +1,155 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CachePut forbids publishing or unlinking plan-cache entries outside the
+// cache's own invalidation-aware methods.
+//
+// The plan cache's correctness under model churn rests on one invariant:
+// every resident entry is reachable by InvalidateTables, which requires
+// that entries enter through Put (which stores the decision's physical
+// table list and settles the byte/entry gauges) and leave through
+// removeLocked (which settles the same gauges). A direct write into the
+// entries map or a raw lru push publishes a plan that a retrain can never
+// evict — a stale-plan bug that only shows up as wrong strategies long
+// after the model changed. All mutation must flow through the blessed
+// PlanCache methods; everything else in the engine package is flagged.
+var CachePut = &Analyzer{
+	Name: "cacheput",
+	Doc: "forbid raw plan-cache entry publication\n\n" +
+		"Writing PlanCache.entries or mutating PlanCache.lru outside the\n" +
+		"cache's own methods bypasses the table-list bookkeeping that keeps\n" +
+		"every resident plan reachable by InvalidateTables. Publish entries\n" +
+		"only through the invalidation-aware Put helper (and unlink through\n" +
+		"removeLocked), or annotate with //bytecard:cacheput-ok <reason>.",
+	Run: runCachePut,
+}
+
+// cachePutPackages lists package *names* under the plan-cache publication
+// contract (name matching covers the testdata fixtures, same as mapiter).
+var cachePutPackages = map[string]bool{
+	"engine": true,
+}
+
+// cachePutBlessed are the PlanCache methods (plus its constructor) that
+// implement the bookkeeping and may touch the raw containers.
+var cachePutBlessed = map[string]bool{
+	"NewPlanCache":     true,
+	"Get":              true,
+	"Put":              true,
+	"removeLocked":     true,
+	"InvalidateTables": true,
+	"Flush":            true,
+}
+
+// listMutators are the container/list methods that insert, move, or unlink
+// elements — every one changes what Put/removeLocked account for.
+var listMutators = map[string]bool{
+	"PushFront":     true,
+	"PushBack":      true,
+	"PushFrontList": true,
+	"PushBackList":  true,
+	"InsertBefore":  true,
+	"InsertAfter":   true,
+	"MoveToFront":   true,
+	"MoveToBack":    true,
+	"MoveBefore":    true,
+	"MoveAfter":     true,
+	"Remove":        true,
+	"Init":          true,
+}
+
+// isPlanCacheField reports whether e is a selector of the named field on a
+// (possibly pointer-to) PlanCache value.
+func isPlanCacheField(info *types.Info, e ast.Expr, field string) bool {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != field {
+		return false
+	}
+	t := info.TypeOf(sel.X)
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "PlanCache"
+}
+
+func runCachePut(pass *Pass) error {
+	if !cachePutPackages[pass.Pkg.Name()] {
+		return nil
+	}
+	report := func(pos ast.Node, what string) {
+		p := pos.Pos()
+		if pass.InTestFile(p) {
+			return
+		}
+		if pass.MissingReason("cacheput", p) {
+			pass.Reportf(p, "cacheput: //bytecard:cacheput-ok annotation needs a reason explaining why bypassing the plan cache's invalidation bookkeeping is acceptable")
+			return
+		}
+		if pass.Suppressed("cacheput", p) {
+			return
+		}
+		pass.Reportf(p, "cacheput: %s bypasses the plan cache's invalidation bookkeeping; publish entries only through the invalidation-aware Put helper (or unlink through removeLocked), or annotate with //bytecard:cacheput-ok <reason>", what)
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if cachePutBlessed[fd.Name.Name] &&
+				(fd.Recv == nil || recvNameOf(fd) == "PlanCache") {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.AssignStmt:
+					for _, lhs := range n.Lhs {
+						if idx, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok &&
+							isPlanCacheField(pass.TypesInfo, idx.X, "entries") {
+							report(n, "assigning PlanCache.entries")
+							// One diagnostic per publication statement: the
+							// paired lru push on the RHS is the same violation.
+							return false
+						}
+					}
+				case *ast.CallExpr:
+					if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "delete" && len(n.Args) == 2 {
+						if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin &&
+							isPlanCacheField(pass.TypesInfo, n.Args[0], "entries") {
+							report(n, "delete on PlanCache.entries")
+						}
+					}
+					if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok && listMutators[sel.Sel.Name] &&
+						isPlanCacheField(pass.TypesInfo, sel.X, "lru") {
+						report(n, "PlanCache.lru."+sel.Sel.Name)
+					}
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// recvNameOf returns the bare receiver type name of a method declaration.
+func recvNameOf(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return ""
+	}
+	t := fd.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name
+	}
+	return ""
+}

@@ -110,6 +110,7 @@ func TestAnalyzerFixtures(t *testing.T) {
 	}{
 		{MapIter, []string{"mapiter_flag", "mapiter_other"}},
 		{AtomicWrite, []string{"atomicwrite_flag", "atomicwrite_other"}},
+		{CachePut, []string{"cacheput_flag"}},
 		{GuardCall, []string{"guardcall_flag", "guardcall_core"}},
 		{RandSource, []string{"randsource_flag"}},
 		{PoolHygiene, []string{"poolhygiene_flag"}},
@@ -274,7 +275,7 @@ func TestSelectAnalyzers(t *testing.T) {
 	if got := run("-mapiter", "-randsource"); got != "mapiter,randsource" {
 		t.Errorf("two positive flags: got %q", got)
 	}
-	if got := run("-mapiter=false"); got != "atomicwrite,estclamp,guardcall,poolhygiene,randsource" {
+	if got := run("-mapiter=false"); got != "atomicwrite,cacheput,estclamp,guardcall,poolhygiene,randsource" {
 		t.Errorf("-mapiter=false: got %q", got)
 	}
 }

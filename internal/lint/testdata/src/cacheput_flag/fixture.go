@@ -1,0 +1,115 @@
+// Package engine (fixture) exercises cacheput: plan-cache entries may only
+// be published through the invalidation-aware Put helper; raw map writes
+// and lru pushes are flagged everywhere outside the blessed methods.
+package engine
+
+import (
+	"container/list"
+	"sync"
+)
+
+type planDecisions struct {
+	tables []string
+	size   int64
+}
+
+type planCacheEntry struct {
+	key string
+	d   *planDecisions
+}
+
+type PlanCache struct {
+	mu      sync.Mutex
+	entries map[string]*list.Element
+	lru     *list.List
+	bytes   int64
+}
+
+// NewPlanCache is blessed: constructing the containers is not publication.
+func NewPlanCache() *PlanCache {
+	return &PlanCache{entries: map[string]*list.Element{}, lru: list.New()}
+}
+
+// Put is the blessed publication path.
+func (c *PlanCache) Put(key string, d *planDecisions) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries[key] = c.lru.PushFront(&planCacheEntry{key: key, d: d})
+	c.bytes += d.size
+}
+
+// Get is blessed: recency moves are part of the cache's own bookkeeping.
+func (c *PlanCache) Get(key string) (*planDecisions, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	elem, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	c.lru.MoveToFront(elem)
+	return elem.Value.(*planCacheEntry).d, true
+}
+
+// removeLocked is the blessed unlink path.
+func (c *PlanCache) removeLocked(elem *list.Element) {
+	e := elem.Value.(*planCacheEntry)
+	delete(c.entries, e.key)
+	c.lru.Remove(elem)
+	c.bytes -= e.d.size
+}
+
+// BadPublish bypasses Put: the entry enters with no byte accounting and no
+// table list for invalidation.
+func (c *PlanCache) BadPublish(key string, d *planDecisions) {
+	c.entries[key] = c.lru.PushFront(&planCacheEntry{key: key, d: d}) // want `only through the invalidation-aware Put helper`
+}
+
+// BadUnlink bypasses removeLocked: gauges drift.
+func (c *PlanCache) BadUnlink(key string) {
+	if elem, ok := c.entries[key]; ok {
+		delete(c.entries, key) // want `only through the invalidation-aware Put helper`
+		c.lru.Remove(elem)     // want `only through the invalidation-aware Put helper`
+	}
+}
+
+// badFreeFunc shows the check is not limited to methods.
+func badFreeFunc(c *PlanCache) {
+	c.lru.Init() // want `only through the invalidation-aware Put helper`
+}
+
+// goodReads stay allowed: lookups and length checks are not publication.
+func goodReads(c *PlanCache, key string) int {
+	if _, ok := c.entries[key]; ok {
+		return c.lru.Len()
+	}
+	return len(c.entries)
+}
+
+// goodUsesHelper routes publication through the blessed path.
+func goodUsesHelper(c *PlanCache, key string, d *planDecisions) {
+	c.Put(key, d)
+}
+
+// Annotated documents a deliberate bypass.
+func Annotated(c *PlanCache) {
+	c.lru.Init() //bytecard:cacheput-ok fixture: tearing down a cache that was never published to
+}
+
+// NoReason has the annotation but no justification.
+func NoReason(c *PlanCache, key string) {
+	//bytecard:cacheput-ok
+	delete(c.entries, key) // want `annotation needs a reason`
+}
+
+// otherList proves the check is scoped to PlanCache: unrelated lists with
+// the same method names stay allowed.
+type otherList struct {
+	lru     *list.List
+	entries map[string]int
+}
+
+func goodOtherContainers(o *otherList) {
+	o.lru.Init()
+	o.entries["k"] = 1
+	delete(o.entries, "k")
+}

@@ -58,6 +58,49 @@ func (m *EstimatorMetrics) Snapshot() EstimatorSnapshot {
 	}
 }
 
+// CacheMetrics is the uniform counter block for ByteCard's derived
+// caches — the template-keyed plan cache and the join-vector cache. Both
+// hold values derived from loaded model state, so alongside the usual
+// hit/miss/eviction counters they count Invalidations: entries dropped
+// because a model retrain/ingest made them stale, the event that
+// distinguishes "cache too small" (evictions) from "models churning"
+// (invalidations). Bytes and Entries are gauges tracking residency
+// against the byte bound.
+type CacheMetrics struct {
+	// Hits and Misses count lookups by outcome.
+	Hits, Misses Counter
+	// Evictions counts entries dropped for capacity (LRU order);
+	// Invalidations counts entries dropped because model state changed.
+	Evictions, Invalidations Counter
+	// Bytes and Entries track current residency.
+	Bytes, Entries Gauge
+}
+
+// CacheSnapshot is the serializable digest of CacheMetrics.
+type CacheSnapshot struct {
+	Hits          int64 `json:"hits"`
+	Misses        int64 `json:"misses"`
+	Evictions     int64 `json:"evictions"`
+	Invalidations int64 `json:"invalidations"`
+	Bytes         int64 `json:"bytes"`
+	Entries       int64 `json:"entries"`
+}
+
+// Snapshot digests the metrics block (nil-safe: returns zeroes).
+func (m *CacheMetrics) Snapshot() CacheSnapshot {
+	if m == nil {
+		return CacheSnapshot{}
+	}
+	return CacheSnapshot{
+		Hits:          m.Hits.Load(),
+		Misses:        m.Misses.Load(),
+		Evictions:     m.Evictions.Load(),
+		Invalidations: m.Invalidations.Load(),
+		Bytes:         m.Bytes.Load(),
+		Entries:       m.Entries.Load(),
+	}
+}
+
 // TrainMetrics aggregates ModelForge training observability: how many
 // pipelines and per-table trainings ran, and where each training's wall
 // time went stage by stage — BN structure learning (the pairwise-MI matrix

@@ -29,6 +29,21 @@ func (c *Counter) Add(n int64) { c.v.Add(n) }
 // Load returns the current count.
 func (c *Counter) Load() int64 { return c.v.Load() }
 
+// Gauge is an atomic instantaneous value (resident cache bytes, entry
+// counts) — unlike Counter it moves in both directions.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Add moves the gauge by n (negative n decrements).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Load returns the current value.
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
 // QError is the standard cardinality-estimation error metric:
 // max(est/true, true/est) with both quantities floored at one row, so its
 // theoretical lower bound is 1. It mirrors cardinal.QError; obs keeps its
@@ -103,6 +118,17 @@ func (h *Histogram) Observe(v float64) {
 			break
 		}
 	}
+}
+
+// Mean returns the running mean of all observations (0 when empty). It
+// reads two atomics — cheap enough for per-batch decisions on the hot
+// path, unlike Snapshot which walks every bucket for quantiles.
+func (h *Histogram) Mean() float64 {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load()) / float64(n)
 }
 
 // HistogramSnapshot is a serializable point-in-time digest of a Histogram.

@@ -11,6 +11,7 @@ import (
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Do runs fn(i) for every i in [0, n) across at most workers goroutines,
@@ -47,6 +48,56 @@ func Do(n, workers int, fn func(i int)) {
 	wg.Wait()
 }
 
+// Effective clamps a requested worker count to the machine's effective
+// parallelism. Spawning more CPU-bound workers than GOMAXPROCS is pure
+// scheduling overhead — on a one-CPU box a "4-worker" fan-out serializes
+// anyway, paying goroutine spawn and cursor contention for nothing — so
+// every fan-out decision (estimator batches, training pools) routes its
+// request through here and the 1-effective-worker path degenerates to
+// the plain serial loop inside Do.
+func Effective(workers int) int {
+	if max := runtime.GOMAXPROCS(0); workers > max {
+		workers = max
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// overheadOnce measures, once per process, the fixed cost of one Do
+// fan-out (goroutine spawn, shared-cursor contention, WaitGroup join)
+// over the serial loop on a trivial body. The measurement is clamped to
+// [1µs, 1ms]: the floor keeps a degenerate reading (GOMAXPROCS=1, where
+// Do never spawns) meaningful, the ceiling keeps one noisy scheduling
+// hiccup from suppressing fan-out for the whole process lifetime.
+var overheadOnce = sync.OnceValue(func() time.Duration {
+	const rounds, n = 8, 64
+	body := func(int) {}
+	start := time.Now()
+	for r := 0; r < rounds; r++ {
+		Do(n, 1, body)
+	}
+	serial := time.Since(start)
+	start = time.Now()
+	for r := 0; r < rounds; r++ {
+		Do(n, runtime.GOMAXPROCS(0), body)
+	}
+	d := (time.Since(start) - serial) / rounds
+	if d < time.Microsecond {
+		d = time.Microsecond
+	}
+	if d > time.Millisecond {
+		d = time.Millisecond
+	}
+	return d
+})
+
+// Overhead returns the measured per-call fixed cost of a Do fan-out on
+// this machine. Callers compare it against the work a batch would spread
+// across workers to decide whether fanning out pays at all.
+func Overhead() time.Duration { return overheadOnce() }
+
 // envTrainWorkers reads BYTECARD_TRAIN_WORKERS once; 0 means unset/invalid.
 var envTrainWorkers = sync.OnceValue(func() int {
 	if s := os.Getenv("BYTECARD_TRAIN_WORKERS"); s != "" {
@@ -58,13 +109,17 @@ var envTrainWorkers = sync.OnceValue(func() int {
 })
 
 // TrainWorkers resolves the training worker count: an explicit positive
-// request wins, then BYTECARD_TRAIN_WORKERS, then GOMAXPROCS.
+// request wins, then BYTECARD_TRAIN_WORKERS, then GOMAXPROCS — clamped
+// to effective parallelism either way, so a 4-worker request on a 1-CPU
+// box takes the serial path (trained artifacts are byte-identical at any
+// worker count, so the clamp is a pure wall-clock win).
 func TrainWorkers(requested int) int {
-	if requested > 0 {
-		return requested
+	switch {
+	case requested > 0:
+	case envTrainWorkers() > 0:
+		requested = envTrainWorkers()
+	default:
+		requested = runtime.GOMAXPROCS(0)
 	}
-	if v := envTrainWorkers(); v > 0 {
-		return v
-	}
-	return runtime.GOMAXPROCS(0)
+	return Effective(requested)
 }

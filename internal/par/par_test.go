@@ -1,8 +1,10 @@
 package par
 
 import (
+	"runtime"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 // TestDoCoversEveryIndexOnce checks each index is visited exactly once for
@@ -43,10 +45,38 @@ func TestDoHappensBefore(t *testing.T) {
 }
 
 func TestTrainWorkersExplicitWins(t *testing.T) {
-	if got := TrainWorkers(3); got != 3 {
-		t.Errorf("TrainWorkers(3) = %d", got)
+	// An explicit request wins over env/GOMAXPROCS resolution, but every
+	// resolution is clamped to effective parallelism: extra CPU-bound
+	// workers on a smaller machine are pure scheduling overhead, and the
+	// trained artifacts are byte-identical at any worker count.
+	want := 3
+	if m := runtime.GOMAXPROCS(0); m < want {
+		want = m
+	}
+	if got := TrainWorkers(3); got != want {
+		t.Errorf("TrainWorkers(3) = %d, want %d", got, want)
 	}
 	if got := TrainWorkers(0); got < 1 {
 		t.Errorf("TrainWorkers(0) = %d, want >= 1", got)
+	}
+}
+
+func TestEffectiveClamps(t *testing.T) {
+	m := runtime.GOMAXPROCS(0)
+	if got := Effective(m + 7); got != m {
+		t.Errorf("Effective(%d) = %d, want %d", m+7, got, m)
+	}
+	if got := Effective(0); got != 1 {
+		t.Errorf("Effective(0) = %d, want 1", got)
+	}
+	if got := Effective(1); got != 1 {
+		t.Errorf("Effective(1) = %d, want 1", got)
+	}
+}
+
+func TestOverheadBounded(t *testing.T) {
+	d := Overhead()
+	if d < time.Microsecond || d > time.Millisecond {
+		t.Errorf("Overhead() = %v, want within [1µs, 1ms]", d)
 	}
 }

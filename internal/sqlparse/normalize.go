@@ -1,0 +1,64 @@
+package sqlparse
+
+import "bytecard/internal/types"
+
+// Normalize renders stmt as its query template: the same SQL text with
+// every predicate constant replaced by a canonical literal of its kind
+// (numerics become 0, strings become ”). Two statements that differ only
+// in filter constants normalize to the same string; statements that
+// differ structurally — tables, join graph, predicate columns, operators,
+// AND/OR shape, select list, grouping — normalize differently. Join
+// conditions (column = column) carry no constants and pass through
+// untouched.
+//
+// The result is itself valid SQL: Parse(Normalize(stmt)) succeeds and
+// re-normalizes to the same string (a fixpoint, fuzz-asserted). That is
+// why both numeric kinds canonicalize to the integer 0 — a float
+// rendered "0" re-parses as an integer, so keeping one canonical numeric
+// literal is what makes the round trip stable.
+//
+// Normalize is the key function of the engine's template-keyed plan
+// cache: production traffic is template-heavy (the TiCard deployment
+// argument), so planning work keyed by template amortizes across every
+// constant-substituted instance. stmt is not modified.
+func Normalize(stmt *SelectStmt) string {
+	if stmt == nil {
+		return ""
+	}
+	n := &SelectStmt{
+		Items:   stmt.Items,
+		From:    stmt.From,
+		Where:   normalizeCond(stmt.Where),
+		GroupBy: stmt.GroupBy,
+	}
+	return n.String()
+}
+
+// normalizeCond deep-copies a condition tree with literals canonicalized.
+// Nodes without literals anywhere beneath them are shared, not copied.
+func normalizeCond(c *Cond) *Cond {
+	if c == nil {
+		return nil
+	}
+	switch c.Kind {
+	case CondCmp:
+		if c.RightCol != nil {
+			return c // join condition: no constant to strip
+		}
+		n := *c
+		switch c.RightVal.K {
+		case types.KindString:
+			n.RightVal = types.Str("")
+		default:
+			n.RightVal = types.Int(0)
+		}
+		return &n
+	default:
+		n := *c
+		n.Children = make([]*Cond, len(c.Children))
+		for i, ch := range c.Children {
+			n.Children[i] = normalizeCond(ch)
+		}
+		return &n
+	}
+}

@@ -1,0 +1,137 @@
+package sqlparse
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustParse(t *testing.T, sql string) *SelectStmt {
+	t.Helper()
+	stmt, err := Parse(sql)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", sql, err)
+	}
+	return stmt
+}
+
+// TestNormalizeSameTemplateSameKey pins the template identity: queries
+// differing only in comparison constants share a key; queries differing
+// in structure — columns, operators, join conditions, grouping — do not.
+func TestNormalizeSameTemplateSameKey(t *testing.T) {
+	siblings := [][2]string{
+		{
+			"SELECT COUNT(*) FROM t WHERE t.a > 10",
+			"SELECT COUNT(*) FROM t WHERE t.a > 99",
+		},
+		{
+			"SELECT COUNT(*) FROM t WHERE t.a > 10 AND t.b = 'x'",
+			"SELECT COUNT(*) FROM t WHERE t.a > -3 AND t.b = 'other'",
+		},
+		{
+			"SELECT COUNT(*) FROM a, b WHERE a.x = b.y AND a.v < 2.5",
+			"SELECT COUNT(*) FROM a, b WHERE a.x = b.y AND a.v < 7",
+		},
+		{
+			"SELECT COUNT(*) FROM t WHERE (t.a = 1 OR t.b = 2) AND t.c = 3",
+			"SELECT COUNT(*) FROM t WHERE (t.a = 9 OR t.b = 8) AND t.c = 7",
+		},
+	}
+	for _, pair := range siblings {
+		k0 := Normalize(mustParse(t, pair[0]))
+		k1 := Normalize(mustParse(t, pair[1]))
+		if k0 != k1 {
+			t.Errorf("templates differ:\n  %q -> %q\n  %q -> %q", pair[0], k0, pair[1], k1)
+		}
+	}
+	distinct := []string{
+		"SELECT COUNT(*) FROM t WHERE t.a > 10",
+		"SELECT COUNT(*) FROM t WHERE t.a < 10",
+		"SELECT COUNT(*) FROM t WHERE t.b > 10",
+		"SELECT COUNT(*) FROM t WHERE t.a > 10 AND t.b = 1",
+		"SELECT COUNT(*) FROM t WHERE t.a = 'x'",
+		"SELECT COUNT(*) FROM t",
+		"SELECT COUNT(*) FROM u WHERE u.a > 10",
+		"SELECT COUNT(*) FROM a, b WHERE a.x = b.y",
+		"SELECT COUNT(*) FROM a, b WHERE a.x = b.z",
+		"SELECT t.a, COUNT(*) FROM t GROUP BY t.a",
+		"SELECT COUNT(DISTINCT t.a) FROM t",
+	}
+	keys := map[string]string{}
+	for _, sql := range distinct {
+		k := Normalize(mustParse(t, sql))
+		if prev, ok := keys[k]; ok {
+			t.Errorf("distinct structures collide: %q and %q -> %q", prev, sql, k)
+		}
+		keys[k] = sql
+	}
+}
+
+// TestNormalizeStringVsNumberDistinct guards the canonical-literal choice:
+// a string comparison and a numeric comparison against the same column
+// must normalize differently (they select different featurization paths).
+func TestNormalizeStringVsNumberDistinct(t *testing.T) {
+	num := Normalize(mustParse(t, "SELECT COUNT(*) FROM t WHERE t.a = 5"))
+	str := Normalize(mustParse(t, "SELECT COUNT(*) FROM t WHERE t.a = 'v'"))
+	if num == str {
+		t.Errorf("numeric and string templates collide: %q", num)
+	}
+	// Int and float constants share a template: both featurize as numeric
+	// range predicates, and the canonical numeric literal must be a
+	// fixpoint under re-parsing.
+	f := Normalize(mustParse(t, "SELECT COUNT(*) FROM t WHERE t.a = 2.5"))
+	if num != f {
+		t.Errorf("int and float constants split the template: %q vs %q", num, f)
+	}
+}
+
+// TestNormalizeDoesNotMutate checks Normalize leaves the input statement
+// untouched — the planner normalizes live queries whose constants the
+// executor still needs.
+func TestNormalizeDoesNotMutate(t *testing.T) {
+	stmt := mustParse(t, "SELECT COUNT(*) FROM t WHERE t.a > 10 AND t.b = 'x'")
+	before := stmt.String()
+	Normalize(stmt)
+	if after := stmt.String(); after != before {
+		t.Errorf("Normalize mutated its input: %q -> %q", before, after)
+	}
+}
+
+// FuzzNormalize checks the normalizer's contract over arbitrary parsed
+// statements: the key is itself parseable SQL, normalization is a
+// fixpoint (Normalize(Parse(key)) == key — keys are canonical), and
+// normalizing never panics or mutates.
+func FuzzNormalize(f *testing.F) {
+	seeds := []string{
+		"SELECT COUNT(*) FROM title",
+		"SELECT COUNT(*) FROM title t, cast_info AS ci WHERE t.id = ci.movie_id",
+		"SELECT COUNT(*) FROM t WHERE t.a >= 10 AND t.b < 2.5 AND t.c = 'xyz'",
+		"SELECT COUNT(*) FROM t WHERE a = 1 OR b = 2 AND c = 3",
+		"SELECT COUNT(*) FROM t WHERE (a = 1 OR b = 2) AND c = 3",
+		"SELECT u.state, COUNT(*), AVG(p.score) FROM posts p, users u WHERE p.owner = u.id GROUP BY u.state",
+		"SELECT COUNT(DISTINCT a, b) FROM t",
+		"SELECT COUNT(*) FROM t WHERE name = 'O''Brien'",
+		"SELECT COUNT(*) FROM t WHERE t.a > -5",
+		strings.Repeat("SELECT COUNT(*) FROM t WHERE a = 1", 1),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, sql string) {
+		stmt, err := Parse(sql)
+		if err != nil {
+			return
+		}
+		before := stmt.String()
+		key := Normalize(stmt)
+		if stmt.String() != before {
+			t.Fatalf("Normalize mutated %q", sql)
+		}
+		restmt, err := Parse(key)
+		if err != nil {
+			t.Fatalf("key %q (from %q) does not parse: %v", key, sql, err)
+		}
+		if again := Normalize(restmt); again != key {
+			t.Fatalf("not a fixpoint: %q -> %q -> %q", sql, key, again)
+		}
+	})
+}

@@ -27,13 +27,11 @@ func TestEstimateDetailTracesModelSources(t *testing.T) {
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			var d Estimate
-			var err error
+			kind := EstimateRows
 			if tc.ndv {
-				d, err = sys.EstimateNDVDetail(tc.sql)
-			} else {
-				d, err = sys.EstimateCountDetail(tc.sql)
+				kind = EstimateDistinct
 			}
+			d, err := sys.Estimate(tc.sql, EstimateOpts{Kind: kind, Trace: true})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -63,7 +61,7 @@ func TestFaultTraceRecordsGuardOutcome(t *testing.T) {
 	sys.SetFaultHook(inj)
 	defer sys.SetFaultHook(nil)
 
-	d, err := sys.EstimateCountDetail("SELECT COUNT(*) FROM fact WHERE val < 50")
+	d, err := sys.Estimate("SELECT COUNT(*) FROM fact WHERE val < 50", EstimateOpts{Trace: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -220,14 +218,15 @@ func TestMetricsSnapshot(t *testing.T) {
 			t.Errorf("serialized metrics missing %q", key)
 		}
 	}
-	// Health is built from the same sources; with no traffic in between the
-	// counters must match exactly.
-	h := sys.Health()
-	if h.Calls != m.Estimator.Calls {
-		t.Errorf("Health.Calls = %d, Metrics.Estimator.Calls = %d", h.Calls, m.Estimator.Calls)
+	if _, ok := decoded["caches"]; !ok {
+		t.Error("serialized metrics missing \"caches\"")
 	}
-	if h.Fallbacks != m.Estimator.Fallbacks {
-		t.Errorf("Health.Fallbacks = %d, Metrics = %d", h.Fallbacks, m.Estimator.Fallbacks)
+	// The derived caches surface uniformly; a fresh system has at least the
+	// join-vector and plan caches registered.
+	for _, name := range []string{"joinvec", "plan"} {
+		if _, ok := m.Caches[name]; !ok {
+			t.Errorf("Metrics.Caches missing %q (have %v)", name, m.Caches)
+		}
 	}
 }
 
@@ -250,7 +249,7 @@ func TestModelAdminView(t *testing.T) {
 	if admin.Usable("bn:fact") {
 		t.Error("disabled key still usable")
 	}
-	d, err := sys.EstimateCountDetail("SELECT COUNT(*) FROM fact WHERE val < 50")
+	d, err := sys.Estimate("SELECT COUNT(*) FROM fact WHERE val < 50", EstimateOpts{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -261,7 +260,7 @@ func TestModelAdminView(t *testing.T) {
 	if admin.State("bn:fact").Disabled {
 		t.Error("Enable did not take")
 	}
-	d, err = sys.EstimateCountDetail("SELECT COUNT(*) FROM fact WHERE val < 50")
+	d, err = sys.Estimate("SELECT COUNT(*) FROM fact WHERE val < 50", EstimateOpts{})
 	if err != nil {
 		t.Fatal(err)
 	}
