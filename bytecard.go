@@ -31,6 +31,7 @@ import (
 	"bytecard/internal/monitor"
 	"bytecard/internal/obs"
 	"bytecard/internal/rbx"
+	"bytecard/internal/residual"
 	"bytecard/internal/sample"
 	"bytecard/internal/workload"
 )
@@ -92,6 +93,17 @@ type Options struct {
 	// BYTECARD_BATCH_THRESHOLD, then the engine default (2); negative
 	// disables batching.
 	BatchThreshold int
+	// ResidualCorrection enables the online residual corrector: executed
+	// queries feed (estimate, truth) pairs into a per-template
+	// multiplicative correction applied on top of BN/FactorJoin estimates
+	// (see internal/residual), with Monitor-triggered refits on q-error
+	// drift. False defers to the BYTECARD_RESIDUAL environment variable
+	// ("1"/"true"/"on"). Off by default — and with it off, every estimate
+	// is byte-identical to a build without the corrector.
+	ResidualCorrection bool
+	// Residual tunes the corrector (zero values take the defaults); only
+	// consulted when ResidualCorrection is on.
+	Residual residual.Config
 }
 
 func (o *Options) fill() {
@@ -116,7 +128,20 @@ func (o *Options) fill() {
 	if o.Estimator == "" {
 		o.Estimator = "bytecard"
 	}
+	if !o.ResidualCorrection && envResidual() {
+		o.ResidualCorrection = true
+	}
 }
+
+// envResidual reads BYTECARD_RESIDUAL once (the deployment flag for the
+// online residual corrector).
+var envResidual = sync.OnceValue(func() bool {
+	switch os.Getenv("BYTECARD_RESIDUAL") {
+	case "1", "true", "on":
+		return true
+	}
+	return false
+})
 
 // System is a fully wired ByteCard deployment over one dataset.
 type System struct {
@@ -144,6 +169,9 @@ type System struct {
 	Monitor *monitor.Monitor
 	// Featurizer builds feature vectors for the estimation API.
 	Featurizer *core.Featurizer
+	// Residual is the online residual corrector (nil unless
+	// Options.ResidualCorrection / BYTECARD_RESIDUAL enabled it).
+	Residual *residual.Corrector
 	// TrainReport records the initial training run (nil with
 	// SkipTraining).
 	TrainReport *modelforge.Report
@@ -190,6 +218,14 @@ func OpenDataset(ds *datagen.Dataset, opts Options) (*System, error) {
 	sys.Loader = loader.New(sys.Store, sys.Infer)
 	sys.Estimator = core.NewEstimator(sys.Infer, sys.Sketch)
 	sys.Estimator.Guard = core.NewGuard(opts.Guard)
+	if opts.ResidualCorrection {
+		sys.Residual = residual.New(opts.Residual, obs.NewResidualMetrics())
+		sys.Estimator.Residual = sys.Residual
+		// Registered with the inference registry so model churn (retrain,
+		// refresh, enable/disable) drops the corrections learned against
+		// the replaced models instead of letting them ride on fresh ones.
+		sys.Infer.RegisterCache("residual", sys.Residual)
+	}
 	sys.Featurizer = core.NewFeaturizer(ds.DB, ds.Schema)
 
 	if !opts.SkipTraining {
@@ -218,12 +254,24 @@ func OpenDataset(ds *datagen.Dataset, opts Options) (*System, error) {
 		// refresh, enable/disable) invalidates cached templates.
 		sys.Infer.RegisterCache("plan", pc)
 	}
+	if sys.Residual != nil && opts.Estimator == "bytecard" {
+		// Close the loop: every executed statement's (template, estimate,
+		// truth) tuple feeds the corrector. Only wired when the engine
+		// plans with the ByteCard estimator — truth paired with another
+		// estimator's numbers would teach the corrector the wrong
+		// residuals.
+		corr := sys.Residual
+		sys.Engine.OnTruth = func(key string, tables []string, est float64, actual int64) {
+			corr.Observe(key, tables, est, float64(actual))
+		}
+	}
 	sys.Monitor = &monitor.Monitor{
-		Exec:  sys.Engine,
-		Est:   sys.Estimator,
-		Feat:  sys.Featurizer,
-		Infer: sys.Infer,
-		Seed:  opts.Seed + 5,
+		Exec:     sys.Engine,
+		Est:      sys.Estimator,
+		Feat:     sys.Featurizer,
+		Infer:    sys.Infer,
+		Residual: sys.Residual,
+		Seed:     opts.Seed + 5,
 		RetrainTable: func(table string) error {
 			_, err := sys.Forge.TrainTable(table)
 			return err
@@ -426,10 +474,16 @@ type Metrics struct {
 	Training obs.TrainSnapshot `json:"training"`
 	// Caches snapshots every registered derived cache by name — "joinvec"
 	// for the estimator's join-vector/subset cache, "plan" for the
-	// template-keyed plan cache (absent when disabled) — with uniform
+	// template-keyed plan cache (absent when disabled), "residual" for the
+	// online corrector's bucket table (absent when disabled) — with uniform
 	// hit/miss/eviction/invalidation counters and resident byte/entry
 	// gauges.
 	Caches map[string]obs.CacheSnapshot `json:"caches"`
+	// Residual digests the online residual corrector: corrections applied
+	// vs skipped, truth tuples absorbed, drift refits, correction-factor
+	// magnitudes, and pre- vs post-correction q-error (all zero when the
+	// corrector is disabled).
+	Residual obs.ResidualSnapshot `json:"residual"`
 }
 
 // String renders the snapshot as JSON, satisfying expvar.Var.
@@ -443,6 +497,10 @@ func (m Metrics) String() string {
 
 // Metrics returns the system-wide observability snapshot.
 func (s *System) Metrics() Metrics {
+	var rm *obs.ResidualMetrics
+	if s.Residual != nil {
+		rm = s.Residual.Metrics()
+	}
 	return Metrics{
 		Estimator: s.Estimator.Metrics.Snapshot(),
 		Guard:     s.Estimator.Guard.Stats(),
@@ -452,6 +510,7 @@ func (s *System) Metrics() Metrics {
 		Engine:    s.Engine.Obs.Snapshot(),
 		Training:  s.Forge.Obs().Snapshot(),
 		Caches:    s.Infer.CacheStats(),
+		Residual:  rm.Snapshot(),
 	}
 }
 

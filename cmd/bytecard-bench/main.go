@@ -30,7 +30,7 @@ import (
 
 func main() {
 	var (
-		expFlag    = flag.String("exp", "all", "comma-separated experiments: table1,table2,table3,table5,table6,fig5,fig6a,fig6b,fig7 or all")
+		expFlag    = flag.String("exp", "all", "comma-separated experiments: table1,table2,table3,table5,table6,fig5,fig6a,fig6b,fig7 or all; drift (residual-correction drift study) runs only when named explicitly")
 		scale      = flag.Float64("scale", 0.05, "dataset scale factor")
 		seed       = flag.Int64("seed", 1, "generator seed")
 		probes     = flag.Int("probes", 60, "Q-error probes per dataset")
@@ -82,6 +82,31 @@ func main() {
 		fmt.Fprintln(os.Stderr, "bytecard-bench:", err)
 		os.Exit(1)
 	}
+	// The drift study builds its own environments (clean-trained models vs
+	// drifted data), so it is opt-in rather than part of -exp all.
+	if want["drift"] {
+		if err := runDrift(cfg, names); err != nil {
+			fmt.Fprintln(os.Stderr, "bytecard-bench:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+func runDrift(cfg bench.Config, datasets []string) error {
+	fmt.Println("== Drift: stale-model q-error before/after online residual correction ==")
+	fmt.Printf("%-8s %-12s %8s %8s %8s %10s\n", "Dataset", "Mode", "P50", "P90", "P99", "max")
+	for _, ds := range datasets {
+		rows, err := bench.DriftExperiment(ds, cfg)
+		if err != nil {
+			return err
+		}
+		for _, r := range rows {
+			s := r.Summary
+			fmt.Printf("%-8s %-12s %8.2f %8.2f %8.2f %10.2f\n", r.Dataset, r.Mode, s.P50, s.P90, s.P99, s.Max)
+		}
+	}
+	fmt.Println()
+	return nil
 }
 
 func runEstimation(cfg bench.EstimationConfig, out string) error {

@@ -27,19 +27,21 @@ func main() {
 		seed        = flag.Int64("seed", 1, "generator seed")
 		estimator   = flag.String("estimator", "bytecard", "optimizer estimator: bytecard, sketch, sample, heuristic")
 		parallelism = flag.Int("parallelism", 0, "executor worker count (0 = BYTECARD_PARALLELISM env, then GOMAXPROCS; 1 = sequential)")
+		residualFl  = flag.Bool("residual", false, "enable the online residual corrector (executed truth feeds back into estimates; also BYTECARD_RESIDUAL=1)")
 	)
 	flag.Parse()
-	if err := run(*dataset, *scale, *seed, *estimator, *parallelism); err != nil {
+	if err := run(*dataset, *scale, *seed, *estimator, *parallelism, *residualFl); err != nil {
 		fmt.Fprintln(os.Stderr, "bytehouse-cli:", err)
 		os.Exit(1)
 	}
 }
 
-func run(dataset string, scale float64, seed int64, estimator string, parallelism int) error {
+func run(dataset string, scale float64, seed int64, estimator string, parallelism int, residualOn bool) error {
 	fmt.Printf("opening %s (scale %.3g) and training ByteCard models...\n", dataset, scale)
 	sys, err := bytecard.Open(bytecard.Options{
 		Dataset: dataset, Scale: scale, Seed: seed, Estimator: estimator, Parallelism: parallelism,
-		RBX: rbx.TrainConfig{Columns: 200, Epochs: 8, MaxPop: 30000, Seed: seed + 9},
+		ResidualCorrection: residualOn,
+		RBX:                rbx.TrainConfig{Columns: 200, Epochs: 8, MaxPop: 30000, Seed: seed + 9},
 	})
 	if err != nil {
 		return err

@@ -1,0 +1,42 @@
+package bench
+
+import "testing"
+
+// TestDriftExperimentCorrectionImproves is the tentpole's acceptance bar:
+// on a dataset whose distribution shifts mid-stream after the models were
+// trained, a few rounds of executed-truth feedback through the residual
+// corrector must strictly improve the P50 and P90 q-error over the stale
+// uncorrected estimates.
+func TestDriftExperimentCorrectionImproves(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Scale = 1 // toy's base sizes are already tiny
+	cfg.ProbeCount = 30
+	rows, err := DriftExperiment("toy", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || rows[0].Mode != "uncorrected" || rows[1].Mode != "corrected" {
+		t.Fatalf("rows = %+v, want [uncorrected corrected]", rows)
+	}
+	before, after := rows[0], rows[1]
+	if len(before.Errors) == 0 || len(before.Errors) != len(after.Errors) {
+		t.Fatalf("error counts: before=%d after=%d", len(before.Errors), len(after.Errors))
+	}
+	for _, r := range rows {
+		for _, q := range r.Errors {
+			if q < 1 {
+				t.Errorf("%s: q-error %g below theoretical floor", r.Mode, q)
+			}
+		}
+	}
+	t.Logf("uncorrected P50=%.3f P90=%.3f; corrected P50=%.3f P90=%.3f",
+		before.Summary.P50, before.Summary.P90, after.Summary.P50, after.Summary.P90)
+	if after.Summary.P50 >= before.Summary.P50 {
+		t.Errorf("corrected P50 %.3f, want strictly below uncorrected %.3f",
+			after.Summary.P50, before.Summary.P50)
+	}
+	if after.Summary.P90 >= before.Summary.P90 {
+		t.Errorf("corrected P90 %.3f, want strictly below uncorrected %.3f",
+			after.Summary.P90, before.Summary.P90)
+	}
+}

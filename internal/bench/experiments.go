@@ -8,8 +8,10 @@ import (
 
 	"bytecard/internal/bn"
 	"bytecard/internal/cardinal"
+	"bytecard/internal/datagen"
 	"bytecard/internal/engine"
 	"bytecard/internal/mscn"
+	"bytecard/internal/residual"
 	"bytecard/internal/spn"
 	"bytecard/internal/sqlparse"
 	"bytecard/internal/workload"
@@ -506,6 +508,105 @@ func (e *Env) Table6() []ModelDetailRow {
 			out = append(out, *row)
 		}
 	}
+	return out
+}
+
+// DriftRow is one mode of the residual-drift experiment: the q-error
+// summary of stale models estimating against drifted data, with and
+// without the online residual corrector.
+type DriftRow struct {
+	Dataset string
+	// Mode is "uncorrected" or "corrected".
+	Mode    string
+	Summary cardinal.Summary
+	Errors  []float64
+}
+
+// DriftExperiment trains ByteCard's models on a clean dataset, regenerates
+// the same dataset with the drift knob on (foreign-key skew and
+// cross-column correlations shift mid-stream; see datagen.Config.Drift),
+// and measures COUNT-probe q-errors of the now-stale models against the
+// drifted truth — first raw, then after a residual corrector has watched a
+// few rounds of executed truth for the same query templates. The corrected
+// row is the tentpole's "after" picture: accuracy clawed back online,
+// without retraining a single model.
+func DriftExperiment(dataset string, cfg Config) ([]DriftRow, error) {
+	cfg.fill()
+	env, err := NewEnv(dataset, cfg)
+	if err != nil {
+		return nil, err
+	}
+	cfg.logf("[%s] regenerating with mid-stream drift", dataset)
+	drifted, err := datagen.ByName(dataset, datagen.Config{Scale: cfg.Scale, Seed: cfg.Seed, Drift: true})
+	if err != nil {
+		return nil, err
+	}
+	truthEng := engine.New(drifted.DB, drifted.Schema, engine.HeuristicEstimator{})
+	probes, err := workload.CountProbes(drifted, cfg.ProbeCount, cfg.Seed+21)
+	if err != nil {
+		return nil, err
+	}
+	type item struct {
+		q     *engine.Query
+		truth float64
+	}
+	var items []item
+	for _, p := range probes.Queries {
+		q, err := truthEng.Analyze(sqlparse.MustParse(p.SQL))
+		if err != nil {
+			return nil, err
+		}
+		truth, err := truthEng.TrueCardinality(p.SQL)
+		if err != nil {
+			return nil, err
+		}
+		if truth < 1 {
+			continue // Q-error is undefined for empty results
+		}
+		items = append(items, item{q: q, truth: truth})
+	}
+	measure := func(mode string) DriftRow {
+		row := DriftRow{Dataset: dataset, Mode: mode}
+		for _, it := range items {
+			row.Errors = append(row.Errors, cardinal.QError(estimateCount(env.ByteCard, it.q), it.truth))
+		}
+		row.Summary = cardinal.Summarize(row.Errors)
+		return row
+	}
+
+	env.ByteCard.Residual = nil
+	before := measure("uncorrected")
+
+	corr := residual.New(residual.Config{}, nil)
+	env.ByteCard.Residual = corr
+	defer func() { env.ByteCard.Residual = nil }()
+	// Three rounds of executed-truth feedback: round one seeds each
+	// template×magnitude bucket, round two lifts it past the
+	// MinObservations floor, round three exercises the full loop (the
+	// corrector observing its own already-corrected estimates).
+	const rounds = 3
+	for r := 0; r < rounds; r++ {
+		for _, it := range items {
+			est := estimateCount(env.ByteCard, it.q)
+			corr.Observe(engine.TemplateKey(it.q.Tables, it.q.Joins), queryTableNames(it.q), est, it.truth)
+		}
+	}
+	after := measure("corrected")
+	return []DriftRow{before, after}, nil
+}
+
+// queryTableNames lists a query's deduped physical table names, sorted —
+// the corrector's table-scoped invalidation identity.
+func queryTableNames(q *engine.Query) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, t := range q.Tables {
+		if !seen[t.Name] {
+			seen[t.Name] = true
+			out = append(out, t.Name)
+		}
+	}
+	sort.Strings(out)
 	return out
 }
 

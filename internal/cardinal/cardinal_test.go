@@ -49,6 +49,46 @@ func TestQuantile(t *testing.T) {
 	}
 }
 
+// TestQuantileBoundaries pins the documented contract: linear
+// interpolation between order statistics (the R/NumPy "linear" method,
+// not nearest-rank), exact-rank hits returning the element itself, and
+// the empty/single/extreme edge cases.
+func TestQuantileBoundaries(t *testing.T) {
+	if !math.IsNaN(Quantile(nil, 0)) || !math.IsNaN(Quantile([]float64{}, 1)) {
+		t.Error("empty input must be NaN at every q")
+	}
+	for _, q := range []float64{-1, 0, 0.5, 1, 2} {
+		if v := Quantile([]float64{7}, q); v != 7 {
+			t.Errorf("single element at q=%g: %g, want 7", q, v)
+		}
+	}
+	vals := []float64{40, 10, 30, 20} // unsorted on purpose
+	if Quantile(vals, -0.5) != 10 || Quantile(vals, 0) != 10 {
+		t.Error("q <= 0 must return the minimum")
+	}
+	if Quantile(vals, 1) != 40 || Quantile(vals, 1.5) != 40 {
+		t.Error("q >= 1 must return the maximum")
+	}
+	// Exact rank hits: positions 0, 1, 2, 3 at q = i/(n-1).
+	for i, want := range []float64{10, 20, 30, 40} {
+		q := float64(i) / 3
+		if v := Quantile(vals, q); v != want {
+			t.Errorf("exact rank q=%g: %g, want %g", q, v, want)
+		}
+	}
+	// Between ranks: linear interpolation, not a nearest-rank snap.
+	if v := Quantile(vals, 0.5); v != 25 {
+		t.Errorf("q=0.5 over 4 values: %g, want interpolated 25", v)
+	}
+	if v := Quantile(vals, 0.25+0.375); v < 28.74 || v > 28.76 {
+		t.Errorf("q=0.625: %g, want 28.75", v)
+	}
+	// The input slice must not be reordered.
+	if vals[0] != 40 || vals[3] != 20 {
+		t.Errorf("Quantile mutated its input: %v", vals)
+	}
+}
+
 func TestSummarize(t *testing.T) {
 	vals := make([]float64, 100)
 	for i := range vals {

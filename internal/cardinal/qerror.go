@@ -27,8 +27,11 @@ func QError(est, truth float64) float64 {
 	return truth / est
 }
 
-// Quantile returns the q-th quantile (0..1, nearest-rank interpolation) of
-// the values; the input need not be sorted.
+// Quantile returns the q-th quantile (0..1) of the values; the input need
+// not be sorted. The rank position q·(len−1) is resolved by linear
+// interpolation between the two nearest order statistics (the "linear"
+// method of R/NumPy — not nearest-rank): an exact rank hit returns that
+// element, q <= 0 the minimum, q >= 1 the maximum, and an empty input NaN.
 func Quantile(values []float64, q float64) float64 {
 	if len(values) == 0 {
 		return math.NaN()

@@ -11,6 +11,7 @@ import (
 	"bytecard/internal/factorjoin"
 	"bytecard/internal/obs"
 	"bytecard/internal/par"
+	"bytecard/internal/residual"
 	"bytecard/internal/sample"
 	"bytecard/internal/types"
 )
@@ -43,6 +44,12 @@ type Estimator struct {
 	// Metrics is the shared observability block (never nil from
 	// NewEstimator; shared by traced and strict views).
 	Metrics *obs.EstimatorMetrics
+	// Residual, when non-nil, multiplies final (whole-target) filter and
+	// join estimates by a correction learned online from executed truth
+	// (see internal/residual). Nil leaves every code path byte-identical
+	// to an estimator without the corrector — the feature-flag guarantee.
+	// Shared by traced and strict views, like Metrics.
+	Residual *residual.Corrector
 
 	// vec memoizes the optimizer's per (table instance, key column)
 	// filtered bucket vectors so join planning stays O(tables) BN
@@ -232,7 +239,12 @@ func (e *Estimator) EstimateFilter(t *engine.QueryTable) float64 {
 		e.fallbackSpan(obs.OpFilter, []string{t.Binding}, err, v, start)
 		return v
 	}
-	return math.Max(1, sel*float64(t.Table.NumRows()))
+	rows := math.Max(1, float64(t.Table.NumRows()))
+	est := math.Max(1, sel*float64(t.Table.NumRows()))
+	if e.Residual == nil {
+		return est
+	}
+	return e.correctFinal(obs.OpFilter, []*engine.QueryTable{t}, nil, est, 1, rows)
 }
 
 // EstimateConj implements engine.CardEstimator (the column-order input).
@@ -373,13 +385,9 @@ func (e *Estimator) joinModelCall(fj *factorjoin.Model, tables []*engine.QueryTa
 		e.span(obs.Span{Op: obs.OpVector, Tables: []string{binding}, Key: "bn:" + t.Name, Source: "bn", Outcome: obs.OutcomeOK, Duration: time.Since(vecStart)})
 		return vec, nil
 	}
-	upper = 1.0
-	for _, t := range tables {
-		upper *= math.Max(float64(t.Table.NumRows()), 1)
-	}
 	return func() (float64, error) {
 		return fj.EstimateWithMemo(fjTables, conds, src, e.JoinMode, memo)
-	}, upper
+	}, cartesianUpper(tables)
 }
 
 // EstimateJoin implements engine.CardEstimator via FactorJoin inference
@@ -402,7 +410,39 @@ func (e *Estimator) EstimateJoin(tables []*engine.QueryTable, joins []engine.Joi
 		e.fallbackSpan(obs.OpJoin, bindings(tables), err, v, start)
 		return v
 	}
-	return est
+	if e.Residual == nil {
+		return est
+	}
+	return e.correctFinal(obs.OpJoin, tables, joins, est, 1, upper)
+}
+
+// correctFinal multiplies a sanitized model estimate by the residual
+// corrector's learned factor for the target's template, re-clamped into
+// the same [lo, hi] the guard enforced. Only final (whole-target) model
+// estimates flow through here — fallback values stay uncorrected (the
+// corrector learns the models' residuals, not the sketch's), and strict
+// paths (countSingle, which feeds Monitor probes and featurization) stay
+// raw so the Monitor measures the models themselves.
+func (e *Estimator) correctFinal(op string, tables []*engine.QueryTable, joins []engine.JoinCond, est, lo, hi float64) float64 {
+	key := engine.TemplateKey(tables, joins)
+	v, factor := e.Residual.Correct(key, est)
+	if factor != 1 && e.trace != nil {
+		e.trace.Add(obs.Span{
+			Op: obs.OpResidual, Tables: bindings(tables), Key: "residual",
+			Source: "residual", Outcome: obs.OutcomeOK, Value: v,
+		})
+	}
+	return clampEst(v, lo, hi)
+}
+
+// cartesianUpper is the sanitizer's join-size upper bound: the Cartesian
+// product of the joined relations — an inner join can never exceed it.
+func cartesianUpper(tables []*engine.QueryTable) float64 {
+	upper := 1.0
+	for _, t := range tables {
+		upper *= math.Max(float64(t.Table.NumRows()), 1)
+	}
+	return upper
 }
 
 // fanOutWorkers decides how many workers a batch of n guarded model
@@ -504,6 +544,13 @@ func (e *Estimator) EstimateJoinBatch(items []engine.JoinBatchItem, parallelism 
 	for k := range items {
 		if key := items[k].Key; key != "" {
 			if v, ok := e.vec.getSubset(key); ok {
+				// The memo holds uncorrected sanitized estimates (published
+				// below, pre-correction), so hits and computed items apply
+				// the same residual correction and stay byte-identical to
+				// sequential EstimateJoin calls.
+				if e.Residual != nil {
+					v = e.correctFinal(obs.OpJoinBatch, items[k].Tables, items[k].Conds, v, 1, cartesianUpper(items[k].Tables))
+				}
 				out[k] = v
 				sources[k] = "factorjoin"
 				e.Metrics.Sources.Add("factorjoin", 1)
@@ -559,6 +606,9 @@ func (e *Estimator) EstimateJoinBatch(items []engine.JoinBatchItem, parallelism 
 		}
 		if items[k].Key != "" {
 			e.vec.putSubset(items[k].Key, out[k])
+		}
+		if e.Residual != nil {
+			out[k] = e.correctFinal(obs.OpJoinBatch, items[k].Tables, items[k].Conds, out[k], 1, cartesianUpper(items[k].Tables))
 		}
 	}
 	e.Metrics.ModelFailures.Add(failures)

@@ -34,6 +34,29 @@ type Config struct {
 	Scale float64
 	// Seed drives the deterministic generator.
 	Seed int64
+	// Drift, when true, shifts the generated distribution partway through
+	// each table's row stream — foreign-key Zipf skew and cross-column
+	// correlations change for rows past DriftPoint — reproducing the
+	// workload drift that makes models trained on the clean stream stale.
+	// Toy and IMDB model the shift; the other generators currently ignore
+	// the knob. Drift off is byte-identical to a Config without the field.
+	Drift bool
+	// DriftPoint is the fraction (0..1) of each row stream generated
+	// before the shift; zero or out-of-range defaults to 0.5.
+	DriftPoint float64
+}
+
+// driftAt reports whether zero-based row i of an n-row stream falls after
+// the drift point (always false when drift is disabled).
+func (c Config) driftAt(i, n int) bool {
+	if !c.Drift {
+		return false
+	}
+	p := c.DriftPoint
+	if p <= 0 || p >= 1 {
+		p = 0.5
+	}
+	return float64(i) >= p*float64(n)
 }
 
 func (c Config) scale(base int) int {
@@ -224,6 +247,17 @@ func IMDB(cfg Config) *Dataset {
 	}
 
 	movieFK := g.zipfSampler(1.3, int64(nTitle))
+	// Post-drift fact rows reference a much hotter popularity head —
+	// the skew shift that invalidates join-bucket statistics trained on
+	// the clean prefix. (Building the sampler consumes no RNG state, so
+	// the drift-off stream is unchanged.)
+	movieFKDrift := g.zipfSampler(2.0, int64(nTitle))
+	movieRef := func(i, n int) int64 {
+		if cfg.driftAt(i, n) {
+			return movieFKDrift()
+		}
+		return movieFK()
+	}
 
 	ci := newTable("cast_info", []storage.ColumnSpec{
 		{Name: "id", Kind: types.KindInt64},
@@ -236,15 +270,16 @@ func IMDB(cfg Config) *Dataset {
 	personFK := g.zipfSampler(1.2, personMax)
 	for i := 1; i <= nCast; i++ {
 		person := personFK()
-		// Prolific people (low ids under Zipf) cluster in acting roles.
+		// Prolific people (low ids under Zipf) cluster in acting roles —
+		// until the drift point, after which the role mix decorrelates.
 		var role int64
-		if person < personMax/10 {
+		if person < personMax/10 && !cfg.driftAt(i-1, nCast) {
 			role = int64(g.pick([]float64{0.45, 0.35, 0.05, 0.05, 0.04, 0.02, 0.01, 0.01, 0.01, 0.005, 0.005})) + 1
 		} else {
 			role = g.uniform(1, 11)
 		}
 		ci.b.Append([]types.Datum{
-			types.Int(int64(i)), types.Int(movieFK()), types.Int(person), types.Int(role),
+			types.Int(int64(i)), types.Int(movieRef(i-1, nCast)), types.Int(person), types.Int(role),
 		})
 	}
 	ci.finish(ds)
@@ -257,7 +292,7 @@ func IMDB(cfg Config) *Dataset {
 	nKw := cfg.scale(factSizes["movie_keyword"])
 	kwFK := g.zipfSampler(1.4, int64(cfg.scale(30000)))
 	for i := 1; i <= nKw; i++ {
-		mk.b.Append([]types.Datum{types.Int(int64(i)), types.Int(movieFK()), types.Int(kwFK())})
+		mk.b.Append([]types.Datum{types.Int(int64(i)), types.Int(movieRef(i-1, nKw)), types.Int(kwFK())})
 	}
 	mk.finish(ds)
 
@@ -269,7 +304,7 @@ func IMDB(cfg Config) *Dataset {
 	nMi := cfg.scale(factSizes["movie_info"])
 	for i := 1; i <= nMi; i++ {
 		mi.b.Append([]types.Datum{
-			types.Int(int64(i)), types.Int(movieFK()), types.Int(g.zipf(1.5, 110)),
+			types.Int(int64(i)), types.Int(movieRef(i-1, nMi)), types.Int(g.zipf(1.5, 110)),
 		})
 	}
 	mi.finish(ds)
@@ -284,7 +319,7 @@ func IMDB(cfg Config) *Dataset {
 	companyFK := g.zipfSampler(1.5, int64(cfg.scale(20000)))
 	for i := 1; i <= nMc; i++ {
 		mc.b.Append([]types.Datum{
-			types.Int(int64(i)), types.Int(movieFK()), types.Int(companyFK()),
+			types.Int(int64(i)), types.Int(movieRef(i-1, nMc)), types.Int(companyFK()),
 			types.Int(g.uniform(1, 2)),
 		})
 	}
@@ -298,7 +333,7 @@ func IMDB(cfg Config) *Dataset {
 	nMii := cfg.scale(factSizes["movie_info_idx"])
 	for i := 1; i <= nMii; i++ {
 		mii.b.Append([]types.Datum{
-			types.Int(int64(i)), types.Int(movieFK()), types.Int(g.uniform(99, 113)),
+			types.Int(int64(i)), types.Int(movieRef(i-1, nMii)), types.Int(g.uniform(99, 113)),
 		})
 	}
 	mii.finish(ds)
@@ -645,14 +680,27 @@ func Toy(cfg Config) *Dataset {
 		{Name: "flag", Kind: types.KindInt64},
 	})
 	fk := g.zipfSampler(1.4, int64(nDim))
+	// The post-drift regime concentrates the foreign key on a hotter head
+	// (sampler construction consumes no RNG state, keeping the drift-off
+	// stream byte-identical).
+	fkDrift := g.zipfSampler(2.4, int64(nDim))
 	for i := 1; i <= nFact; i++ {
 		val := g.uniform(0, 99)
 		flag := int64(0)
 		if val >= 50 { // flag fully determined by val: maximal correlation
 			flag = 1
 		}
+		dimID := fk()
+		if cfg.driftAt(i-1, nFact) {
+			// After the drift point the val↔flag correlation inverts, the
+			// value range narrows, and the key skew sharpens — stale models
+			// trained on the clean prefix mispredict all three.
+			flag = 1 - flag
+			val = g.uniform(0, 49)
+			dimID = fkDrift()
+		}
 		fact.b.Append([]types.Datum{
-			types.Int(int64(i)), types.Int(fk()), types.Int(val), types.Int(flag),
+			types.Int(int64(i)), types.Int(dimID), types.Int(val), types.Int(flag),
 		})
 	}
 	fact.finish(ds)

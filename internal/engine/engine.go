@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
 	"strconv"
 	"sync"
 	"time"
@@ -79,6 +80,13 @@ type Engine struct {
 	// owner is responsible for registering the cache with the inference
 	// registry so model churn invalidates it.
 	PlanCache *PlanCache
+	// OnTruth, when set, receives each executed statement's template
+	// identity (TemplateKey), deduped sorted physical-table list,
+	// final-plan cardinality estimate, and exact executed cardinality —
+	// the executed-truth feedback hook the residual corrector learns
+	// from. Called synchronously after execution, on cache-hit and
+	// cache-miss plans alike.
+	OnTruth func(templateKey string, tables []string, est float64, actual int64)
 }
 
 // New creates an engine. Schema may be nil (join-pattern collection is then
@@ -181,12 +189,7 @@ func (e *Engine) RunStmtTraced(stmt *sqlparse.SelectStmt, tr *obs.Trace) (*Resul
 		return nil, err
 	}
 	planStart := time.Now()
-	var p *Plan
-	if tr.Active() {
-		p, err = e.PlanWith(q, TraceEstimator(e.Est, tr))
-	} else {
-		p, err = e.Plan(q)
-	}
+	p, err := e.planForRun(q, tr)
 	if err != nil {
 		return nil, err
 	}
@@ -196,13 +199,67 @@ func (e *Engine) RunStmtTraced(stmt *sqlparse.SelectStmt, tr *obs.Trace) (*Resul
 		return nil, err
 	}
 	res.Metrics.PlanDuration = planDur
+	res.Metrics.PlanCacheHit = p.CacheHit
 	if e.Obs != nil {
 		e.Obs.Queries.Add(1)
 		e.Obs.PlanLatency.Observe(float64(planDur.Nanoseconds()))
 		e.Obs.ExecLatency.Observe(float64(res.Metrics.ExecDuration.Nanoseconds()))
 		e.Obs.PlanQError.Observe(obs.QError(res.Metrics.EstFinalRows, float64(res.Metrics.ActualFinalRows)))
 	}
+	if e.OnTruth != nil {
+		e.OnTruth(TemplateKey(q.Tables, q.Joins), physicalTables(q), res.Metrics.EstFinalRows, res.Metrics.ActualFinalRows)
+	}
 	return res, nil
+}
+
+// planForRun plans one statement for execution, consulting the shared plan
+// cache on the traced and untraced paths alike. Traced planning substitutes
+// a tracing estimator view but keeps the cache: the view returns values
+// identical to the engine's own estimator (tracing is pure observation), so
+// publishing its decisions is safe — and a template hit, which skips every
+// estimator call, records one plan_cache span carrying the cache-hit flag
+// in place of the estimator spans the skipped planning would have produced.
+// (EXPLAIN's PlanWith stays cache-free by design: its point is showing the
+// estimator's calls.)
+func (e *Engine) planForRun(q *Query, tr *obs.Trace) (*Plan, error) {
+	if !tr.Active() {
+		return e.Plan(q)
+	}
+	start := time.Now()
+	view := *e
+	view.Est = TraceEstimator(e.Est, tr)
+	p, err := view.Plan(q)
+	if err == nil && p.CacheHit {
+		tr.Add(obs.Span{
+			Op: obs.OpPlanCache, Tables: queryBindings(q), Source: "plan_cache",
+			Outcome: obs.OutcomeOK, CacheHit: true, Value: p.EstFinalRows,
+			Duration: time.Since(start),
+		})
+	}
+	return p, err
+}
+
+// queryBindings lists the query's table bindings in FROM order.
+func queryBindings(q *Query) []string {
+	out := make([]string, len(q.Tables))
+	for i, t := range q.Tables {
+		out[i] = t.Binding
+	}
+	return out
+}
+
+// physicalTables lists the query's deduped physical table names, sorted.
+func physicalTables(q *Query) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, t := range q.Tables {
+		if !seen[t.Name] {
+			seen[t.Name] = true
+			out = append(out, t.Name)
+		}
+	}
+	sort.Strings(out)
+	return out
 }
 
 // PlanWith optimizes q with est driving every decision instead of the

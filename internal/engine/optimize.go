@@ -36,6 +36,9 @@ type Plan struct {
 	EstFinalRows float64
 	// AggCapacity is the presized aggregation hash-table capacity.
 	AggCapacity int
+	// CacheHit marks plans rebuilt from the template plan cache rather
+	// than planned fresh.
+	CacheHit bool
 }
 
 // Plan optimizes the analyzed query: per-scan materialization strategy and
@@ -53,7 +56,9 @@ func (e *Engine) Plan(q *Query) (*Plan, error) {
 	if e.PlanCache != nil && q.Stmt != nil {
 		key = sqlparse.Normalize(q.Stmt)
 		if d, ok := e.PlanCache.Get(key); ok && len(d.scans) == len(q.Tables) {
-			return d.apply(q), nil
+			p := d.apply(q)
+			p.CacheHit = true
+			return p, nil
 		}
 	}
 	p := &Plan{Query: q}

@@ -130,6 +130,9 @@ type Metrics struct {
 	// ParallelWorkers is the morsel-driven worker count the executor ran
 	// with (1 means the sequential path).
 	ParallelWorkers int
+	// PlanCacheHit marks runs whose plan was rebuilt from the template
+	// plan cache rather than planned fresh.
+	PlanCacheHit bool
 	// PlanDuration includes all estimator calls made during optimization.
 	PlanDuration time.Duration
 	// ExecDuration is pure execution time.

@@ -1,0 +1,74 @@
+package engine
+
+import (
+	"sort"
+	"strings"
+
+	"bytecard/internal/expr"
+)
+
+// TemplateKey returns the constant-stripped template identity of one
+// estimation target: the set of (binding, physical table, filter shape)
+// entries plus the set of join conditions, both canonically ordered. Two
+// targets share a key exactly when they scan the same tables under
+// filters of the same shape (columns and operators — literal values
+// stripped) and join them the same way. This is the residual corrector's
+// grouping key: queries of one template tend to share the same estimation
+// residual even as their constants vary.
+//
+// Distinct from the join-DP's subset keys (which include constants, so a
+// memoized estimate replays only for byte-identical filters) and from
+// sqlparse.Normalize (which keys whole statements): TemplateKey is
+// computable for any (tables, joins) estimation target, including the
+// single-table case with joins == nil.
+func TemplateKey(tables []*QueryTable, joins []JoinCond) string {
+	tabTokens := make([]string, len(tables))
+	for i, t := range tables {
+		var b strings.Builder
+		b.WriteString(t.Binding)
+		b.WriteByte(':')
+		b.WriteString(t.Name)
+		b.WriteByte('(')
+		b.WriteString(filterShape(t.Filter))
+		b.WriteByte(')')
+		tabTokens[i] = b.String()
+	}
+	sort.Strings(tabTokens)
+	condTokens := make([]string, len(joins))
+	for i, j := range joins {
+		l := j.LeftTab + "." + j.LeftCol
+		r := j.RightTab + "." + j.RightCol
+		if r < l {
+			l, r = r, l
+		}
+		condTokens[i] = l + "=" + r
+	}
+	sort.Strings(condTokens)
+	return strings.Join(tabTokens, "\x1e") + "\x1d" + strings.Join(condTokens, "\x1e")
+}
+
+// filterShape renders a filter tree with literal values stripped:
+// leaves become "binding.col op", interior nodes sort their children's
+// shapes so AND/OR operand order never splits a template.
+func filterShape(n *expr.Node) string {
+	if n == nil {
+		return ""
+	}
+	switch n.Kind {
+	case expr.KindLeaf:
+		return n.Pred.Table + "." + n.Pred.Col + n.Pred.Op.String()
+	case expr.KindAnd, expr.KindOr:
+		parts := make([]string, len(n.Children))
+		for i, c := range n.Children {
+			parts[i] = filterShape(c)
+		}
+		sort.Strings(parts)
+		op := "&"
+		if n.Kind == expr.KindOr {
+			op = "|"
+		}
+		return "(" + strings.Join(parts, op) + ")"
+	default:
+		return "?"
+	}
+}

@@ -1,0 +1,77 @@
+package engine
+
+import (
+	"testing"
+
+	"bytecard/internal/expr"
+	"bytecard/internal/types"
+)
+
+func tkLeaf(tab, col string, op expr.CmpOp, v int64) *expr.Node {
+	return expr.Leaf(expr.Pred{Table: tab, Col: col, Op: op, Val: types.Int(v)})
+}
+
+func tkTable(binding, name string, filter *expr.Node) *QueryTable {
+	return &QueryTable{Binding: binding, Name: name, Filter: filter}
+}
+
+func TestTemplateKeyStripsConstants(t *testing.T) {
+	a := TemplateKey([]*QueryTable{tkTable("f", "fact", tkLeaf("f", "val", expr.OpLt, 10))}, nil)
+	b := TemplateKey([]*QueryTable{tkTable("f", "fact", tkLeaf("f", "val", expr.OpLt, 9000))}, nil)
+	if a != b {
+		t.Errorf("literal change split the template:\n%q\n%q", a, b)
+	}
+	// Operator and column are part of the shape.
+	c := TemplateKey([]*QueryTable{tkTable("f", "fact", tkLeaf("f", "val", expr.OpGt, 10))}, nil)
+	if a == c {
+		t.Error("operator change did not split the template")
+	}
+	d := TemplateKey([]*QueryTable{tkTable("f", "fact", tkLeaf("f", "flag", expr.OpLt, 10))}, nil)
+	if a == d {
+		t.Error("column change did not split the template")
+	}
+}
+
+func TestTemplateKeyCanonicalOrdering(t *testing.T) {
+	f := tkTable("f", "fact", tkLeaf("f", "val", expr.OpLt, 10))
+	d := tkTable("d", "dim", tkLeaf("d", "cat", expr.OpEq, 3))
+	j := JoinCond{LeftTab: "f", LeftCol: "dim_id", RightTab: "d", RightCol: "id"}
+	jSwap := JoinCond{LeftTab: "d", LeftCol: "id", RightTab: "f", RightCol: "dim_id"}
+
+	a := TemplateKey([]*QueryTable{f, d}, []JoinCond{j})
+	b := TemplateKey([]*QueryTable{d, f}, []JoinCond{jSwap})
+	if a != b {
+		t.Errorf("table/join-side order split the template:\n%q\n%q", a, b)
+	}
+}
+
+func TestTemplateKeyFilterShapeCanonicalization(t *testing.T) {
+	p1 := tkLeaf("f", "val", expr.OpLt, 10)
+	p2 := tkLeaf("f", "flag", expr.OpEq, 1)
+	a := TemplateKey([]*QueryTable{tkTable("f", "fact", expr.And(p1, p2))}, nil)
+	b := TemplateKey([]*QueryTable{tkTable("f", "fact", expr.And(p2, p1))}, nil)
+	if a != b {
+		t.Error("AND operand order split the template")
+	}
+	c := TemplateKey([]*QueryTable{tkTable("f", "fact", expr.Or(p1, p2))}, nil)
+	if a == c {
+		t.Error("AND and OR shapes share a template")
+	}
+	// A missing filter is its own shape.
+	d := TemplateKey([]*QueryTable{tkTable("f", "fact", nil)}, nil)
+	if a == d {
+		t.Error("unfiltered scan shares a template with a filtered one")
+	}
+}
+
+func TestTemplateKeyDistinguishesBindings(t *testing.T) {
+	// Self-join: same physical table under two bindings must not collapse
+	// into the single-scan template.
+	one := TemplateKey([]*QueryTable{tkTable("a", "fact", nil)}, nil)
+	two := TemplateKey([]*QueryTable{
+		tkTable("a", "fact", nil), tkTable("b", "fact", nil),
+	}, []JoinCond{{LeftTab: "a", LeftCol: "id", RightTab: "b", RightCol: "id"}})
+	if one == two {
+		t.Error("self-join shares a template with the single scan")
+	}
+}

@@ -1,0 +1,165 @@
+package engine
+
+import (
+	"reflect"
+	"testing"
+
+	"bytecard/internal/datagen"
+	"bytecard/internal/obs"
+)
+
+// Truth-recording on the plan-cache hit path: a template hit skips
+// planning, but the executed statement must still observe its plan
+// q-error, record estimate/truth metrics, fire the OnTruth hook, and —
+// when traced — carry the cache-hit flag. These are the tentpole's feedback
+// inputs; a silent gap here would starve the residual corrector of exactly
+// the repeated-template queries it learns fastest from.
+
+func truthPathEngine(t *testing.T) *Engine {
+	t.Helper()
+	ds := datagen.Toy(datagen.Config{Scale: 1, Seed: 11})
+	e := New(ds.DB, ds.Schema, HeuristicEstimator{})
+	e.PlanCache = NewPlanCache(1 << 20)
+	e.Obs = obs.NewEngineMetrics()
+	return e
+}
+
+func TestCacheHitRecordsTruthLikeMiss(t *testing.T) {
+	e := truthPathEngine(t)
+	sql := "SELECT COUNT(*) FROM fact f, dim d WHERE f.dim_id = d.id AND f.val < 40"
+
+	miss, err := e.Run(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hit, err := e.Run(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if miss.Metrics.PlanCacheHit {
+		t.Error("first run flagged as a cache hit")
+	}
+	if !hit.Metrics.PlanCacheHit {
+		t.Fatal("second run of the same template did not hit the plan cache")
+	}
+	if hit.Metrics.EstFinalRows != miss.Metrics.EstFinalRows {
+		t.Errorf("cache hit carries estimate %g, miss carried %g",
+			hit.Metrics.EstFinalRows, miss.Metrics.EstFinalRows)
+	}
+	if hit.Metrics.ActualFinalRows != miss.Metrics.ActualFinalRows || hit.Metrics.ActualFinalRows == 0 {
+		t.Errorf("cache hit recorded truth %d, miss recorded %d",
+			hit.Metrics.ActualFinalRows, miss.Metrics.ActualFinalRows)
+	}
+	// Both runs observed a plan q-error — the hit path must not skip it.
+	if n := e.Obs.PlanQError.Snapshot().Count; n != 2 {
+		t.Errorf("PlanQError observed %d times, want 2 (miss and hit)", n)
+	}
+	if n := e.Obs.Queries.Load(); n != 2 {
+		t.Errorf("Queries counted %d, want 2", n)
+	}
+}
+
+func TestOnTruthFiresOnHitAndMiss(t *testing.T) {
+	e := truthPathEngine(t)
+	type call struct {
+		key    string
+		tables []string
+		est    float64
+		actual int64
+	}
+	var calls []call
+	e.OnTruth = func(key string, tables []string, est float64, actual int64) {
+		calls = append(calls, call{key, tables, est, actual})
+	}
+	// Two constants of one template (cache miss then hit), plus a third
+	// query of a different template.
+	sqls := []string{
+		"SELECT COUNT(*) FROM fact f, dim d WHERE f.dim_id = d.id AND f.val < 40",
+		"SELECT COUNT(*) FROM fact f, dim d WHERE f.dim_id = d.id AND f.val < 90",
+		"SELECT COUNT(*) FROM fact WHERE fact.flag = 1",
+	}
+	for _, sql := range sqls {
+		if _, err := e.Run(sql); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(calls) != 3 {
+		t.Fatalf("OnTruth fired %d times, want 3", len(calls))
+	}
+	if calls[0].key != calls[1].key {
+		t.Error("template siblings (differing literals) got different truth keys")
+	}
+	if calls[0].key == calls[2].key {
+		t.Error("distinct templates share a truth key")
+	}
+	if want := []string{"dim", "fact"}; !reflect.DeepEqual(calls[0].tables, want) {
+		t.Errorf("truth tables = %v, want sorted deduped %v", calls[0].tables, want)
+	}
+	for i, c := range calls {
+		if c.actual < 1 || c.est <= 0 {
+			t.Errorf("call %d carried est=%g actual=%d", i, c.est, c.actual)
+		}
+	}
+}
+
+func TestTracedRunKeepsPlanCacheAndFlagsHit(t *testing.T) {
+	e := truthPathEngine(t)
+	sql := "SELECT COUNT(*) FROM fact f, dim d WHERE f.dim_id = d.id AND f.val < 40"
+
+	// Warm the template through an untraced run.
+	warm, err := e.Run(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits := e.PlanCache.Stats().Hits
+
+	tr := obs.NewTrace()
+	res, err := e.RunTraced(sql, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.PlanCache.Stats().Hits != hits+1 {
+		t.Fatal("traced run bypassed the shared plan cache")
+	}
+	if !res.Metrics.PlanCacheHit {
+		t.Error("traced cache hit not flagged in metrics")
+	}
+	if res.Metrics.EstFinalRows != warm.Metrics.EstFinalRows ||
+		res.Metrics.ActualFinalRows != warm.Metrics.ActualFinalRows {
+		t.Error("traced hit diverged from the untraced run's estimate/truth")
+	}
+	var cacheSpans int
+	for _, s := range tr.Spans() {
+		if s.Op == obs.OpPlanCache {
+			cacheSpans++
+			if !s.CacheHit {
+				t.Error("plan_cache span missing the cache-hit flag")
+			}
+			if s.Value != warm.Metrics.EstFinalRows {
+				t.Errorf("plan_cache span value %g, want replayed estimate %g", s.Value, warm.Metrics.EstFinalRows)
+			}
+		}
+	}
+	if cacheSpans != 1 {
+		t.Errorf("trace carries %d plan_cache spans, want 1", cacheSpans)
+	}
+
+	// A traced cold miss records estimator spans, not a plan_cache span.
+	e.PlanCache.Flush()
+	tr2 := obs.NewTrace()
+	res2, err := e.RunTraced(sql, tr2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Metrics.PlanCacheHit {
+		t.Error("cold traced run flagged as a cache hit")
+	}
+	for _, s := range tr2.Spans() {
+		if s.Op == obs.OpPlanCache {
+			t.Error("cold traced run recorded a plan_cache span")
+		}
+	}
+	if tr2.Len() == 0 {
+		t.Error("cold traced run recorded no estimator spans")
+	}
+}

@@ -5,48 +5,75 @@ import (
 	"go/types"
 )
 
-// CachePut forbids publishing or unlinking plan-cache entries outside the
-// cache's own invalidation-aware methods.
+// CachePut forbids publishing or unlinking derived-cache entries outside
+// the cache's own invalidation-aware methods.
 //
-// The plan cache's correctness under model churn rests on one invariant:
-// every resident entry is reachable by InvalidateTables, which requires
-// that entries enter through Put (which stores the decision's physical
-// table list and settles the byte/entry gauges) and leave through
-// removeLocked (which settles the same gauges). A direct write into the
-// entries map or a raw lru push publishes a plan that a retrain can never
-// evict — a stale-plan bug that only shows up as wrong strategies long
-// after the model changed. All mutation must flow through the blessed
-// PlanCache methods; everything else in the engine package is flagged.
+// Every derived cache registered with the inference registry (the plan
+// cache, the residual corrector) shares one correctness invariant under
+// model churn: every resident entry is reachable by InvalidateTables,
+// which requires that entries enter through the blessed publication path
+// (which stores the entry's physical table list and settles the
+// byte/entry gauges) and leave through the blessed unlink path (which
+// settles the same gauges). A direct write into the entries map or a raw
+// lru push publishes state that a retrain can never evict — a staleness
+// bug that only shows up long after the model changed. All mutation must
+// flow through the blessed methods; everything else in the owning package
+// is flagged.
 var CachePut = &Analyzer{
 	Name: "cacheput",
-	Doc: "forbid raw plan-cache entry publication\n\n" +
-		"Writing PlanCache.entries or mutating PlanCache.lru outside the\n" +
-		"cache's own methods bypasses the table-list bookkeeping that keeps\n" +
-		"every resident plan reachable by InvalidateTables. Publish entries\n" +
-		"only through the invalidation-aware Put helper (and unlink through\n" +
-		"removeLocked), or annotate with //bytecard:cacheput-ok <reason>.",
+	Doc: "forbid raw derived-cache entry publication\n\n" +
+		"Writing a derived cache's entries map or mutating its lru list\n" +
+		"outside the cache's own methods bypasses the table-list bookkeeping\n" +
+		"that keeps every resident entry reachable by InvalidateTables.\n" +
+		"Covered contracts: engine.PlanCache (publish via Put, unlink via\n" +
+		"removeLocked) and residual.Corrector (publish via Observe/Decode,\n" +
+		"unlink via removeLocked). Annotate deliberate bypasses with\n" +
+		"//bytecard:cacheput-ok <reason>.",
 	Run: runCachePut,
 }
 
-// cachePutPackages lists package *names* under the plan-cache publication
-// contract (name matching covers the testdata fixtures, same as mapiter).
-var cachePutPackages = map[string]bool{
-	"engine": true,
+// cachePutContract describes one cache type under the publication
+// contract: the raw containers live in `entries` (map) and `lru`
+// (container/list), and only the blessed methods may touch them.
+// Packages are matched by *name* (covering the testdata fixtures, same
+// as mapiter).
+type cachePutContract struct {
+	pkg     string          // package name owning the cache type
+	typ     string          // cache type name
+	publish string          // blessed publication entry point, for diagnostics
+	unlink  string          // blessed unlink entry point, for diagnostics
+	blessed map[string]bool // methods (plus constructor) that may touch the raw containers
 }
 
-// cachePutBlessed are the PlanCache methods (plus its constructor) that
-// implement the bookkeeping and may touch the raw containers.
-var cachePutBlessed = map[string]bool{
-	"NewPlanCache":     true,
-	"Get":              true,
-	"Put":              true,
-	"removeLocked":     true,
-	"InvalidateTables": true,
-	"Flush":            true,
+var cachePutContracts = []cachePutContract{
+	{
+		pkg: "engine", typ: "PlanCache", publish: "Put", unlink: "removeLocked",
+		blessed: map[string]bool{
+			"NewPlanCache":     true,
+			"Get":              true,
+			"Put":              true,
+			"removeLocked":     true,
+			"InvalidateTables": true,
+			"Flush":            true,
+		},
+	},
+	{
+		pkg: "residual", typ: "Corrector", publish: "Observe", unlink: "removeLocked",
+		blessed: map[string]bool{
+			"New":              true,
+			"Correct":          true,
+			"Observe":          true,
+			"insertLocked":     true,
+			"removeLocked":     true,
+			"InvalidateTables": true,
+			"Flush":            true,
+			"Decode":           true,
+		},
+	},
 }
 
 // listMutators are the container/list methods that insert, move, or unlink
-// elements — every one changes what Put/removeLocked account for.
+// elements — every one changes what the blessed paths account for.
 var listMutators = map[string]bool{
 	"PushFront":     true,
 	"PushBack":      true,
@@ -62,9 +89,9 @@ var listMutators = map[string]bool{
 	"Init":          true,
 }
 
-// isPlanCacheField reports whether e is a selector of the named field on a
-// (possibly pointer-to) PlanCache value.
-func isPlanCacheField(info *types.Info, e ast.Expr, field string) bool {
+// isCacheField reports whether e is a selector of the named field on a
+// (possibly pointer-to) value of the contract's cache type.
+func isCacheField(info *types.Info, c cachePutContract, e ast.Expr, field string) bool {
 	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
 	if !ok || sel.Sel.Name != field {
 		return false
@@ -77,26 +104,32 @@ func isPlanCacheField(info *types.Info, e ast.Expr, field string) bool {
 		t = p.Elem()
 	}
 	named, ok := t.(*types.Named)
-	return ok && named.Obj().Name() == "PlanCache"
+	return ok && named.Obj().Name() == c.typ
 }
 
 func runCachePut(pass *Pass) error {
-	if !cachePutPackages[pass.Pkg.Name()] {
+	var contracts []cachePutContract
+	for _, c := range cachePutContracts {
+		if c.pkg == pass.Pkg.Name() {
+			contracts = append(contracts, c)
+		}
+	}
+	if len(contracts) == 0 {
 		return nil
 	}
-	report := func(pos ast.Node, what string) {
+	report := func(pos ast.Node, c cachePutContract, what string) {
 		p := pos.Pos()
 		if pass.InTestFile(p) {
 			return
 		}
 		if pass.MissingReason("cacheput", p) {
-			pass.Reportf(p, "cacheput: //bytecard:cacheput-ok annotation needs a reason explaining why bypassing the plan cache's invalidation bookkeeping is acceptable")
+			pass.Reportf(p, "cacheput: //bytecard:cacheput-ok annotation needs a reason explaining why bypassing %s's invalidation bookkeeping is acceptable", c.typ)
 			return
 		}
 		if pass.Suppressed("cacheput", p) {
 			return
 		}
-		pass.Reportf(p, "cacheput: %s bypasses the plan cache's invalidation bookkeeping; publish entries only through the invalidation-aware Put helper (or unlink through removeLocked), or annotate with //bytecard:cacheput-ok <reason>", what)
+		pass.Reportf(p, "cacheput: %s bypasses %s's invalidation bookkeeping; publish entries only through the invalidation-aware %s helper (or unlink through %s), or annotate with //bytecard:cacheput-ok <reason>", what, c.typ, c.publish, c.unlink)
 	}
 	for _, file := range pass.Files {
 		for _, decl := range file.Decls {
@@ -104,32 +137,53 @@ func runCachePut(pass *Pass) error {
 			if !ok || fd.Body == nil {
 				continue
 			}
-			if cachePutBlessed[fd.Name.Name] &&
-				(fd.Recv == nil || recvNameOf(fd) == "PlanCache") {
+			// A contract's blessed methods (and free-function constructor)
+			// may touch its own containers; they remain checked against any
+			// other contract in the same package.
+			active := contracts[:0:0]
+			for _, c := range contracts {
+				if c.blessed[fd.Name.Name] &&
+					(fd.Recv == nil || recvNameOf(fd) == c.typ) {
+					continue
+				}
+				active = append(active, c)
+			}
+			if len(active) == 0 {
 				continue
 			}
 			ast.Inspect(fd.Body, func(n ast.Node) bool {
 				switch n := n.(type) {
 				case *ast.AssignStmt:
 					for _, lhs := range n.Lhs {
-						if idx, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok &&
-							isPlanCacheField(pass.TypesInfo, idx.X, "entries") {
-							report(n, "assigning PlanCache.entries")
-							// One diagnostic per publication statement: the
-							// paired lru push on the RHS is the same violation.
-							return false
+						idx, ok := ast.Unparen(lhs).(*ast.IndexExpr)
+						if !ok {
+							continue
+						}
+						for _, c := range active {
+							if isCacheField(pass.TypesInfo, c, idx.X, "entries") {
+								report(n, c, "assigning "+c.typ+".entries")
+								// One diagnostic per publication statement: the
+								// paired lru push on the RHS is the same violation.
+								return false
+							}
 						}
 					}
 				case *ast.CallExpr:
 					if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "delete" && len(n.Args) == 2 {
-						if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin &&
-							isPlanCacheField(pass.TypesInfo, n.Args[0], "entries") {
-							report(n, "delete on PlanCache.entries")
+						if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin {
+							for _, c := range active {
+								if isCacheField(pass.TypesInfo, c, n.Args[0], "entries") {
+									report(n, c, "delete on "+c.typ+".entries")
+								}
+							}
 						}
 					}
-					if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok && listMutators[sel.Sel.Name] &&
-						isPlanCacheField(pass.TypesInfo, sel.X, "lru") {
-						report(n, "PlanCache.lru."+sel.Sel.Name)
+					if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok && listMutators[sel.Sel.Name] {
+						for _, c := range active {
+							if isCacheField(pass.TypesInfo, c, sel.X, "lru") {
+								report(n, c, c.typ+".lru."+sel.Sel.Name)
+							}
+						}
 					}
 				}
 				return true

@@ -110,7 +110,7 @@ func TestAnalyzerFixtures(t *testing.T) {
 	}{
 		{MapIter, []string{"mapiter_flag", "mapiter_other"}},
 		{AtomicWrite, []string{"atomicwrite_flag", "atomicwrite_other"}},
-		{CachePut, []string{"cacheput_flag"}},
+		{CachePut, []string{"cacheput_flag", "cacheput_residual"}},
 		{GuardCall, []string{"guardcall_flag", "guardcall_core"}},
 		{RandSource, []string{"randsource_flag"}},
 		{PoolHygiene, []string{"poolhygiene_flag"}},

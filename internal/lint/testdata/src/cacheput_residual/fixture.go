@@ -1,0 +1,93 @@
+// Package residual (fixture) exercises cacheput's second contract: the
+// residual corrector's buckets may only be published through the
+// invalidation-aware Observe/insertLocked path and unlinked through
+// removeLocked; raw map writes and lru pushes are flagged everywhere
+// outside the blessed methods.
+package residual
+
+import (
+	"container/list"
+	"sync"
+)
+
+type bucket struct {
+	key    string
+	tables []string
+	logF   float64
+	n      int64
+}
+
+type Corrector struct {
+	mu      sync.Mutex
+	entries map[string]*list.Element
+	lru     *list.List
+}
+
+// New is blessed: constructing the containers is not publication.
+func New() *Corrector {
+	return &Corrector{entries: map[string]*list.Element{}, lru: list.New()}
+}
+
+// Observe is the blessed publication path.
+func (c *Corrector) Observe(key string, tables []string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	elem, ok := c.entries[key]
+	if !ok {
+		elem = c.insertLocked(key, tables)
+	}
+	c.lru.MoveToFront(elem)
+	elem.Value.(*bucket).n++
+}
+
+// insertLocked is blessed: it records the table list InvalidateTables
+// needs and settles the gauges.
+func (c *Corrector) insertLocked(key string, tables []string) *list.Element {
+	elem := c.lru.PushFront(&bucket{key: key, tables: tables})
+	c.entries[key] = elem
+	return elem
+}
+
+// removeLocked is the blessed unlink path.
+func (c *Corrector) removeLocked(elem *list.Element) {
+	b := elem.Value.(*bucket)
+	delete(c.entries, b.key)
+	c.lru.Remove(elem)
+}
+
+// BadPublish bypasses insertLocked: the bucket enters with no table list,
+// so a retrain of its tables can never invalidate it.
+func (c *Corrector) BadPublish(key string) {
+	c.entries[key] = c.lru.PushFront(&bucket{key: key}) // want `only through the invalidation-aware Observe helper`
+}
+
+// BadUnlink bypasses removeLocked: gauges drift.
+func (c *Corrector) BadUnlink(key string) {
+	if elem, ok := c.entries[key]; ok {
+		delete(c.entries, key) // want `only through the invalidation-aware Observe helper`
+		c.lru.Remove(elem)     // want `only through the invalidation-aware Observe helper`
+	}
+}
+
+// BadRecency shows list moves outside the blessed set are flagged too.
+func badFreeFunc(c *Corrector) {
+	if elem, ok := c.entries["k"]; ok {
+		c.lru.MoveToFront(elem) // want `only through the invalidation-aware Observe helper`
+	}
+}
+
+// annotated shows the suppression escape hatch.
+func annotated(c *Corrector) {
+	c.lru.Init() //bytecard:cacheput-ok fixture: tearing down a corrector that was never published to
+}
+
+// goodReads stay allowed: lookups, iteration, and length checks are not
+// publication.
+func goodReads(c *Corrector) (int, bool) {
+	_, ok := c.entries["k"]
+	n := 0
+	for elem := c.lru.Front(); elem != nil; elem = elem.Next() {
+		n++
+	}
+	return n, ok
+}

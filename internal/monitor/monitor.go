@@ -11,6 +11,7 @@ package monitor
 import (
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"math/rand"
 	"sort"
 
@@ -18,6 +19,7 @@ import (
 	"bytecard/internal/core"
 	"bytecard/internal/engine"
 	"bytecard/internal/expr"
+	"bytecard/internal/residual"
 	"bytecard/internal/sample"
 	"bytecard/internal/storage"
 	"bytecard/internal/types"
@@ -47,6 +49,36 @@ type Monitor struct {
 	// FineTuneNDV is called with calibration evidence when RBX breaches
 	// on a column (wired to ModelForge.FineTuneRBX).
 	FineTuneNDV func(column string, profiles []sample.Profile, truths []float64) error
+
+	// Residual, when non-nil, is the online residual corrector whose
+	// rolling-q-error drift signal the Monitor turns into refits (see
+	// CheckResidualDrift).
+	Residual *residual.Corrector
+}
+
+// probeSeed derives a per-name probe RNG seed by folding an FNV-1a hash
+// of the name into the Monitor's base seed. Deriving from len(name) (the
+// old scheme) gave any two equal-length names an identical RNG stream, so
+// their probe predicates were perfectly correlated and probe coverage
+// silently collapsed; the hash gives every distinct name its own stream
+// while staying deterministic for a fixed (Seed, name).
+func probeSeed(base int64, name string) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	return base ^ int64(h.Sum64())
+}
+
+// CheckResidualDrift asks the residual corrector whether its rolling
+// recent q-error has pulled away from the baseline and, if so, triggers a
+// refit (bucket confidence halved so the corrector re-learns the shifted
+// distribution quickly). Reports whether a refit ran; a Monitor without a
+// corrector reports false.
+func (m *Monitor) CheckResidualDrift() bool {
+	if m.Residual == nil || !m.Residual.Drifted() {
+		return false
+	}
+	m.Residual.Refit()
+	return true
 }
 
 func (m *Monitor) threshold() float64 {
@@ -162,7 +194,7 @@ func (m *Monitor) CheckTable(table string) (TableReport, error) {
 	if err != nil {
 		return TableReport{}, err
 	}
-	rng := rand.New(rand.NewSource(m.Seed ^ int64(len(table))<<13))
+	rng := rand.New(rand.NewSource(probeSeed(m.Seed, table)))
 	rep := TableReport{Table: table}
 	for i := 0; i < m.probes(); i++ {
 		preds := probePreds(et, rng)
@@ -205,8 +237,10 @@ func (m *Monitor) CheckTable(table string) (TableReport, error) {
 // CheckAll probes every table's single-table COUNT model. One table's
 // probe failure must not leave the rest of the fleet unmonitored: the
 // sweep continues past errors, records each in its table's report, and
-// returns them joined.
+// returns them joined. When a residual corrector is wired, the sweep also
+// checks its rolling-q-error drift signal and refits on breach.
 func (m *Monitor) CheckAll() ([]TableReport, error) {
+	m.CheckResidualDrift()
 	var out []TableReport
 	var errs []error
 	// Sweep in name order, not insertion order, so reports (and the joined
@@ -241,7 +275,7 @@ func (m *Monitor) CheckNDV(table, column string) (NDVReport, error) {
 	if err != nil {
 		return NDVReport{}, err
 	}
-	rng := rand.New(rand.NewSource(m.Seed ^ int64(len(table+column))<<7))
+	rng := rand.New(rand.NewSource(probeSeed(m.Seed, table+"\x00"+column)))
 	rep := NDVReport{Table: table, Column: column}
 	key := table + "." + column
 	frame := m.Est.Samples[table]

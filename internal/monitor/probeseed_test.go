@@ -1,0 +1,96 @@
+package monitor
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"bytecard/internal/engine"
+	"bytecard/internal/residual"
+	"bytecard/internal/storage"
+	"bytecard/internal/types"
+)
+
+// TestEqualLengthTableNamesGetDistinctProbes pins the probe-seed fix: the
+// old scheme derived each table's probe RNG seed from len(name), so any
+// two equal-length names shared one RNG stream and their probe predicates
+// were perfectly correlated — probe coverage silently collapsed. The
+// FNV-1a derivation must give equal-length names distinct streams.
+func TestEqualLengthTableNamesGetDistinctProbes(t *testing.T) {
+	db := storage.NewDatabase()
+	// Identical contents under equal-length names: any probe divergence
+	// can only come from the seeds.
+	for _, name := range []string{"alpha", "gamma"} {
+		b := storage.NewBuilder(name, []storage.ColumnSpec{
+			{Name: "a", Kind: types.KindInt64},
+			{Name: "b", Kind: types.KindInt64},
+		})
+		for i := 0; i < 64; i++ {
+			b.Append([]types.Datum{types.Int(int64(i)), types.Int(int64(i % 7))})
+		}
+		db.Add(b.Build())
+	}
+	m := &Monitor{Exec: &engine.Engine{DB: db}, Seed: 5}
+	probeSet := func(table string) []string {
+		et, err := m.buildEngineTable(table)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(probeSeed(m.Seed, table)))
+		var out []string
+		for i := 0; i < 8; i++ {
+			// Strip the table name so only the predicate stream compares.
+			out = append(out, strings.ReplaceAll(predsToSQL(table, probePreds(et, rng), nil), table, "T"))
+		}
+		return out
+	}
+	a, g := probeSet("alpha"), probeSet("gamma")
+	identical := 0
+	for i := range a {
+		if a[i] == g[i] {
+			identical++
+		}
+	}
+	if identical == len(a) {
+		t.Fatal("equal-length table names produced identical probe streams")
+	}
+
+	// The derivation itself: distinct across names, deterministic per name.
+	if probeSeed(5, "alpha") == probeSeed(5, "gamma") {
+		t.Error("probeSeed collides for equal-length names")
+	}
+	if probeSeed(5, "alpha") != probeSeed(5, "alpha") {
+		t.Error("probeSeed is not deterministic")
+	}
+	// CheckNDV's column streams must separate too (same length, same table).
+	if probeSeed(5, "alpha\x00aa") == probeSeed(5, "alpha\x00bb") {
+		t.Error("probeSeed collides for equal-length column keys")
+	}
+}
+
+// TestCheckResidualDrift wires the Monitor's sweep into the corrector's
+// drift signal: no corrector or no drift -> no refit; sustained drift ->
+// exactly one refit that resets the signal.
+func TestCheckResidualDrift(t *testing.T) {
+	m := &Monitor{}
+	if m.CheckResidualDrift() {
+		t.Fatal("monitor without a corrector reported a refit")
+	}
+	corr := residual.New(residual.Config{DriftMinObservations: 8}, nil)
+	m.Residual = corr
+	for i := 0; i < 20; i++ {
+		corr.Observe("good", []string{"t"}, 1000, 1000)
+	}
+	if m.CheckResidualDrift() {
+		t.Fatal("accurate workload triggered a refit")
+	}
+	for i := 0; i < 10; i++ {
+		corr.Observe("bad", []string{"t"}, 1000, 64000)
+	}
+	if !m.CheckResidualDrift() {
+		t.Fatal("sustained drift did not trigger a refit")
+	}
+	if m.CheckResidualDrift() {
+		t.Error("refit did not reset the drift signal")
+	}
+}

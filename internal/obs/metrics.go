@@ -196,6 +196,63 @@ func (m *StoreMetrics) Snapshot() StoreSnapshot {
 	}
 }
 
+// ResidualMetrics aggregates residual-corrector observability: how often a
+// learned correction was applied versus skipped (no confident bucket yet),
+// how many executed-truth tuples the corrector has absorbed, how many
+// drift-triggered refits the Monitor ran, the magnitude of applied
+// correction factors, and the q-error of the raw estimate against truth
+// (PreQError) next to the q-error of the corrected estimate the planner
+// actually used (PostQError) — the pair that shows whether the corrector
+// is helping.
+type ResidualMetrics struct {
+	// Applications counts estimates multiplied by a learned factor;
+	// Skipped counts lookups answered without correction (bucket missing
+	// or below the observation floor).
+	Applications, Skipped Counter
+	// Observations counts (estimate, executed truth) tuples absorbed.
+	Observations Counter
+	// Refits counts drift-triggered refits (bucket confidence halved).
+	Refits Counter
+	// FactorMagnitude holds max(f, 1/f) of each applied correction factor
+	// (the histogram's log buckets collapse everything <= 1 into bucket 0,
+	// so shrink factors are folded onto the same magnitude axis as growth
+	// factors).
+	FactorMagnitude Histogram
+	// PreQError and PostQError compare the uncorrected and corrected
+	// estimate against the same executed truth.
+	PreQError, PostQError Histogram
+}
+
+// NewResidualMetrics returns a zeroed metrics block.
+func NewResidualMetrics() *ResidualMetrics { return &ResidualMetrics{} }
+
+// ResidualSnapshot is the serializable digest of ResidualMetrics.
+type ResidualSnapshot struct {
+	Applications    int64             `json:"applications"`
+	Skipped         int64             `json:"skipped"`
+	Observations    int64             `json:"observations"`
+	Refits          int64             `json:"refits"`
+	FactorMagnitude HistogramSnapshot `json:"factor_magnitude"`
+	PreQError       HistogramSnapshot `json:"pre_q_error"`
+	PostQError      HistogramSnapshot `json:"post_q_error"`
+}
+
+// Snapshot digests the metrics block (nil-safe: returns zeroes).
+func (m *ResidualMetrics) Snapshot() ResidualSnapshot {
+	if m == nil {
+		return ResidualSnapshot{}
+	}
+	return ResidualSnapshot{
+		Applications:    m.Applications.Load(),
+		Skipped:         m.Skipped.Load(),
+		Observations:    m.Observations.Load(),
+		Refits:          m.Refits.Load(),
+		FactorMagnitude: m.FactorMagnitude.Snapshot(),
+		PreQError:       m.PreQError.Snapshot(),
+		PostQError:      m.PostQError.Snapshot(),
+	}
+}
+
 // EngineMetrics aggregates query-engine observability: volumes, planning
 // and execution latency, and the q-error of the optimizer's final-plan
 // cardinality against the executed truth.

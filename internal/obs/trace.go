@@ -17,6 +17,13 @@ const (
 	OpGroupNDV  = "groupndv"   // group-key NDV estimation
 	OpVector    = "vec"        // FactorJoin bucket-vector fetch (BN joint)
 	OpCost      = "cost"       // learned cost-model prediction
+	OpResidual  = "residual"   // residual correction applied to an estimate
+)
+
+// Planning-phase operations a Span can describe (recorded by the query
+// engine's planner rather than an estimator).
+const (
+	OpPlanCache = "plan_cache" // template plan-cache hit replayed cached decisions
 )
 
 // Execution-phase operations a Span can describe (recorded by the query
