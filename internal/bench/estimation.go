@@ -59,6 +59,13 @@ type EstimationPair struct {
 	Speedup float64 `json:"speedup"`
 	// AllocRatio is Before.AllocsPerOp / max(After.AllocsPerOp, 1).
 	AllocRatio float64 `json:"alloc_ratio"`
+	// BlocksBefore/BlocksAfter count the storage blocks one pass of the
+	// probe set reads with the optimization off/on — deterministic, unlike
+	// wall time, so block-I/O benches gate on BlockRatio (Before/After)
+	// rather than Speedup. Zero for time-only benches.
+	BlocksBefore int64   `json:"blocks_before,omitempty"`
+	BlocksAfter  int64   `json:"blocks_after,omitempty"`
+	BlockRatio   float64 `json:"block_ratio,omitempty"`
 }
 
 // EstimationReport is the serialized suite result.
@@ -399,6 +406,71 @@ func benchTrain(cfg *EstimationConfig) (EstimationPair, error) {
 	return pair("train_full", before, after), nil
 }
 
+// benchScanPushdown measures the pushdown scan contract over the
+// append-ordered timeseries dataset: identical windowed COUNT probes and a
+// projection+LIMIT probe run with the contract on vs off. Wall time is
+// reported, but the gated signal is total blocks read — deterministic for
+// a fixed seed and scale, so the ratio cannot be decided by timer noise.
+func benchScanPushdown(cfg *EstimationConfig) (EstimationPair, error) {
+	scale, iters := 0.2, 30
+	if cfg.Smoke {
+		scale, iters = 0.05, 2
+	}
+	ds, err := datagen.ByName("timeseries", datagen.Config{Scale: scale, Seed: cfg.Seed})
+	if err != nil {
+		return EstimationPair{}, err
+	}
+	readings := ds.DB.Table("readings")
+	tsCol := readings.ColByName("ts")
+	n := readings.NumRows()
+	// Window bounds come from live rows at fixed fractions of the
+	// append-ordered stream, so every window is populated and ~1% wide.
+	tsAt := func(frac float64) int64 { return tsCol.Value(int(frac * float64(n-1))).I }
+	queries := []string{
+		fmt.Sprintf("SELECT COUNT(*) FROM readings WHERE readings.ts >= %d AND readings.ts <= %d",
+			tsAt(0.40), tsAt(0.41)),
+		fmt.Sprintf("SELECT COUNT(*) FROM readings WHERE readings.ts >= %d AND readings.ts <= %d AND readings.metric = 2",
+			tsAt(0.70), tsAt(0.71)),
+		fmt.Sprintf("SELECT host FROM readings WHERE readings.ts >= %d AND readings.ts <= %d LIMIT 50",
+			tsAt(0.90), tsAt(0.91)),
+	}
+	newEngine := func(pushdown int) *engine.Engine {
+		e := engine.New(ds.DB, ds.Schema, engine.HeuristicEstimator{})
+		e.Pushdown = pushdown
+		return e
+	}
+	on, off := newEngine(1), newEngine(-1)
+	blocksFor := func(e *engine.Engine) (int64, error) {
+		var total int64
+		for _, sql := range queries {
+			res, err := e.Run(sql)
+			if err != nil {
+				return 0, fmt.Errorf("scan_pushdown probe %q: %w", sql, err)
+			}
+			total += res.Metrics.IO.BlocksRead()
+		}
+		return total, nil
+	}
+	blocksAfter, err := blocksFor(on)
+	if err != nil {
+		return EstimationPair{}, err
+	}
+	blocksBefore, err := blocksFor(off)
+	if err != nil {
+		return EstimationPair{}, err
+	}
+	after := measure(iters, func() { _, _ = blocksFor(on) })
+	before := measure(iters, func() { _, _ = blocksFor(off) })
+	p := pair("scan_pushdown", before, after)
+	p.BlocksBefore, p.BlocksAfter = blocksBefore, blocksAfter
+	if blocksAfter > 0 {
+		p.BlockRatio = float64(blocksBefore) / float64(blocksAfter)
+	}
+	cfg.logf("[estimation] scan_pushdown: %d blocks off, %d blocks on (%.1fx)",
+		blocksBefore, blocksAfter, p.BlockRatio)
+	return p, nil
+}
+
 // SpeedupFloors are the per-bench speedup ratios a committed baseline must
 // clear: the fast path must never lose to the code it replaced, the n=3 DP
 // keeps its headline margin, and a template-cache hit must be far cheaper
@@ -410,6 +482,15 @@ var SpeedupFloors = map[string]float64{
 	"join_dp_n10":    1.0,
 	"train_full":     1.0,
 	"plan_cache_hit": 5.0,
+}
+
+// BlockFloors are the per-bench block-I/O reduction ratios
+// (BlocksBefore/BlocksAfter) a committed baseline must clear. Block counts
+// are deterministic for a fixed seed, so these floors gate on real I/O
+// reduction rather than timer noise — which is why scan_pushdown carries a
+// block floor and no speedup floor.
+var BlockFloors = map[string]float64{
+	"scan_pushdown": 3.0,
 }
 
 // CheckJSON loads a persisted estimation report and validates every
@@ -428,8 +509,10 @@ func CheckJSON(path string) error {
 		return fmt.Errorf("%s is a smoke report; thresholds only apply to full runs", path)
 	}
 	got := map[string]float64{}
+	blocks := map[string]float64{}
 	for _, b := range rep.Benches {
 		got[b.Name] = b.Speedup
+		blocks[b.Name] = b.BlockRatio
 	}
 	var failures []string
 	for name, floor := range SpeedupFloors {
@@ -439,6 +522,15 @@ func CheckJSON(path string) error {
 			failures = append(failures, fmt.Sprintf("%s: missing from report", name))
 		case speedup < floor:
 			failures = append(failures, fmt.Sprintf("%s: speedup %.2f below floor %.2f", name, speedup, floor))
+		}
+	}
+	for name, floor := range BlockFloors {
+		ratio, ok := blocks[name]
+		switch {
+		case !ok || ratio == 0:
+			failures = append(failures, fmt.Sprintf("%s: missing block counts from report", name))
+		case ratio < floor:
+			failures = append(failures, fmt.Sprintf("%s: block ratio %.2f below floor %.2f", name, ratio, floor))
 		}
 	}
 	if len(failures) > 0 {
@@ -479,6 +571,12 @@ func EstimationSuite(cfg EstimationConfig) (*EstimationReport, error) {
 		return nil, err
 	}
 	rep.Benches = append(rep.Benches, trainPair)
+	cfg.logf("[estimation] scan_pushdown")
+	scanPair, err := benchScanPushdown(&cfg)
+	if err != nil {
+		return nil, err
+	}
+	rep.Benches = append(rep.Benches, scanPair)
 	return rep, nil
 }
 

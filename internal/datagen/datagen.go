@@ -709,6 +709,79 @@ func Toy(cfg Config) *Dataset {
 	return ds
 }
 
+// TimeSeries generates an IoT/metrics dataset in the shape ByteDance's
+// observability warehouses ingest: a device dimension and one append-only
+// readings fact with few measurement kinds, many high-NDV tag columns
+// (host, sensor serial, trace id — the regime the RBX NDV estimator
+// exists for), and a strictly append-ordered timestamp. Because the
+// timestamp is monotone in row order, per-block zone maps partition its
+// domain perfectly — a time-range predicate overlaps only the blocks that
+// actually hold the window, so the pushdown scan contract skips nearly
+// the whole table on narrow windows.
+func TimeSeries(cfg Config) *Dataset {
+	g := newGen(cfg.Seed ^ 0x715E)
+	ds := newDataset("timeseries")
+
+	nDevices := cfg.scale(3000)
+	dev := newTable("devices", []storage.ColumnSpec{
+		{Name: "id", Kind: types.KindInt64},
+		{Name: "fleet", Kind: types.KindInt64},
+		{Name: "model", Kind: types.KindString},
+		{Name: "site", Kind: types.KindString},
+	})
+	for i := 1; i <= nDevices; i++ {
+		// Fleets are few; models and sites are moderately wide tags.
+		fleet := g.zipf(1.5, 12)
+		dev.b.Append([]types.Datum{
+			types.Int(int64(i)), types.Int(fleet),
+			types.Str(fmt.Sprintf("model-%02d", g.zipf(1.3, 40))),
+			types.Str(fmt.Sprintf("site-%03d", g.zipf(1.2, int64(nDevices/20+2)))),
+		})
+	}
+	dev.finish(ds)
+
+	nReadings := cfg.scale(240000)
+	rd := newTable("readings", []storage.ColumnSpec{
+		{Name: "id", Kind: types.KindInt64},
+		{Name: "device_id", Kind: types.KindInt64},
+		{Name: "ts", Kind: types.KindInt64},
+		{Name: "metric", Kind: types.KindInt64},
+		{Name: "value", Kind: types.KindFloat64},
+		{Name: "host", Kind: types.KindString},
+		{Name: "sensor", Kind: types.KindString},
+		{Name: "trace_id", Kind: types.KindInt64},
+	})
+	deviceFK := g.zipfSampler(1.25, int64(nDevices))
+	// Append-ordered ingestion: ts advances monotonically (a few readings
+	// share a tick), never looking back — the property that makes the
+	// timestamp's zone maps disjoint across blocks.
+	ts := int64(1_700_000_000)
+	nHosts := int64(nReadings/40 + 2) // high-NDV: one host per ~40 rows
+	for i := 1; i <= nReadings; i++ {
+		ts += g.uniform(0, 3)
+		// Few measurement kinds, skewed toward the hot ones.
+		metric := g.zipf(1.6, 6)
+		val := float64(g.zipf(1.4, 10000)) / 10
+		if metric == 1 { // cpu-style gauge: bounded
+			val = float64(g.uniform(0, 1000)) / 10
+		}
+		host := g.zipf(1.1, nHosts)
+		rd.b.Append([]types.Datum{
+			types.Int(int64(i)), types.Int(deviceFK()), types.Int(ts),
+			types.Int(metric), types.Float(val),
+			types.Str(fmt.Sprintf("host-%06d", host)),
+			// sensor serials are near-unique per (host, metric): the
+			// exceptionally-high-NDV tag column.
+			types.Str(fmt.Sprintf("sn-%06d-%d", host*7+metric, g.uniform(0, 9))),
+			types.Int(int64(i)*13 + g.uniform(0, 11)), // trace_id: nearly unique
+		})
+	}
+	rd.finish(ds)
+
+	join(ds, "readings", "device_id", "devices", "id")
+	return ds
+}
+
 // ByName dispatches to a generator by dataset name.
 func ByName(name string, cfg Config) (*Dataset, error) {
 	switch name {
@@ -718,6 +791,8 @@ func ByName(name string, cfg Config) (*Dataset, error) {
 		return STATS(cfg), nil
 	case "aeolus":
 		return AEOLUS(cfg), nil
+	case "timeseries":
+		return TimeSeries(cfg), nil
 	case "toy":
 		return Toy(cfg), nil
 	default:
@@ -726,4 +801,4 @@ func ByName(name string, cfg Config) (*Dataset, error) {
 }
 
 // Names lists the available datasets.
-func Names() []string { return []string{"imdb", "stats", "aeolus", "toy"} }
+func Names() []string { return []string{"imdb", "stats", "aeolus", "timeseries", "toy"} }

@@ -195,6 +195,28 @@ func (e *Engine) analyzeSelect(q *Query, stmt *sqlparse.SelectStmt) error {
 		}
 		return -1
 	}
+	// A select list of plain columns with no GROUP BY is a projection
+	// query: rows come back in scan/join order (with LIMIT honored), the
+	// shape the pushdown scan contract's limit pushdown serves. Any
+	// aggregate or grouping keeps the aggregate-query rules below.
+	projection := len(stmt.GroupBy) == 0
+	for _, item := range stmt.Items {
+		if item.Kind != sqlparse.ItemColumn {
+			projection = false
+			break
+		}
+	}
+	if projection && len(stmt.Items) > 0 {
+		for _, item := range stmt.Items {
+			ref, err := q.resolveCol(item.Cols[0])
+			if err != nil {
+				return err
+			}
+			q.Select = append(q.Select, ref)
+		}
+		q.Limit = stmt.Limit
+		return nil
+	}
 	for _, item := range stmt.Items {
 		switch item.Kind {
 		case sqlparse.ItemStar:
@@ -254,6 +276,7 @@ func (e *Engine) analyzeSelect(q *Query, stmt *sqlparse.SelectStmt) error {
 	if len(q.Aggs) == 0 {
 		return fmt.Errorf("engine: query must contain at least one aggregate")
 	}
+	q.Limit = stmt.Limit
 	return nil
 }
 

@@ -71,6 +71,13 @@ type Engine struct {
 	// machinery's. Zero takes BYTECARD_BATCH_THRESHOLD if set, else
 	// DefaultBatchThreshold; negative disables batching entirely.
 	BatchThreshold int
+	// Pushdown selects the pushed-down scan path (zone-map block skipping,
+	// vectorized predicate evaluation, projection/limit pushdown). Zero
+	// takes BYTECARD_PUSHDOWN if set, else on; positive forces on;
+	// negative forces off (the legacy readers, byte-identical to pre-
+	// pushdown behavior). ForceReader pins the legacy readers regardless,
+	// so strategy-ablation comparisons stay meaningful.
+	Pushdown int
 	// Obs, when set, accumulates query volume, planning/execution latency,
 	// and the q-error of each plan's final cardinality estimate against
 	// the executed truth.
@@ -132,6 +139,27 @@ var envBatchThreshold = sync.OnceValue(func() (v int) {
 	}
 	return 0
 })
+
+// envPushdown reads BYTECARD_PUSHDOWN once: "0"/"false"/"off" disables,
+// "1"/"true"/"on" enables, anything else (or unset) leaves the default.
+var envPushdown = sync.OnceValue(func() int {
+	switch os.Getenv("BYTECARD_PUSHDOWN") {
+	case "0", "false", "off":
+		return -1
+	case "1", "true", "on":
+		return 1
+	}
+	return 0
+})
+
+// pushdownOn resolves whether scans take the pushed-down path (default on).
+func (e *Engine) pushdownOn() bool {
+	v := e.Pushdown
+	if v == 0 {
+		v = envPushdown()
+	}
+	return v >= 0
+}
 
 // batchThreshold resolves the minimum batched rank size.
 func (e *Engine) batchThreshold() int {
@@ -205,6 +233,8 @@ func (e *Engine) RunStmtTraced(stmt *sqlparse.SelectStmt, tr *obs.Trace) (*Resul
 		e.Obs.PlanLatency.Observe(float64(planDur.Nanoseconds()))
 		e.Obs.ExecLatency.Observe(float64(res.Metrics.ExecDuration.Nanoseconds()))
 		e.Obs.PlanQError.Observe(obs.QError(res.Metrics.EstFinalRows, float64(res.Metrics.ActualFinalRows)))
+		e.Obs.BlocksRead.Add(res.Metrics.IO.BlocksRead())
+		e.Obs.BlocksSkipped.Add(res.Metrics.IO.BlocksSkipped())
 	}
 	if e.OnTruth != nil {
 		e.OnTruth(TemplateKey(q.Tables, q.Joins), physicalTables(q), res.Metrics.EstFinalRows, res.Metrics.ActualFinalRows)

@@ -231,7 +231,7 @@ func TestAnalyzeErrors(t *testing.T) {
 		"SELECT COUNT(*) FROM fact f, dim d",                                    // cross product
 		"SELECT COUNT(*) FROM fact f, dim d WHERE f.dim_id < d.id",              // non-equi join
 		"SELECT COUNT(*) FROM fact f, dim d WHERE f.dim_id = d.id OR f.val = 1", // join under OR
-		"SELECT val FROM fact",                                                  // non-grouped column
+		"SELECT val, COUNT(*) FROM fact",                                        // non-grouped column beside aggregate
 		"SELECT * FROM fact",                                                    // star
 		"SELECT val FROM fact WHERE val = 'x'",                                  // type mismatch
 		"SELECT SUM(val) FROM fact WHERE val = 1 AND val2 = 2",                  // unknown col in filter

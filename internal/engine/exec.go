@@ -71,8 +71,15 @@ func (e *Engine) ExecuteTraced(p *Plan, tr *obs.Trace) (*Result, error) {
 	// read.
 	states := make([]*scanState, len(q.Tables))
 	first := p.JoinOrder[0]
+	// Limit pushdown: a single-table projection query may stop its scan at
+	// the Limit-th match — the only shape where the scan's output is the
+	// query's output row-for-row.
+	scanLimit := 0
+	if len(q.Select) > 0 && len(q.Tables) == 1 {
+		scanLimit = q.Limit
+	}
 	scanStart := time.Now()
-	st, err := e.executeScan(q, p.Scans[first], &m, ex)
+	st, err := e.executeScan(q, p.Scans[first], &m, ex, scanLimit)
 	if err != nil {
 		return nil, err
 	}
@@ -89,12 +96,30 @@ func (e *Engine) ExecuteTraced(p *Plan, tr *obs.Trace) (*Result, error) {
 		m.ActualFinalRows += c
 	}
 
-	aggStart := time.Now()
-	res, err := e.executeAggregation(q, p, states, inter, &m, ex)
-	if err != nil {
-		return nil, err
+	var res *Result
+	if len(q.Select) > 0 {
+		res = e.executeProjection(q, states, inter)
+	} else {
+		aggStart := time.Now()
+		res, err = e.executeAggregation(q, p, states, inter, &m, ex)
+		if err != nil {
+			return nil, err
+		}
+		ex.span(obs.OpExecAgg, nil, ex.workers, int64(len(res.Rows)), time.Since(aggStart))
 	}
-	ex.span(obs.OpExecAgg, nil, ex.workers, int64(len(res.Rows)), time.Since(aggStart))
+	m.ScanBlocks = map[string]ScanBlockStats{}
+	for i, st := range states {
+		if st == nil {
+			continue
+		}
+		var sb ScanBlockStats
+		//bytecard:unordered-ok commutative integer sums over the binding's readers
+		for _, r := range st.readers {
+			sb.Read += r.BlocksCharged()
+			sb.Skipped += r.BlocksSkipped()
+		}
+		m.ScanBlocks[q.Tables[i].Binding] = sb
+	}
 	m.ExecDuration = time.Since(start)
 	res.Metrics = m
 	return res, nil
@@ -132,24 +157,98 @@ func neededColumns(q *Query, idx int) []string {
 			}
 		}
 	}
+	for _, s := range q.Select {
+		if s.Tab == t.Binding {
+			add(s.Col)
+		}
+	}
 	return out
 }
 
 // executeScan applies the table filter with the planned reader strategy.
-func (e *Engine) executeScan(q *Query, sp *ScanPlan, m *Metrics, ex *execCtx) (*scanState, error) {
+// limit, when positive, lets a pushed-down scan stop after that many
+// matches (single-table projection queries only — the caller guarantees
+// the scan's output is the query's output).
+func (e *Engine) executeScan(q *Query, sp *ScanPlan, m *Metrics, ex *execCtx, limit int) (*scanState, error) {
 	t := q.Tables[sp.TableIdx]
 	st := &scanState{t: t, readers: map[string]*storage.Reader{}, io: m.IO}
 	n := t.Table.NumRows()
 
-	if sp.Strategy == "multi-stage" {
+	switch {
+	case sp.Pushdown:
+		start := time.Now()
+		e.pushdownScan(st, sp, n, limit, ex)
+		if ex.tr.Active() {
+			skipped := 0
+			//bytecard:unordered-ok commutative integer sum over the scan's readers
+			for _, r := range st.readers {
+				skipped += r.BlocksSkipped()
+			}
+			ex.tr.Add(obs.Span{
+				Op: obs.OpScanPushdown, Tables: []string{t.Binding},
+				Source: "engine", Outcome: obs.OutcomeOK,
+				Workers: ex.workers, Value: float64(skipped),
+				Duration: time.Since(start),
+			})
+		}
+	case sp.Strategy == "multi-stage":
 		if err := e.multiStageScan(st, sp, n, ex); err != nil {
 			return nil, err
 		}
-	} else {
+	default:
 		e.singleStageScan(q, st, sp, n, ex)
 	}
 	m.RowsMaterialized += int64(len(st.rows))
 	return st, nil
+}
+
+// pushdownScan routes one table scan through the storage.BlockScan
+// contract. Only the constrained columns are handed to storage (projection
+// pushdown: unreferenced columns are never read here), zone maps prune
+// whole blocks before any charge, and survivors come back as a selection
+// vector — downstream operators materialize lazily through the shared-
+// charge readers. Block decisions are block-local, so the morsel-parallel
+// form reads and skips exactly the blocks the sequential form does.
+func (e *Engine) pushdownScan(st *scanState, sp *ScanPlan, n, limit int, ex *execCtx) {
+	preds, _ := st.t.Filter.Conjunction() // planScan sets Pushdown only for conjunctions
+	if len(preds) == 0 {
+		if limit > 0 && limit < n {
+			n = limit
+		}
+		st.rows = allRows(n)
+		return
+	}
+	col := st.t.Table.ColByName
+	constraints := expr.BuildConstraints(preds, func(c string, d types.Datum) (float64, bool) {
+		return col(c).EncodeDatum(d)
+	})
+	byCol := map[string]expr.Constraint{}
+	for _, c := range constraints {
+		byCol[c.Col] = c
+	}
+	order := sp.ColOrder
+	if len(order) == 0 {
+		order = distinctCols(preds)
+	}
+	opts := storage.ScanOptions{Limit: limit}
+	cols := make([]string, 0, len(order))
+	for _, c := range order {
+		cons, ok := byCol[c]
+		if !ok {
+			continue
+		}
+		opts.Constraints = append(opts.Constraints, cons)
+		cols = append(cols, c)
+	}
+	if limit == 0 && ex.parallelFor(n, morselRows) {
+		st.rows = parallelPushdownScan(st, opts, cols, n, ex.workers)
+		return
+	}
+	readers := make([]*storage.Reader, len(cols))
+	for i, c := range cols {
+		readers[i] = st.reader(c)
+	}
+	st.rows = storage.BlockScan(readers, opts, 0, n, nil)
 }
 
 // singleStageScan loads every block of every touched column up front (early
@@ -329,7 +428,7 @@ func (e *Engine) scanForJoin(q *Query, p *Plan, states []*scanState, next int, c
 	n := t.Table.NumRows()
 	sipFirst := sip != nil && float64(len(sip)) < sipFirstFraction*float64(n)
 	if !sipFirst {
-		st, err := e.executeScan(q, sp, m, ex)
+		st, err := e.executeScan(q, sp, m, ex, 0)
 		if err != nil {
 			return err
 		}
@@ -460,9 +559,10 @@ func liveColumns(q *Query, inter *intermediate, remaining []int) map[int][]strin
 const compressThreshold = 1024
 
 // compress merges tuples that agree on every live column, summing their
-// multiplicities.
+// multiplicities. Projection queries are exempt: merging reorders tuples,
+// and their output is defined by scan/join row order.
 func compress(q *Query, inter *intermediate, states []*scanState, remaining []int) *intermediate {
-	if len(inter.tuples) < compressThreshold {
+	if len(q.Select) > 0 || len(inter.tuples) < compressThreshold {
 		return inter
 	}
 	live := liveColumns(q, inter, remaining)
@@ -652,7 +752,49 @@ func (e *Engine) executeAggregation(q *Query, p *Plan, states []*scanState, inte
 		}
 	}
 	sortRows(res.Rows)
+	if q.Limit > 0 && len(res.Rows) > q.Limit {
+		res.Rows = res.Rows[:q.Limit]
+	}
 	return res, nil
+}
+
+// executeProjection materializes the projected columns of the surviving
+// tuples — the late-materialization endpoint: selection vectors become
+// output rows only here. Rows come back in scan/join order (scans emit
+// ascending row ids; join partitions concatenate in chunk order), which is
+// deterministic at any worker count, so no sort runs; LIMIT truncates.
+func (e *Engine) executeProjection(q *Query, states []*scanState, inter *intermediate) *Result {
+	res := &Result{}
+	for _, item := range q.Stmt.Items {
+		res.Columns = append(res.Columns, item.String())
+	}
+	bound := make([]boundCol, len(q.Select))
+	for i, ref := range q.Select {
+		found := false
+		for k, tabIdx := range inter.tabs {
+			if q.Tables[tabIdx].Binding == ref.Tab {
+				bound[i] = boundCol{pos: k, tab: tabIdx, col: ref.Col}
+				found = true
+				break
+			}
+		}
+		if !found {
+			panic("engine: unresolved column " + ref.String())
+		}
+	}
+	for ti, tuple := range inter.tuples {
+		for c := inter.counts[ti]; c > 0; c-- {
+			row := make([]types.Datum, len(bound))
+			for i, bc := range bound {
+				row[i] = states[bc.tab].value(bc.col, tuple[bc.pos])
+			}
+			res.Rows = append(res.Rows, row)
+			if q.Limit > 0 && len(res.Rows) >= q.Limit {
+				return res
+			}
+		}
+	}
+	return res
 }
 
 func buildOutputRow(q *Query, key []types.Datum, accs []aggAcc) []types.Datum {

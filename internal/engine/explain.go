@@ -9,6 +9,7 @@ import (
 	"bytecard/internal/expr"
 	"bytecard/internal/obs"
 	"bytecard/internal/sqlparse"
+	"bytecard/internal/types"
 )
 
 // TraceableEstimator is satisfied by estimators that can derive a
@@ -99,6 +100,18 @@ type ExplainNode struct {
 	// Fallback marks nodes whose estimate came from the traditional
 	// estimator after a model failure.
 	Fallback bool `json:"fallback,omitempty"`
+	// Pushdown marks scan nodes routed through the storage BlockScan
+	// contract (zone-map skipping, vectorized filtering).
+	Pushdown bool `json:"pushdown,omitempty"`
+	// PredictedBlocks is the zone-map prediction of per-column blocks a
+	// pushed-down scan will charge: blocks whose zone ranges survive every
+	// constraint, times the constrained-column count (an upper bound —
+	// staged filtering reads later columns only where survivors remain).
+	// Zero for non-pushdown scans and unconstrained filters.
+	PredictedBlocks int `json:"predicted_blocks,omitempty"`
+	// ActualBlocks is the executed block-read count for the node's
+	// binding, filled by AnnotateExecution from a run's Metrics.
+	ActualBlocks int `json:"actual_blocks,omitempty"`
 }
 
 // ExplainResult is the product of Engine.Explain: the chosen plan with
@@ -186,11 +199,13 @@ func (e *Engine) ExplainStmt(sql string, stmt *sqlparse.SelectStmt) (*ExplainRes
 		sp := p.Scans[idx]
 		t := q.Tables[sp.TableIdx]
 		node := ExplainNode{
-			Kind:     "scan",
-			Tables:   []string{t.Binding},
-			Strategy: sp.Strategy,
-			ColOrder: sp.ColOrder,
-			EstRows:  sp.EstRows,
+			Kind:            "scan",
+			Tables:          []string{t.Binding},
+			Strategy:        sp.Strategy,
+			ColOrder:        sp.ColOrder,
+			EstRows:         sp.EstRows,
+			Pushdown:        sp.Pushdown,
+			PredictedBlocks: predictedScanBlocks(t, sp),
 		}
 		if a, ok := attr[spanKey(obs.OpFilter, node.Tables)]; ok {
 			node.Source, node.Fallback = a.source, a.fallback
@@ -245,6 +260,61 @@ func (e *Engine) ExplainStmt(sql string, stmt *sqlparse.SelectStmt) (*ExplainRes
 	return res, nil
 }
 
+// predictedScanBlocks evaluates the scan's constraints against the zone
+// maps at plan time: the number of blocks whose zone ranges every
+// constraint overlaps, times the constrained-column count — the blocks a
+// pushed-down scan will charge at most. Metadata only; nothing is read.
+func predictedScanBlocks(t *QueryTable, sp *ScanPlan) int {
+	if !sp.Pushdown {
+		return 0
+	}
+	preds, ok := t.Filter.Conjunction()
+	if !ok || len(preds) == 0 {
+		return 0
+	}
+	col := t.Table.ColByName
+	constraints := expr.BuildConstraints(preds, func(c string, d types.Datum) (float64, bool) {
+		return col(c).EncodeDatum(d)
+	})
+	if len(constraints) == 0 {
+		return 0
+	}
+	nb := col(constraints[0].Col).NumBlocks()
+	surviving := 0
+	for b := 0; b < nb; b++ {
+		live := true
+		for _, cons := range constraints {
+			lo, hi := col(cons.Col).ZoneRange(b)
+			if !cons.OverlapsRange(lo, hi) {
+				live = false
+				break
+			}
+		}
+		if live {
+			surviving++
+		}
+	}
+	return surviving * len(constraints)
+}
+
+// AnnotateExecution fills each scan node's ActualBlocks from an executed
+// run's metrics (Metrics.ScanBlocks, keyed by binding) — the predicted-
+// versus-actual pair the CLI prints after running an explained query.
+func (r *ExplainResult) AnnotateExecution(m *Metrics) {
+	if m == nil || m.ScanBlocks == nil {
+		return
+	}
+	for i := range r.Nodes {
+		n := &r.Nodes[i]
+		if n.Kind != "scan" || len(n.Tables) != 1 {
+			continue
+		}
+		if sb, ok := m.ScanBlocks[n.Tables[0]]; ok {
+			n.ActualBlocks = sb.Read
+		}
+	}
+}
+
 // String renders the explained plan as an indented tree for CLI output.
 func (r *ExplainResult) String() string {
 	var b strings.Builder
@@ -258,6 +328,15 @@ func (r *ExplainResult) String() string {
 			fmt.Fprintf(&b, " col_order=%s", strings.Join(n.ColOrder, ","))
 		}
 		fmt.Fprintf(&b, " est_rows=%.1f", n.EstRows)
+		if n.Pushdown {
+			b.WriteString(" pushdown")
+		}
+		if n.PredictedBlocks > 0 {
+			fmt.Fprintf(&b, " pred_blocks=%d", n.PredictedBlocks)
+		}
+		if n.ActualBlocks > 0 {
+			fmt.Fprintf(&b, " actual_blocks=%d", n.ActualBlocks)
+		}
 		if n.Source != "" {
 			fmt.Fprintf(&b, " source=%s", n.Source)
 		}

@@ -36,6 +36,7 @@ func (e *Engine) RunNaive(sql string) (*Result, error) {
 			row := int32(i)
 			if t.Filter != nil {
 				ok := t.Filter.Eval(func(_, col string) types.Datum {
+					//bytecard:rawscan-ok brute-force oracle verifies results, not I/O accounting
 					return t.Table.ColByName(col).Value(int(row))
 				})
 				if !ok {
@@ -124,5 +125,6 @@ func bindingIndex(q *Query, binding string) int {
 }
 
 func valueAt(q *Query, tableIdx int, row int32, col string) types.Datum {
+	//bytecard:rawscan-ok brute-force oracle verifies results, not I/O accounting
 	return q.Tables[tableIdx].Table.ColByName(col).Value(int(row))
 }

@@ -258,6 +258,27 @@ func parallelMultiStage(st *scanState, order []string, byCol map[string]expr.Con
 	return concatRows(parts)
 }
 
+// parallelPushdownScan is pushdownScan's morsel-parallel form: each worker
+// runs storage.BlockScan over its block-aligned morsel through sibling
+// readers. Zone-map and charge decisions are block-local and the shared
+// charge/skip sets count each (column, block) once, so blocks read and
+// skipped — and the surviving rows, concatenated in chunk order — are
+// identical to the sequential scan at any worker count.
+func parallelPushdownScan(st *scanState, opts storage.ScanOptions, cols []string, n, workers int) []int32 {
+	chunks := numChunks(n, morselRows)
+	parts := make([][]int32, chunks)
+	runChunks(workers, chunks, func(_, c int) {
+		lo, hi := chunkBounds(n, morselRows, c)
+		view := newWorkerView(st)
+		readers := make([]*storage.Reader, len(cols))
+		for i, col := range cols {
+			readers[i] = view.reader(col)
+		}
+		parts[c] = storage.BlockScan(readers, opts, lo, hi, nil)
+	})
+	return concatRows(parts)
+}
+
 // parallelSIPProbe is the morsel-parallel key-membership stage of a
 // SIP-first scan: workers probe the shared read-only key set over their
 // morsels and emit surviving candidates in row order.

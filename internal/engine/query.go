@@ -78,6 +78,15 @@ type Query struct {
 	Joins   []JoinCond
 	GroupBy []ColRef
 	Aggs    []AggSpec
+	// Select lists the projected columns of a projection (non-aggregate)
+	// query, in select-list order; empty for aggregate queries. Projection
+	// queries preserve scan/join row order and skip intermediate
+	// compression (which reorders tuples).
+	Select []ColRef
+	// Limit caps the result row count (0 = unlimited). For single-table
+	// projection queries it is pushed into the scan so reading stops at
+	// the Limit-th match.
+	Limit int
 	// OutCols mirrors the select list: group columns and aggregates in
 	// select-list order; -1 entries index Aggs, >=0 entries index GroupBy.
 	outPlan []outputItem
@@ -100,6 +109,14 @@ func (q *Query) TableByBinding(name string) *QueryTable {
 	return nil
 }
 
+// ScanBlockStats is one scanned binding's block accounting: blocks charged
+// to IOStats versus blocks zone-map pruning skipped without reading,
+// summed over the binding's columns.
+type ScanBlockStats struct {
+	Read    int
+	Skipped int
+}
+
 // Metrics records the observable cost of one query execution — the
 // quantities the paper's Figure 6 experiments chart.
 type Metrics struct {
@@ -118,6 +135,10 @@ type Metrics struct {
 	// ReaderStrategy maps each scanned binding to "single-stage" or
 	// "multi-stage".
 	ReaderStrategy map[string]string
+	// ScanBlocks maps each scanned binding to its block read/skip counts
+	// (the per-scan-node actuals EXPLAIN annotation compares against the
+	// zone-map prediction).
+	ScanBlocks map[string]ScanBlockStats
 	// EstFinalRows is the optimizer's cardinality estimate for the
 	// filtered join, copied from the plan so estimate and truth travel
 	// together.

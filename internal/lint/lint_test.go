@@ -115,6 +115,7 @@ func TestAnalyzerFixtures(t *testing.T) {
 		{RandSource, []string{"randsource_flag"}},
 		{PoolHygiene, []string{"poolhygiene_flag"}},
 		{EstClamp, []string{"estclamp_flag"}},
+		{ScanRead, []string{"scanread_flag"}},
 	}
 	for _, tc := range cases {
 		for _, fixture := range tc.fixtures {
@@ -275,7 +276,7 @@ func TestSelectAnalyzers(t *testing.T) {
 	if got := run("-mapiter", "-randsource"); got != "mapiter,randsource" {
 		t.Errorf("two positive flags: got %q", got)
 	}
-	if got := run("-mapiter=false"); got != "atomicwrite,cacheput,estclamp,guardcall,poolhygiene,randsource" {
+	if got := run("-mapiter=false"); got != "atomicwrite,cacheput,estclamp,guardcall,poolhygiene,randsource,scanread" {
 		t.Errorf("-mapiter=false: got %q", got)
 	}
 }

@@ -1,0 +1,38 @@
+// Package engine mimics the query engine reading columns directly, which
+// scanread reports: engine reads must flow through storage.Reader or
+// storage.BlockScan so blocks are charged to IOStats exactly once.
+package engine
+
+import (
+	"bytecard/internal/storage"
+	"bytecard/internal/types"
+)
+
+func Direct(c *storage.Column, i int) types.Datum {
+	return c.Value(i) // want `bypasses the charge-once scan contract`
+}
+
+func DirectNumeric(c *storage.Column, i int) float64 {
+	return c.Numeric(i) // want `bypasses the charge-once scan contract`
+}
+
+func DirectAll(c *storage.Column) []float64 {
+	return c.NumericAll() // want `bypasses the charge-once scan contract`
+}
+
+// Annotated raw reads document why accounting is skipped.
+func Annotated(c *storage.Column, i int) types.Datum {
+	return c.Value(i) //bytecard:rawscan-ok fixture: reference executor verifies results, not I/O
+}
+
+// NoReason has an annotation but no justification.
+func NoReason(c *storage.Column, i int) types.Datum {
+	//bytecard:rawscan-ok
+	return c.Value(i) // want `annotation needs a reason`
+}
+
+// Metadata accessors and accounted Reader access are the blessed surface.
+func Blessed(c *storage.Column, io *storage.IOStats, i int) (types.Datum, int, int) {
+	r := c.NewReader(io)
+	return r.Value(i), c.Len(), c.NumBlocks()
+}

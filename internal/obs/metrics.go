@@ -264,6 +264,10 @@ type EngineMetrics struct {
 	// PlanQError compares each plan's estimated final cardinality with the
 	// exact joined cardinality the executor observed.
 	PlanQError Histogram
+	// BlocksRead and BlocksSkipped accumulate per-query block I/O: blocks
+	// charged by scans versus blocks zone-map pruning skipped without
+	// reading (the pushdown scan contract's headline observable).
+	BlocksRead, BlocksSkipped Counter
 }
 
 // NewEngineMetrics returns a zeroed metrics block.
@@ -275,6 +279,8 @@ type EngineSnapshot struct {
 	PlanLatencyNs HistogramSnapshot `json:"plan_latency_ns"`
 	ExecLatencyNs HistogramSnapshot `json:"exec_latency_ns"`
 	PlanQError    HistogramSnapshot `json:"plan_q_error"`
+	BlocksRead    int64             `json:"blocks_read"`
+	BlocksSkipped int64             `json:"blocks_skipped"`
 }
 
 // Snapshot digests the metrics block (nil-safe: returns zeroes).
@@ -287,5 +293,7 @@ func (m *EngineMetrics) Snapshot() EngineSnapshot {
 		PlanLatencyNs: m.PlanLatency.Snapshot(),
 		ExecLatencyNs: m.ExecLatency.Snapshot(),
 		PlanQError:    m.PlanQError.Snapshot(),
+		BlocksRead:    m.BlocksRead.Load(),
+		BlocksSkipped: m.BlocksSkipped.Load(),
 	}
 }

@@ -30,9 +30,10 @@ const (
 // engine's executor rather than an estimator; Workers carries the
 // morsel-driven parallelism the phase ran with).
 const (
-	OpExecScan = "exec_scan" // base-table scan (filter + materialization)
-	OpExecJoin = "exec_join" // one hash-join step (build + probe)
-	OpExecAgg  = "exec_agg"  // final aggregation (accumulate + merge)
+	OpExecScan     = "exec_scan"     // base-table scan (filter + materialization)
+	OpExecJoin     = "exec_join"     // one hash-join step (build + probe)
+	OpExecAgg      = "exec_agg"      // final aggregation (accumulate + merge)
+	OpScanPushdown = "scan_pushdown" // pushed-down scan detail (Value = blocks zone-map skipped)
 )
 
 // Span outcomes. OutcomeOK and OutcomeClamped are successes; everything

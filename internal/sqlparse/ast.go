@@ -5,6 +5,7 @@
 package sqlparse
 
 import (
+	"strconv"
 	"strings"
 
 	"bytecard/internal/expr"
@@ -147,6 +148,9 @@ type SelectStmt struct {
 	From    []TableRef
 	Where   *Cond
 	GroupBy []ColRef
+	// Limit caps the number of result rows; 0 means no LIMIT clause
+	// (LIMIT 0 is rejected at parse time).
+	Limit int
 }
 
 // String renders the statement as SQL; Parse(stmt.String()) reproduces an
@@ -176,6 +180,10 @@ func (s *SelectStmt) String() string {
 		}
 		sb.WriteString(" GROUP BY ")
 		sb.WriteString(strings.Join(cols, ", "))
+	}
+	if s.Limit > 0 {
+		sb.WriteString(" LIMIT ")
+		sb.WriteString(strconv.Itoa(s.Limit))
 	}
 	return sb.String()
 }

@@ -30,6 +30,9 @@ func Normalize(stmt *SelectStmt) string {
 		From:    stmt.From,
 		Where:   normalizeCond(stmt.Where),
 		GroupBy: stmt.GroupBy,
+		// LIMIT is structural (it changes how much the scan may read), so
+		// it stays verbatim rather than canonicalizing to a placeholder.
+		Limit: stmt.Limit,
 	}
 	return n.String()
 }

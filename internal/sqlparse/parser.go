@@ -88,6 +88,7 @@ var reservedWords = map[string]bool{
 	"select": true, "from": true, "where": true, "group": true, "by": true,
 	"and": true, "or": true, "as": true, "count": true, "sum": true,
 	"avg": true, "min": true, "max": true, "distinct": true, "join": true, "on": true,
+	"limit": true,
 }
 
 func (p *parser) ident() (string, error) {
@@ -152,6 +153,18 @@ func (p *parser) parseSelect() (*SelectStmt, error) {
 				break
 			}
 		}
+	}
+	if p.keyword("LIMIT") {
+		t := p.peek()
+		if t.kind != tokNumber {
+			return nil, p.errorf("expected LIMIT count, found %s", t)
+		}
+		n, err := strconv.Atoi(t.text)
+		if err != nil || n <= 0 {
+			return nil, p.errorf("LIMIT must be a positive integer, found %s", t)
+		}
+		p.next()
+		stmt.Limit = n
 	}
 	return stmt, nil
 }

@@ -6,9 +6,11 @@ package storage
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"sync/atomic"
 
+	"bytecard/internal/expr"
 	"bytecard/internal/types"
 )
 
@@ -21,18 +23,27 @@ const BlockSize = 2048
 
 // IOStats accumulates block-read counters. It is safe for concurrent use.
 type IOStats struct {
-	blocksRead atomic.Int64
-	bytesRead  atomic.Int64
+	blocksRead    atomic.Int64
+	blocksSkipped atomic.Int64
+	bytesRead     atomic.Int64
 }
 
-// AddBlock records one block read of width bytes per value over n values.
+// AddBlock records one block read of the given total byte size (the
+// block's value count times the column's per-value width).
 func (s *IOStats) AddBlock(bytes int64) {
 	s.blocksRead.Add(1)
 	s.bytesRead.Add(bytes)
 }
 
+// AddSkipped records one block pruned by its zone map before any value was
+// fetched — the read that never happened.
+func (s *IOStats) AddSkipped() { s.blocksSkipped.Add(1) }
+
 // BlocksRead returns the number of blocks fetched.
 func (s *IOStats) BlocksRead() int64 { return s.blocksRead.Load() }
+
+// BlocksSkipped returns the number of blocks pruned by zone maps.
+func (s *IOStats) BlocksSkipped() int64 { return s.blocksSkipped.Load() }
 
 // BytesRead returns the number of bytes fetched.
 func (s *IOStats) BytesRead() int64 { return s.bytesRead.Load() }
@@ -40,6 +51,7 @@ func (s *IOStats) BytesRead() int64 { return s.bytesRead.Load() }
 // Reset zeroes the counters.
 func (s *IOStats) Reset() {
 	s.blocksRead.Store(0)
+	s.blocksSkipped.Store(0)
 	s.bytesRead.Store(0)
 }
 
@@ -58,6 +70,11 @@ type Column struct {
 	floats []float64
 	codes  []int32
 	dict   []string
+	// zoneLo/zoneHi are the per-block min/max of the numeric image,
+	// computed at Build time. For strings these are dictionary codes, and
+	// because the dictionary is sorted the code range is the string range.
+	zoneLo []float64
+	zoneHi []float64
 }
 
 // Name returns the column name.
@@ -150,17 +167,86 @@ func (c *Column) EncodeDatum(d types.Datum) (float64, bool) {
 // DictSize returns the dictionary length (0 for non-string columns).
 func (c *Column) DictSize() int { return len(c.dict) }
 
+// buildZones computes the per-block zone maps. Called once from Build,
+// after string dictionaries are sorted and codes remapped.
+func (c *Column) buildZones() {
+	nb := c.NumBlocks()
+	c.zoneLo = make([]float64, nb)
+	c.zoneHi = make([]float64, nb)
+	for b := 0; b < nb; b++ {
+		lo, hi := b*BlockSize, (b+1)*BlockSize
+		if n := c.Len(); hi > n {
+			hi = n
+		}
+		zlo, zhi := math.Inf(1), math.Inf(-1)
+		switch c.kind {
+		case types.KindInt64:
+			for _, v := range c.ints[lo:hi] {
+				f := float64(v)
+				if f < zlo {
+					zlo = f
+				}
+				if f > zhi {
+					zhi = f
+				}
+			}
+		case types.KindFloat64:
+			for _, v := range c.floats[lo:hi] {
+				if v < zlo {
+					zlo = v
+				}
+				if v > zhi {
+					zhi = v
+				}
+			}
+		default:
+			for _, v := range c.codes[lo:hi] {
+				f := float64(v)
+				if f < zlo {
+					zlo = f
+				}
+				if f > zhi {
+					zhi = f
+				}
+			}
+		}
+		c.zoneLo[b], c.zoneHi[b] = zlo, zhi
+	}
+}
+
+// ZoneRange returns block b's [min, max] numeric-image range. Zone maps
+// are metadata: consulting them charges nothing to any IOStats.
+func (c *Column) ZoneRange(b int) (lo, hi float64) { return c.zoneLo[b], c.zoneHi[b] }
+
+// ZoneSurvivors counts the blocks whose zone range overlaps cons — the
+// exact number of blocks a pushed-down range stage on this column would
+// read, computable at plan time from metadata alone.
+func (c *Column) ZoneSurvivors(cons expr.Constraint) int {
+	n := 0
+	for b := range c.zoneLo {
+		if cons.OverlapsRange(c.zoneLo[b], c.zoneHi[b]) {
+			n++
+		}
+	}
+	return n
+}
+
 // blockCharges is the cross-reader record of which blocks of one column
 // have been charged to the query's IOStats. Sibling readers (one per
 // worker goroutine) share one blockCharges, so a block read by several
 // workers — or by a scan worker first and a later sequential operator
-// after — is still charged exactly once per query.
+// after — is still charged exactly once per query. The skipped set mirrors
+// it for zone-map prunes, keeping BlocksSkipped once-per-block too.
 type blockCharges struct {
 	charged []atomic.Bool
+	skipped []atomic.Bool
 }
 
 // charge marks block b charged, reporting whether this call was the first.
 func (c *blockCharges) charge(b int) bool { return !c.charged[b].Swap(true) }
+
+// skip marks block b skipped, reporting whether this call was the first.
+func (c *blockCharges) skip(b int) bool { return !c.skipped[b].Swap(true) }
 
 // Reader provides block-accounted access to one column within one query.
 // The first touch of each block registers a block read in the IOStats; a
@@ -179,11 +265,12 @@ type Reader struct {
 
 // NewReader creates a reader over col accounting into io (which may be nil).
 func (c *Column) NewReader(io *IOStats) *Reader {
+	nb := c.NumBlocks()
 	return &Reader{
 		col:     c,
 		io:      io,
-		loaded:  make([]bool, c.NumBlocks()),
-		charges: &blockCharges{charged: make([]atomic.Bool, c.NumBlocks())},
+		loaded:  make([]bool, nb),
+		charges: &blockCharges{charged: make([]atomic.Bool, nb), skipped: make([]atomic.Bool, nb)},
 	}
 }
 
@@ -250,6 +337,181 @@ func (r *Reader) BlocksTouched() int {
 		}
 	}
 	return n
+}
+
+// BlocksCharged returns how many of the column's blocks have been charged
+// to the IOStats across this reader and every sibling sharing its charge
+// set — the per-(column, query) read count.
+func (r *Reader) BlocksCharged() int {
+	n := 0
+	for i := range r.charges.charged {
+		if r.charges.charged[i].Load() {
+			n++
+		}
+	}
+	return n
+}
+
+// BlocksSkipped returns how many blocks were zone-map pruned across this
+// reader and every sibling sharing its charge set.
+func (r *Reader) BlocksSkipped() int {
+	n := 0
+	for i := range r.charges.skipped {
+		if r.charges.skipped[i].Load() {
+			n++
+		}
+	}
+	return n
+}
+
+// ZoneOverlaps reports whether block b's zone range can satisfy cons.
+// Metadata only: nothing is charged.
+func (r *Reader) ZoneOverlaps(b int, cons expr.Constraint) bool {
+	return cons.OverlapsRange(r.col.zoneLo[b], r.col.zoneHi[b])
+}
+
+// MarkSkipped records block b as zone-map pruned, charging one skip to the
+// IOStats the first time any sibling marks it. A pruned block holds no
+// surviving row, so later operators never read it — the skip and read sets
+// of one (column, query) pair stay disjoint.
+func (r *Reader) MarkSkipped(b int) {
+	if r.charges.skip(b) && r.io != nil {
+		r.io.AddSkipped()
+	}
+}
+
+// filterRange appends to dst the row ids in [lo, hi) whose values satisfy
+// cons, reading the column storage directly in one typed pass (no Datum
+// boxing). The caller guarantees [lo, hi) lies within a single block,
+// which is charged before any value is examined.
+func (r *Reader) filterRange(lo, hi int, cons expr.Constraint, dst []int32) []int32 {
+	if lo >= hi {
+		return dst
+	}
+	r.touch(lo)
+	switch r.col.kind {
+	case types.KindInt64:
+		for i, v := range r.col.ints[lo:hi] {
+			if cons.Contains(float64(v)) {
+				dst = append(dst, int32(lo+i))
+			}
+		}
+	case types.KindFloat64:
+		for i, v := range r.col.floats[lo:hi] {
+			if cons.Contains(v) {
+				dst = append(dst, int32(lo+i))
+			}
+		}
+	default:
+		for i, v := range r.col.codes[lo:hi] {
+			if cons.Contains(float64(v)) {
+				dst = append(dst, int32(lo+i))
+			}
+		}
+	}
+	return dst
+}
+
+// filterRows filters a selection vector in place against cons, reading the
+// column storage directly. The caller guarantees all rows lie within a
+// single block, charged once up front.
+func (r *Reader) filterRows(rows []int32, cons expr.Constraint) []int32 {
+	if len(rows) == 0 {
+		return rows
+	}
+	r.touch(int(rows[0]))
+	kept := rows[:0]
+	switch r.col.kind {
+	case types.KindInt64:
+		for _, i := range rows {
+			if cons.Contains(float64(r.col.ints[i])) {
+				kept = append(kept, i)
+			}
+		}
+	case types.KindFloat64:
+		for _, i := range rows {
+			if cons.Contains(r.col.floats[i]) {
+				kept = append(kept, i)
+			}
+		}
+	default:
+		for _, i := range rows {
+			if cons.Contains(float64(r.col.codes[i])) {
+				kept = append(kept, i)
+			}
+		}
+	}
+	return kept
+}
+
+// ScanOptions is the pushed-down scan contract: the engine compiles a
+// conjunctive filter into per-column constraints (at most one per column,
+// in staged evaluation order) and, for limit-bearing projections, the
+// match count at which the scan may stop early. Projection pushdown is
+// implicit — only the constrained columns are ever handed to BlockScan, so
+// unreferenced columns are simply never read.
+type ScanOptions struct {
+	// Constraints are evaluated in order per block: the first runs as a
+	// dense range stage over the whole block, the rest refine the
+	// surviving selection vector.
+	Constraints []expr.Constraint
+	// Limit, when positive, stops the scan once that many rows matched.
+	Limit int
+}
+
+// BlockScan is the blessed pushdown scan entry point: it evaluates opts
+// over rows [lo, hi) of one table, appending matching row ids to dst.
+// readers aligns with opts.Constraints (reader i serves constraint i's
+// column). Per block, every constrained column's zone map is consulted
+// first — one miss prunes the block for all constrained columns without
+// charging a read — then survivors are refined stage by stage, vectorized
+// per block. All decisions are block-local, so morsel-parallel callers
+// scanning disjoint block-aligned ranges read and skip exactly the blocks
+// the sequential scan would.
+func BlockScan(readers []*Reader, opts ScanOptions, lo, hi int, dst []int32) []int32 {
+	if len(readers) == 0 || len(readers) != len(opts.Constraints) {
+		panic("storage: BlockScan needs one reader per constraint")
+	}
+	for _, cons := range opts.Constraints {
+		if cons.Empty {
+			return dst
+		}
+	}
+	if n := readers[0].col.Len(); hi > n {
+		hi = n
+	}
+	var sel []int32
+	for b := BlockOf(lo); b*BlockSize < hi; b++ {
+		blo, bhi := b*BlockSize, (b+1)*BlockSize
+		if blo < lo {
+			blo = lo
+		}
+		if bhi > hi {
+			bhi = hi
+		}
+		pruned := false
+		for i := range readers {
+			if !readers[i].ZoneOverlaps(b, opts.Constraints[i]) {
+				pruned = true
+				break
+			}
+		}
+		if pruned {
+			for _, r := range readers {
+				r.MarkSkipped(b)
+			}
+			continue
+		}
+		sel = readers[0].filterRange(blo, bhi, opts.Constraints[0], sel[:0])
+		for i := 1; i < len(readers) && len(sel) > 0; i++ {
+			sel = readers[i].filterRows(sel, opts.Constraints[i])
+		}
+		dst = append(dst, sel...)
+		if opts.Limit > 0 && len(dst) >= opts.Limit {
+			return dst[:opts.Limit]
+		}
+	}
+	return dst
 }
 
 // Table is an immutable columnar table.
@@ -412,6 +674,7 @@ func (b *Builder) Build() *Table {
 			col.codes = codes
 			col.dict = sorted
 		}
+		col.buildZones()
 		t.byName[s.Name] = len(t.cols)
 		t.cols = append(t.cols, col)
 	}

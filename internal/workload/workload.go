@@ -372,6 +372,70 @@ func AEOLUSOnline(ds *datagen.Dataset, seed int64) (Workload, error) {
 	})
 }
 
+// TimeSeriesProbes generates the IoT-monitoring workload over the
+// timeseries dataset: narrow time-range scans over the append-ordered
+// readings fact (where zone maps skip nearly every block), tag-equality
+// probes against the high-NDV host/sensor columns, and COUNT-DISTINCT
+// probes over those tags — the tag-cardinality estimates dashboards ask
+// for ("how many hosts reported metric 3 in this window?").
+func TimeSeriesProbes(ds *datagen.Dataset, n int, seed int64) (Workload, error) {
+	g, err := newGenerator(ds, seed^0x75)
+	if err != nil {
+		return Workload{}, err
+	}
+	readings := ds.DB.Table("readings")
+	if readings == nil {
+		return Workload{}, fmt.Errorf("workload: dataset %s has no readings table", ds.Name)
+	}
+	tsCol := readings.ColByName("ts")
+	nRows := readings.NumRows()
+	// Narrow time windows land in populated regions: both endpoints come
+	// from live rows close together in ingestion order.
+	window := func() (int64, int64) {
+		at := g.rng.Intn(nRows)
+		span := 1 + g.rng.Intn(nRows/50+1)
+		end := at + span
+		if end >= nRows {
+			end = nRows - 1
+		}
+		return tsCol.Value(at).I, tsCol.Value(end).I
+	}
+	w := Workload{Name: "TimeSeries-Probes", Dataset: ds.Name}
+	for len(w.Queries) < n {
+		lo, hi := window()
+		where := []string{
+			fmt.Sprintf("readings.ts >= %d", lo),
+			fmt.Sprintf("readings.ts <= %d", hi),
+		}
+		nPreds := 2
+		if g.rng.Intn(2) == 0 {
+			where = append(where, fmt.Sprintf("readings.metric = %d", g.rng.Intn(6)+1))
+			nPreds++
+		}
+		q := Query{NumTables: 1, Template: "readings"}
+		switch g.rng.Intn(4) {
+		case 0: // tag-cardinality NDV probe in a window
+			tag := []string{"host", "sensor", "device_id"}[g.rng.Intn(3)]
+			q.Kind = KindNDV
+			q.NumGroupKeys = 1
+			q.SQL = fmt.Sprintf("SELECT COUNT(DISTINCT readings.%s) FROM readings WHERE %s",
+				tag, strings.Join(where, " AND "))
+		case 1: // tag-equality probe: point lookup on a high-NDV tag
+			host := readings.ColByName("host").Value(g.rng.Intn(nRows)).S
+			where = append(where, fmt.Sprintf("readings.host = '%s'", host))
+			nPreds++
+			q.Kind = KindCount
+			q.SQL = fmt.Sprintf("SELECT COUNT(*) FROM readings WHERE %s", strings.Join(where, " AND "))
+		default: // windowed COUNT — the pure zone-map-skipping shape
+			q.Kind = KindCount
+			q.SQL = fmt.Sprintf("SELECT COUNT(*) FROM readings WHERE %s", strings.Join(where, " AND "))
+		}
+		q.NumPreds = nPreds
+		w.Queries = append(w.Queries, q)
+	}
+	return w, nil
+}
+
 // ByName dispatches the hybrid workload matching a dataset name.
 func ByName(ds *datagen.Dataset, seed int64) (Workload, error) {
 	switch ds.Name {
@@ -381,6 +445,8 @@ func ByName(ds *datagen.Dataset, seed int64) (Workload, error) {
 		return STATSHybrid(ds, seed)
 	case "aeolus":
 		return AEOLUSOnline(ds, seed)
+	case "timeseries":
+		return TimeSeriesProbes(ds, 100, seed)
 	default:
 		return Generate(ds, GenConfig{
 			Name: ds.Name, NumQueries: 50, MinTables: 1, MaxTables: 2,
