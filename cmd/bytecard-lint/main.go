@@ -1,11 +1,16 @@
-// Command bytecard-lint is ByteCard's static-analysis multichecker: seven
+// Command bytecard-lint is ByteCard's static-analysis multichecker: twelve
 // project-specific analyzers enforcing the determinism, guard-discipline,
-// pool-hygiene, clamping, crash-safe-write, and cache-publication
+// pool-hygiene, clamping, crash-safe-write, cache-publication, lock,
+// atomic-consistency, context-propagation, and goroutine-provenance
 // conventions the estimation stack depends on.
 //
 // Standalone:
 //
 //	go run ./cmd/bytecard-lint ./...
+//
+// With SARIF output and the committed baseline:
+//
+//	go run ./cmd/bytecard-lint -sarif lint.sarif -baseline lint-baseline.json ./...
 //
 // As a go vet tool (shares vet's per-package caching):
 //
@@ -13,9 +18,8 @@
 //	go vet -vettool=/tmp/bytecard-lint ./...
 //
 // Findings are suppressed per site with //bytecard:<key>-ok <reason>
-// annotations (keys: atomicwrite, cacheput, clamp, directcall, pool, rand,
-// unordered);
-// the reason is mandatory.
+// annotations (keys: atomic, atomicwrite, cacheput, clamp, ctx, directcall,
+// goroutine, lock, pool, rand, rawscan, unordered); the reason is mandatory.
 package main
 
 import "bytecard/internal/lint"

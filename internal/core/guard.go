@@ -142,7 +142,7 @@ func (g *Guard) Do(key string, fn func() (float64, error)) (float64, error) {
 		err error
 	}
 	ch := make(chan result, 1)
-	go func() {
+	go func() { //bytecard:goroutine-ok latency-budget watcher must outlive the abandoned call; a pooled job would block the pool slot
 		v, err := run()
 		ch <- result{v, err}
 	}()

@@ -8,12 +8,12 @@
 package engine
 
 import (
-	"sync"
 	"sync/atomic"
 	"time"
 
 	"bytecard/internal/expr"
 	"bytecard/internal/obs"
+	"bytecard/internal/par"
 	"bytecard/internal/storage"
 	"bytecard/internal/types"
 )
@@ -55,65 +55,9 @@ func (ex *execCtx) parallelFor(n, chunk int) bool {
 	return ex != nil && ex.workers > 1 && n > chunk
 }
 
-// runChunks runs fn for every chunk index in [0, chunks) across up to
-// workers goroutines, dispatching chunks dynamically (morsel-driven: an
-// atomic cursor balances uneven chunks). Callers write outputs into
-// chunk-indexed slots, which keeps concatenation deterministic regardless
-// of scheduling.
-func runChunks(workers, chunks int, fn func(worker, chunk int)) {
-	if workers > chunks {
-		workers = chunks
-	}
-	if workers <= 1 {
-		for c := 0; c < chunks; c++ {
-			fn(0, c)
-		}
-		return
-	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(worker int) {
-			defer wg.Done()
-			for {
-				c := int(next.Add(1)) - 1
-				if c >= chunks {
-					return
-				}
-				fn(worker, c)
-			}
-		}(w)
-	}
-	wg.Wait()
-}
-
-// runStrided statically assigns chunk c to worker c mod workers, each
-// worker visiting its chunks in ascending order. Aggregation uses this
-// instead of dynamic dispatch so each worker's accumulation order — and
-// therefore floating-point partial sums — is reproducible run to run.
-func runStrided(workers, chunks int, fn func(worker, chunk int)) {
-	if workers > chunks {
-		workers = chunks
-	}
-	if workers <= 1 {
-		for c := 0; c < chunks; c++ {
-			fn(0, c)
-		}
-		return
-	}
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(worker int) {
-			defer wg.Done()
-			for c := worker; c < chunks; c += workers {
-				fn(worker, c)
-			}
-		}(w)
-	}
-	wg.Wait()
-}
+// Chunk dispatch lives in internal/par (par.Chunks dynamic, par.Strided
+// static): the pool package is the repo's one goroutine source, so worker
+// accounting and scheduling determinism stay centralized there.
 
 // chunkBounds returns the [lo, hi) item range of chunk c.
 func chunkBounds(n, size, c int) (int, int) {
@@ -220,7 +164,7 @@ func parallelSingleStage(st *scanState, cols []string, n, workers int) []int32 {
 	filter := st.t.Filter
 	chunks := numChunks(n, morselRows)
 	parts := make([][]int32, chunks)
-	runChunks(workers, chunks, func(_, c int) {
+	par.Chunks(workers, chunks, func(_, c int) {
 		lo, hi := chunkBounds(n, morselRows, c)
 		view := newWorkerView(st)
 		for _, col := range cols {
@@ -246,7 +190,7 @@ func parallelSingleStage(st *scanState, cols []string, n, workers int) []int32 {
 func parallelMultiStage(st *scanState, order []string, byCol map[string]expr.Constraint, n, workers int) []int32 {
 	chunks := numChunks(n, morselRows)
 	parts := make([][]int32, chunks)
-	runChunks(workers, chunks, func(_, c int) {
+	par.Chunks(workers, chunks, func(_, c int) {
 		lo, hi := chunkBounds(n, morselRows, c)
 		rows := make([]int32, hi-lo)
 		for i := range rows {
@@ -267,7 +211,7 @@ func parallelMultiStage(st *scanState, order []string, byCol map[string]expr.Con
 func parallelPushdownScan(st *scanState, opts storage.ScanOptions, cols []string, n, workers int) []int32 {
 	chunks := numChunks(n, morselRows)
 	parts := make([][]int32, chunks)
-	runChunks(workers, chunks, func(_, c int) {
+	par.Chunks(workers, chunks, func(_, c int) {
 		lo, hi := chunkBounds(n, morselRows, c)
 		view := newWorkerView(st)
 		readers := make([]*storage.Reader, len(cols))
@@ -285,7 +229,7 @@ func parallelPushdownScan(st *scanState, opts storage.ScanOptions, cols []string
 func parallelSIPProbe(st *scanState, conds []JoinCond, sip map[uint64]bool, n, workers int) []int32 {
 	chunks := numChunks(n, morselRows)
 	parts := make([][]int32, chunks)
-	runChunks(workers, chunks, func(_, c int) {
+	par.Chunks(workers, chunks, func(_, c int) {
 		lo, hi := chunkBounds(n, morselRows, c)
 		view := newWorkerView(st)
 		keyReaders := make([]*storage.Reader, len(conds))
@@ -315,7 +259,7 @@ func parallelStageFilterRows(st *scanState, order []string, byCol map[string]exp
 	n := len(candidates)
 	chunks := numChunks(n, tupleChunk)
 	parts := make([][]int32, chunks)
-	runChunks(workers, chunks, func(_, c int) {
+	par.Chunks(workers, chunks, func(_, c int) {
 		lo, hi := chunkBounds(n, tupleChunk, c)
 		view := newWorkerView(st)
 		parts[c] = stageFilter(view.reader, order, byCol, candidates[lo:hi])
@@ -329,7 +273,7 @@ func parallelEvalFilterRows(st *scanState, filter *expr.Node, candidates []int32
 	n := len(candidates)
 	chunks := numChunks(n, tupleChunk)
 	parts := make([][]int32, chunks)
-	runChunks(workers, chunks, func(_, c int) {
+	par.Chunks(workers, chunks, func(_, c int) {
 		lo, hi := chunkBounds(n, tupleChunk, c)
 		view := newWorkerView(st)
 		kept := candidates[lo:lo]
@@ -359,7 +303,7 @@ func parallelProbe(inter *intermediate, states []*scanState, build map[uint64][]
 	parts := make([]probePart, chunks)
 	var total atomic.Int64
 	var overflow atomic.Bool
-	runChunks(workers, chunks, func(_, c int) {
+	par.Chunks(workers, chunks, func(_, c int) {
 		if overflow.Load() {
 			return
 		}
@@ -426,7 +370,7 @@ func parallelGroupedAgg(q *Query, p *Plan, states []*scanState, inter *intermedi
 	tables := make([]*aggTable, workers)
 	views := make([]*multiView, workers)
 	keys := make([][]types.Datum, workers)
-	runStrided(workers, chunks, func(w, c int) {
+	par.Strided(workers, chunks, func(w, c int) {
 		if tables[w] == nil {
 			tables[w] = newAggTable(perWorkerCap)
 			views[w] = newMultiView(states)
@@ -477,7 +421,7 @@ func parallelGlobalAgg(q *Query, states []*scanState, inter *intermediate, worke
 	bound := bindColumns(q, inter)
 	blocks := make([][]aggAcc, workers)
 	views := make([]*multiView, workers)
-	runStrided(workers, chunks, func(w, c int) {
+	par.Strided(workers, chunks, func(w, c int) {
 		if blocks[w] == nil {
 			blocks[w] = newAccs(q.Aggs)
 			views[w] = newMultiView(states)

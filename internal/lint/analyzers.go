@@ -2,5 +2,5 @@ package lint
 
 // All returns the full project analyzer suite in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{AtomicWrite, CachePut, EstClamp, GuardCall, MapIter, PoolHygiene, RandSource, ScanRead}
+	return []*Analyzer{AtomicField, AtomicWrite, CachePut, CtxFlow, EstClamp, GoroutineSrc, GuardCall, LockSafe, MapIter, PoolHygiene, RandSource, ScanRead}
 }

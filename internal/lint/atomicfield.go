@@ -1,0 +1,236 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// AtomicField enforces atomic-access consistency: a struct field (or
+// package-level variable) that is accessed through the sync/atomic
+// function API anywhere in a package must be accessed atomically
+// everywhere in that package. One plain read racing one atomic write is
+// undefined under the memory model even when the plain side "only reads a
+// counter" — exactly the silent-corruption shape that would skew breaker
+// counters, IOStats block charges, or morsel cursors without ever failing
+// a query. The analyzer also flags sync/atomic typed values (atomic.Int64
+// and friends) copied by value into arguments, returns, assignments, or
+// composite literals: a copy carries a detached counter that updates
+// nobody.
+//
+// ByteCard's own convention is the typed API (atomic.Int64 fields), which
+// this analyzer cannot see misused except by copy — the function-style
+// checks exist so a refactor toward atomic.AddInt64(&s.n, 1) can never
+// leave a bare s.n++ behind in the same package.
+var AtomicField = &Analyzer{
+	Name: "atomicfield",
+	Doc: "flag mixed atomic/plain access to the same field\n\n" +
+		"A field touched via sync/atomic anywhere must be touched atomically\n" +
+		"everywhere in the package, and atomic.* typed values must never be\n" +
+		"copied. Annotate deliberate mixes (e.g. constructor-private writes)\n" +
+		"with //bytecard:atomic-ok <reason>.",
+	Run: runAtomicField,
+}
+
+// atomicFuncVerbs are the sync/atomic function-API prefixes that take an
+// address as their first argument.
+var atomicFuncVerbs = []string{"Add", "Load", "Store", "Swap", "CompareAndSwap", "And", "Or"}
+
+func isAtomicFunc(fn *types.Func) bool {
+	if pkgPathOf(fn) != "sync/atomic" || recvTypeName(fn) != "" {
+		return false
+	}
+	for _, v := range atomicFuncVerbs {
+		if strings.HasPrefix(fn.Name(), v) {
+			return true
+		}
+	}
+	return false
+}
+
+// atomicOperand extracts the variable a sync/atomic call operates on: the
+// object under the leading &arg. Only fields and package-level variables
+// are tracked; locals belong to one goroutine unless captured, which the
+// race detector covers better than a package-scoped analyzer can.
+func atomicOperand(info *types.Info, call *ast.CallExpr) (*types.Var, ast.Expr) {
+	if len(call.Args) == 0 {
+		return nil, nil
+	}
+	unary, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+	if !ok || unary.Op != token.AND {
+		return nil, nil
+	}
+	target := ast.Unparen(unary.X)
+	var obj types.Object
+	switch t := target.(type) {
+	case *ast.SelectorExpr:
+		obj = info.Uses[t.Sel]
+		if sel, ok := info.Selections[t]; ok {
+			obj = sel.Obj()
+		}
+	case *ast.Ident:
+		obj = info.Uses[t]
+	default:
+		return nil, nil
+	}
+	v, ok := obj.(*types.Var)
+	if !ok {
+		return nil, nil
+	}
+	if !v.IsField() && (v.Pkg() == nil || v.Parent() != v.Pkg().Scope()) {
+		return nil, nil
+	}
+	return v, target
+}
+
+func runAtomicField(pass *Pass) error {
+	// Pass 1: collect the atomically-accessed variable set and the exact
+	// operand nodes blessed by appearing under & in an atomic call.
+	atomicVars := map[*types.Var]token.Pos{}
+	blessed := map[ast.Node]bool{}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass.TypesInfo, call)
+			if fn == nil || !isAtomicFunc(fn) {
+				return true
+			}
+			v, operand := atomicOperand(pass.TypesInfo, call)
+			if v == nil {
+				return true
+			}
+			blessed[operand] = true
+			if _, seen := atomicVars[v]; !seen && !pass.InTestFile(call.Pos()) {
+				atomicVars[v] = call.Pos()
+			}
+			return true
+		})
+	}
+
+	// Pass 2: every other use of an atomically-accessed variable is a
+	// plain (racy) access.
+	if len(atomicVars) > 0 {
+		for _, file := range pass.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				v, reportPos := usedVar(pass.TypesInfo, n)
+				if v == nil || blessed[n] {
+					return true
+				}
+				firstAtomic, tracked := atomicVars[v]
+				if !tracked || pass.InTestFile(reportPos) {
+					return true
+				}
+				if pass.MissingReason("atomic", reportPos) {
+					pass.Reportf(reportPos, "atomicfield: //bytecard:atomic-ok annotation needs a reason explaining why this plain access cannot race")
+					return true
+				}
+				if pass.Suppressed("atomic", reportPos) {
+					return true
+				}
+				pass.Reportf(reportPos, "atomicfield: %s is accessed via sync/atomic at line %d but plainly here; mixed access races — use atomic operations everywhere or annotate with //bytecard:atomic-ok <reason>",
+					v.Name(), pass.Fset.Position(firstAtomic).Line)
+				return true
+			})
+		}
+	}
+
+	// Pass 3: typed atomics copied by value.
+	for _, file := range pass.Files {
+		checkAtomicCopies(pass, file)
+	}
+	return nil
+}
+
+// usedVar resolves a selector or identifier node to the tracked variable
+// it reads or writes; nil for everything else. The selector case reports
+// at the selector so annotations sit on the access line.
+func usedVar(info *types.Info, n ast.Node) (*types.Var, token.Pos) {
+	switch n := n.(type) {
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[n]; ok {
+			if v, ok := sel.Obj().(*types.Var); ok {
+				return v, n.Pos()
+			}
+		}
+		if v, ok := info.Uses[n.Sel].(*types.Var); ok {
+			return v, n.Pos()
+		}
+	case *ast.Ident:
+		if v, ok := info.Uses[n].(*types.Var); ok && !v.IsField() {
+			return v, n.Pos()
+		}
+	}
+	return nil, token.NoPos
+}
+
+// isAtomicTyped reports whether t is one of sync/atomic's typed values.
+func isAtomicTyped(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic"
+}
+
+// checkAtomicCopies flags atomic.* values appearing in copy positions:
+// call arguments, assignment and declaration right-hand sides, returns,
+// and composite-literal elements.
+func checkAtomicCopies(pass *Pass, file *ast.File) {
+	flag := func(e ast.Expr) {
+		e = ast.Unparen(e)
+		switch e.(type) {
+		case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr:
+		default:
+			return
+		}
+		t := pass.TypesInfo.TypeOf(e)
+		if t == nil || !isAtomicTyped(t) || pass.InTestFile(e.Pos()) {
+			return
+		}
+		if pass.MissingReason("atomic", e.Pos()) {
+			pass.Reportf(e.Pos(), "atomicfield: //bytecard:atomic-ok annotation needs a reason explaining why copying this atomic is safe")
+			return
+		}
+		if pass.Suppressed("atomic", e.Pos()) {
+			return
+		}
+		pass.Reportf(e.Pos(), "atomicfield: %s value copied; a copied atomic is a detached counter — pass a pointer or keep the access on the original", t.String())
+	}
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if tv, ok := pass.TypesInfo.Types[n.Fun]; ok && tv.IsType() {
+				return true // conversion, not a call
+			}
+			for _, a := range n.Args {
+				flag(a)
+			}
+		case *ast.AssignStmt:
+			for _, r := range n.Rhs {
+				flag(r)
+			}
+		case *ast.ValueSpec:
+			for _, v := range n.Values {
+				flag(v)
+			}
+		case *ast.ReturnStmt:
+			for _, r := range n.Results {
+				flag(r)
+			}
+		case *ast.CompositeLit:
+			for _, e := range n.Elts {
+				if kv, ok := e.(*ast.KeyValueExpr); ok {
+					flag(kv.Value)
+				} else {
+					flag(e)
+				}
+			}
+		}
+		return true
+	})
+}

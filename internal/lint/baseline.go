@@ -1,0 +1,137 @@
+package lint
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Finding is one diagnostic in driver-neutral form: analyzer identity, a
+// repo-relative file path, position, and the rendered message. It is the
+// currency of the SARIF writer and the baseline — both need a stable
+// identity that survives unrelated edits, which positions alone do not
+// (a line number shifts with every insertion above it).
+type Finding struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Message  string `json:"message"`
+}
+
+// Fingerprint is the finding's stable identity: a hash of analyzer, file,
+// and message — not line/column, so reformatting or code motion within a
+// file does not churn the baseline. Two identical messages in one file
+// collapse to one fingerprint, which is the right call for suppression
+// (fixing one instance should resurface the other only if its message
+// differs).
+func (f Finding) Fingerprint() string {
+	h := sha256.New()
+	fmt.Fprintf(h, "%s\x00%s\x00%s", f.Analyzer, f.File, f.Message)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Baseline is the accepted-findings ledger committed at the repo root
+// (lint-baseline.json). The repo's contract is that it stays empty — every
+// finding is fixed or annotated in the PR that introduces it — but the
+// mechanism exists so adopting a future analyzer with pre-existing debt
+// does not require a flag day. CI separately enforces that the file never
+// grows.
+type Baseline struct {
+	Version  int             `json:"version"`
+	Findings []BaselineEntry `json:"findings"`
+}
+
+// BaselineEntry records one accepted finding. The fingerprint is the key;
+// the rest is human context for reviewing the ledger.
+type BaselineEntry struct {
+	Fingerprint string `json:"fingerprint"`
+	Analyzer    string `json:"analyzer"`
+	File        string `json:"file"`
+	Message     string `json:"message"`
+}
+
+// LoadBaseline reads a baseline file. A missing file is an empty baseline,
+// so the flag can point at the conventional path unconditionally.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return &Baseline{Version: 1}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("lint: parsing baseline %s: %w", path, err)
+	}
+	if b.Version != 1 {
+		return nil, fmt.Errorf("lint: baseline %s has unsupported version %d", path, b.Version)
+	}
+	return &b, nil
+}
+
+// Contains reports whether a finding is suppressed by the baseline.
+func (b *Baseline) Contains(f Finding) bool {
+	fp := f.Fingerprint()
+	for _, e := range b.Findings {
+		if e.Fingerprint == fp {
+			return true
+		}
+	}
+	return false
+}
+
+// WriteBaseline writes the findings as a baseline ledger, sorted by file
+// then analyzer then message so regeneration is deterministic.
+func WriteBaseline(path string, findings []Finding) error {
+	b := Baseline{Version: 1, Findings: make([]BaselineEntry, 0, len(findings))}
+	seen := map[string]bool{}
+	for _, f := range findings {
+		fp := f.Fingerprint()
+		if seen[fp] {
+			continue
+		}
+		seen[fp] = true
+		b.Findings = append(b.Findings, BaselineEntry{
+			Fingerprint: fp,
+			Analyzer:    f.Analyzer,
+			File:        f.File,
+			Message:     f.Message,
+		})
+	}
+	sort.Slice(b.Findings, func(i, j int) bool {
+		a, c := b.Findings[i], b.Findings[j]
+		if a.File != c.File {
+			return a.File < c.File
+		}
+		if a.Analyzer != c.Analyzer {
+			return a.Analyzer < c.Analyzer
+		}
+		return a.Message < c.Message
+	})
+	data, err := json.MarshalIndent(&b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// relPath renders a source filename relative to the working directory for
+// stable fingerprints and portable SARIF URIs; absolute paths outside the
+// tree (GOROOT, module cache) pass through unchanged.
+func relPath(dir, filename string) string {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return filename
+	}
+	rel, err := filepath.Rel(abs, filename)
+	if err != nil || rel == ".." || filepath.IsAbs(rel) || len(rel) > 2 && rel[:3] == ".."+string(filepath.Separator) {
+		return filename
+	}
+	return filepath.ToSlash(rel)
+}

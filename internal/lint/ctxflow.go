@@ -1,0 +1,164 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxFlow enforces context propagation through the serving and training
+// tiers.
+//
+// Two rules. First, a function that already receives a context.Context
+// must thread it: minting context.Background()/TODO() inside such a
+// function silently detaches every downstream deadline and cancellation —
+// the hardened server's per-request timeout stops at that line. The same
+// applies when the function calls a callee that has a ...Context variant:
+// calling the plain variant discards the context one hop later. Second,
+// library packages (everything but package main) may not call
+// context.Background() at all outside annotated compatibility wrappers:
+// roots belong in main functions and tests, and each blessed wrapper
+// (modelforge's compatContext) carries a //bytecard:ctx-ok <reason>
+// documenting why a context-free API is kept alive.
+var CtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc: "enforce context.Context threading; forbid context.Background() in libraries\n\n" +
+		"A ctx-receiving function must pass its context to every callee that\n" +
+		"accepts one (including ...Context variants); library packages may not\n" +
+		"mint root contexts outside wrappers annotated\n" +
+		"//bytecard:ctx-ok <reason>.",
+	Run: runCtxFlow,
+}
+
+func runCtxFlow(pass *Pass) error {
+	if pass.Pkg.Name() == "main" {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || pass.InTestFile(fd.Pos()) {
+				continue
+			}
+			ctxWalk(pass, fd.Body, funcHasCtxParam(pass.TypesInfo, fd.Type))
+		}
+	}
+	return nil
+}
+
+// ctxWalk inspects one body knowing whether a context is in scope; nested
+// function literals inherit the enclosing scope's context (closures can
+// capture it) and may introduce their own.
+func ctxWalk(pass *Pass, n ast.Node, ctxInScope bool) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			ctxWalk(pass, n.Body, ctxInScope || funcHasCtxParam(pass.TypesInfo, n.Type))
+			return false
+		case *ast.CallExpr:
+			checkCtxCall(pass, n, ctxInScope)
+		}
+		return true
+	})
+}
+
+func checkCtxCall(pass *Pass, call *ast.CallExpr, ctxInScope bool) {
+	fn := calleeFunc(pass.TypesInfo, call)
+	if fn == nil {
+		return
+	}
+	if pkgPathOf(fn) == "context" && (fn.Name() == "Background" || fn.Name() == "TODO") {
+		if pass.MissingReason("ctx", call.Pos()) {
+			pass.Reportf(call.Pos(), "ctxflow: //bytecard:ctx-ok annotation needs a reason explaining why this wrapper may mint a root context")
+			return
+		}
+		if pass.Suppressed("ctx", call.Pos()) {
+			return
+		}
+		if ctxInScope {
+			pass.Reportf(call.Pos(), "ctxflow: context.%s() discards the context.Context already in scope; thread the incoming ctx instead", fn.Name())
+			return
+		}
+		pass.Reportf(call.Pos(), "ctxflow: context.%s() in a library package detaches callees from cancellation and deadlines; accept a context.Context parameter, or annotate a compatibility wrapper with //bytecard:ctx-ok <reason>", fn.Name())
+		return
+	}
+	// A ctx-holding caller invoking the context-free variant of an API that
+	// has one: the context dies at this call even though the callee family
+	// accepts it.
+	if !ctxInScope || signatureHasCtx(fn) {
+		return
+	}
+	if variant := contextVariant(fn); variant != "" {
+		if pass.MissingReason("ctx", call.Pos()) {
+			pass.Reportf(call.Pos(), "ctxflow: //bytecard:ctx-ok annotation needs a reason explaining why the context is dropped here")
+			return
+		}
+		if pass.Suppressed("ctx", call.Pos()) {
+			return
+		}
+		pass.Reportf(call.Pos(), "ctxflow: %s drops the in-scope context; call %s with it instead (or annotate with //bytecard:ctx-ok <reason>)", fn.Name(), variant)
+	}
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// funcHasCtxParam reports whether a declared parameter is a context.Context.
+func funcHasCtxParam(info *types.Info, ft *ast.FuncType) bool {
+	if ft.Params == nil {
+		return false
+	}
+	for _, field := range ft.Params.List {
+		if t := info.TypeOf(field.Type); t != nil && isContextType(t) {
+			return true
+		}
+	}
+	return false
+}
+
+// signatureHasCtx reports whether fn accepts a context.Context parameter.
+func signatureHasCtx(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	params := sig.Params()
+	for i := 0; i < params.Len(); i++ {
+		if isContextType(params.At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// contextVariant returns the qualified name of fn's ...Context sibling
+// (same receiver or package, name+"Context", accepting a context.Context),
+// or "" when none exists.
+func contextVariant(fn *types.Func) string {
+	want := fn.Name() + "Context"
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return ""
+	}
+	var sibling types.Object
+	if recv := sig.Recv(); recv != nil {
+		obj, _, _ := types.LookupFieldOrMethod(recv.Type(), true, fn.Pkg(), want)
+		sibling = obj
+	} else if fn.Pkg() != nil {
+		sibling = fn.Pkg().Scope().Lookup(want)
+	}
+	m, ok := sibling.(*types.Func)
+	if !ok || !signatureHasCtx(m) {
+		return ""
+	}
+	if recv := recvTypeName(fn); recv != "" {
+		return recv + "." + want
+	}
+	return want
+}

@@ -1,0 +1,204 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// flowFacts is the state a forward dataflow walk threads through a function
+// body: analyzer-defined keys (a held lock's receiver expression, say) to
+// the position that established each fact.
+type flowFacts map[string]token.Pos
+
+func (f flowFacts) clone() flowFacts {
+	out := make(flowFacts, len(f))
+	for k, v := range f {
+		out[k] = v
+	}
+	return out
+}
+
+// mergeFacts unions two post-branch states, keeping the earlier position
+// for facts present in both. Union is the conservative join for
+// must-release tracking: a fact that survives any arm survives the merge.
+func mergeFacts(a, b flowFacts) flowFacts {
+	out := a.clone()
+	for k, v := range b {
+		if old, ok := out[k]; !ok || v < old {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+// flowHooks receive a forward walk's events. stmt sees every simple
+// statement in approximate execution order and may mutate the facts; ret
+// fires at each return belonging to the function's own body; end fires
+// once if control can fall off the end of the body.
+type flowHooks struct {
+	stmt func(ast.Stmt, flowFacts)
+	ret  func(*ast.ReturnStmt, flowFacts)
+	end  func(flowFacts)
+}
+
+// forwardWalk interprets body in source order, approximating control flow
+// without building a CFG: branch arms are walked with cloned facts and
+// merged by union, loop bodies are walked once (a body that balances its
+// own facts contributes nothing to the merge), and nested function
+// literals are not entered — they execute on their own schedule, so their
+// statements belong to no path of the enclosing body. An arm whose last
+// reachable statement is a return or a panic call terminates and is
+// excluded from the merge.
+func forwardWalk(body *ast.BlockStmt, hooks flowHooks) {
+	facts, terminated := walkStmts(body.List, flowFacts{}, hooks)
+	if !terminated && hooks.end != nil {
+		hooks.end(facts)
+	}
+}
+
+// walkStmts walks one statement list, returning the post state and whether
+// the list provably terminates (every path returns or panics).
+func walkStmts(list []ast.Stmt, facts flowFacts, hooks flowHooks) (flowFacts, bool) {
+	for _, s := range list {
+		var terminated bool
+		facts, terminated = walkStmt(s, facts, hooks)
+		if terminated {
+			return facts, true
+		}
+	}
+	return facts, false
+}
+
+func walkStmt(s ast.Stmt, facts flowFacts, hooks flowHooks) (flowFacts, bool) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		return walkStmts(s.List, facts, hooks)
+	case *ast.LabeledStmt:
+		return walkStmt(s.Stmt, facts, hooks)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			facts, _ = walkStmt(s.Init, facts, hooks)
+		}
+		thenOut, thenTerm := walkStmts(s.Body.List, facts.clone(), hooks)
+		elseOut, elseTerm := facts, false
+		if s.Else != nil {
+			elseOut, elseTerm = walkStmt(s.Else, facts.clone(), hooks)
+		}
+		switch {
+		case thenTerm && elseTerm:
+			return facts, true
+		case thenTerm:
+			return elseOut, false
+		case elseTerm:
+			return thenOut, false
+		}
+		return mergeFacts(thenOut, elseOut), false
+	case *ast.ForStmt:
+		if s.Init != nil {
+			facts, _ = walkStmt(s.Init, facts, hooks)
+		}
+		bodyOut, _ := walkStmts(s.Body.List, facts.clone(), hooks)
+		if s.Post != nil {
+			bodyOut, _ = walkStmt(s.Post, bodyOut, hooks)
+		}
+		return mergeFacts(facts, bodyOut), false
+	case *ast.RangeStmt:
+		bodyOut, _ := walkStmts(s.Body.List, facts.clone(), hooks)
+		return mergeFacts(facts, bodyOut), false
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			facts, _ = walkStmt(s.Init, facts, hooks)
+		}
+		return walkCases(s.Body, facts, hooks)
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			facts, _ = walkStmt(s.Init, facts, hooks)
+		}
+		return walkCases(s.Body, facts, hooks)
+	case *ast.SelectStmt:
+		return walkCases(s.Body, facts, hooks)
+	case *ast.ReturnStmt:
+		if hooks.ret != nil {
+			hooks.ret(s, facts)
+		}
+		return facts, true
+	case *ast.ExprStmt:
+		if hooks.stmt != nil {
+			hooks.stmt(s, facts)
+		}
+		return facts, isPanicCall(s.X)
+	default:
+		// Defer, go, assignments, declarations, sends, inc/dec, branch
+		// statements: simple statements the hook inspects; break/continue
+		// /goto conservatively fall through into the merge.
+		if hooks.stmt != nil {
+			hooks.stmt(s, facts)
+		}
+		return facts, false
+	}
+}
+
+// walkCases handles the shared arm structure of switch/type-switch/select:
+// every clause runs on a cloned state; outputs of non-terminating clauses
+// merge, plus the no-clause-taken path when the statement has no default
+// (select always blocks until some clause runs, but the distinction only
+// matters for termination, which union already handles conservatively).
+func walkCases(body *ast.BlockStmt, facts flowFacts, hooks flowHooks) (flowFacts, bool) {
+	hasDefault := false
+	var merged flowFacts
+	allTerm := true
+	for _, clause := range body.List {
+		var list []ast.Stmt
+		switch c := clause.(type) {
+		case *ast.CaseClause:
+			if c.List == nil {
+				hasDefault = true
+			}
+			list = c.Body
+		case *ast.CommClause:
+			if c.Comm == nil {
+				hasDefault = true
+			} else {
+				facts, _ = walkStmt(c.Comm, facts, hooks)
+			}
+			list = c.Body
+		default:
+			continue
+		}
+		out, term := walkStmts(list, facts.clone(), hooks)
+		if term {
+			continue
+		}
+		allTerm = false
+		if merged == nil {
+			merged = out
+		} else {
+			merged = mergeFacts(merged, out)
+		}
+	}
+	if !hasDefault {
+		allTerm = false
+		if merged == nil {
+			merged = facts
+		} else {
+			merged = mergeFacts(merged, facts)
+		}
+	}
+	if allTerm && len(body.List) > 0 {
+		return facts, true
+	}
+	if merged == nil {
+		merged = facts
+	}
+	return merged, false
+}
+
+// isPanicCall reports whether e is a direct call to the panic builtin.
+func isPanicCall(e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	return ok && id.Name == "panic"
+}

@@ -1,0 +1,50 @@
+package lint
+
+import "go/ast"
+
+// GoroutineSrc enforces goroutine provenance: library packages do not
+// spawn bare goroutines. Every fan-out routes through internal/par
+// (par.Do and the deterministic chunk schedulers), which is the one
+// audited place where worker counts are clamped to effective parallelism
+// and scheduling stays deterministic — a stray `go func()` elsewhere is
+// invisible to that accounting and to any future centralized panic
+// recovery. The rare legitimate direct spawn (the guard's latency-budget
+// watcher, which exists precisely to abandon a stalled call) carries a
+// //bytecard:goroutine-ok <reason> naming why it cannot be a pool job.
+var GoroutineSrc = &Analyzer{
+	Name: "goroutinesrc",
+	Doc: "flag bare go statements outside internal/par\n\n" +
+		"Library fan-out must route through par.Do/par.Chunks/par.Strided so\n" +
+		"worker clamping and scheduling determinism stay centralized; annotate\n" +
+		"deliberate direct spawns with //bytecard:goroutine-ok <reason>.",
+	Run: runGoroutineSrc,
+}
+
+func runGoroutineSrc(pass *Pass) error {
+	// main packages own their process lifecycle, and par is the blessed
+	// spawner itself.
+	if name := pass.Pkg.Name(); name == "main" || name == "par" {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if pass.InTestFile(g.Pos()) {
+				return true
+			}
+			if pass.MissingReason("goroutine", g.Pos()) {
+				pass.Reportf(g.Pos(), "goroutinesrc: //bytecard:goroutine-ok annotation needs a reason explaining why this spawn bypasses internal/par")
+				return true
+			}
+			if pass.Suppressed("goroutine", g.Pos()) {
+				return true
+			}
+			pass.Reportf(g.Pos(), "goroutinesrc: bare go statement in a library package; route the fan-out through internal/par (Do/Chunks/Strided) so worker accounting stays centralized, or annotate with //bytecard:goroutine-ok <reason>")
+			return true
+		})
+	}
+	return nil
+}

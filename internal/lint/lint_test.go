@@ -116,6 +116,10 @@ func TestAnalyzerFixtures(t *testing.T) {
 		{PoolHygiene, []string{"poolhygiene_flag"}},
 		{EstClamp, []string{"estclamp_flag"}},
 		{ScanRead, []string{"scanread_flag"}},
+		{LockSafe, []string{"locksafe_flag"}},
+		{AtomicField, []string{"atomicfield_flag"}},
+		{CtxFlow, []string{"ctxflow_flag"}},
+		{GoroutineSrc, []string{"goroutinesrc_flag", "goroutinesrc_par"}},
 	}
 	for _, tc := range cases {
 		for _, fixture := range tc.fixtures {
@@ -162,7 +166,9 @@ func TestVetToolProtocol(t *testing.T) {
 	if out, err := build.CombinedOutput(); err != nil {
 		t.Fatalf("go build: %v\n%s", err, out)
 	}
-	vet := exec.Command("go", "vet", "-vettool="+bin, "./internal/bn/...", "./internal/core/...")
+	vet := exec.Command("go", "vet", "-vettool="+bin,
+		"./internal/bn/...", "./internal/core/...", "./internal/engine/...",
+		"./internal/modelstore/...", "./internal/modelforge/...", "./internal/par/...")
 	vet.Dir = root
 	if out, err := vet.CombinedOutput(); err != nil {
 		t.Fatalf("go vet -vettool: %v\n%s", err, out)
@@ -276,7 +282,7 @@ func TestSelectAnalyzers(t *testing.T) {
 	if got := run("-mapiter", "-randsource"); got != "mapiter,randsource" {
 		t.Errorf("two positive flags: got %q", got)
 	}
-	if got := run("-mapiter=false"); got != "atomicwrite,cacheput,estclamp,guardcall,poolhygiene,randsource,scanread" {
+	if got := run("-mapiter=false"); got != "atomicfield,atomicwrite,cacheput,ctxflow,estclamp,goroutinesrc,guardcall,locksafe,poolhygiene,randsource,scanread" {
 		t.Errorf("-mapiter=false: got %q", got)
 	}
 }

@@ -32,6 +32,9 @@ func Main(analyzers ...*Analyzer) {
 	versionFlag := fs.String("V", "", "print version and exit (go vet protocol; only -V=full is supported)")
 	flagsFlag := fs.Bool("flags", false, "print analyzer flags in JSON (go vet protocol)")
 	dirFlag := fs.String("C", ".", "change to `dir` before loading packages (standalone mode)")
+	sarifFlag := fs.String("sarif", "", "write findings as SARIF 2.1.0 to `file` (\"-\" for stdout; standalone mode)")
+	baselineFlag := fs.String("baseline", "", "suppress findings fingerprinted in the baseline `file` (standalone mode)")
+	writeBaselineFlag := fs.String("write-baseline", "", "write current findings as a new baseline `file` and exit 0 (standalone mode)")
 	fs.Parse(os.Args[1:])
 
 	if *versionFlag != "" {
@@ -50,7 +53,11 @@ func Main(analyzers ...*Analyzer) {
 		runVetConfig(args[0], selected)
 		return
 	}
-	os.Exit(runStandalone(*dirFlag, args, selected))
+	os.Exit(runStandalone(*dirFlag, args, selected, standaloneOutput{
+		sarifPath:     *sarifFlag,
+		baselinePath:  *baselineFlag,
+		writeBaseline: *writeBaselineFlag,
+	}))
 }
 
 // newFlagParsing builds the multichecker flag set: one boolean enable flag
@@ -97,15 +104,24 @@ func selectAnalyzers(fs *flag.FlagSet, analyzers []*Analyzer, enabled map[string
 	return out
 }
 
+// standaloneOutput carries the reporting options of a standalone run.
+type standaloneOutput struct {
+	sarifPath     string
+	baselinePath  string
+	writeBaseline string
+}
+
 // runStandalone loads, checks, and analyzes the given package patterns,
-// printing findings to stderr. Returns the process exit code.
-func runStandalone(dir string, patterns []string, analyzers []*Analyzer) int {
+// printing unbaselined findings to stderr and optionally emitting SARIF or
+// regenerating the baseline. Returns the process exit code.
+func runStandalone(dir string, patterns []string, analyzers []*Analyzer, out standaloneOutput) int {
 	loader, err := LoadPackages(dir, patterns...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
 	}
 	exit := 0
+	var findings []Finding
 	for _, pkgPath := range loader.Packages() {
 		results, err := loader.Run(pkgPath, analyzers)
 		if err != nil {
@@ -115,9 +131,61 @@ func runStandalone(dir string, patterns []string, analyzers []*Analyzer) int {
 		}
 		for _, res := range results {
 			for _, d := range res.Diags {
-				fmt.Fprintf(os.Stderr, "%s: %s\n", loader.Fset.Position(d.Pos), d.Message)
-				exit = 1
+				pos := loader.Fset.Position(d.Pos)
+				findings = append(findings, Finding{
+					Analyzer: res.Analyzer,
+					File:     relPath(dir, pos.Filename),
+					Line:     pos.Line,
+					Column:   pos.Column,
+					Message:  d.Message,
+				})
 			}
+		}
+	}
+
+	if out.writeBaseline != "" {
+		if err := WriteBaseline(out.writeBaseline, findings); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "bytecard-lint: wrote %d finding(s) to %s\n", len(findings), out.writeBaseline)
+		return exit
+	}
+
+	if out.baselinePath != "" {
+		baseline, err := LoadBaseline(out.baselinePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		kept := findings[:0]
+		for _, f := range findings {
+			if !baseline.Contains(f) {
+				kept = append(kept, f)
+			}
+		}
+		findings = kept
+	}
+
+	for _, f := range findings {
+		fmt.Fprintf(os.Stderr, "%s:%d:%d: %s\n", f.File, f.Line, f.Column, f.Message)
+		exit = 1
+	}
+
+	if out.sarifPath != "" {
+		w := os.Stdout
+		if out.sarifPath != "-" {
+			f, err := os.Create(out.sarifPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return 1
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := writeSARIF(w, analyzers, findings); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
 		}
 	}
 	return exit

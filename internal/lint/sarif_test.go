@@ -1,0 +1,176 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestSARIFShape pins the SARIF 2.1.0 surface CI uploads: schema pointer,
+// version, driver identity, one rule per analyzer, and results carrying
+// rule IDs, physical locations, and stable fingerprints.
+func TestSARIFShape(t *testing.T) {
+	findings := []Finding{
+		{Analyzer: "locksafe", File: "internal/core/engine.go", Line: 42, Column: 2, Message: "locksafe: demo"},
+		{Analyzer: "ctxflow", File: "internal/modelforge/modelforge.go", Line: 7, Column: 9, Message: "ctxflow: demo"},
+	}
+	var buf bytes.Buffer
+	if err := writeSARIF(&buf, All(), findings); err != nil {
+		t.Fatal(err)
+	}
+	var log struct {
+		Schema  string `json:"$schema"`
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID               string `json:"id"`
+						ShortDescription struct {
+							Text string `json:"text"`
+						} `json:"shortDescription"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID  string `json:"ruleId"`
+				Level   string `json:"level"`
+				Message struct {
+					Text string `json:"text"`
+				} `json:"message"`
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+						Region struct {
+							StartLine   int `json:"startLine"`
+							StartColumn int `json:"startColumn"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+				PartialFingerprints map[string]string `json:"partialFingerprints"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &log); err != nil {
+		t.Fatalf("SARIF output is not valid JSON: %v", err)
+	}
+	if log.Version != "2.1.0" {
+		t.Errorf("version = %q, want 2.1.0", log.Version)
+	}
+	if log.Schema == "" {
+		t.Error("$schema is empty")
+	}
+	if len(log.Runs) != 1 {
+		t.Fatalf("runs = %d, want 1", len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "bytecard-lint" {
+		t.Errorf("driver name = %q", run.Tool.Driver.Name)
+	}
+	if got, want := len(run.Tool.Driver.Rules), len(All()); got != want {
+		t.Errorf("rules = %d, want one per analyzer (%d)", got, want)
+	}
+	for _, r := range run.Tool.Driver.Rules {
+		if r.ID == "" || r.ShortDescription.Text == "" {
+			t.Errorf("rule %q missing id or shortDescription", r.ID)
+		}
+	}
+	if len(run.Results) != len(findings) {
+		t.Fatalf("results = %d, want %d", len(run.Results), len(findings))
+	}
+	res := run.Results[0]
+	if res.RuleID != "locksafe" || res.Level != "error" || res.Message.Text != "locksafe: demo" {
+		t.Errorf("result 0 = %+v", res)
+	}
+	loc := res.Locations[0].PhysicalLocation
+	if loc.ArtifactLocation.URI != "internal/core/engine.go" || loc.Region.StartLine != 42 || loc.Region.StartColumn != 2 {
+		t.Errorf("location = %+v", loc)
+	}
+	if res.PartialFingerprints["bytecardFingerprint/v1"] != findings[0].Fingerprint() {
+		t.Error("partialFingerprints does not carry the baseline fingerprint")
+	}
+}
+
+// TestFingerprintStability pins the suppression identity: analyzer, file,
+// and message participate; line and column do not, so code motion within a
+// file does not churn the baseline.
+func TestFingerprintStability(t *testing.T) {
+	a := Finding{Analyzer: "locksafe", File: "a.go", Line: 10, Column: 3, Message: "m"}
+	b := Finding{Analyzer: "locksafe", File: "a.go", Line: 99, Column: 1, Message: "m"}
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Error("fingerprint must ignore position")
+	}
+	for _, diff := range []Finding{
+		{Analyzer: "ctxflow", File: "a.go", Message: "m"},
+		{Analyzer: "locksafe", File: "b.go", Message: "m"},
+		{Analyzer: "locksafe", File: "a.go", Message: "other"},
+	} {
+		if a.Fingerprint() == diff.Fingerprint() {
+			t.Errorf("fingerprint collision with %+v", diff)
+		}
+	}
+}
+
+// TestBaselineRoundTrip exercises write → load → match.
+func TestBaselineRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	known := Finding{Analyzer: "goroutinesrc", File: "internal/engine/exec.go", Line: 5, Message: "goroutinesrc: demo"}
+	if err := WriteBaseline(path, []Finding{known, known}); err != nil {
+		t.Fatal(err)
+	}
+	b, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Findings) != 1 {
+		t.Errorf("duplicate fingerprints must collapse: got %d entries", len(b.Findings))
+	}
+	if !b.Contains(known) {
+		t.Error("baseline must contain the written finding")
+	}
+	moved := known
+	moved.Line = 500
+	if !b.Contains(moved) {
+		t.Error("baseline match must survive line motion")
+	}
+	other := known
+	other.Message = "goroutinesrc: different"
+	if b.Contains(other) {
+		t.Error("baseline must not match a different message")
+	}
+}
+
+// TestBaselineMissingFile pins the missing-file convention: an absent
+// baseline is an empty one, so -baseline can always point at the
+// conventional path.
+func TestBaselineMissingFile(t *testing.T) {
+	b, err := LoadBaseline(filepath.Join(t.TempDir(), "absent.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Findings) != 0 || b.Version != 1 {
+		t.Errorf("missing baseline = %+v, want empty v1", b)
+	}
+}
+
+// TestCommittedBaselineIsEmpty enforces the repo contract: every finding
+// is fixed or annotated in the PR that introduces it; the committed ledger
+// stays empty. CI additionally diffs the file against this empty state.
+func TestCommittedBaselineIsEmpty(t *testing.T) {
+	path := filepath.Join("..", "..", "lint-baseline.json")
+	b, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("lint-baseline.json must be committed at the repo root: %v", err)
+	}
+	for _, e := range b.Findings {
+		t.Errorf("baselined finding must be fixed or annotated, not suppressed: %s %s: %s", e.Analyzer, e.File, e.Message)
+	}
+}

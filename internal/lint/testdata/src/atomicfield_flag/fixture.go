@@ -1,0 +1,69 @@
+// Package counters exercises atomicfield: mixed function-style
+// atomic/plain access to the same field or package variable, and
+// sync/atomic typed values copied by value.
+package counters
+
+import "sync/atomic"
+
+var hits int64
+
+type stats struct {
+	n     int64
+	count atomic.Int64
+}
+
+// Bump accesses n atomically — this is what puts n in the tracked set.
+func Bump(s *stats) {
+	atomic.AddInt64(&s.n, 1)
+}
+
+// PlainInc races Bump: one plain increment against atomic adds.
+func PlainInc(s *stats) {
+	s.n++ // want `n is accessed via sync/atomic at line \d+ but plainly here`
+}
+
+// Record accesses the package counter atomically.
+func Record() {
+	atomic.AddInt64(&hits, 1)
+}
+
+// Snapshot reads it plainly; undefined under the memory model.
+func Snapshot() int64 {
+	return hits // want `hits is accessed via sync/atomic .* but plainly here`
+}
+
+// AnnotatedInit documents a constructor-private write that cannot race.
+func AnnotatedInit() *stats {
+	s := &stats{}
+	s.n = 0 //bytecard:atomic-ok fixture: no other goroutine holds s before return
+	return s
+}
+
+// NoReason has the annotation without a justification.
+func NoReason(s *stats) int64 {
+	//bytecard:atomic-ok
+	return s.n // want `annotation needs a reason`
+}
+
+// CopyArg passes a typed atomic by value: the callee gets a detached
+// counter.
+func CopyArg(s *stats) int64 {
+	return drain(s.count) // want `value copied`
+}
+
+func drain(c atomic.Int64) int64 {
+	return c.Load()
+}
+
+// CopyAssign detaches by assignment.
+func CopyAssign(s *stats) int64 {
+	cp := s.count // want `value copied`
+	return cp.Load()
+}
+
+// PointerUse is the correct shape; clean.
+func PointerUse(s *stats) int64 {
+	p := &s.count
+	p.Add(1)
+	return s.count.Load()
+}

@@ -1,0 +1,75 @@
+// Package forge exercises ctxflow: root contexts minted in library code,
+// contexts discarded while one is in scope, and plain-variant calls that
+// drop the context an API family accepts.
+package forge
+
+import "context"
+
+type client struct{}
+
+func (c *client) Fetch() error                           { return nil }
+func (c *client) FetchContext(ctx context.Context) error { _ = ctx; return nil }
+
+func Ping() error                           { return nil }
+func PingContext(ctx context.Context) error { _ = ctx; return nil }
+
+// RootInLibrary mints a root context with no context in scope: library
+// packages must accept one instead.
+func RootInLibrary(c *client) error {
+	ctx := context.Background() // want `context.Background\(\) in a library package`
+	return c.FetchContext(ctx)
+}
+
+// TodoInLibrary is the same violation via TODO.
+func TodoInLibrary(c *client) error {
+	return c.FetchContext(context.TODO()) // want `context.TODO\(\) in a library package`
+}
+
+// DiscardsScope already has a context and mints a fresh root anyway.
+func DiscardsScope(ctx context.Context, c *client) error {
+	return c.FetchContext(context.Background()) // want `discards the context.Context already in scope`
+}
+
+// ClosureInherits: the enclosing context is visible inside the literal.
+func ClosureInherits(ctx context.Context, c *client) func() error {
+	return func() error {
+		return c.FetchContext(context.Background()) // want `discards the context.Context already in scope`
+	}
+}
+
+// DropsVariant calls the plain method while holding a context, when a
+// ...Context sibling exists.
+func DropsVariant(ctx context.Context, c *client) error {
+	return c.Fetch() // want `Fetch drops the in-scope context; call client.FetchContext`
+}
+
+// DropsFuncVariant is the package-function flavor.
+func DropsFuncVariant(ctx context.Context) error {
+	return Ping() // want `Ping drops the in-scope context; call PingContext`
+}
+
+// Threads is the clean shape.
+func Threads(ctx context.Context, c *client) error {
+	if err := c.FetchContext(ctx); err != nil {
+		return err
+	}
+	return PingContext(ctx)
+}
+
+// PlainNoCtx calls the plain variant with no context in scope; nothing to
+// drop, so it is clean.
+func PlainNoCtx(c *client) error {
+	return c.Fetch()
+}
+
+// compatBridge is the blessed compatibility-wrapper shape.
+func compatBridge(c *client) error {
+	ctx := context.Background() //bytecard:ctx-ok fixture: compatibility wrapper for context-free callers
+	return c.FetchContext(ctx)
+}
+
+// NoReason has the annotation without a justification.
+func NoReason(c *client) error {
+	//bytecard:ctx-ok
+	return c.FetchContext(context.Background()) // want `annotation needs a reason`
+}

@@ -1,0 +1,36 @@
+// Package pipeline exercises goroutinesrc: bare go statements in library
+// packages must route through internal/par or carry an annotated reason.
+package pipeline
+
+import "bytecard/internal/par"
+
+// BareSpawn fans out directly; invisible to par's worker accounting.
+func BareSpawn(done chan struct{}) {
+	go func() { // want `bare go statement in a library package`
+		close(done)
+	}()
+}
+
+// BareCall spawns a named function; same violation.
+func BareCall(f func()) {
+	go f() // want `bare go statement in a library package`
+}
+
+// PooledFanOut is the blessed shape.
+func PooledFanOut(n, workers int, f func(int)) {
+	par.Do(n, workers, f)
+}
+
+// Watcher documents why it cannot be a pool job.
+func Watcher(stalled <-chan struct{}, abandon func()) {
+	go func() { //bytecard:goroutine-ok fixture: watchdog must outlive the pooled call it abandons
+		<-stalled
+		abandon()
+	}()
+}
+
+// NoReason has the annotation without a justification.
+func NoReason(f func()) {
+	//bytecard:goroutine-ok
+	go f() // want `annotation needs a reason`
+}

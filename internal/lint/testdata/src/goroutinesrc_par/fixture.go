@@ -1,0 +1,17 @@
+// Package par is the negative fixture: the real internal/par is the one
+// blessed spawner, so a package named par may use bare go statements.
+package par
+
+// Fan mirrors the worker-spawn shape internal/par itself uses.
+func Fan(workers int, f func(int)) {
+	done := make(chan struct{})
+	for w := 0; w < workers; w++ {
+		go func(worker int) {
+			defer func() { done <- struct{}{} }()
+			f(worker)
+		}(w)
+	}
+	for w := 0; w < workers; w++ {
+		<-done
+	}
+}

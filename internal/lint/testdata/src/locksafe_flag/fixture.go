@@ -1,0 +1,104 @@
+// Package engine exercises both locksafe invariants: release on all paths
+// and no I/O under a serving-tier lock. The package is named engine so the
+// I/O-under-lock check (gated to engine/core/modelstore) is active.
+package engine
+
+import (
+	"sync"
+
+	"bytecard/internal/storage"
+)
+
+type guardedScan struct {
+	mu sync.RWMutex
+	r  *storage.Reader
+}
+
+// Leaky acquires and forgets on the early-return path.
+func Leaky(s *guardedScan, b bool) {
+	s.mu.Lock() // want `s.mu.Lock acquired here is not released`
+	if b {
+		return
+	}
+	s.mu.Unlock()
+}
+
+// RLeaky leaks a read lock straight through a return.
+func RLeaky(s *guardedScan) int {
+	s.mu.RLock() // want `s.mu.RLock acquired here is not released`
+	return 1
+}
+
+// PanicLeak holds the lock into a bare panic; the guard layer recovers
+// panics, so the lock stays wedged.
+func PanicLeak(s *guardedScan) {
+	s.mu.Lock() // want `s.mu.Lock acquired here is not released`
+	panic("boom")
+}
+
+// Balanced releases on every path and is clean.
+func Balanced(s *guardedScan, b bool) {
+	s.mu.Lock()
+	if b {
+		s.mu.Unlock()
+		return
+	}
+	s.mu.Unlock()
+}
+
+// Deferred is the canonical clean shape.
+func Deferred(s *guardedScan) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+}
+
+// ReadLocked reaches a storage block read directly under the lock.
+func ReadLocked(s *guardedScan) float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.r.Numeric(0) // want `storage block read .* while holding s.mu`
+}
+
+// cold is a same-package helper whose body touches storage.
+func cold(r *storage.Reader) float64 {
+	return r.Numeric(0)
+}
+
+// Indirect reaches storage two hops away, through the call graph.
+func Indirect(s *guardedScan) float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v := cold(s.r) // want `storage block read .* reachable via cold while holding s.mu`
+	return v
+}
+
+// Unlocked performs the same read with no lock held; clean.
+func Unlocked(s *guardedScan) float64 {
+	return cold(s.r)
+}
+
+// AnnotatedHold documents why the read under the lock is acceptable.
+func AnnotatedHold(s *guardedScan) float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return cold(s.r) //bytecard:lock-ok fixture: reader is memory-resident in this path
+}
+
+// NoReason has the annotation but no justification.
+func NoReason(s *guardedScan) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	//bytecard:lock-ok
+	cold(s.r) // want `annotation needs a reason`
+}
+
+// Spawned goroutine bodies run on their own stack; the spawner's lock set
+// does not apply inside them.
+func SpawnClean(s *guardedScan, done chan struct{}) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go func() { //bytecard:goroutine-ok fixture: provenance is goroutinesrc's concern, not locksafe's
+		cold(s.r)
+		close(done)
+	}()
+}

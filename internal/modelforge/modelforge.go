@@ -164,11 +164,22 @@ func aborted(ctx context.Context) error {
 	return nil
 }
 
+// compatContext is the single blessed root-context mint for the
+// context-free compatibility wrappers (TrainAll, TrainTable, NotifyIngest,
+// FineTuneRBX). Those entry points predate context threading and are kept
+// for callers that have no deadline to impose — batch CLIs and tests;
+// anything serving-path routes through the ...Context variants instead.
+// Funneling every wrapper through here keeps the ctxflow exemption at
+// exactly one annotated line.
+func compatContext() context.Context {
+	return context.Background() //bytecard:ctx-ok sole compatibility-wrapper root; deadline-bearing callers use the ...Context variants
+}
+
 // TrainAll runs the full pipeline: preprocess, build join buckets, train a
 // BN per table (per shard where sharded), ensure the base RBX model
 // exists, and store every artifact.
 func (s *Service) TrainAll() (*Report, error) {
-	return s.TrainAllContext(context.Background())
+	return s.TrainAllContext(compatContext())
 }
 
 // TrainAllContext is TrainAll honoring a deadline/cancellation: the context
@@ -245,7 +256,7 @@ func (s *Service) TrainTableAt(table string, at time.Time) ([]ModelReport, error
 
 // TrainTable retrains one table's model(s) — the routine-training task.
 func (s *Service) TrainTable(table string) ([]ModelReport, error) {
-	return s.TrainTableContext(context.Background(), table)
+	return s.TrainTableContext(compatContext(), table)
 }
 
 // TrainTableContext is TrainTable honoring a deadline/cancellation.
@@ -462,7 +473,7 @@ func (s *Service) TrainCostModel(traces []costmodel.Trace, cfg costmodel.TrainCo
 // NotifyIngest is the Data Ingestor signal: once enough rows accumulate
 // for a table, the service retrains its model(s) from fresh samples.
 func (s *Service) NotifyIngest(table string, rows int64) error {
-	return s.NotifyIngestContext(context.Background(), table, rows)
+	return s.NotifyIngestContext(compatContext(), table, rows)
 }
 
 // NotifyIngestContext is NotifyIngest honoring a deadline/cancellation on
@@ -498,7 +509,7 @@ func (s *Service) RetrainCount(table string) int {
 // base model is fine-tuned on observed profiles plus synthetic high-NDV
 // augmentation and stored back with a fresh timestamp.
 func (s *Service) FineTuneRBX(column string, profiles []sample.Profile, truths []float64, cfg rbx.FineTuneConfig) error {
-	return s.FineTuneRBXContext(context.Background(), column, profiles, truths, cfg)
+	return s.FineTuneRBXContext(compatContext(), column, profiles, truths, cfg)
 }
 
 // FineTuneRBXContext is FineTuneRBX honoring a deadline/cancellation.

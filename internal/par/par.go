@@ -1,8 +1,12 @@
-// Package par provides the bounded worker pool used by model training
-// (Chow-Liu MI matrix, FactorJoin build). Training parallelism is resolved
-// separately from the executor's BYTECARD_PARALLELISM: training runs in
-// ModelForge's background refresh, not on the query critical path, so it
-// gets its own knob (BYTECARD_TRAIN_WORKERS).
+// Package par provides the bounded worker pools used by model training
+// (Chow-Liu MI matrix, FactorJoin build) and the executor's morsel-driven
+// scans (Chunks, Strided). It is the repo's one blessed goroutine source:
+// every library fan-out routes through here — enforced by the
+// goroutinesrc analyzer — so worker clamping and scheduling determinism
+// stay centralized. Training parallelism is resolved separately from the
+// executor's BYTECARD_PARALLELISM: training runs in ModelForge's
+// background refresh, not on the query critical path, so it gets its own
+// knob (BYTECARD_TRAIN_WORKERS).
 package par
 
 import (
@@ -44,6 +48,67 @@ func Do(n, workers int, fn func(i int)) {
 				fn(i)
 			}
 		}()
+	}
+	wg.Wait()
+}
+
+// Chunks runs fn for every chunk index in [0, chunks) across up to
+// workers goroutines, dispatching chunks dynamically (morsel-driven: an
+// atomic cursor balances uneven chunks) and passing each call the spawned
+// worker's index. Callers write outputs into chunk-indexed slots, which
+// keeps concatenation deterministic regardless of scheduling. With
+// workers <= 1 it degenerates to a serial loop on worker 0.
+func Chunks(workers, chunks int, fn func(worker, chunk int)) {
+	if workers > chunks {
+		workers = chunks
+	}
+	if workers <= 1 {
+		for c := 0; c < chunks; c++ {
+			fn(0, c)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for {
+				c := int(next.Add(1)) - 1
+				if c >= chunks {
+					return
+				}
+				fn(worker, c)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// Strided statically assigns chunk c to worker c mod workers, each worker
+// visiting its chunks in ascending order. Aggregation uses this instead of
+// dynamic dispatch so each worker's accumulation order — and therefore
+// floating-point partial sums — is reproducible run to run.
+func Strided(workers, chunks int, fn func(worker, chunk int)) {
+	if workers > chunks {
+		workers = chunks
+	}
+	if workers <= 1 {
+		for c := 0; c < chunks; c++ {
+			fn(0, c)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for c := worker; c < chunks; c += workers {
+				fn(worker, c)
+			}
+		}(w)
 	}
 	wg.Wait()
 }
